@@ -1,0 +1,84 @@
+//! BENCH-STEP — wall-clock latency of single operations, complementing
+//! the step-count experiments: the step-complexity hierarchy the paper
+//! proves should be visible in nanoseconds too.
+//!
+//! Run: `cargo bench -p bench --bench step_complexity`.
+
+use approx_objects::{KmultBoundedMaxRegister, KmultCounter, KmultUnboundedMaxRegister};
+use counter::{AachCounter, CollectCounter, Counter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxreg::{MaxRegister, TreeMaxRegister};
+use smr::Runtime;
+
+fn bench_counter_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_increment");
+    let n = 16;
+
+    group.bench_function("kmult_k4", |b| {
+        let rt = Runtime::free_running(n);
+        let counter = KmultCounter::new(n, 4);
+        let ctx = rt.ctx(0);
+        let mut h = counter.handle(0);
+        b.iter(|| h.increment(&ctx));
+    });
+    group.bench_function("collect", |b| {
+        let rt = Runtime::free_running(n);
+        let counter = CollectCounter::new(n);
+        let ctx = rt.ctx(0);
+        b.iter(|| counter.increment(&ctx));
+    });
+    group.bench_function("aach_m2_30", |b| {
+        let rt = Runtime::free_running(n);
+        let counter = AachCounter::new(n, 1 << 30);
+        let ctx = rt.ctx(0);
+        b.iter(|| counter.increment(&ctx));
+    });
+    group.finish();
+}
+
+fn bench_maxreg_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxreg_write_read");
+    let n = 16;
+
+    for bits in [16u32, 32, 48] {
+        let m = 1u64 << bits;
+        group.bench_with_input(BenchmarkId::new("exact_tree", bits), &m, |b, &m| {
+            let rt = Runtime::free_running(n);
+            let ctx = rt.ctx(0);
+            let reg = TreeMaxRegister::new(m);
+            let mut v = 1u64;
+            b.iter(|| {
+                v = (v * 7 + 3) % (m - 1);
+                reg.write(&ctx, v);
+                std::hint::black_box(reg.read(&ctx));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kmult_k4", bits), &m, |b, &m| {
+            let rt = Runtime::free_running(n);
+            let ctx = rt.ctx(0);
+            let reg = KmultBoundedMaxRegister::new(n, m, 4);
+            let mut v = 1u64;
+            b.iter(|| {
+                v = (v * 7 + 3) % (m - 1);
+                reg.write(&ctx, v);
+                std::hint::black_box(reg.read(&ctx));
+            });
+        });
+    }
+
+    group.bench_function("kmult_unbounded_k4_large_values", |b| {
+        let rt = Runtime::free_running(n);
+        let ctx = rt.ctx(0);
+        let reg = KmultUnboundedMaxRegister::new(n, 4);
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1) & (u64::MAX >> 1);
+            reg.write(&ctx, v);
+            std::hint::black_box(reg.read(&ctx));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter_increment, bench_maxreg_ops);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! BENCH-THR — wall-clock throughput of the counter implementations under
+//! real multi-threaded contention (the "does relaxation buy real-world
+//! performance" sanity check motivating the paper's line of work).
+//!
+//! Measures operations/second for a mixed workload (1 read per 16 ops)
+//! at several thread counts. Run: `cargo bench -p bench --bench throughput`.
+
+use counter::{CollectCounter, Counter, FaaCounter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perturb::counter::{CounterTarget, KmultTarget, SharedCounter};
+use smr::Runtime;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const OPS_PER_THREAD: u64 = 4_000;
+const READ_EVERY: u64 = 16;
+
+fn run_mixed<T: CounterTarget + 'static>(target: Arc<T>, threads: usize, iters: u64) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let rt = Runtime::free_running(threads);
+        let start = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|pid| {
+                let target = Arc::clone(&target);
+                let ctx = rt.ctx(pid);
+                std::thread::spawn(move || {
+                    for i in 1..=OPS_PER_THREAD {
+                        if i % READ_EVERY == 0 {
+                            let _ = target.read(pid, &ctx);
+                        } else {
+                            target.increment(pid, &ctx);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        total += start.elapsed();
+    }
+    total
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_throughput");
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("kmult_k8", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let counter = approx_objects::KmultCounter::new(threads, 8);
+                    let target = Arc::new(KmultTarget::new(&counter));
+                    run_mixed(target, threads, iters)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("collect", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let target = Arc::new(SharedCounter(Arc::new(CollectCounter::new(threads))));
+                    run_mixed(target, threads, iters)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fetch_add", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let target = Arc::new(SharedCounter(Arc::new(FaaCounter::new())));
+                    run_mixed(target, threads, iters)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_quiescent_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quiescent_read_latency");
+    let n = 64;
+
+    group.bench_function("kmult_read_after_1e5_incs", |b| {
+        let rt = Runtime::free_running(n);
+        let counter = approx_objects::KmultCounter::new(n, 8);
+        let ctx = rt.ctx(0);
+        let mut h = counter.handle(0);
+        for _ in 0..100_000 {
+            h.increment(&ctx);
+        }
+        b.iter(|| std::hint::black_box(h.read(&ctx)));
+    });
+
+    group.bench_function("collect_read_n64", |b| {
+        let rt = Runtime::free_running(n);
+        let counter = CollectCounter::new(n);
+        let ctx = rt.ctx(0);
+        for _ in 0..1_000 {
+            counter.increment(&ctx);
+        }
+        b.iter(|| std::hint::black_box(counter.read(&ctx)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters, bench_quiescent_reads);
+criterion_main!(benches);

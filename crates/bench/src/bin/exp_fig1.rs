@@ -1,0 +1,117 @@
+//! EXP-F1 — Figure 1 / Claim III.6: the switch-state cases behind the
+//! linearizability proof of Algorithm 1, reproduced as executable
+//! scenarios.
+//!
+//! Figure 1 depicts what a `CounterRead` can observe about the (q+1)-th
+//! interval of switches (k = 4 here, so interval 1 is `switch_1 …
+//! switch_4`):
+//!
+//! * **case a** — the read finds the interval's *first* switch unset
+//!   (`p = 0`): every switch of interval q is set, none of interval q+1
+//!   is known set.
+//! * **case b.1 / b.2** — the read finds the first switch set and the
+//!   *last* unset (`p = 1`): the middle switches may (b.1) or may not
+//!   (b.2) be set — the read **cannot distinguish** the two, which is
+//!   why `u_max` charges `p·(k−1)·k^(q+1)` for the possibly-set middles.
+//!
+//! Each scenario is constructed by deterministic increments of one or two
+//! processes; the table shows the observed switch prefix, the read's
+//! `(p, q)`, its return value, the true increment count, and Claim
+//! III.6's envelope `[u_min, u_max]` — the count always falls inside.
+//!
+//! Run: `cargo run --release -p bench --bin exp_fig1`.
+
+use approx_objects::{arith, KmultCounter};
+use bench::tables::Table;
+use smr::Runtime;
+
+const K: u64 = 4;
+
+struct Scenario {
+    name: &'static str,
+    description: &'static str,
+    /// (pid, increments) batches, applied in order.
+    batches: Vec<(usize, u64)>,
+}
+
+fn main() {
+    let scenarios = vec![
+        Scenario {
+            name: "case a",
+            description: "interval 1 full; first switch of interval 2 unset (p=0, q=1)",
+            // One process announces k times within interval 1 (k incs per
+            // announcement): switches 1..=4 all set.
+            batches: vec![(0, 1), (0, K * K)],
+        },
+        Scenario {
+            name: "case b.2",
+            description: "only the first switch of interval 1 set (p=1, q=0)",
+            // switch_0 (1 inc), then one announcement in interval 1.
+            batches: vec![(0, 1), (0, K)],
+        },
+        Scenario {
+            name: "case b.1",
+            description: "first AND a middle switch of interval 1 set — same read outcome as b.2",
+            // p0 sets switch_0 and switch_1; p1's first inc loses switch_0,
+            // then k more incs: attempts switch_1 (set), wins switch_2.
+            batches: vec![(0, 1), (0, K), (1, 1 + K)],
+        },
+    ];
+
+    let mut table = Table::new([
+        "scenario",
+        "switch prefix",
+        "(p, q)",
+        "true count v",
+        "read x",
+        "u_min",
+        "u_max",
+        "v ∈ [u_min, u_max]?",
+        "x = k·u_min?",
+    ]);
+
+    for sc in &scenarios {
+        let n = 2;
+        let rt = Runtime::free_running(n);
+        let counter = KmultCounter::new(n, K);
+        let mut handles: Vec<_> = (0..n).map(|p| counter.handle(p)).collect();
+        let mut true_count: u128 = 0;
+        for &(pid, incs) in &sc.batches {
+            let ctx = rt.ctx(pid);
+            for _ in 0..incs {
+                handles[pid].increment(&ctx);
+                true_count += 1;
+            }
+        }
+
+        let prefix: String = (0..10)
+            .map(|j| if counter.peek_switch(j) { '1' } else { '0' })
+            .collect();
+
+        let ctx = rt.ctx(0);
+        let outcome = handles[0].read_detailed(&ctx);
+        let umin = arith::u_min(outcome.p, outcome.q, K);
+        let umax = arith::u_max(outcome.p, outcome.q, K, n);
+        let in_envelope = umin <= true_count && true_count <= umax;
+
+        table.row([
+            sc.name.to_string(),
+            prefix,
+            format!("({}, {})", outcome.p, outcome.q),
+            true_count.to_string(),
+            outcome.value.to_string(),
+            umin.to_string(),
+            umax.to_string(),
+            in_envelope.to_string(),
+            (outcome.value == u128::from(K) * umin).to_string(),
+        ]);
+        println!("{}: {}", sc.name, sc.description);
+    }
+
+    println!("\nEXP-F1 — Figure 1's switch-state cases (k = {K}, n = 2)");
+    println!("claim III.6: a read returning ReturnValue(p, q) = k·u_min has");
+    println!("between u_min and u_max increments linearized before it. Note");
+    println!("b.1 and b.2 produce the same (p, q) and the same return value");
+    println!("from different true counts — the reader cannot distinguish them.");
+    table.print("switch states and the Claim III.6 envelope");
+}

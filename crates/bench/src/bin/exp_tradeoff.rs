@@ -1,0 +1,124 @@
+//! EXP-TRADEOFF — ablation of the relaxation knob: what does each unit
+//! of allowed inaccuracy buy, and how do the paper's *multiplicative*
+//! relaxation and the related-work *additive* relaxation (§I-A) differ?
+//!
+//! Fixed n, sweeping k for both relaxations, mixed workload. Reported:
+//! amortized steps/op and the worst observed error (ratio v/x for
+//! multiplicative, |v − x| for additive).
+//!
+//! Expected shape (and the paper's structural point):
+//!
+//! * the **multiplicative** counter's cost collapses to O(1) once
+//!   `k ≥ √n` and stays there — both increments *and* reads are cheap
+//!   because reads walk geometrically-spaced announcements;
+//! * the **additive** counter can only cheapen *increments* (batching);
+//!   its reads stay Θ(n) forever — mirroring the Aspnes et al.
+//!   `Ω(min(n − 1, log m − log k))` bound: additive slack k must reach
+//!   `≈ m` before reads can get cheap.
+//!
+//! Run: `cargo run --release -p bench --bin exp_tradeoff`.
+
+use approx_objects::{KaddCounter, KmultCounter};
+use bench::scale;
+use bench::tables::{f2, Table};
+use smr::Runtime;
+
+const READ_EVERY: u64 = 16;
+
+struct Measured {
+    amortized: f64,
+    worst_err: f64,
+}
+
+fn run_kmult(n: usize, k: u64, ops_per: u64) -> Measured {
+    let rt = Runtime::free_running(n);
+    let counter = KmultCounter::new(n, k);
+    let workers: Vec<_> = (0..n)
+        .map(|pid| {
+            let ctx = rt.ctx(pid);
+            let mut h = counter.handle(pid);
+            std::thread::spawn(move || {
+                for i in 1..=ops_per {
+                    if i % READ_EVERY == 0 {
+                        let _ = h.read(&ctx);
+                    } else {
+                        h.increment(&ctx);
+                    }
+                }
+                h
+            })
+        })
+        .collect();
+    let mut handles: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let total_ops = ops_per * n as u64;
+    let incs = (ops_per - ops_per / READ_EVERY) * n as u64;
+    let x = handles[0].read(&rt.ctx(0));
+    let ratio = incs as f64 / x as f64;
+    Measured {
+        amortized: rt.total_steps() as f64 / total_ops as f64,
+        worst_err: if ratio < 1.0 { 1.0 / ratio } else { ratio },
+    }
+}
+
+fn run_kadd(n: usize, k: u64, ops_per: u64) -> Measured {
+    let rt = Runtime::free_running(n);
+    let counter = KaddCounter::new(n, k);
+    let workers: Vec<_> = (0..n)
+        .map(|pid| {
+            let ctx = rt.ctx(pid);
+            let mut h = counter.handle(pid);
+            std::thread::spawn(move || {
+                for i in 1..=ops_per {
+                    if i % READ_EVERY == 0 {
+                        let _ = h.read(&ctx);
+                    } else {
+                        h.increment(&ctx);
+                    }
+                }
+                h
+            })
+        })
+        .collect();
+    let handles: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let total_ops = ops_per * n as u64;
+    let incs = (ops_per - ops_per / READ_EVERY) * n as u64;
+    let x = handles[0].read(&rt.ctx(0));
+    Measured {
+        amortized: rt.total_steps() as f64 / total_ops as f64,
+        worst_err: (u128::from(incs)).abs_diff(x) as f64,
+    }
+}
+
+fn main() {
+    let n = 16usize;
+    let ops_per = 20_000 * scale();
+    let mut table = Table::new([
+        "k",
+        "k ≥ √n?",
+        "kmult steps/op",
+        "kmult quiescent ratio (≤ k)",
+        "kadd steps/op",
+        "kadd quiescent |err| (≤ k)",
+    ]);
+
+    for k in [2u64, 4, 8, 16, 64, 256, 1024] {
+        let mult = run_kmult(n, k, ops_per);
+        let add = run_kadd(n, k, ops_per);
+        table.row([
+            k.to_string(),
+            if k * k >= n as u64 { "yes".into() } else { "no".to_string() },
+            f2(mult.amortized),
+            f2(mult.worst_err),
+            f2(add.amortized),
+            f2(add.worst_err),
+        ]);
+    }
+
+    println!("EXP-TRADEOFF — the relaxation knob at n = {n} (mixed workload,");
+    println!("1 read per {READ_EVERY} ops). The multiplicative counter collapses");
+    println!("to O(1) steps/op once k ≥ √n and gains nothing more; the additive");
+    println!("counter's batching cheapens increments with k, but its reads stay");
+    println!("Θ(n) — the structural asymmetry behind the paper's choice of the");
+    println!("multiplicative relaxation.");
+    table.print("relaxation tradeoff: multiplicative vs additive");
+}

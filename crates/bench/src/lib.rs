@@ -1,0 +1,65 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table/figure of the paper
+//! (see `EXPERIMENTS.md` for the index). This library provides the ASCII
+//! table printer, the mixed increment/read workload runner used by the
+//! counter experiments, and small helpers.
+//!
+//! All experiments honour the `REPRO_SCALE` environment variable
+//! (default 1): larger values multiply operation counts for
+//! tighter measurements at the cost of runtime.
+
+pub mod tables;
+pub mod workloads;
+
+/// The operation-count multiplier from `REPRO_SCALE` (default 1, min 1).
+pub fn scale() -> u64 {
+    std::env::var("REPRO_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// `⌈√n⌉` — the accuracy threshold of Theorem III.9.
+pub fn ceil_sqrt(n: u64) -> u64 {
+    let mut k = (n as f64).sqrt() as u64;
+    while k * k < n {
+        k += 1;
+    }
+    while k > 1 && (k - 1) * (k - 1) >= n {
+        k -= 1;
+    }
+    k
+}
+
+/// `log₂ x` as a float, 0 for x ≤ 1 (plot-friendly).
+pub fn log2f(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_sqrt_values() {
+        assert_eq!(ceil_sqrt(1), 1);
+        assert_eq!(ceil_sqrt(2), 2);
+        assert_eq!(ceil_sqrt(4), 2);
+        assert_eq!(ceil_sqrt(5), 3);
+        assert_eq!(ceil_sqrt(9), 3);
+        assert_eq!(ceil_sqrt(10), 4);
+        assert_eq!(ceil_sqrt(64), 8);
+        assert_eq!(ceil_sqrt(65), 9);
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Reusable workload runners for the counter experiments.
+
+use perturb::counter::CounterTarget;
+use smr::Runtime;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a mixed increment/read workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadResult {
+    /// Operations performed (increments + reads), all processes.
+    pub total_ops: u64,
+    /// Increments among them.
+    pub total_incs: u64,
+    /// Primitive steps charged, all processes.
+    pub total_steps: u64,
+    /// Wall-clock duration of the concurrent phase.
+    pub elapsed: Duration,
+    /// A quiescent read performed after all threads joined.
+    pub final_read: u128,
+}
+
+impl WorkloadResult {
+    /// Steps per operation — the amortized step complexity of this
+    /// execution.
+    pub fn amortized(&self) -> f64 {
+        self.total_steps as f64 / self.total_ops as f64
+    }
+
+    /// Operations per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run `n` free-running processes against `target`; each performs
+/// `ops_per_proc` operations, one read per `read_every` operations (the
+/// rest increments). Returns aggregate step and timing measurements.
+pub fn run_counter_workload<T: CounterTarget + 'static>(
+    target: Arc<T>,
+    n: usize,
+    ops_per_proc: u64,
+    read_every: u64,
+) -> WorkloadResult {
+    assert!(read_every >= 1);
+    let rt = Runtime::free_running(n);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for pid in 0..n {
+        let target = Arc::clone(&target);
+        let ctx = rt.ctx(pid);
+        handles.push(std::thread::spawn(move || {
+            let mut incs = 0u64;
+            for i in 1..=ops_per_proc {
+                if i % read_every == 0 {
+                    let _ = target.read(pid, &ctx);
+                } else {
+                    target.increment(pid, &ctx);
+                    incs += 1;
+                }
+            }
+            incs
+        }));
+    }
+    let total_incs: u64 = handles.into_iter().map(|h| h.join().expect("worker")).sum();
+    let elapsed = start.elapsed();
+    let ctx = rt.ctx(0);
+    let final_read = target.read(0, &ctx);
+    WorkloadResult {
+        total_ops: ops_per_proc * n as u64,
+        total_incs,
+        total_steps: rt.total_steps(),
+        elapsed,
+        final_read,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counter::CollectCounter;
+    use perturb::counter::SharedCounter;
+
+    #[test]
+    fn workload_counts_and_reads_are_consistent() {
+        let c = Arc::new(CollectCounter::new(4));
+        let target = Arc::new(SharedCounter(Arc::clone(&c)));
+        let res = run_counter_workload(target, 4, 100, 10);
+        assert_eq!(res.total_ops, 400);
+        assert_eq!(res.total_incs, 4 * 90);
+        assert_eq!(res.final_read, u128::from(res.total_incs));
+        // Collect counter: incs cost 2, reads cost n=4; the quiescent
+        // final read adds another 4.
+        let expected = 4 * (90 * 2 + 10 * 4) + 4;
+        assert_eq!(res.total_steps, expected);
+        assert!(res.amortized() > 0.0);
+        assert!(res.throughput() > 0.0);
+    }
+}

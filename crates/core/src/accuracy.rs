@@ -1,0 +1,94 @@
+//! k-multiplicative accuracy predicates, shared by implementations,
+//! tests and the linearizability checker.
+//!
+//! The relaxed specification (paper §I): a read of an object whose exact
+//! value is `v` may return any `x` with `v/k ≤ x ≤ v·k`. All comparisons
+//! are done in exact integer arithmetic (`v/k ≤ x ⟺ v ≤ x·k` over the
+//! rationals).
+
+/// `true` iff `x` is an admissible k-multiplicative approximation of the
+/// exact value `v`: `v/k ≤ x ≤ v·k`.
+///
+/// For `v = 0` this forces `x = 0` (`x ≤ v·k = 0`); for `x = 0` it forces
+/// `v = 0` (`v ≤ x·k = 0`).
+pub fn within_k(v: u128, x: u128, k: u64) -> bool {
+    let k = u128::from(k);
+    // v/k ≤ x  ⟺  v ≤ x·k;  x ≤ v·k.
+    v <= x.saturating_mul(k) && x <= v.saturating_mul(k)
+}
+
+/// The interval of exact values `v` compatible with a read returning `x`:
+/// `⌈x/k⌉ ≤ v ≤ x·k` (empty only in the degenerate sense `x = 0 → v = 0`).
+pub fn admissible_exact_range(x: u128, k: u64) -> (u128, u128) {
+    let k = u128::from(k);
+    (x.div_ceil(k), x.saturating_mul(k))
+}
+
+/// `⌊log_k v⌋` for `v ≥ 1` — the MSB index in base `k`, as used by
+/// Algorithm 2's `Write`.
+pub fn log_k_floor(v: u64, k: u64) -> u32 {
+    assert!(v >= 1, "log of zero");
+    assert!(k >= 2);
+    let mut x = u128::from(v);
+    let k = u128::from(k);
+    let mut e = 0;
+    while x >= k {
+        x /= k;
+        e += 1;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_k_basic() {
+        assert!(within_k(10, 10, 2));
+        assert!(within_k(10, 5, 2));
+        assert!(within_k(10, 20, 2));
+        assert!(!within_k(10, 4, 2));
+        assert!(!within_k(10, 21, 2));
+    }
+
+    #[test]
+    fn within_k_zero_rules() {
+        assert!(within_k(0, 0, 5));
+        assert!(!within_k(0, 1, 5));
+        assert!(!within_k(1, 0, 5));
+    }
+
+    #[test]
+    fn admissible_range_is_consistent_with_within_k() {
+        for k in [2u64, 3, 7] {
+            for x in 0..200u128 {
+                let (lo, hi) = admissible_exact_range(x, k);
+                if x > 0 {
+                    assert!(within_k(lo, x, k));
+                    assert!(within_k(hi, x, k));
+                    if lo > 0 {
+                        assert!(!within_k(lo - 1, x, k));
+                    }
+                    assert!(!within_k(hi + 1, x, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_k_floor_values() {
+        assert_eq!(log_k_floor(1, 2), 0);
+        assert_eq!(log_k_floor(2, 2), 1);
+        assert_eq!(log_k_floor(3, 2), 1);
+        assert_eq!(log_k_floor(4, 2), 2);
+        assert_eq!(log_k_floor(80, 3), 3);
+        assert_eq!(log_k_floor(81, 3), 4);
+        assert_eq!(log_k_floor(u64::MAX, 2), 63);
+    }
+
+    #[test]
+    fn within_k_saturates_instead_of_overflowing() {
+        assert!(within_k(u128::MAX, u128::MAX / 2, 3));
+    }
+}

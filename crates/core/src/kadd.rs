@@ -1,0 +1,248 @@
+//! The **k-additive-accurate counter** — the related-work relaxation the
+//! paper contrasts against (§I-A, citing Aspnes, Attiya, Censor-Hillel):
+//! a read may return `x` with `v − k ≤ x ≤ v + k` for the exact count
+//! `v`. Aspnes et al. prove a worst-case lower bound of
+//! `Ω(min(n − 1, log m − log k))` for it, with no matching upper bound.
+//!
+//! This implementation is the natural batching counter: each process
+//! accumulates increments locally and publishes its exact total to its
+//! single-writer cell once `⌊k/n⌋ + 1` increments have accumulated, so
+//! the `n` cells together miss at most `n·⌊k/n⌋ ≤ k` increments; reads
+//! collect and sum.
+//!
+//! Costs: increments amortize to `≈ n/k` steps (one publish per batch);
+//! reads are `Θ(n)`. Contrast with the multiplicative relaxation
+//! (Algorithm 1), where *both* sides amortize to `O(1)` for `k ≥ √n` —
+//! the asymmetry EXP-TRADEOFF measures.
+
+use smr::{ProcCtx, Register};
+use std::sync::Arc;
+
+/// Shared state of the k-additive counter: one single-writer cell per
+/// process holding that process's published exact total.
+///
+/// ```
+/// use approx_objects::KaddCounter;
+/// use smr::Runtime;
+///
+/// let rt = Runtime::free_running(2);
+/// let counter = KaddCounter::new(2, 10);
+/// let ctx = rt.ctx(0);
+/// let mut h = counter.handle(0);
+/// for _ in 0..100 {
+///     h.increment(&ctx);
+/// }
+/// let x = h.read(&ctx);
+/// assert!(100u128.abs_diff(x) <= 10); // within ±k
+/// ```
+pub struct KaddCounter {
+    k: u64,
+    n: usize,
+    cells: Vec<Register>,
+}
+
+impl KaddCounter {
+    /// A k-additive-accurate counter for `n` processes (`k ≥ 0`; `k = 0`
+    /// degenerates to the exact collect counter).
+    pub fn new(n: usize, k: u64) -> Arc<Self> {
+        assert!(n > 0, "need at least one process");
+        Arc::new(KaddCounter {
+            k,
+            n,
+            cells: (0..n).map(|_| Register::new(0)).collect(),
+        })
+    }
+
+    /// The additive accuracy parameter `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Publish threshold: a process defers at most `threshold − 1`
+    /// increments, so all processes together defer at most `k`.
+    pub fn threshold(&self) -> u64 {
+        self.k / self.n as u64 + 1
+    }
+
+    /// A handle for process `pid` (owns its pending-batch state).
+    pub fn handle(self: &Arc<Self>, pid: usize) -> KaddCounterHandle {
+        assert!(pid < self.n, "pid {pid} out of range (n = {})", self.n);
+        KaddCounterHandle {
+            counter: self.clone(),
+            pid,
+            pending: 0,
+            published: 0,
+        }
+    }
+}
+
+/// Per-process side of the k-additive counter.
+pub struct KaddCounterHandle {
+    counter: Arc<KaddCounter>,
+    pid: usize,
+    /// Increments not yet published (bounded by `threshold − 1`).
+    pending: u64,
+    /// This process's published total (mirrors its cell; single-writer,
+    /// so no read step is needed to publish).
+    published: u64,
+}
+
+impl KaddCounterHandle {
+    /// This handle's process id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Increments currently unpublished by this process.
+    pub fn pending_local(&self) -> u64 {
+        self.pending
+    }
+
+    /// One increment; publishes the batch when the threshold is reached
+    /// (one `write` step), otherwise free.
+    pub fn increment(&mut self, ctx: &ProcCtx) {
+        assert_eq!(ctx.pid(), self.pid, "handle used with foreign ProcCtx");
+        self.pending += 1;
+        if self.pending >= self.counter.threshold() {
+            self.published += self.pending;
+            self.pending = 0;
+            self.counter.cells[self.pid].write(ctx, self.published);
+        }
+    }
+
+    /// Flush any pending increments immediately (one step if non-empty).
+    /// Useful at quiescence points; not required for the accuracy bound.
+    pub fn flush(&mut self, ctx: &ProcCtx) {
+        assert_eq!(ctx.pid(), self.pid, "handle used with foreign ProcCtx");
+        if self.pending > 0 {
+            self.published += self.pending;
+            self.pending = 0;
+            self.counter.cells[self.pid].write(ctx, self.published);
+        }
+    }
+
+    /// Read: collect and sum all cells (`n` steps). The result is within
+    /// `±k` of the exact count at some instant in the read's window.
+    pub fn read(&self, ctx: &ProcCtx) -> u128 {
+        self.counter
+            .cells
+            .iter()
+            .map(|c| u128::from(c.read(ctx)))
+            .sum()
+    }
+}
+
+/// `|v − x| ≤ k` — the k-additive accuracy predicate.
+pub fn within_add(v: u128, x: u128, k: u64) -> bool {
+    v.abs_diff(x) <= u128::from(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::Runtime;
+
+    #[test]
+    fn sequential_accuracy() {
+        for (n, k) in [(1usize, 0u64), (1, 5), (4, 8), (4, 100)] {
+            let rt = Runtime::free_running(n);
+            let c = KaddCounter::new(n, k);
+            let mut handles: Vec<_> = (0..n).map(|p| c.handle(p)).collect();
+            let mut v = 0u128;
+            for round in 0..500u64 {
+                let pid = (round % n as u64) as usize;
+                let ctx = rt.ctx(pid);
+                handles[pid].increment(&ctx);
+                v += 1;
+                let x = handles[0].read(&rt.ctx(0));
+                assert!(within_add(v, x, k), "n={n} k={k} v={v} x={x}");
+                assert!(x <= v, "collect sum never overshoots sequentially");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_is_exact() {
+        let rt = Runtime::free_running(2);
+        let c = KaddCounter::new(2, 0);
+        let mut h0 = c.handle(0);
+        for i in 1..=50u128 {
+            h0.increment(&rt.ctx(0));
+            assert_eq!(h0.read(&rt.ctx(0)), i);
+        }
+    }
+
+    #[test]
+    fn flush_publishes_pending() {
+        let rt = Runtime::free_running(1);
+        let c = KaddCounter::new(1, 100);
+        let mut h = c.handle(0);
+        let ctx = rt.ctx(0);
+        for _ in 0..5 {
+            h.increment(&ctx);
+        }
+        assert!(h.pending_local() > 0);
+        h.flush(&ctx);
+        assert_eq!(h.pending_local(), 0);
+        assert_eq!(h.read(&ctx), 5);
+    }
+
+    #[test]
+    fn increment_amortizes_to_n_over_k() {
+        let n = 4;
+        let k = 400;
+        let rt = Runtime::free_running(n);
+        let c = KaddCounter::new(n, k);
+        let ctx = rt.ctx(0);
+        let mut h = c.handle(0);
+        let ops = 100_000u64;
+        for _ in 0..ops {
+            h.increment(&ctx);
+        }
+        let amortized = ctx.steps_taken() as f64 / ops as f64;
+        let expected = n as f64 / k as f64;
+        assert!(
+            amortized <= expected * 1.5 + 0.001,
+            "amortized {amortized}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn concurrent_accuracy_at_quiescence() {
+        let n = 8;
+        let k = 64;
+        let rt = Runtime::free_running(n);
+        let c = KaddCounter::new(n, k);
+        let per = 10_000u64;
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let ctx = rt.ctx(pid);
+                let mut h = c.handle(pid);
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        h.increment(&ctx);
+                    }
+                    h
+                })
+            })
+            .collect();
+        let hs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let v = u128::from(per) * n as u128;
+        let x = hs[0].read(&rt.ctx(0));
+        assert!(within_add(v, x, k), "v={v} x={x} k={k}");
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign ProcCtx")]
+    fn handle_rejects_foreign_ctx() {
+        let rt = Runtime::free_running(2);
+        let c = KaddCounter::new(2, 4);
+        let mut h = c.handle(0);
+        h.increment(&rt.ctx(1));
+    }
+}

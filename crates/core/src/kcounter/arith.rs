@@ -1,0 +1,169 @@
+//! Value arithmetic for Algorithm 1: switch-index geometry and
+//! `ReturnValue`, in `u128` (the paper's quantities grow like `k^(q+2)`).
+//!
+//! Switch-index geometry (paper §III): `switch_0` is special; for `q ≥ 0`
+//! the *(q+1)-th interval* is the index range `[q·k + 1, (q+1)·k]`, and a
+//! set switch there witnesses `k^(q+1)` increments by one process. A
+//! switch index `h ≥ 1` therefore decomposes as `h = q·k + p` with
+//! `p = h mod k`, `q = ⌊h/k⌋`; the interval boundary `h = (q+1)k` shows up
+//! as `(p = 0, q+1)` — which is why `CounterRead` only ever manipulates
+//! `p ∈ {0, 1}`.
+
+/// Decompose a switch index `h ≥ 0` into the `(p, q)` pair used by
+/// `ReturnValue`: `p = h mod k`, `q = ⌊h / k⌋`.
+pub fn decompose(h: u64, k: u64) -> (u64, u64) {
+    (h % k, h / k)
+}
+
+/// `k^e` in `u128`, panicking on overflow (an execution long enough to
+/// overflow `u128` here is physically unreachable).
+pub fn pow_k(k: u64, e: u32) -> u128 {
+    u128::from(k)
+        .checked_pow(e)
+        .expect("k^e overflows u128; execution length out of modelled range")
+}
+
+/// `log_k(v)` for `v` an exact power of `k` (callers uphold this:
+/// `lcounter == limit` and `limit` is only ever multiplied by `k`).
+pub fn log_k_exact(v: u128, k: u64) -> u32 {
+    debug_assert!(v > 0);
+    let k = u128::from(k);
+    let mut x = v;
+    let mut e = 0;
+    while x > 1 {
+        debug_assert!(x.is_multiple_of(k), "{v} is not a power of {k}");
+        x /= k;
+        e += 1;
+    }
+    e
+}
+
+/// Algorithm 1's `ReturnValue(p, q)` (lines 30–34):
+/// `k · (1 + p·k^(q+1) + Σ_{l=1..q} k^(l+1))`.
+pub fn return_value(p: u64, q: u64, k: u64) -> u128 {
+    let q32 = u32::try_from(q).expect("interval index fits u32");
+    let mut ret: u128 = 1 + u128::from(p) * pow_k(k, q32 + 1);
+    for l in 1..=q32 {
+        ret += pow_k(k, l + 1);
+    }
+    u128::from(k) * ret
+}
+
+/// `u_min(p, q)` of Claim III.6: the minimum number of increments
+/// linearized before a read that returns `ReturnValue(p, q)`:
+/// `1 + Σ_{l=1..q} k^(l+1) + p·k^(q+1)`. Note `return_value = k · u_min`.
+pub fn u_min(p: u64, q: u64, k: u64) -> u128 {
+    return_value(p, q, k) / u128::from(k)
+}
+
+/// `u_max(p, q, n)` of Claim III.6: the maximum number of increments
+/// linearized before such a read:
+/// `1 + Σ_{l=1..q} k^(l+1) + p·(k−1)·k^(q+1) + n·(k^(q+1) − 1)`.
+pub fn u_max(p: u64, q: u64, k: u64, n: usize) -> u128 {
+    let q32 = u32::try_from(q).expect("interval index fits u32");
+    let kq1 = pow_k(k, q32 + 1);
+    let mut m: u128 = 1 + u128::from(p) * u128::from(k - 1) * kq1;
+    for l in 1..=q32 {
+        m += pow_k(k, l + 1);
+    }
+    m + (n as u128) * (kq1 - 1)
+}
+
+/// Number of increments a process must perform locally before it may
+/// attempt a switch in the interval containing index `h ≥ 1`
+/// (Lemma III.7): `k^(i+1)` for `h ∈ [i·k + 1, (i+1)·k]`.
+pub fn increments_to_attempt(h: u64, k: u64) -> u128 {
+    assert!(h >= 1);
+    let i = (h - 1) / k; // interval ordinal: h ∈ [i·k + 1, (i+1)·k]
+    pow_k(k, u32::try_from(i).expect("interval fits u32") + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_round_trips() {
+        let k = 4;
+        for h in 0..100 {
+            let (p, q) = decompose(h, k);
+            assert_eq!(q * k + p, h);
+            assert!(p < k);
+        }
+    }
+
+    #[test]
+    fn pow_and_log_agree() {
+        for k in [2u64, 3, 10] {
+            for e in 0..12u32 {
+                assert_eq!(log_k_exact(pow_k(k, e), k), e);
+            }
+        }
+    }
+
+    #[test]
+    fn return_value_base_cases() {
+        // h = 0 → (p, q) = (0, 0): ReturnValue = k·(1 + 0) = k.
+        assert_eq!(return_value(0, 0, 4), 4);
+        // h = 1 → (1, 0): k·(1 + 1·k) = k + k².
+        assert_eq!(return_value(1, 0, 4), 4 + 16);
+        // h = k → (0, 1): k·(1 + k²) (the Σ term contributes k² at l=1).
+        assert_eq!(return_value(0, 1, 4), 4 * (1 + 16));
+    }
+
+    #[test]
+    fn return_value_is_k_times_u_min() {
+        for k in [2u64, 3, 5] {
+            for q in 0..5 {
+                for p in [0u64, 1] {
+                    assert_eq!(return_value(p, q, k), u128::from(k) * u_min(p, q, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u_max_dominates_u_min() {
+        for k in [2u64, 4, 8] {
+            for q in 0..6 {
+                for p in [0u64, 1] {
+                    assert!(u_max(p, q, k, 16) >= u_min(p, q, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u_min_is_monotone_in_switch_index() {
+        // Walking the read cursor h = 0, 1, k, k+1, 2k, … must yield
+        // non-decreasing u_min.
+        let k = 4;
+        let mut prev = 0u128;
+        let mut h = 0u64;
+        for _ in 0..20 {
+            let (p, q) = decompose(h, k);
+            let um = u_min(p, q, k);
+            assert!(um >= prev, "u_min not monotone at h = {h}");
+            prev = um;
+            h = if h.is_multiple_of(k) { h + 1 } else { h + k - 1 };
+        }
+    }
+
+    #[test]
+    fn increments_to_attempt_matches_lemma() {
+        let k = 4;
+        // Interval 1 = [1..4] needs k; interval 2 = [5..8] needs k².
+        for h in 1..=4 {
+            assert_eq!(increments_to_attempt(h, k), 4);
+        }
+        for h in 5..=8 {
+            assert_eq!(increments_to_attempt(h, k), 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn pow_k_overflow_panics() {
+        let _ = pow_k(u64::MAX, 3);
+    }
+}

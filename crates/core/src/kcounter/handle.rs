@@ -1,0 +1,334 @@
+//! The per-process side of Algorithm 1: persistent local variables,
+//! `CounterIncrement` (lines 10–29) and `CounterRead` (lines 35–58).
+
+use super::arith::{decompose, log_k_exact, return_value};
+use super::KmultCounter;
+use smr::ProcCtx;
+use std::sync::Arc;
+
+/// The detailed outcome of a `CounterRead`, exposing the `(p, q)` pair the
+/// return value was computed from — what Claim III.6's envelope
+/// (`u_min(p,q) ≤ v ≤ u_max(p,q,n)`) is stated in terms of — and whether
+/// the read completed through the helping mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmultReadOutcome {
+    /// The approximate counter value, `ReturnValue(p, q) = k·u_min(p, q)`,
+    /// or 0 if no increment was visible.
+    pub value: u128,
+    /// `p` of the last set switch observed (index `h = q·k + p`).
+    pub p: u64,
+    /// `q` of the last set switch observed.
+    pub q: u64,
+    /// `true` if the read returned via the helping mechanism (line 55).
+    pub helped: bool,
+}
+
+/// Process-local state of Algorithm 1 (paper lines 4–9): one per process.
+///
+/// The handle owns the persistent local variables `lcounter`, `limit`,
+/// `sn`, `l0` and `last`; the shared switches and helping array live in
+/// the [`KmultCounter`] it references.
+pub struct KmultCounterHandle {
+    counter: Arc<KmultCounter>,
+    pid: usize,
+    /// Unannounced increments (line 6); reset only on a successful
+    /// `test&set` (line 19 / 27).
+    lcounter: u128,
+    /// Announcement threshold (line 7); multiplied by `k` at interval
+    /// boundaries (lines 21, 28).
+    limit: u128,
+    /// Switches set by this process (line 8).
+    sn: u64,
+    /// 1-based start offset within the current interval (line 9).
+    l0: u64,
+    /// Read cursor: largest switch index visited (line 5).
+    last: u64,
+    /// The `(p, q)` of the last set switch the cursor passed — the
+    /// pseudocode's loop-carried `p, q`, which must survive across calls
+    /// because `last` is persistent and a later read may exit its loop
+    /// immediately.
+    prev_p: u64,
+    prev_q: u64,
+}
+
+impl KmultCounterHandle {
+    pub(super) fn new(counter: Arc<KmultCounter>, pid: usize) -> Self {
+        KmultCounterHandle {
+            counter,
+            pid,
+            lcounter: 0,
+            limit: 1,
+            sn: 0,
+            l0: 1,
+            last: 0,
+            prev_p: 0,
+            prev_q: 0,
+        }
+    }
+
+    /// The shared counter this handle operates on.
+    pub fn counter(&self) -> &Arc<KmultCounter> {
+        &self.counter
+    }
+
+    /// This handle's process id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Increments currently unannounced by this process (`lcounter_i`) —
+    /// exposed for tests and experiments; reading it is free (it is
+    /// process-local state, not a base object).
+    pub fn pending_local(&self) -> u128 {
+        self.lcounter
+    }
+
+    /// `CounterIncrement()` — paper lines 10–29.
+    pub fn increment(&mut self, ctx: &ProcCtx) {
+        assert_eq!(ctx.pid(), self.pid, "handle used with foreign ProcCtx");
+        let k = self.counter.k();
+        self.lcounter += 1;
+        if self.lcounter != self.limit {
+            return;
+        }
+        let j = u64::from(log_k_exact(self.lcounter, k));
+        if j > 0 {
+            // Attempt the remainder of interval j: indices
+            // (j−1)·k + l0 ..= j·k (lines 15–23).
+            let end = j * k;
+            for l in ((j - 1) * k + self.l0)..=end {
+                if !self.counter.switch(l).test_and_set(ctx) {
+                    // Successfully announced k^j increments (lines 17–23).
+                    self.sn += 1;
+                    self.counter.help_write(ctx, self.pid, l, self.sn);
+                    self.lcounter = 0;
+                    if l == end {
+                        self.limit *= u128::from(k); // line 21
+                    }
+                    self.l0 = 1 + l % k; // line 22
+                    return;
+                }
+            }
+            // Whole interval already set by others (lines 24, 28): give
+            // up announcing at this granularity.
+            self.l0 = 1;
+            self.limit *= u128::from(k);
+        } else {
+            // First announcement: switch_0 (lines 25–28).
+            if !self.counter.switch(0).test_and_set(ctx) {
+                self.lcounter = 0;
+            }
+            self.limit *= u128::from(k);
+        }
+    }
+
+    /// `CounterRead()` — paper lines 35–58 — returning the full outcome.
+    pub fn read_detailed(&mut self, ctx: &ProcCtx) -> KmultReadOutcome {
+        assert_eq!(ctx.pid(), self.pid, "handle used with foreign ProcCtx");
+        let k = self.counter.k();
+        let n = self.counter.n() as u64;
+        let mut c: u64 = 0;
+        let mut help_snap: Vec<u64> = Vec::new();
+        let (mut p, mut q) = (self.prev_p, self.prev_q);
+
+        while self.counter.switch(self.last).read(ctx) {
+            (p, q) = decompose(self.last, k);
+            // Advance to the first switch of the next interval from an
+            // interval's last switch, or jump to the interval's last
+            // switch from its first (lines 40–43).
+            if self.last.is_multiple_of(k) {
+                self.last += 1;
+            } else {
+                self.last += k - 1;
+            }
+            c += 1;
+            if c.is_multiple_of(n) {
+                if c == n {
+                    // First helping scan: record sequence numbers
+                    // (lines 46–48).
+                    help_snap = (0..self.counter.n())
+                        .map(|i| self.counter.help_read(ctx, i).1)
+                        .collect();
+                } else {
+                    // Subsequent scans: a process whose sn advanced by ≥ 2
+                    // set a switch entirely within our execution interval
+                    // (lines 50–55, soundness by Lemma III.3).
+                    #[allow(clippy::needless_range_loop)] // mirrors paper line 50
+                    for i in 0..self.counter.n() {
+                        let (val, sn) = self.counter.help_read(ctx, i);
+                        if sn >= help_snap[i] + 2 {
+                            let (hp, hq) = decompose(val, k);
+                            self.prev_p = p;
+                            self.prev_q = q;
+                            return KmultReadOutcome {
+                                value: return_value(hp, hq, k),
+                                p: hp,
+                                q: hq,
+                                helped: true,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        self.prev_p = p;
+        self.prev_q = q;
+        if self.last == 0 {
+            // No increment was ever announced — and since every first
+            // increment attempts switch_0, no increment completed at all
+            // before this read (lines 56–57).
+            return KmultReadOutcome { value: 0, p: 0, q: 0, helped: false };
+        }
+        KmultReadOutcome { value: return_value(p, q, k), p, q, helped: false }
+    }
+
+    /// `CounterRead()` — the approximate number of increments.
+    pub fn read(&mut self, ctx: &ProcCtx) -> u128 {
+        self.read_detailed(ctx).value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::within_k;
+    use smr::Runtime;
+
+    #[test]
+    fn fresh_counter_reads_zero() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        let mut h = c.handle(0);
+        assert_eq!(h.read(&ctx), 0);
+        assert_eq!(h.read(&ctx), 0, "repeat reads stay 0");
+    }
+
+    #[test]
+    fn single_process_trace_k2() {
+        // Hand-verified trace for n = 1, k = 2 (see module docs of
+        // `kcounter`): reads after 1, 3, 5, 9 increments return 2, 6, 10,
+        // 18 — all exactly v·k at announcement points.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        let mut h = c.handle(0);
+
+        h.increment(&ctx);
+        assert_eq!(h.read(&ctx), 2);
+        h.increment(&ctx);
+        h.increment(&ctx);
+        assert_eq!(h.read(&ctx), 6);
+        h.increment(&ctx);
+        h.increment(&ctx);
+        assert_eq!(h.read(&ctx), 10);
+        for _ in 0..4 {
+            h.increment(&ctx);
+        }
+        assert_eq!(h.read(&ctx), 18);
+    }
+
+    #[test]
+    fn sequential_accuracy_n1() {
+        for k in [2u64, 3, 4, 8] {
+            let rt = Runtime::free_running(1);
+            let ctx = rt.ctx(0);
+            let c = KmultCounter::new(1, k);
+            let mut h = c.handle(0);
+            for v in 1..=2_000u128 {
+                h.increment(&ctx);
+                let x = h.read(&ctx);
+                assert!(
+                    within_k(v, x, k),
+                    "k={k}: after {v} increments read {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn switches_are_set_in_increasing_order() {
+        // Lemma III.2: observe the switch prefix after many increments.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 3);
+        let mut h = c.handle(0);
+        for _ in 0..5_000 {
+            h.increment(&ctx);
+        }
+        // The set switches must form a contiguous prefix (single process:
+        // no gaps possible).
+        let mut first_unset = None;
+        for j in 0..100 {
+            if !c.peek_switch(j) {
+                first_unset = Some(j);
+                break;
+            }
+        }
+        let fu = first_unset.expect("finite prefix");
+        assert!(fu > 0, "some switch set after 5000 increments");
+        for j in fu..100 {
+            assert!(!c.peek_switch(j), "gap at {j}");
+        }
+    }
+
+    #[test]
+    fn read_cursor_only_advances() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        let mut h = c.handle(0);
+        let mut prev = 0;
+        for _ in 0..200 {
+            h.increment(&ctx);
+            let _ = h.read(&ctx);
+            assert!(h.last >= prev, "cursor moved backwards");
+            prev = h.last;
+        }
+    }
+
+    #[test]
+    fn repeated_reads_are_cheap() {
+        // The persistent cursor means a second read with no new
+        // increments costs exactly one switch read (plus any helping
+        // scan), regardless of history length.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        let mut h = c.handle(0);
+        for _ in 0..10_000 {
+            h.increment(&ctx);
+        }
+        let _ = h.read(&ctx);
+        let s0 = ctx.steps_taken();
+        let x1 = h.read(&ctx);
+        let cost = ctx.steps_taken() - s0;
+        assert!(cost <= 2, "idle re-read cost {cost}");
+        let x2 = h.read(&ctx);
+        assert_eq!(x1, x2, "idle reads are stable");
+    }
+
+    #[test]
+    fn increment_amortized_cost_is_constant() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 4);
+        let mut h = c.handle(0);
+        let ops: u64 = 100_000;
+        for _ in 0..ops {
+            h.increment(&ctx);
+        }
+        let amortized = ctx.steps_taken() as f64 / ops as f64;
+        assert!(amortized < 1.0, "amortized increment steps {amortized}");
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign ProcCtx")]
+    fn handle_rejects_foreign_ctx() {
+        let rt = Runtime::free_running(2);
+        let ctx1 = rt.ctx(1);
+        let c = KmultCounter::new(2, 2);
+        let mut h = c.handle(0);
+        h.increment(&ctx1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Algorithm 1: the wait-free linearizable k-multiplicative-accurate
+//! unbounded counter.
+//!
+//! Shared state (paper lines 1–3):
+//!
+//! * `switch_j`, `j ∈ ℕ` — an unbounded sequence of 1-bit base objects
+//!   supporting `read` and `test&set`, held in a lock-free
+//!   [`SegArray`] so every bit has stable identity.
+//! * `H[n]` — the helping array: one register per process holding a
+//!   `(val, sn)` pair (packed into one `u64`, as the pseudocode treats the
+//!   pair as a single atomic value).
+//!
+//! The per-process persistent local variables (lines 4–9) live in a
+//! [`KmultCounterHandle`], one per process.
+//!
+//! Accuracy contract: a `CounterRead` returning `x` with `v` increments
+//! linearized before it satisfies `v/k ≤ x ≤ v·k`, provided `k ≥ √n`
+//! (Theorem III.9). `u_min`/`u_max` of Claim III.6 give the exact
+//! envelope; see [`arith`]. **Startup boundary note** (documented in
+//! DESIGN.md): at the very beginning of an execution, while only
+//! `switch_0` is set (the `(p,q) = (0,0)` window), up to `1 + n(k−1)`
+//! increments may be pending against a read of `k`, so the raw `v ≤ k·x`
+//! side needs `n ≤ k + 1` there; Claim III.6's inequality covers
+//! `q ≥ 1 ∨ p ≥ 1`. Tests check the paper's envelope everywhere and the
+//! raw k-accuracy once the execution leaves that window (or when
+//! `n ≤ k + 1`).
+
+pub mod arith;
+mod handle;
+
+pub use handle::{KmultCounterHandle, KmultReadOutcome};
+
+use smr::{ProcCtx, Register, SegArray, TasBit};
+use std::sync::Arc;
+
+/// The shared part of Algorithm 1. Create per-process
+/// [`KmultCounterHandle`]s with [`KmultCounter::handle`] to operate on it.
+pub struct KmultCounter {
+    k: u64,
+    n: usize,
+    /// `switch_j` for all `j ∈ ℕ` (allocated on demand).
+    switches: SegArray<TasBit>,
+    /// `H[i] = (val, sn)` packed as `val << 32 | sn`.
+    help: Vec<Register>,
+}
+
+impl KmultCounter {
+    /// A k-multiplicative-accurate counter for `n` processes.
+    ///
+    /// The accuracy theorem needs `k ≥ √n`; smaller `k` is accepted (the
+    /// object is still wait-free and linearizable w.r.t. *some* relaxed
+    /// envelope) so the lower-bound experiments can probe the `k < √n`
+    /// regime — check [`KmultCounter::accuracy_guaranteed`].
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `k < 2`.
+    pub fn new(n: usize, k: u64) -> Arc<Self> {
+        assert!(n > 0, "need at least one process");
+        assert!(k >= 2, "k must be at least 2");
+        Arc::new(KmultCounter {
+            k,
+            n,
+            switches: SegArray::new(),
+            help: (0..n).map(|_| Register::new(0)).collect(),
+        })
+    }
+
+    /// The accuracy parameter `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff `k ≥ √n`, the premise of Theorem III.9.
+    pub fn accuracy_guaranteed(&self) -> bool {
+        self.k.saturating_mul(self.k) >= self.n as u64
+    }
+
+    /// A handle for process `pid`, holding its persistent local variables.
+    ///
+    /// Each process must use exactly one handle; the handle asserts that
+    /// the [`ProcCtx`] passed to its operations matches `pid`.
+    pub fn handle(self: &Arc<Self>, pid: usize) -> KmultCounterHandle {
+        assert!(pid < self.n, "pid {pid} out of range (n = {})", self.n);
+        KmultCounterHandle::new(self.clone(), pid)
+    }
+
+    pub(crate) fn switch(&self, j: u64) -> &TasBit {
+        self.switches.get(usize::try_from(j).expect("switch index fits usize"))
+    }
+
+    /// Read `H[i]`, unpacking the `(val, sn)` pair. One step.
+    pub(crate) fn help_read(&self, ctx: &ProcCtx, i: usize) -> (u64, u64) {
+        let raw = self.help[i].read(ctx);
+        (raw >> 32, raw & 0xFFFF_FFFF)
+    }
+
+    /// Write `(val, sn)` to `H[i]`. One step.
+    pub(crate) fn help_write(&self, ctx: &ProcCtx, i: usize, val: u64, sn: u64) {
+        assert!(val < (1 << 32), "switch index exceeds packing width");
+        assert!(sn < (1 << 32), "sequence number exceeds packing width");
+        self.help[i].write(ctx, (val << 32) | sn);
+    }
+
+    /// Test-and-inspection view of `switch_j` without charging a step.
+    /// **Not a primitive.**
+    pub fn peek_switch(&self, j: u64) -> bool {
+        self.switches
+            .get(usize::try_from(j).expect("switch index fits usize"))
+            .peek()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::Runtime;
+
+    #[test]
+    fn construction_validates() {
+        let c = KmultCounter::new(4, 2);
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.n(), 4);
+        assert!(c.accuracy_guaranteed());
+        let c = KmultCounter::new(16, 3);
+        assert!(!c.accuracy_guaranteed(), "3 < √16");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn k_one_is_rejected() {
+        let _ = KmultCounter::new(1, 1);
+    }
+
+    #[test]
+    fn help_pack_round_trips() {
+        let rt = Runtime::free_running(2);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(2, 4);
+        c.help_write(&ctx, 1, 123_456, 789);
+        assert_eq!(c.help_read(&ctx, 1), (123_456, 789));
+    }
+
+    #[test]
+    fn switches_start_clear() {
+        let c = KmultCounter::new(1, 2);
+        assert!(!c.peek_switch(0));
+        assert!(!c.peek_switch(1000));
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's extension: an **unbounded** k-multiplicative-accurate max
+//! register with sub-logarithmic step complexity.
+//!
+//! §IV closes by noting that the bounded k-multiplicative max register can
+//! be plugged into the unbounded construction of Baig et al. [9] "to
+//! obtain an unbounded k-multiplicative-accurate max register with
+//! sub-logarithmic amortized step complexity (omitted due to space
+//! constraints)". We realize that extension with the level-doubling chain
+//! also used by [`maxreg::UnboundedMaxRegister`] (see DESIGN.md for the
+//! substitution note):
+//!
+//! * level `i` is a [`KmultBoundedMaxRegister`] with bound `B_i = 2^(2^i)`
+//!   (capped at the `u64` domain) — its inner exact register has only
+//!   `O(log_k B_i)` values, so a level-`i` operation costs
+//!   `O(log₂ log_k B_i)` steps;
+//! * an exact level-pointer max register (domain: the ≤ 7 level indices)
+//!   tracks the highest level written.
+//!
+//! A value `v` lands in the lowest level that can hold it, so any value
+//! stored at level `ℓ ≥ 1` is `≥ B_{ℓ−1}` and dominates all lower levels;
+//! `write` publishes value-then-pointer, so a read that sees pointer `ℓ`
+//! finds a dominating value at level `ℓ`. Per-operation cost for value
+//! `v` is `O(log₂ log_k v)` — **sub-logarithmic** in `v`, versus
+//! `O(log₂ v)` for the exact unbounded chain.
+
+use crate::kmaxreg::KmultBoundedMaxRegister;
+use maxreg::{MaxRegister, TreeMaxRegister};
+use smr::ProcCtx;
+
+/// Levels with bounds 2^1, 2^2, 2^4, 2^8, 2^16, 2^32, u64::MAX.
+const LEVELS: usize = 7;
+
+/// An unbounded k-multiplicative-accurate max register over `u64` values
+/// with `O(log₂ log_k v)` steps per operation on value `v`.
+pub struct KmultUnboundedMaxRegister {
+    k: u64,
+    levels: Vec<KmultBoundedMaxRegister>,
+    pointer: TreeMaxRegister,
+    written: TreeMaxRegister,
+}
+
+impl KmultUnboundedMaxRegister {
+    /// A register for `n` processes with accuracy parameter `k ≥ 2`.
+    pub fn new(n: usize, k: u64) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        assert!(n > 0, "need at least one process");
+        KmultUnboundedMaxRegister {
+            k,
+            levels: (0..LEVELS)
+                .map(|i| KmultBoundedMaxRegister::new(n, Self::level_bound(i), k))
+                .collect(),
+            pointer: TreeMaxRegister::new(LEVELS as u64),
+            written: TreeMaxRegister::new(2),
+        }
+    }
+
+    /// The accuracy parameter `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    fn level_bound(i: usize) -> u64 {
+        let bits = 1u32 << i;
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            1u64 << bits
+        }
+    }
+
+    fn level_of(v: u64) -> usize {
+        (0..LEVELS)
+            .find(|&i| v < Self::level_bound(i))
+            .expect("LEVELS covers the domain")
+    }
+
+    /// Write `v` (a write of 0 is a no-op).
+    pub fn write(&self, ctx: &ProcCtx, v: u64) {
+        assert!(v < u64::MAX, "u64::MAX is reserved");
+        let level = Self::level_of(v);
+        self.levels[level].write(ctx, v);
+        self.pointer.write(ctx, level as u64);
+        self.written.write(ctx, 1);
+    }
+
+    /// Read an approximation `x` of the maximum `v` written so far, with
+    /// `v/k ≤ x ≤ v·k` (0 if nothing was written).
+    pub fn read(&self, ctx: &ProcCtx) -> u128 {
+        if self.written.read(ctx) == 0 {
+            return 0;
+        }
+        let level = self.pointer.read(ctx) as usize;
+        self.levels[level].read(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::within_k;
+    use smr::Runtime;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_register_reads_zero() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let r = KmultUnboundedMaxRegister::new(1, 2);
+        assert_eq!(r.read(&ctx), 0);
+    }
+
+    #[test]
+    fn sequential_accuracy_across_levels() {
+        for k in [2u64, 5] {
+            let rt = Runtime::free_running(1);
+            let ctx = rt.ctx(0);
+            let r = KmultUnboundedMaxRegister::new(1, k);
+            let mut true_max = 0u64;
+            for v in [1u64, 3, 200, 65_000, 1 << 20, 1 << 45, 7, 1 << 60] {
+                r.write(&ctx, v);
+                true_max = true_max.max(v);
+                let x = r.read(&ctx);
+                assert!(
+                    within_k(u128::from(true_max), x, k),
+                    "k={k} max={true_max} read {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_after_large_is_dominated() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let r = KmultUnboundedMaxRegister::new(1, 2);
+        r.write(&ctx, 1 << 50);
+        r.write(&ctx, 3);
+        let x = r.read(&ctx);
+        assert!(x >= 1 << 50);
+    }
+
+    #[test]
+    fn cost_is_doubly_logarithmic_in_value() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let r = KmultUnboundedMaxRegister::new(1, 2);
+        // Write a huge value: level 6, magnitude domain ~65 values,
+        // tree depth ⌈log₂ 66⌉ = 7; plus pointer (depth 3) and flag.
+        let s0 = ctx.steps_taken();
+        r.write(&ctx, (1 << 62) + 5);
+        let cost = ctx.steps_taken() - s0;
+        assert!(cost <= 2 * 7 + 2 * 3 + 2, "write cost {cost}");
+    }
+
+    #[test]
+    fn concurrent_writers_stay_accurate() {
+        let n = 6;
+        let k = 3;
+        let rt = Runtime::free_running(n);
+        let r = Arc::new(KmultUnboundedMaxRegister::new(n, k));
+        let mut handles = vec![];
+        for pid in 0..n {
+            let r = r.clone();
+            let ctx = rt.ctx(pid);
+            handles.push(std::thread::spawn(move || {
+                for i in 1..=500u64 {
+                    r.write(&ctx, i << pid);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ctx = rt.ctx(0);
+        let true_max = u128::from(500u64 << (n - 1));
+        let x = r.read(&ctx);
+        assert!(within_k(true_max, x, k), "max {true_max}, read {x}");
+    }
+}

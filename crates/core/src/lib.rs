@@ -1,0 +1,61 @@
+//! # approx-objects — deterministic k-multiplicative-accurate objects
+//!
+//! The primary contribution of *"Upper and Lower Bounds for Deterministic
+//! Approximate Objects"* (Hendler, Khattabi, Milani, Travers — ICDCS
+//! 2021): wait-free linearizable shared objects whose reads may err by a
+//! multiplicative factor `k`, in exchange for exponentially better step
+//! complexity.
+//!
+//! * [`KmultCounter`] + [`KmultCounterHandle`] — **Algorithm 1**: the
+//!   k-multiplicative-accurate unbounded counter. For `k ≥ √n` it is
+//!   wait-free, linearizable and has **constant amortized step
+//!   complexity** (Theorem III.9).
+//! * [`KmultBoundedMaxRegister`] — **Algorithm 2**: the
+//!   k-multiplicative-accurate `m`-bounded max register with worst-case
+//!   step complexity `O(min(log₂ log_k m, n))` (Theorem IV.2), matching
+//!   the lower bound of Theorem V.2 — an exponential improvement over
+//!   exact bounded max registers (`Θ(min(log₂ m, n))`).
+//! * [`KmultUnboundedMaxRegister`] — the unbounded extension sketched at
+//!   the end of §IV: sub-logarithmic (`O(log₂ log_k v)`) per-operation
+//!   cost.
+//! * [`KaddCounter`] — the **k-additive** relaxation surveyed in §I-A
+//!   (reads within `±k`), included for the relaxation-comparison
+//!   ablation: additive relaxation cannot make reads cheaper than
+//!   `Θ(n)`, multiplicative can (the paper's point).
+//! * [`accuracy`] — the k-multiplicative accuracy predicates shared with
+//!   the test suite and the linearizability checker.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use approx_objects::KmultCounter;
+//! use smr::Runtime;
+//!
+//! let n = 4;
+//! let k = 2; // k ≥ √n guarantees accuracy
+//! let rt = Runtime::free_running(n);
+//! let counter = KmultCounter::new(n, k);
+//!
+//! let ctx = rt.ctx(0);
+//! let mut handle = counter.handle(0);
+//! for _ in 0..100 {
+//!     handle.increment(&ctx);
+//! }
+//! let approx = handle.read(&ctx);
+//! assert!(approx >= 100 / k as u128 && approx <= 100 * k as u128);
+//! ```
+//!
+//! The shared object ([`KmultCounter`]) is `Sync`; each process owns a
+//! [`KmultCounterHandle`] carrying its persistent local variables, exactly
+//! mirroring the paper's "code for process i" presentation.
+
+pub mod accuracy;
+pub mod kadd;
+pub mod kcounter;
+mod kmaxreg;
+mod kmaxreg_unbounded;
+
+pub use kadd::{KaddCounter, KaddCounterHandle};
+pub use kcounter::{arith, KmultCounter, KmultCounterHandle, KmultReadOutcome};
+pub use kmaxreg::KmultBoundedMaxRegister;
+pub use kmaxreg_unbounded::KmultUnboundedMaxRegister;

@@ -1,0 +1,166 @@
+//! The AACH monotone-circuit bounded counter.
+//!
+//! A binary tree with one leaf per process. A leaf holds the (exact,
+//! single-writer) count of its process; every internal node is an
+//! `m`-bounded [`TreeMaxRegister`] caching the sum of its subtree. Since
+//! counts only grow, subtree sums only grow, so writing a freshly computed
+//! sum into a *max* register never regresses the cached value — this is
+//! the monotone-circuit idea of Aspnes, Attiya and Censor-Hillel.
+//!
+//! * `increment`: bump the own leaf, then recompute and max-write every
+//!   ancestor — `O(log n)` nodes, each costing `O(log m)` primitives,
+//!   i.e. `O(log n · log m)`.
+//! * `read`: read the root max register — `O(log m)`.
+//!
+//! With `m` polynomial in the number of operations this is the
+//! polylogarithmic exact counter the paper's introduction quotes; its
+//! step complexity degrades to the `Ω(n)` JTT bound only when executions
+//! are unboundedly long (the paper's §I-A discussion).
+
+use crate::spec::Counter;
+use maxreg::{MaxRegister, TreeMaxRegister};
+use smr::{ProcCtx, Register};
+
+/// An `m`-bounded exact counter for `n` processes with
+/// `O(log n · log m)` increments and `O(log m)` reads.
+pub struct AachCounter {
+    n: usize,
+    /// Leaf padding: the tree has `p = n.next_power_of_two()` leaf slots.
+    p: usize,
+    bound: u64,
+    /// Heap-ordered internal nodes, indices `1..p` (index 0 unused).
+    /// Node `v`'s children are `2v` and `2v+1`; leaves live at `p..2p`.
+    inner: Vec<TreeMaxRegister>,
+    /// Per-process exact counts (single-writer).
+    leaves: Vec<Register>,
+}
+
+impl AachCounter {
+    /// A counter for `n` processes supporting at most `m − 1` increments.
+    pub fn new(n: usize, m: u64) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(m > 1, "bound must exceed 1");
+        let p = n.next_power_of_two();
+        AachCounter {
+            n,
+            p,
+            bound: m,
+            inner: (0..p).map(|_| TreeMaxRegister::new(m)).collect(),
+            leaves: (0..n).map(|_| Register::new(0)).collect(),
+        }
+    }
+
+    /// The capacity bound `m` (the counter counts up to `m − 1`).
+    pub fn m(&self) -> u64 {
+        self.bound
+    }
+
+    /// Value of heap slot `idx` (`1 ≤ idx < 2p`): an internal max
+    /// register, a live leaf, or 0 for a padding leaf.
+    fn slot_value(&self, ctx: &ProcCtx, idx: usize) -> u64 {
+        if idx < self.p {
+            self.inner[idx].read(ctx)
+        } else {
+            let leaf = idx - self.p;
+            if leaf < self.n {
+                self.leaves[leaf].read(ctx)
+            } else {
+                0
+            }
+        }
+    }
+}
+
+impl Counter for AachCounter {
+    fn increment(&self, ctx: &ProcCtx) {
+        let pid = ctx.pid();
+        let leaf = &self.leaves[pid];
+        let mine = leaf.read(ctx) + 1;
+        assert!(mine < self.bound, "counter capacity (m = {}) exceeded", self.bound);
+        leaf.write(ctx, mine);
+        if self.p == 1 {
+            return; // single process: the leaf is the whole tree
+        }
+        let mut node = (self.p + pid) / 2;
+        while node >= 1 {
+            let sum = self.slot_value(ctx, 2 * node) + self.slot_value(ctx, 2 * node + 1);
+            assert!(sum < self.bound, "counter capacity (m = {}) exceeded", self.bound);
+            self.inner[node].write(ctx, sum);
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        if self.p == 1 {
+            u128::from(self.leaves[0].read(ctx))
+        } else {
+            u128::from(self.inner[1].read(ctx))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil;
+    use smr::Runtime;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_conformance() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let c = AachCounter::new(n, 1 << 20);
+            testutil::check_sequential_exact(&c, 60);
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Arc::new(AachCounter::new(6, 1 << 20));
+        testutil::check_concurrent_exact(c, 6, 500);
+    }
+
+    #[test]
+    fn read_cost_is_log_m_not_n() {
+        let n = 32;
+        let m = 1 << 16;
+        let rt = Runtime::free_running(n);
+        let c = AachCounter::new(n, m);
+        let ctx = rt.ctx(0);
+        c.increment(&ctx);
+        let s0 = ctx.steps_taken();
+        let _ = c.read(&ctx);
+        let read_steps = ctx.steps_taken() - s0;
+        assert!(read_steps <= 16 + 1, "root read is O(log m), got {read_steps}");
+    }
+
+    #[test]
+    fn increment_cost_is_log_n_log_m() {
+        let n = 16;
+        let m = 1 << 16;
+        let rt = Runtime::free_running(n);
+        let c = AachCounter::new(n, m);
+        let ctx = rt.ctx(7);
+        let s0 = ctx.steps_taken();
+        c.increment(&ctx);
+        let steps = ctx.steps_taken() - s0;
+        // 2 leaf ops + log2(n)=4 levels x (2 child reads + 1 write), each
+        // O(log2 m)=16 with small constants.
+        let budget = 2 + 4 * 3 * (16 + 1);
+        assert!(steps <= budget, "increment took {steps}, budget {budget}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overflow_is_rejected() {
+        let c = AachCounter::new(1, 4);
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        for _ in 0..4 {
+            c.increment(&ctx);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The collect counter: single-writer cells + sum.
+//!
+//! `increment` bumps the invoking process's own cell (`read` + `write`,
+//! two steps — the cell is single-writer so the pair cannot lose
+//! updates); `read` collects all `n` cells and returns their sum.
+//!
+//! Linearizability for unit increments: let `S₀` be the sum of completed
+//! increments when a read begins and `S₁` the sum of started increments
+//! when it ends. The collected sum lies in `[S₀, S₁]`, and since the true
+//! count is monotone and changes by 1, every value in that interval is the
+//! true count at some instant inside the read's window — a valid
+//! linearization point.
+
+use crate::spec::Counter;
+use smr::{ProcCtx, Register};
+
+/// An exact counter with `O(1)` increments and `O(n)` reads.
+pub struct CollectCounter {
+    cells: Vec<Register>,
+}
+
+impl CollectCounter {
+    /// A counter for `n` processes.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        CollectCounter { cells: (0..n).map(|_| Register::new(0)).collect() }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl Counter for CollectCounter {
+    fn increment(&self, ctx: &ProcCtx) {
+        let cell = &self.cells[ctx.pid()];
+        let v = cell.read(ctx);
+        cell.write(ctx, v + 1);
+    }
+
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        self.cells.iter().map(|c| u128::from(c.read(ctx))).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil;
+    use smr::Runtime;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_conformance() {
+        let c = CollectCounter::new(1);
+        testutil::check_sequential_exact(&c, 100);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Arc::new(CollectCounter::new(8));
+        testutil::check_concurrent_exact(c, 8, 1_000);
+    }
+
+    #[test]
+    fn step_costs() {
+        let n = 12;
+        let rt = Runtime::free_running(n);
+        let c = CollectCounter::new(n);
+        let ctx = rt.ctx(5);
+        let s0 = ctx.steps_taken();
+        c.increment(&ctx);
+        assert_eq!(ctx.steps_taken() - s0, 2, "increment: 2 steps");
+        let s0 = ctx.steps_taken();
+        let _ = c.read(&ctx);
+        assert_eq!(ctx.steps_taken() - s0, n as u64, "read: n steps");
+    }
+}

@@ -1,0 +1,63 @@
+//! The `fetch&add` hardware baseline.
+//!
+//! One step per operation — but `fetch&add` is **not** in the paper's
+//! primitive set (it is neither historyless nor conditional of arity 1 in
+//! the relevant sense), so this counter lives outside the model whose
+//! bounds the paper proves. It serves as the "what the hardware gives you"
+//! reference line in the throughput benchmarks.
+
+use crate::spec::Counter;
+use smr::{FaaRegister, ProcCtx};
+
+/// An exact counter backed by a single `fetch&add` register.
+#[derive(Debug, Default)]
+pub struct FaaCounter {
+    reg: FaaRegister,
+}
+
+impl FaaCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Counter for FaaCounter {
+    fn increment(&self, ctx: &ProcCtx) {
+        self.reg.fetch_add(ctx, 1);
+    }
+
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        u128::from(self.reg.read(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil;
+    use smr::Runtime;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_conformance() {
+        let c = FaaCounter::new();
+        testutil::check_sequential_exact(&c, 100);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Arc::new(FaaCounter::new());
+        testutil::check_concurrent_exact(c, 8, 2_000);
+    }
+
+    #[test]
+    fn one_step_per_operation() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = FaaCounter::new();
+        c.increment(&ctx);
+        let _ = c.read(&ctx);
+        assert_eq!(ctx.steps_taken(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! A lock-based reference counter — the test oracle.
+//!
+//! **Not** an algorithm of the shared-memory model (mutex, not wait-free,
+//! charges no steps); used only to cross-check real implementations.
+
+use crate::spec::Counter;
+use parking_lot::Mutex;
+use smr::ProcCtx;
+
+/// A trivially correct (blocking) counter for testing.
+#[derive(Debug, Default)]
+pub struct LockCounter {
+    count: Mutex<u128>,
+}
+
+impl LockCounter {
+    /// A fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Counter for LockCounter {
+    fn increment(&self, _ctx: &ProcCtx) {
+        *self.count.lock() += 1;
+    }
+
+    fn read(&self, _ctx: &ProcCtx) -> u128 {
+        *self.count.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil;
+
+    #[test]
+    fn sequential_conformance() {
+        let c = LockCounter::new();
+        testutil::check_sequential_exact(&c, 64);
+    }
+
+    #[test]
+    fn charges_no_steps() {
+        let rt = smr::Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = LockCounter::new();
+        c.increment(&ctx);
+        let _ = c.read(&ctx);
+        assert_eq!(ctx.steps_taken(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! The [`Counter`] object interface.
+
+use smr::ProcCtx;
+
+/// A linearizable counter: `read` returns the number of increments that
+/// precede it (exactly, for the implementations in this crate; within a
+/// factor of `k`, for the relaxed counter in `approx-objects`).
+pub trait Counter: Send + Sync {
+    /// Apply one increment.
+    fn increment(&self, ctx: &ProcCtx);
+
+    /// Read the (possibly approximate) number of preceding increments.
+    fn read(&self, ctx: &ProcCtx) -> u128;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use smr::Runtime;
+    use std::sync::Arc;
+
+    /// Sequential conformance for exact counters.
+    pub(crate) fn check_sequential_exact<C: Counter>(c: &C, upto: u128) {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        assert_eq!(c.read(&ctx), 0, "fresh counter reads 0");
+        for i in 1..=upto {
+            c.increment(&ctx);
+            assert_eq!(c.read(&ctx), i, "after {i} increments");
+        }
+    }
+
+    /// Concurrent smoke test for exact counters: n threads, `per`
+    /// increments each; quiescent read must be exact.
+    pub(crate) fn check_concurrent_exact<C: Counter + 'static>(c: Arc<C>, n: usize, per: u64) {
+        let rt = Runtime::free_running(n);
+        let mut handles = vec![];
+        for pid in 0..n {
+            let c = c.clone();
+            let ctx = rt.ctx(pid);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per {
+                    c.increment(&ctx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ctx = rt.ctx(0);
+        assert_eq!(c.read(&ctx), (n as u128) * u128::from(per));
+    }
+}

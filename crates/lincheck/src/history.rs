@@ -1,0 +1,165 @@
+//! History representations consumed by the checkers.
+
+use smr::History;
+
+/// An operation's execution window. `resp = None` means the operation
+/// never completed (its effects may or may not have taken place).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Invocation timestamp.
+    pub inv: u64,
+    /// Response timestamp, if the operation completed.
+    pub resp: Option<u64>,
+}
+
+impl Interval {
+    /// A completed operation window.
+    pub fn done(inv: u64, resp: u64) -> Self {
+        assert!(inv < resp, "response must follow invocation");
+        Interval { inv, resp: Some(resp) }
+    }
+
+    /// A pending operation window.
+    pub fn pending(inv: u64) -> Self {
+        Interval { inv, resp: None }
+    }
+
+    /// `true` if `self` completed before `other` was invoked.
+    pub fn precedes(&self, other: &Interval) -> bool {
+        matches!(self.resp, Some(r) if r < other.inv)
+    }
+}
+
+/// A completed read operation and the value it returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedRead {
+    /// Invocation timestamp.
+    pub inv: u64,
+    /// Response timestamp.
+    pub resp: u64,
+    /// The value the read returned.
+    pub value: u128,
+}
+
+/// A write operation (max-register histories) and its argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedWrite {
+    /// Execution window.
+    pub window: Interval,
+    /// The written value.
+    pub value: u64,
+}
+
+/// Why a history is not linearizable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Human-readable diagnosis naming the offending read.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// A counter history: unit increments plus reads.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHistory {
+    /// Increment windows (completed and pending).
+    pub incs: Vec<Interval>,
+    /// Completed reads (pending reads returned nothing checkable).
+    pub reads: Vec<TimedRead>,
+}
+
+impl CounterHistory {
+    /// Extract a counter history from driver records: operations labelled
+    /// `inc_label` are increments, `read_label` are reads. Pending reads
+    /// are dropped; pending increments are kept (their effect is
+    /// optional).
+    pub fn from_records(h: &History, inc_label: &str, read_label: &str) -> Self {
+        let mut out = CounterHistory::default();
+        for op in h.ops() {
+            if op.label == inc_label {
+                out.incs.push(Interval { inv: op.inv, resp: op.resp });
+            } else if op.label == read_label {
+                if let Some(resp) = op.resp {
+                    out.reads.push(TimedRead { inv: op.inv, resp, value: op.ret });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total completed increments — the exact quiescent count.
+    pub fn completed_incs(&self) -> u128 {
+        self.incs.iter().filter(|i| i.resp.is_some()).count() as u128
+    }
+}
+
+/// A max-register history: writes plus reads.
+#[derive(Debug, Clone, Default)]
+pub struct MaxRegHistory {
+    /// Writes (completed and pending) with their arguments.
+    pub writes: Vec<TimedWrite>,
+    /// Completed reads.
+    pub reads: Vec<TimedRead>,
+}
+
+impl MaxRegHistory {
+    /// Extract a max-register history from driver records (`arg` is the
+    /// written value for `write_label` operations).
+    pub fn from_records(h: &History, write_label: &str, read_label: &str) -> Self {
+        let mut out = MaxRegHistory::default();
+        for op in h.ops() {
+            if op.label == write_label {
+                out.writes.push(TimedWrite {
+                    window: Interval { inv: op.inv, resp: op.resp },
+                    value: u64::try_from(op.arg).expect("written value fits u64"),
+                });
+            } else if op.label == read_label {
+                if let Some(resp) = op.resp {
+                    out.reads.push(TimedRead { inv: op.inv, resp, value: op.ret });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::OpRecord;
+
+    #[test]
+    fn interval_precedence() {
+        let a = Interval::done(0, 5);
+        let b = Interval::done(6, 9);
+        let c = Interval::pending(1);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(!c.precedes(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "response must follow")]
+    fn bad_interval_rejected() {
+        let _ = Interval::done(5, 5);
+    }
+
+    #[test]
+    fn from_records_partitions_ops() {
+        let mut h = History::new();
+        h.push(OpRecord { pid: 0, label: "inc", arg: 0, ret: 0, inv: 0, resp: Some(1), steps: 1 });
+        h.push(OpRecord { pid: 1, label: "read", arg: 0, ret: 7, inv: 2, resp: Some(3), steps: 1 });
+        h.push(OpRecord { pid: 2, label: "read", arg: 0, ret: 9, inv: 4, resp: None, steps: 1 });
+        h.push(OpRecord { pid: 2, label: "inc", arg: 0, ret: 0, inv: 5, resp: None, steps: 1 });
+        let ch = CounterHistory::from_records(&h, "inc", "read");
+        assert_eq!(ch.incs.len(), 2);
+        assert_eq!(ch.reads.len(), 1, "pending read dropped");
+        assert_eq!(ch.completed_incs(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # lincheck — linearizability checking for (relaxed) monotone objects
+//!
+//! Validates recorded histories against the paper's sequential
+//! specifications:
+//!
+//! * the **exact counter** / **exact max register**;
+//! * the **k-multiplicative-accurate** variants, where a read may return
+//!   any `x` with `v/k ≤ x ≤ v·k` for the exact value `v` at its
+//!   linearization point (`k = 1` recovers the exact specs).
+//!
+//! Two engines:
+//!
+//! * [`monotone`] — an `O(h log h)` decision procedure exploiting
+//!   monotonicity: each read constrains the object value over its
+//!   real-time window to an interval; a greedy minimal assignment that
+//!   respects real-time read ordering exists iff the history is
+//!   linearizable. This is the engine used by the stress tests.
+//! * [`wg`] — an exhaustive Wing&ndash;Gong search (with memoization),
+//!   exponential but spec-agnostic; used on small randomized histories to
+//!   cross-validate the monotone engine (see this crate's tests).
+//!
+//! Histories come from [`smr::History`] records via
+//! [`CounterHistory::from_records`] / [`MaxRegHistory::from_records`], or
+//! can be built by hand.
+
+mod history;
+pub mod monotone;
+pub mod wg;
+
+pub use history::{CounterHistory, Interval, MaxRegHistory, TimedRead, TimedWrite, Violation};

@@ -1,0 +1,528 @@
+//! Polynomial-time linearizability checking for monotone objects with
+//! (possibly) relaxed reads.
+//!
+//! ## Counter
+//!
+//! A history of unit increments and reads returning `x_r` is linearizable
+//! w.r.t. the k-multiplicative counter spec iff each read `r` can be
+//! assigned an exact count `v_r` such that
+//!
+//! 1. `⌈x_r/k⌉ ≤ v_r ≤ x_r·k` (spec admissibility);
+//! 2. `A_r ≤ v_r ≤ B_r`, where `A_r` counts increments *completed
+//!    strictly before* `r` was invoked (they are forced before `r`) and
+//!    `B_r` counts increments invoked at or before `r`'s response (only
+//!    these can precede `r` — `i` may precede `r` iff `r` does not
+//!    strictly precede `i`, i.e. `i.inv ≤ r.resp`);
+//! 3. for every pair of reads with `r.resp < s.inv`:
+//!    `v_s ≥ v_r + D(r, s)`, where `D(r, s)` counts increments whose whole
+//!    window lies between `r`'s response and `s`'s invocation — everything
+//!    `r` counted precedes `s` too, and the `D` increments are forced in
+//!    between.
+//!
+//! Necessity of 1–3 is immediate; sufficiency is the standard
+//! interval-order construction (place reads in `v_r`-order refined by
+//! real time, then slot increments). The greedy longest-path assignment
+//! `v_r = max(lo_r, max_{r'≺r}(v_{r'} + D(r', r)))` is minimal, so it
+//! succeeds iff some assignment does. This engine is additionally
+//! cross-validated against the exhaustive [`wg`](crate::wg) checker on
+//! thousands of randomized histories (see `tests/`).
+//!
+//! ## Max register
+//!
+//! Analogous, with max instead of sum. Each read `r` gets a minimal
+//! achievable maximum `m_r` with: `m_r ≥ base(r) = max(M_A(r), m_{r'}
+//! for reads r' that precede r)` where `M_A(r)` is the largest write
+//! completed before `r.inv`; `m_r` admissible for `x_r`. If `base(r)` is
+//! not already admissible, a *witness* write `w` with `w.inv ≤ r.resp`
+//! must be linearized before `r` — but placing `w` drags along everything
+//! forced before `w` in real time: earlier-completed **writes** (their
+//! values) and earlier-completed **reads** (whose own minimal maxima were
+//! forced by *their* witnesses). So the witness's **effective value** is
+//!
+//! ```text
+//! ev(w) = max(w.value,
+//!             max{w'.value : w'.resp < w.inv},
+//!             max{m_{r'}   : r'.resp < w.inv})
+//! ```
+//!
+//! and the greedy picks the smallest admissible `ev(w)`. All quantities
+//! depend only on strictly earlier timestamps, so a single event-ordered
+//! sweep (write invocations before read responses at equal times)
+//! computes everything; the greedy-minimal assignment succeeds iff some
+//! assignment does.
+//!
+//! Complexity: `O(R² log I + I log I)` for `R` reads and `I` updates —
+//! comfortably fast for the stress-test histories this crate checks.
+
+use crate::history::{CounterHistory, MaxRegHistory, Violation};
+
+/// Check a counter history against the k-multiplicative-accurate counter
+/// specification (`k = 1` for the exact counter).
+pub fn check_counter(h: &CounterHistory, k: u64) -> Result<(), Violation> {
+    assert!(k >= 1);
+    let kk = u128::from(k);
+    check_counter_with(h, |x| (x.div_ceil(kk), x.saturating_mul(kk)))
+}
+
+/// Check a counter history against the **k-additive**-accurate counter
+/// specification: a read may return `x` with `|v − x| ≤ k`.
+pub fn check_counter_additive(h: &CounterHistory, k: u64) -> Result<(), Violation> {
+    let kk = u128::from(k);
+    check_counter_with(h, move |x| (x.saturating_sub(kk), x.saturating_add(kk)))
+}
+
+/// Check a counter history against an arbitrary relaxed read
+/// specification: `window(x)` maps a returned value to the inclusive
+/// interval of exact counts that may have produced it.
+pub fn check_counter_with<W>(h: &CounterHistory, window: W) -> Result<(), Violation>
+where
+    W: Fn(u128) -> (u128, u128),
+{
+
+    // Completed increments, by response; all increments, by invocation.
+    let mut resp_times: Vec<u64> = h.incs.iter().filter_map(|i| i.resp).collect();
+    resp_times.sort_unstable();
+    let mut inv_times: Vec<u64> = h.incs.iter().map(|i| i.inv).collect();
+    inv_times.sort_unstable();
+
+    // Completed increments as (resp, inv), sorted by resp — streamed into
+    // the Fenwick tree (indexed by inv rank) as the sweep passes their
+    // response times.
+    let mut completed: Vec<(u64, u64)> = h
+        .incs
+        .iter()
+        .filter_map(|i| i.resp.map(|r| (r, i.inv)))
+        .collect();
+    completed.sort_unstable();
+    let inv_rank = |t: u64| -> usize { partition_point_leq(&inv_times, t) };
+
+    let mut reads: Vec<(usize, &crate::history::TimedRead)> = h.reads.iter().enumerate().collect();
+    reads.sort_by_key(|(_, r)| r.inv);
+
+    let mut fen = Fenwick::new(inv_times.len());
+    let mut stream = 0usize;
+    // Assigned counts, in `reads` (inv-sorted) order.
+    let mut assigned: Vec<u128> = Vec::with_capacity(reads.len());
+
+    for (pos, (idx, r)) in reads.iter().enumerate() {
+        // Stream increments with resp < r.inv into the Fenwick tree.
+        while stream < completed.len() && completed[stream].0 < r.inv {
+            fen.add(inv_rank(completed[stream].1) - 1, 1);
+            stream += 1;
+        }
+        let a = count_lt(&resp_times, r.inv) as u128;
+        let b = count_leq(&inv_times, r.resp) as u128;
+        let (spec_lo, spec_hi) = window(r.value);
+        let mut lo = spec_lo.max(a);
+        let hi = spec_hi.min(b);
+
+        // Pairwise constraints from every read that precedes r.
+        for (ppos, (_, p)) in reads.iter().enumerate().take(pos) {
+            if p.resp < r.inv {
+                // D = completed increments with inv > p.resp and resp < r.inv.
+                // The tree currently holds exactly those with resp < r.inv.
+                let d = fen.count_suffix(inv_rank(p.resp)) as u128;
+                lo = lo.max(assigned[ppos] + d);
+            }
+        }
+
+        if lo > hi {
+            return Err(Violation {
+                message: format!(
+                    "read #{idx} (window [{}, {}]) returned {} but the exact \
+                     count is confined to an empty window: need ≥ {lo}, ≤ {hi} \
+                     (forced-before A = {a}, possible-before B = {b})",
+                    r.inv, r.resp, r.value
+                ),
+            });
+        }
+        assigned.push(lo);
+    }
+    Ok(())
+}
+
+/// Check a max-register history against the k-multiplicative-accurate max
+/// register specification (`k = 1` for the exact max register).
+pub fn check_maxreg(h: &MaxRegHistory, k: u64) -> Result<(), Violation> {
+    assert!(k >= 1);
+    let kk = u128::from(k);
+
+    // Completed writes as (resp, value), with prefix maxima in resp order.
+    let mut by_resp: Vec<(u64, u64)> = h
+        .writes
+        .iter()
+        .filter_map(|w| w.window.resp.map(|t| (t, w.value)))
+        .collect();
+    by_resp.sort_unstable();
+    let mut resp_prefix_max: Vec<u64> = Vec::with_capacity(by_resp.len());
+    let mut run = 0;
+    for &(_, v) in &by_resp {
+        run = run.max(v);
+        resp_prefix_max.push(run);
+    }
+    // Largest completed write strictly before time t.
+    let max_completed_before = |t: u64| -> u128 {
+        let cnt = count_lt_key(&by_resp, t);
+        if cnt == 0 {
+            0
+        } else {
+            u128::from(resp_prefix_max[cnt - 1])
+        }
+    };
+
+    // Event-ordered sweep: write invocations (computing ev) interleaved
+    // with read responses (finalizing minimal maxima). At equal times a
+    // write invocation is processed first, so `w.inv <= r.resp` witnesses
+    // are available, while `r'.resp < w.inv` reads are strictly earlier.
+    #[derive(Clone, Copy)]
+    enum Event {
+        WriteInv(usize),
+        ReadResp(usize),
+    }
+    let mut events: Vec<(u64, u8, Event)> = Vec::new();
+    for (i, w) in h.writes.iter().enumerate() {
+        events.push((w.window.inv, 0, Event::WriteInv(i)));
+    }
+    for (i, r) in h.reads.iter().enumerate() {
+        events.push((r.resp, 1, Event::ReadResp(i)));
+    }
+    events.sort_by_key(|&(t, tie, _)| (t, tie));
+
+    // Finalized reads as (resp, running max of minimal maxima), in
+    // response order.
+    let mut read_chain: Vec<(u64, u128)> = Vec::new();
+    let max_read_before = |chain: &[(u64, u128)], t: u64| -> u128 {
+        let cnt = chain.partition_point(|&(resp, _)| resp < t);
+        if cnt == 0 {
+            0
+        } else {
+            chain[cnt - 1].1
+        }
+    };
+    // Effective values of writes whose invocation the sweep has passed.
+    let mut witnesses: Vec<u128> = Vec::new();
+
+    for &(_, _, ev) in &events {
+        match ev {
+            Event::WriteInv(i) => {
+                let w = &h.writes[i];
+                let forced = max_completed_before(w.window.inv)
+                    .max(max_read_before(&read_chain, w.window.inv));
+                witnesses.push(u128::from(w.value).max(forced));
+            }
+            Event::ReadResp(i) => {
+                let r = &h.reads[i];
+                let spec_lo = r.value.div_ceil(kk.max(1)).min(r.value);
+                let spec_hi = r.value.saturating_mul(kk);
+                let base = max_completed_before(r.inv)
+                    .max(max_read_before(&read_chain, r.inv));
+                let m = if base >= spec_lo {
+                    // The forced maximum alone is admissible (and
+                    // realized) -- no extra witness needed.
+                    (base <= spec_hi).then_some(base)
+                } else {
+                    // Need a witness write (invoked at or before r.resp --
+                    // a write w may precede r iff r does not strictly
+                    // precede w) whose effective value is admissible.
+                    witnesses
+                        .iter()
+                        .copied()
+                        .filter(|&ev| ev >= spec_lo && ev <= spec_hi)
+                        .min()
+                };
+                match m {
+                    Some(m) => {
+                        let running = read_chain.last().map_or(0, |&(_, x)| x).max(m);
+                        read_chain.push((r.resp, running));
+                    }
+                    None => {
+                        return Err(Violation {
+                            message: format!(
+                                "read #{i} (window [{}, {}]) returned {} but \
+                                 no admissible maximum exists: forced maximum \
+                                 {base}, admissible value window [{spec_lo}, \
+                                 {spec_hi}], and no witness write invoked by \
+                                 {} has an effective value in that window \
+                                 (k = {k})",
+                                r.inv, r.resp, r.value, r.resp
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Elements of a sorted slice strictly less than `t`.
+fn count_lt(sorted: &[u64], t: u64) -> usize {
+    sorted.partition_point(|&x| x < t)
+}
+
+/// Elements of a sorted slice less than or equal to `t`.
+fn count_leq(sorted: &[u64], t: u64) -> usize {
+    sorted.partition_point(|&x| x <= t)
+}
+
+/// Elements of a key-sorted slice with key strictly less than `t`.
+fn count_lt_key(sorted: &[(u64, u64)], t: u64) -> usize {
+    sorted.partition_point(|&(x, _)| x < t)
+}
+
+/// Elements of a sorted slice less than or equal to `t`.
+fn partition_point_leq(sorted: &[u64], t: u64) -> usize {
+    sorted.partition_point(|&x| x <= t)
+}
+
+/// A Fenwick (binary indexed) tree over `len` slots, counting points.
+struct Fenwick {
+    tree: Vec<u64>,
+    total: u64,
+}
+
+impl Fenwick {
+    fn new(len: usize) -> Self {
+        Fenwick { tree: vec![0; len + 1], total: 0 }
+    }
+
+    fn add(&mut self, i: usize, delta: u64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+        self.total += delta;
+    }
+
+    /// Sum of slots `0..=i-1` (prefix of length `i`).
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i.min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Points in slots `from..` (suffix).
+    fn count_suffix(&self, from: usize) -> u64 {
+        self.total - self.prefix(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{Interval, TimedRead, TimedWrite};
+
+    fn inc(inv: u64, resp: u64) -> Interval {
+        Interval::done(inv, resp)
+    }
+
+    fn read(inv: u64, resp: u64, value: u128) -> TimedRead {
+        TimedRead { inv, resp, value }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check_counter(&CounterHistory::default(), 2).is_ok());
+        assert!(check_maxreg(&MaxRegHistory::default(), 2).is_ok());
+    }
+
+    #[test]
+    fn exact_sequential_counter_accepts() {
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3)],
+            reads: vec![read(4, 5, 2)],
+        };
+        assert!(check_counter(&h, 1).is_ok());
+    }
+
+    #[test]
+    fn exact_sequential_counter_rejects_wrong_value() {
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3)],
+            reads: vec![read(4, 5, 3)],
+        };
+        assert!(check_counter(&h, 1).is_err());
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3)],
+            reads: vec![read(4, 5, 1)],
+        };
+        assert!(check_counter(&h, 1).is_err());
+    }
+
+    #[test]
+    fn relaxation_widens_acceptance() {
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3)],
+            reads: vec![read(4, 5, 4)],
+        };
+        assert!(check_counter(&h, 1).is_err(), "exact rejects 4 for v=2");
+        assert!(check_counter(&h, 2).is_ok(), "k=2 accepts 4 for v=2");
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3)],
+            reads: vec![read(4, 5, 1)],
+        };
+        assert!(check_counter(&h, 2).is_ok(), "k=2 accepts 1 for v=2");
+    }
+
+    #[test]
+    fn concurrent_increment_may_or_may_not_count() {
+        // inc concurrent with the read: both 0 and 1 acceptable.
+        for ret in [0u128, 1] {
+            let h = CounterHistory {
+                incs: vec![inc(0, 10)],
+                reads: vec![read(1, 2, ret)],
+            };
+            assert!(check_counter(&h, 1).is_ok(), "ret {ret}");
+        }
+        let h = CounterHistory {
+            incs: vec![inc(0, 10)],
+            reads: vec![read(1, 2, 2)],
+        };
+        assert!(check_counter(&h, 1).is_err());
+    }
+
+    #[test]
+    fn long_lived_increment_forces_accumulation() {
+        // The trap the pairwise D-term exists for: a long increment iP
+        // counted by read 1 plus a short increment completed in between
+        // force read 2 to see at least 2.
+        let h = CounterHistory {
+            incs: vec![inc(0, 100), inc(3, 4)],
+            reads: vec![read(1, 2, 1), read(5, 6, 1)],
+        };
+        assert!(
+            check_counter(&h, 1).is_err(),
+            "read1 counted iP; the short inc is forced between the reads"
+        );
+        let h = CounterHistory {
+            incs: vec![inc(0, 100), inc(3, 4)],
+            reads: vec![read(1, 2, 1), read(5, 6, 2)],
+        };
+        assert!(check_counter(&h, 1).is_ok());
+    }
+
+    #[test]
+    fn sequenced_reads_must_be_monotone() {
+        let h = CounterHistory {
+            incs: vec![inc(0, 1)],
+            reads: vec![read(2, 3, 1), read(4, 5, 0)],
+        };
+        assert!(check_counter(&h, 1).is_err());
+    }
+
+    #[test]
+    fn additive_spec_accepts_and_rejects() {
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3), inc(4, 5)],
+            reads: vec![read(6, 7, 1)],
+        };
+        assert!(check_counter_additive(&h, 2).is_ok(), "|3 − 1| ≤ 2");
+        assert!(check_counter_additive(&h, 1).is_err(), "|3 − 1| > 1");
+        // Additive overshoot is also allowed.
+        let h = CounterHistory {
+            incs: vec![inc(0, 1)],
+            reads: vec![read(2, 3, 3)],
+        };
+        assert!(check_counter_additive(&h, 2).is_ok());
+        assert!(check_counter_additive(&h, 1).is_err());
+    }
+
+    #[test]
+    fn custom_window_checker() {
+        // A "never below half" spec via the generic entry point.
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3)],
+            reads: vec![read(4, 5, 1)],
+        };
+        assert!(check_counter_with(&h, |x| (x, x * 2)).is_ok());
+        assert!(check_counter_with(&h, |x| (x, x)).is_err());
+    }
+
+    #[test]
+    fn pending_increment_is_optional() {
+        for ret in [0u128, 1] {
+            let h = CounterHistory {
+                incs: vec![Interval::pending(0)],
+                reads: vec![read(1, 2, ret)],
+            };
+            assert!(check_counter(&h, 1).is_ok(), "ret {ret}");
+        }
+    }
+
+    fn write(inv: u64, resp: u64, value: u64) -> TimedWrite {
+        TimedWrite { window: Interval::done(inv, resp), value }
+    }
+
+    #[test]
+    fn exact_maxreg_accepts_and_rejects() {
+        let h = MaxRegHistory {
+            writes: vec![write(0, 1, 5), write(2, 3, 3)],
+            reads: vec![read(4, 5, 5)],
+        };
+        assert!(check_maxreg(&h, 1).is_ok());
+        let h = MaxRegHistory {
+            writes: vec![write(0, 1, 5)],
+            reads: vec![read(2, 3, 3)],
+        };
+        assert!(check_maxreg(&h, 1).is_err(), "3 was never the maximum");
+    }
+
+    #[test]
+    fn kmult_maxreg_accepts_magnitude() {
+        // Algorithm 2 returns k^p ∈ [v, v·k]: e.g. v = 5, k = 2, x = 8.
+        let h = MaxRegHistory {
+            writes: vec![write(0, 1, 5)],
+            reads: vec![read(2, 3, 8)],
+        };
+        assert!(check_maxreg(&h, 1).is_err());
+        assert!(check_maxreg(&h, 2).is_ok());
+    }
+
+    #[test]
+    fn maxreg_sequenced_reads_monotone() {
+        let h = MaxRegHistory {
+            writes: vec![write(0, 1, 8), write(2, 3, 2)],
+            reads: vec![read(4, 5, 8), read(6, 7, 2)],
+        };
+        assert!(check_maxreg(&h, 1).is_err(), "maximum cannot shrink");
+    }
+
+    #[test]
+    fn maxreg_concurrent_write_optional() {
+        for ret in [0u128, 4] {
+            let h = MaxRegHistory {
+                writes: vec![write(0, 10, 4)],
+                reads: vec![read(1, 2, ret)],
+            };
+            assert!(check_maxreg(&h, 1).is_ok(), "ret {ret}");
+        }
+    }
+
+    #[test]
+    fn maxreg_zero_read_requires_zero_history() {
+        let h = MaxRegHistory {
+            writes: vec![write(0, 1, 4)],
+            reads: vec![read(2, 3, 0)],
+        };
+        assert!(check_maxreg(&h, 3).is_err(), "x = 0 forces v = 0");
+    }
+
+    #[test]
+    fn fenwick_counts() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(7, 1);
+        assert_eq!(f.prefix(0), 0);
+        assert_eq!(f.prefix(1), 1);
+        assert_eq!(f.prefix(4), 3);
+        assert_eq!(f.prefix(8), 4);
+        assert_eq!(f.count_suffix(4), 1);
+        assert_eq!(f.count_suffix(0), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-validation of the polynomial monotone checker against the
+//! exhaustive Wing–Gong checker on randomized small histories.
+//!
+//! The monotone engine's pairwise-interval argument is subtle (see the
+//! `monotone` module docs); this test is the empirical proof obligation:
+//! on thousands of random histories — dense with both linearizable and
+//! non-linearizable cases — the two engines must agree exactly.
+
+use lincheck::monotone::{check_counter, check_maxreg};
+use lincheck::wg::{wg_check, WgEvent, WgOp};
+use lincheck::{CounterHistory, Interval, MaxRegHistory, TimedRead, TimedWrite};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random operation windows over a small timestamp range so that
+/// concurrency (and constraint violations) are frequent.
+fn random_window(rng: &mut StdRng, horizon: u64) -> (u64, u64) {
+    let a = rng.random_range(0..horizon);
+    let b = rng.random_range(0..horizon);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    (lo, hi + 1) // ensure inv < resp
+}
+
+#[test]
+fn counter_engines_agree_on_random_histories() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut disagreements = Vec::new();
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+
+    for trial in 0..4_000 {
+        let k = *[1u64, 2, 3].get(rng.random_range(0..3)).unwrap();
+        let n_incs = rng.random_range(0..5);
+        let n_reads = rng.random_range(1..4);
+        let horizon = 12;
+
+        let mut incs = Vec::new();
+        let mut events = Vec::new();
+        for _ in 0..n_incs {
+            let (inv, resp) = random_window(&mut rng, horizon);
+            let pending = rng.random_range(0..8) == 0;
+            incs.push(if pending {
+                Interval::pending(inv)
+            } else {
+                Interval::done(inv, resp)
+            });
+            events.push(WgEvent {
+                op: WgOp::Inc,
+                inv,
+                resp: (!pending).then_some(resp),
+            });
+        }
+        let mut reads = Vec::new();
+        for _ in 0..n_reads {
+            let (inv, resp) = random_window(&mut rng, horizon);
+            let value = u128::from(rng.random_range(0..(n_incs as u64 * 2 + 3)));
+            reads.push(TimedRead { inv, resp, value });
+            events.push(WgEvent { op: WgOp::CounterRead(value), inv, resp: Some(resp) });
+        }
+
+        let h = CounterHistory { incs, reads };
+        let mono = check_counter(&h, k).is_ok();
+        let exhaustive = wg_check(&events, k);
+        if mono {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        if mono != exhaustive {
+            disagreements.push((trial, k, h.clone(), mono, exhaustive));
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "engines disagree on {} histories; first: {:?}",
+        disagreements.len(),
+        disagreements.first()
+    );
+    // Sanity: the generator must exercise both verdicts heavily.
+    assert!(accepted > 200, "only {accepted} accepted — generator too harsh");
+    assert!(rejected > 200, "only {rejected} rejected — generator too lax");
+}
+
+#[test]
+fn maxreg_engines_agree_on_random_histories() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut disagreements = Vec::new();
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+
+    for trial in 0..4_000 {
+        let k = *[1u64, 2, 3].get(rng.random_range(0..3)).unwrap();
+        let n_writes = rng.random_range(0..5);
+        let n_reads = rng.random_range(1..4);
+        let horizon = 12;
+
+        let mut writes = Vec::new();
+        let mut events = Vec::new();
+        for _ in 0..n_writes {
+            let (inv, resp) = random_window(&mut rng, horizon);
+            let value = rng.random_range(1..10u64);
+            let pending = rng.random_range(0..8) == 0;
+            writes.push(TimedWrite {
+                window: if pending {
+                    Interval::pending(inv)
+                } else {
+                    Interval::done(inv, resp)
+                },
+                value,
+            });
+            events.push(WgEvent {
+                op: WgOp::Write(value),
+                inv,
+                resp: (!pending).then_some(resp),
+            });
+        }
+        let mut reads = Vec::new();
+        for _ in 0..n_reads {
+            let (inv, resp) = random_window(&mut rng, horizon);
+            let value = u128::from(rng.random_range(0..14u64));
+            reads.push(TimedRead { inv, resp, value });
+            events.push(WgEvent { op: WgOp::MaxRead(value), inv, resp: Some(resp) });
+        }
+
+        let h = MaxRegHistory { writes, reads };
+        let mono = check_maxreg(&h, k).is_ok();
+        let exhaustive = wg_check(&events, k);
+        if mono {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        if mono != exhaustive {
+            disagreements.push((trial, k, h.clone(), mono, exhaustive));
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "engines disagree on {} histories; first: {:?}",
+        disagreements.len(),
+        disagreements.first()
+    );
+    assert!(accepted > 200, "only {accepted} accepted — generator too harsh");
+    assert!(rejected > 200, "only {rejected} rejected — generator too lax");
+}

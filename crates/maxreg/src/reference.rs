@@ -1,0 +1,72 @@
+//! A lock-based reference max register — the test oracle.
+//!
+//! **Not** an algorithm of the shared-memory model: it uses a mutex, is
+//! not wait-free, and charges no steps. It exists so property tests and
+//! stress tests can compare real implementations against an obviously
+//! correct object.
+
+use crate::spec::MaxRegister;
+use parking_lot::Mutex;
+use smr::ProcCtx;
+
+/// A trivially correct (blocking) max register for testing.
+#[derive(Debug, Default)]
+pub struct LockMaxRegister {
+    value: Mutex<u64>,
+    bound: Option<u64>,
+}
+
+impl LockMaxRegister {
+    /// An unbounded oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An `m`-bounded oracle.
+    pub fn bounded(m: u64) -> Self {
+        assert!(m > 0);
+        LockMaxRegister { value: Mutex::new(0), bound: Some(m) }
+    }
+}
+
+impl MaxRegister for LockMaxRegister {
+    fn write(&self, _ctx: &ProcCtx, v: u64) {
+        if let Some(m) = self.bound {
+            assert!(v < m, "value {v} out of range (m = {m})");
+        }
+        let mut guard = self.value.lock();
+        if *guard < v {
+            *guard = v;
+        }
+    }
+
+    fn read(&self, _ctx: &ProcCtx) -> u64 {
+        *self.value.lock()
+    }
+
+    fn bound(&self) -> Option<u64> {
+        self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil;
+
+    #[test]
+    fn sequential_conformance() {
+        let reg = LockMaxRegister::new();
+        testutil::check_sequential(&reg, &[9, 1, 10, 2]);
+    }
+
+    #[test]
+    fn charges_no_steps() {
+        let rt = smr::Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let reg = LockMaxRegister::new();
+        reg.write(&ctx, 5);
+        let _ = reg.read(&ctx);
+        assert_eq!(ctx.steps_taken(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The AACH tree construction of an `m`-bounded max register.
+//!
+//! The register for the domain `{0,…,m−1}` is a binary tree: an internal
+//! node covering a span of `s` values has a 1-bit `switch` register, a left
+//! child covering the lower `⌈s/2⌉` values and a right child covering the
+//! upper `⌊s/2⌋`.
+//!
+//! * `Write(v)` descends toward `v`'s leaf. Going **right**, it first
+//!   completes the write in the right subtree and only then sets the
+//!   node's switch (so a set switch proves the right subtree already holds
+//!   the value). Going **left**, it first reads the switch and abandons the
+//!   write if set — the value is already dominated by something in the
+//!   right half.
+//! * `Read()` descends following switches: right if set, left otherwise,
+//!   accumulating the offsets of every right turn.
+//!
+//! Both operations apply at most `⌈log₂ m⌉ + 1` primitives (AACH, Theorem
+//! 5; optimal by the paper's reference [5]).
+//!
+//! Nodes are allocated lazily and published with a CAS, so the object's
+//! memory footprint is proportional to the *paths actually written*, not
+//! to `m` — essential for the `m = 2⁶⁰` sweeps in EXP-T4.2.
+
+use crate::spec::MaxRegister;
+use smr::{ProcCtx, Register};
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct Node {
+    switch: Register,
+    left: AtomicPtr<Node>,
+    right: AtomicPtr<Node>,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            switch: Register::new(0),
+            left: AtomicPtr::new(std::ptr::null_mut()),
+            right: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// The child in `slot`, allocated on demand (CAS; loser frees).
+    fn child(slot: &AtomicPtr<Node>) -> &Node {
+        let existing = slot.load(Ordering::Acquire);
+        if !existing.is_null() {
+            // SAFETY: published pointers are valid until the tree drops.
+            return unsafe { &*existing };
+        }
+        let fresh = Box::into_raw(Box::new(Node::new()));
+        match slot.compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // SAFETY: we just published `fresh`.
+            Ok(_) => unsafe { &*fresh },
+            Err(winner) => {
+                // SAFETY: `fresh` lost the race and was never shared.
+                unsafe { drop(Box::from_raw(fresh)) };
+                // SAFETY: `winner` is a published, live node.
+                unsafe { &*winner }
+            }
+        }
+    }
+
+    fn free(ptr: *mut Node) {
+        if ptr.is_null() {
+            return;
+        }
+        // SAFETY: called only from `Drop` with exclusive access.
+        unsafe {
+            let node = Box::from_raw(ptr);
+            Node::free(node.left.load(Ordering::Relaxed));
+            Node::free(node.right.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// An `m`-bounded exact max register with `O(log₂ m)` reads and writes.
+///
+/// ```
+/// use maxreg::{MaxRegister, TreeMaxRegister};
+/// use smr::Runtime;
+///
+/// let rt = Runtime::free_running(1);
+/// let ctx = rt.ctx(0);
+/// let reg = TreeMaxRegister::new(1 << 20);
+/// reg.write(&ctx, 777);
+/// reg.write(&ctx, 42); // dominated
+/// assert_eq!(reg.read(&ctx), 777);
+/// ```
+pub struct TreeMaxRegister {
+    bound: u64,
+    root: Node,
+}
+
+impl TreeMaxRegister {
+    /// A max register for values `{0,…,m−1}`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: u64) -> Self {
+        assert!(m > 0, "bound must be positive");
+        TreeMaxRegister { bound: m, root: Node::new() }
+    }
+
+    /// The bound `m`.
+    pub fn m(&self) -> u64 {
+        self.bound
+    }
+
+    /// Worst-case primitives per operation for this bound: the tree depth
+    /// plus one switch access per level.
+    pub fn worst_case_steps(&self) -> u64 {
+        // Depth of the span-halving recursion on `m` values.
+        let mut span = self.bound;
+        let mut depth = 0;
+        while span > 1 {
+            span = span.div_ceil(2);
+            depth += 1;
+        }
+        depth
+    }
+
+    fn write_rec(node: &Node, ctx: &ProcCtx, v: u64, span: u64) {
+        if span <= 1 {
+            return; // single-value subrange: position itself encodes it
+        }
+        let half = span.div_ceil(2);
+        if v < half {
+            if node.switch.read(ctx) == 0 {
+                Self::write_rec(Node::child(&node.left), ctx, v, half);
+            }
+        } else {
+            Self::write_rec(Node::child(&node.right), ctx, v - half, span - half);
+            node.switch.write(ctx, 1);
+        }
+    }
+}
+
+impl MaxRegister for TreeMaxRegister {
+    fn write(&self, ctx: &ProcCtx, v: u64) {
+        assert!(v < self.bound, "value {v} out of range (m = {})", self.bound);
+        Self::write_rec(&self.root, ctx, v, self.bound);
+    }
+
+    fn read(&self, ctx: &ProcCtx) -> u64 {
+        let mut node = &self.root;
+        let mut span = self.bound;
+        let mut acc = 0;
+        while span > 1 {
+            let half = span.div_ceil(2);
+            if node.switch.read(ctx) == 1 {
+                acc += half;
+                span -= half;
+                node = Node::child(&node.right);
+            } else {
+                span = half;
+                node = Node::child(&node.left);
+            }
+        }
+        acc
+    }
+
+    fn bound(&self) -> Option<u64> {
+        Some(self.bound)
+    }
+}
+
+impl Drop for TreeMaxRegister {
+    fn drop(&mut self) {
+        Node::free(self.root.left.load(Ordering::Relaxed));
+        Node::free(self.root.right.load(Ordering::Relaxed));
+        self.root.left.store(std::ptr::null_mut(), Ordering::Relaxed);
+        self.root.right.store(std::ptr::null_mut(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil;
+    use smr::Runtime;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_conformance() {
+        let reg = TreeMaxRegister::new(1000);
+        testutil::check_sequential(&reg, &[5, 3, 999, 42, 0, 998]);
+    }
+
+    #[test]
+    fn sequential_conformance_non_power_of_two() {
+        for m in [1u64, 2, 3, 7, 100, 129] {
+            let reg = TreeMaxRegister::new(m);
+            let vals: Vec<u64> = (0..m.min(50)).rev().collect();
+            testutil::check_sequential(&reg, &vals);
+        }
+    }
+
+    #[test]
+    fn every_value_round_trips() {
+        let m = 257;
+        for v in 0..m {
+            let reg = TreeMaxRegister::new(m);
+            let rt = Runtime::free_running(1);
+            let ctx = rt.ctx(0);
+            reg.write(&ctx, v);
+            assert_eq!(reg.read(&ctx), v, "round trip of {v}");
+        }
+    }
+
+    #[test]
+    fn step_complexity_is_logarithmic() {
+        let m = 1 << 20;
+        let reg = TreeMaxRegister::new(m);
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let budget = 2 * (reg.worst_case_steps() + 1);
+
+        let s0 = ctx.steps_taken();
+        reg.write(&ctx, m - 1);
+        let write_steps = ctx.steps_taken() - s0;
+        assert!(
+            write_steps <= budget,
+            "write took {write_steps} steps; budget {budget}"
+        );
+
+        let s0 = ctx.steps_taken();
+        let _ = reg.read(&ctx);
+        let read_steps = ctx.steps_taken() - s0;
+        assert!(
+            read_steps <= budget,
+            "read took {read_steps} steps; budget {budget}"
+        );
+    }
+
+    #[test]
+    fn huge_bound_is_lazy() {
+        let m = 1u64 << 60;
+        let reg = TreeMaxRegister::new(m);
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        reg.write(&ctx, m - 1);
+        reg.write(&ctx, 123_456_789);
+        assert_eq!(reg.read(&ctx), m - 1);
+    }
+
+    #[test]
+    fn dominated_left_write_is_abandoned() {
+        // Writing a small value after a large one must not disturb the max
+        // and must cost at most a few switch reads.
+        let reg = TreeMaxRegister::new(1 << 16);
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        reg.write(&ctx, 60_000);
+        let s0 = ctx.steps_taken();
+        reg.write(&ctx, 1);
+        let steps = ctx.steps_taken() - s0;
+        assert_eq!(reg.read(&ctx), 60_000);
+        assert!(steps <= 17, "abandoned write cost {steps}");
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let reg = Arc::new(TreeMaxRegister::new(1 << 20));
+        testutil::check_concurrent(reg, 8, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_rejects_out_of_range() {
+        let reg = TreeMaxRegister::new(8);
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        reg.write(&ctx, 8);
+    }
+
+    #[test]
+    fn bound_one_register_is_trivial() {
+        let reg = TreeMaxRegister::new(1);
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        reg.write(&ctx, 0);
+        assert_eq!(reg.read(&ctx), 0);
+        assert_eq!(ctx.steps_taken(), 0, "m=1 register needs no primitives");
+    }
+}

@@ -1,0 +1,179 @@
+//! An unbounded exact max register: a level-doubling chain of bounded
+//! tree registers.
+//!
+//! Level `i` is a [`TreeMaxRegister`] with bound `B_i = 2^(2^i)` (capped at
+//! the `u64` domain), plus a small exact *level pointer* max register that
+//! tracks the highest level written. A value `v` is stored in the lowest
+//! level that can represent it, i.e. level `ℓ(v) = ⌈log₂ max(1, ⌈log₂ (v+1)⌉)⌉`;
+//! crucially, any value stored at level `ℓ ≥ 1` is `≥ B_{ℓ−1}` and hence
+//! dominates everything stored at lower levels.
+//!
+//! * `write(v)`: write `v` into level `ℓ(v)`, then raise the level pointer
+//!   to `ℓ(v)` — in that order, so a read that sees pointer `ℓ` finds a
+//!   dominating value already present at level `ℓ`.
+//! * `read()`: read the pointer, then read that level.
+//!
+//! Cost for value `v`: `O(log₂ v)` primitives (the level-`ℓ(v)` tree has
+//! depth `2^ℓ ≈ log₂ v`) plus `O(log L)` for the pointer, where `L ≤ 7`
+//! levels cover all of `u64`. This is the exact-object analogue of the
+//! unbounded constructions of Baig et al. [9]; the *approximate* version
+//! in `approx-objects` stores only MSB indices and therefore runs in
+//! `O(log₂ log_k v)` — the paper's sub-logarithmic extension.
+
+use crate::spec::MaxRegister;
+use crate::tree::TreeMaxRegister;
+use smr::ProcCtx;
+
+/// Number of doubling levels needed so the last level covers all of `u64`:
+/// bounds 2^1, 2^2, 2^4, 2^8, 2^16, 2^32, then the full domain.
+const LEVELS: usize = 7;
+
+/// An unbounded exact max register over the full `u64` domain.
+pub struct UnboundedMaxRegister {
+    levels: Vec<TreeMaxRegister>,
+    /// Exact max register over `{0,…,LEVELS−1}` tracking the top level
+    /// written; `LEVELS` as bound, values are level indices.
+    pointer: TreeMaxRegister,
+    /// Distinguishes "nothing written" from "0 written at level 0".
+    written: TreeMaxRegister,
+}
+
+impl Default for UnboundedMaxRegister {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UnboundedMaxRegister {
+    /// A fresh unbounded max register.
+    pub fn new() -> Self {
+        let levels = (0..LEVELS)
+            .map(|i| TreeMaxRegister::new(Self::level_bound(i)))
+            .collect();
+        UnboundedMaxRegister {
+            levels,
+            pointer: TreeMaxRegister::new(LEVELS as u64),
+            written: TreeMaxRegister::new(2),
+        }
+    }
+
+    /// The exclusive bound of level `i`: `2^(2^i)`, saturating at `u64::MAX`.
+    fn level_bound(i: usize) -> u64 {
+        let bits = 1u32 << i; // 1, 2, 4, 8, 16, 32, 64
+        if bits >= 64 {
+            u64::MAX // domain {0,…,u64::MAX−1}; MAX itself is rejected
+        } else {
+            1u64 << bits
+        }
+    }
+
+    /// The lowest level whose bound exceeds `v`.
+    fn level_of(v: u64) -> usize {
+        (0..LEVELS)
+            .find(|&i| v < Self::level_bound(i))
+            .expect("LEVELS covers the domain")
+    }
+}
+
+impl MaxRegister for UnboundedMaxRegister {
+    fn write(&self, ctx: &ProcCtx, v: u64) {
+        assert!(v < u64::MAX, "u64::MAX is reserved");
+        let level = Self::level_of(v);
+        self.levels[level].write(ctx, v);
+        self.pointer.write(ctx, level as u64);
+        self.written.write(ctx, 1);
+    }
+
+    fn read(&self, ctx: &ProcCtx) -> u64 {
+        if self.written.read(ctx) == 0 {
+            return 0;
+        }
+        let level = self.pointer.read(ctx) as usize;
+        self.levels[level].read(ctx)
+    }
+
+    fn bound(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil;
+    use smr::Runtime;
+    use std::sync::Arc;
+
+    #[test]
+    fn level_bounds_double() {
+        assert_eq!(UnboundedMaxRegister::level_bound(0), 2);
+        assert_eq!(UnboundedMaxRegister::level_bound(1), 4);
+        assert_eq!(UnboundedMaxRegister::level_bound(2), 16);
+        assert_eq!(UnboundedMaxRegister::level_bound(3), 256);
+        assert_eq!(UnboundedMaxRegister::level_bound(6), u64::MAX);
+    }
+
+    #[test]
+    fn level_of_is_monotone_and_minimal() {
+        assert_eq!(UnboundedMaxRegister::level_of(0), 0);
+        assert_eq!(UnboundedMaxRegister::level_of(1), 0);
+        assert_eq!(UnboundedMaxRegister::level_of(2), 1);
+        assert_eq!(UnboundedMaxRegister::level_of(3), 1);
+        assert_eq!(UnboundedMaxRegister::level_of(4), 2);
+        assert_eq!(UnboundedMaxRegister::level_of(255), 3);
+        assert_eq!(UnboundedMaxRegister::level_of(256), 4);
+        assert_eq!(UnboundedMaxRegister::level_of(u64::MAX - 1), 6);
+    }
+
+    #[test]
+    fn sequential_conformance() {
+        let reg = UnboundedMaxRegister::new();
+        testutil::check_sequential(&reg, &[1, 3, 2, 1000, 999, 1 << 40, 5]);
+    }
+
+    #[test]
+    fn cross_level_domination() {
+        // A small value written after a huge one must not lower the max.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let reg = UnboundedMaxRegister::new();
+        reg.write(&ctx, 1 << 50);
+        reg.write(&ctx, 1);
+        assert_eq!(reg.read(&ctx), 1 << 50);
+    }
+
+    #[test]
+    fn zero_write_is_visible() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let reg = UnboundedMaxRegister::new();
+        assert_eq!(reg.read(&ctx), 0);
+        reg.write(&ctx, 0);
+        assert_eq!(reg.read(&ctx), 0);
+    }
+
+    #[test]
+    fn cost_scales_with_value_not_domain() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let reg = UnboundedMaxRegister::new();
+        let s0 = ctx.steps_taken();
+        reg.write(&ctx, 3); // level 1, depth 2 tree
+        let small_cost = ctx.steps_taken() - s0;
+        let reg2 = UnboundedMaxRegister::new();
+        let s0 = ctx.steps_taken();
+        reg2.write(&ctx, 1 << 60); // level 6
+        let big_cost = ctx.steps_taken() - s0;
+        assert!(
+            small_cost < big_cost,
+            "small {small_cost} vs big {big_cost}"
+        );
+        assert!(small_cost <= 12, "small write cost {small_cost}");
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let reg = Arc::new(UnboundedMaxRegister::new());
+        testutil::check_concurrent(reg, 6, 300);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests: every max-register implementation agrees with
+//! the lock-based oracle on arbitrary sequential operation sequences,
+//! for arbitrary bounds — and step budgets hold throughout.
+
+use maxreg::{
+    AdaptiveMaxRegister, CollectMaxRegister, LockMaxRegister, MaxRegister, TreeMaxRegister,
+    UnboundedMaxRegister,
+};
+use proptest::prelude::*;
+use smr::Runtime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64),
+    Read,
+}
+
+fn ops_strategy(max_value: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_value).prop_map(Op::Write),
+            Just(Op::Read),
+        ],
+        1..len,
+    )
+}
+
+/// Drive `reg` and the oracle through the same sequence; every read must
+/// agree exactly (these are exact registers).
+fn check_against_oracle<M: MaxRegister>(reg: &M, ops: &[Op]) {
+    let rt = Runtime::free_running(1);
+    let ctx = rt.ctx(0);
+    let oracle = LockMaxRegister::new();
+    for op in ops {
+        match op {
+            Op::Write(v) => {
+                reg.write(&ctx, *v);
+                oracle.write(&ctx, *v);
+            }
+            Op::Read => {
+                assert_eq!(reg.read(&ctx), oracle.read(&ctx));
+            }
+        }
+    }
+    assert_eq!(reg.read(&ctx), oracle.read(&ctx), "final state");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tree_matches_oracle(m in 2u64..100_000, seedops in ops_strategy(1 << 30, 40)) {
+        let ops: Vec<Op> = seedops
+            .into_iter()
+            .map(|op| match op {
+                Op::Write(v) => Op::Write(v % m),
+                Op::Read => Op::Read,
+            })
+            .collect();
+        let reg = TreeMaxRegister::new(m);
+        check_against_oracle(&reg, &ops);
+    }
+
+    #[test]
+    fn collect_matches_oracle(ops in ops_strategy(u64::MAX - 1, 40)) {
+        let reg = CollectMaxRegister::new(1);
+        check_against_oracle(&reg, &ops);
+    }
+
+    #[test]
+    fn adaptive_matches_oracle(
+        n in 1usize..12,
+        m in 2u64..1_000_000,
+        seedops in ops_strategy(1 << 30, 40),
+    ) {
+        let ops: Vec<Op> = seedops
+            .into_iter()
+            .map(|op| match op {
+                Op::Write(v) => Op::Write(v % m),
+                Op::Read => Op::Read,
+            })
+            .collect();
+        let reg = AdaptiveMaxRegister::new(n, m);
+        check_against_oracle(&reg, &ops);
+    }
+
+    #[test]
+    fn unbounded_matches_oracle(ops in ops_strategy(u64::MAX - 1, 40)) {
+        let reg = UnboundedMaxRegister::new();
+        check_against_oracle(&reg, &ops);
+    }
+
+    #[test]
+    fn tree_step_budget_holds(m in 2u64..1_000_000_000, v in 0u64..1_000_000_000) {
+        let v = v % m;
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let reg = TreeMaxRegister::new(m);
+        let budget = 2 * (reg.worst_case_steps() + 1);
+        let s0 = ctx.steps_taken();
+        reg.write(&ctx, v);
+        prop_assert!(ctx.steps_taken() - s0 <= budget);
+        let s0 = ctx.steps_taken();
+        prop_assert_eq!(reg.read(&ctx), v);
+        prop_assert!(ctx.steps_taken() - s0 <= budget);
+    }
+
+    #[test]
+    fn writes_commute_to_max(mut values in prop::collection::vec(0u64..1 << 20, 1..20)) {
+        // Any permutation of the same writes leaves the register at the
+        // same value.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let reg1 = TreeMaxRegister::new(1 << 20);
+        for &v in &values {
+            reg1.write(&ctx, v);
+        }
+        values.reverse();
+        let reg2 = TreeMaxRegister::new(1 << 20);
+        for &v in &values {
+            reg2.write(&ctx, v);
+        }
+        prop_assert_eq!(reg1.read(&ctx), reg2.read(&ctx));
+    }
+}

@@ -1,0 +1,167 @@
+//! Awareness sets (Definitions III.2/III.3) computed from primitive
+//! traces.
+//!
+//! Process `p` is *aware* of process `q` after execution `E` if `p = q`
+//! or some event of `p` is (transitively) aware of an event of `q` —
+//! i.e. `p` read a base-object value that `q`'s writes influenced,
+//! directly or through intermediaries.
+//!
+//! The operational computation walks the trace in execution order,
+//! maintaining for every process its awareness set `AW(p)` and for every
+//! base object `o` its *influence set* `V(o)` — the awareness set carried
+//! by the last nontrivial primitive applied to `o` (historyless
+//! primitives overwrite, so earlier influence on the same object is
+//! superseded exactly as visibility is in Definition III.2):
+//!
+//! * a **reading** primitive by `p` on `o`: `AW(p) ∪= V(o)`;
+//! * a **nontrivial** primitive by `p` on `o`: `V(o) = {p} ∪ AW(p)`
+//!   (for `test&set`, the read happens first — it both learns and
+//!   overwrites).
+//!
+//! Traces should come from gated executions, where the recorded order is
+//! the execution order (see [`smr::Runtime::enable_tracing`]).
+
+use crate::bitset::BitSet;
+use smr::TraceEvent;
+use std::collections::HashMap;
+
+/// Per-process awareness sets after a traced execution.
+#[derive(Debug, Clone)]
+pub struct AwarenessReport {
+    sets: Vec<BitSet>,
+}
+
+impl AwarenessReport {
+    /// The awareness set of process `p`.
+    pub fn of(&self, p: usize) -> &BitSet {
+        &self.sets[p]
+    }
+
+    /// Sizes of all awareness sets, in pid order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.sets.iter().map(|s| s.len()).collect()
+    }
+
+    /// Number of processes whose awareness set has at least `threshold`
+    /// members — the quantity Corollary III.10.1 bounds below.
+    pub fn processes_aware_of_at_least(&self, threshold: usize) -> usize {
+        self.sets.iter().filter(|s| s.len() >= threshold).count()
+    }
+}
+
+/// Compute awareness sets from a trace over `n` processes.
+pub fn compute(n: usize, trace: &[TraceEvent]) -> AwarenessReport {
+    let mut aw: Vec<BitSet> = (0..n).map(|p| BitSet::singleton(n, p)).collect();
+    let mut influence: HashMap<usize, BitSet> = HashMap::new();
+
+    for ev in trace {
+        debug_assert!(ev.pid < n, "trace pid out of range");
+        if ev.kind.is_reading() {
+            if let Some(v) = influence.get(&ev.obj) {
+                let v = v.clone();
+                aw[ev.pid].union_with(&v);
+            }
+        }
+        if ev.kind.is_nontrivial() {
+            let mut v = aw[ev.pid].clone();
+            v.insert(ev.pid);
+            influence.insert(ev.obj, v);
+        }
+    }
+    AwarenessReport { sets: aw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::AccessKind;
+
+    fn ev(seq: u64, pid: usize, obj: usize, kind: AccessKind) -> TraceEvent {
+        TraceEvent { seq, pid, obj, kind }
+    }
+
+    #[test]
+    fn processes_start_self_aware() {
+        let r = compute(3, &[]);
+        assert_eq!(r.sizes(), vec![1, 1, 1]);
+        assert!(r.of(0).contains(0));
+        assert!(!r.of(0).contains(1));
+    }
+
+    #[test]
+    fn read_after_write_transfers_awareness() {
+        let trace = [
+            ev(0, 0, 100, AccessKind::Write),
+            ev(1, 1, 100, AccessKind::Read),
+        ];
+        let r = compute(2, &trace);
+        assert!(r.of(1).contains(0), "reader became aware of writer");
+        assert!(!r.of(0).contains(1), "writer learned nothing");
+    }
+
+    #[test]
+    fn read_before_write_transfers_nothing() {
+        let trace = [
+            ev(0, 1, 100, AccessKind::Read),
+            ev(1, 0, 100, AccessKind::Write),
+        ];
+        let r = compute(2, &trace);
+        assert!(!r.of(1).contains(0));
+    }
+
+    #[test]
+    fn awareness_is_transitive() {
+        // 0 writes o1; 1 reads o1 then writes o2; 2 reads o2 ⇒ 2 is aware
+        // of both 1 and 0 (through 1's write).
+        let trace = [
+            ev(0, 0, 1, AccessKind::Write),
+            ev(1, 1, 1, AccessKind::Read),
+            ev(2, 1, 2, AccessKind::Write),
+            ev(3, 2, 2, AccessKind::Read),
+        ];
+        let r = compute(3, &trace);
+        assert!(r.of(2).contains(1));
+        assert!(r.of(2).contains(0), "transitive awareness");
+    }
+
+    #[test]
+    fn overwrite_supersedes_influence() {
+        // 0 writes o; 1 overwrites o (without reading: write is not a
+        // reading primitive); 2 reads o ⇒ aware of 1 only.
+        let trace = [
+            ev(0, 0, 5, AccessKind::Write),
+            ev(1, 1, 5, AccessKind::Write),
+            ev(2, 2, 5, AccessKind::Read),
+        ];
+        let r = compute(3, &trace);
+        assert!(r.of(2).contains(1));
+        assert!(!r.of(2).contains(0), "0's influence was overwritten unread");
+    }
+
+    #[test]
+    fn test_and_set_both_learns_and_influences() {
+        // 0 TAS o; 1 TAS o ⇒ 1 learned 0's influence; 2 reads o ⇒ aware
+        // of both.
+        let trace = [
+            ev(0, 0, 9, AccessKind::TestAndSet),
+            ev(1, 1, 9, AccessKind::TestAndSet),
+            ev(2, 2, 9, AccessKind::Read),
+        ];
+        let r = compute(3, &trace);
+        assert!(r.of(1).contains(0));
+        assert!(r.of(2).contains(0));
+        assert!(r.of(2).contains(1));
+    }
+
+    #[test]
+    fn threshold_counting() {
+        let trace = [
+            ev(0, 0, 1, AccessKind::Write),
+            ev(1, 1, 1, AccessKind::Read),
+            ev(2, 2, 1, AccessKind::Read),
+        ];
+        let r = compute(4, &trace);
+        assert_eq!(r.processes_aware_of_at_least(2), 2, "pids 1 and 2");
+        assert_eq!(r.processes_aware_of_at_least(1), 4, "self-awareness");
+    }
+}

@@ -1,0 +1,99 @@
+//! A small fixed-capacity bitset for process-id sets.
+
+/// A set of process ids in `0..capacity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set over `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// A singleton set.
+    pub fn singleton(capacity: usize, i: usize) -> Self {
+        let mut s = Self::new(capacity);
+        s.insert(i);
+        s
+    }
+
+    /// Insert `i`; returns `true` if newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let w = i / 64;
+        let b = 1u64 << (i % 64);
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// In-place union; returns `true` if `self` grew.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity);
+        let mut grew = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            grew |= *a != before;
+        }
+        grew
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.capacity).filter(move |&i| self.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0), "duplicate");
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn union_reports_growth() {
+        let mut a = BitSet::singleton(10, 1);
+        let b = BitSet::singleton(10, 2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "idempotent");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn capacity_is_enforced() {
+        let mut s = BitSet::new(4);
+        s.insert(4);
+    }
+}

@@ -1,0 +1,244 @@
+//! Perturbing executions for (bounded) max registers — Lemma V.1 made
+//! executable.
+//!
+//! Round `r` writes `v_r = F·v_{r−1} + 1` through a **fresh** writer
+//! process (`F = k²` for a k-multiplicative register: the smallest jump
+//! that forces the reader's admissible response window to move; `F = 1`
+//! degenerates to the exact register's `+1` perturbation). After each
+//! round the designated reader performs a solo `Read` under tracing and
+//! we record its return value, step count and the number of **distinct
+//! base objects** it accessed — the quantity [5, Theorem 1] bounds by
+//! `Ω(min(log₂ L, n))` for an `L`-perturbable object.
+//!
+//! The construction stops when it *saturates* (one event per available
+//! writer — the `n` arm of the bound) or when the next value would exceed
+//! the bound `m − 1` (the `log L` arm, `L = Θ(log_k m)` by Lemma V.1).
+
+use smr::{ProcCtx, Runtime};
+use std::collections::HashSet;
+
+/// Anything that looks like a bounded max register to the perturber.
+pub trait MaxRegTarget: Send + Sync {
+    /// Write `v` on behalf of the process behind `ctx`.
+    fn write(&self, ctx: &ProcCtx, v: u64);
+    /// Read (possibly approximately) the maximum written.
+    fn read(&self, ctx: &ProcCtx) -> u128;
+    /// The bound `m`: writes must stay in `{0,…,m−1}`.
+    fn m(&self) -> u64;
+}
+
+impl MaxRegTarget for maxreg::TreeMaxRegister {
+    fn write(&self, ctx: &ProcCtx, v: u64) {
+        maxreg::MaxRegister::write(self, ctx, v);
+    }
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        u128::from(maxreg::MaxRegister::read(self, ctx))
+    }
+    fn m(&self) -> u64 {
+        maxreg::MaxRegister::bound(self).expect("tree register is bounded")
+    }
+}
+
+impl MaxRegTarget for maxreg::AdaptiveMaxRegister {
+    fn write(&self, ctx: &ProcCtx, v: u64) {
+        maxreg::MaxRegister::write(self, ctx, v);
+    }
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        u128::from(maxreg::MaxRegister::read(self, ctx))
+    }
+    fn m(&self) -> u64 {
+        maxreg::MaxRegister::bound(self).expect("adaptive register is bounded")
+    }
+}
+
+impl MaxRegTarget for approx_objects::KmultBoundedMaxRegister {
+    fn write(&self, ctx: &ProcCtx, v: u64) {
+        KmultBoundedMaxRegister::write(self, ctx, v);
+    }
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        KmultBoundedMaxRegister::read(self, ctx)
+    }
+    fn m(&self) -> u64 {
+        self.m()
+    }
+}
+use approx_objects::KmultBoundedMaxRegister;
+
+/// Configuration of a perturbation run.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Available writer processes (the paper's `n − 1`).
+    pub writers: usize,
+    /// Value jump per round: `v_r = factor·v_{r−1} + 1`.
+    pub factor: u64,
+    /// Hard cap on rounds (keeps exact-register runs finite).
+    pub max_rounds: u64,
+}
+
+/// One perturbation round's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbRound {
+    /// Round number, starting at 1.
+    pub round: u64,
+    /// The value the perturbing writer wrote.
+    pub written: u64,
+    /// What the reader's solo run returned afterwards.
+    pub reader_value: u128,
+    /// Distinct base objects the reader's solo run accessed.
+    pub distinct_objects: usize,
+    /// Steps the reader's solo run took.
+    pub reader_steps: u64,
+}
+
+/// The full report of a perturbation run.
+#[derive(Debug, Clone)]
+pub struct PerturbReport {
+    /// Per-round measurements.
+    pub rounds: Vec<PerturbRound>,
+    /// `true` if the run stopped because it consumed every writer
+    /// (the `n` arm of `Ω(min(log L, n))`).
+    pub saturated: bool,
+    /// `true` if the run stopped because the next value would exceed
+    /// `m − 1` (the `log L` arm).
+    pub value_exhausted: bool,
+    /// `true` iff every round strictly changed the reader's response —
+    /// the witness that each round really was a perturbation.
+    pub every_round_perturbed: bool,
+}
+
+impl PerturbReport {
+    /// Largest number of distinct base objects any reader run accessed.
+    pub fn max_distinct_objects(&self) -> usize {
+        self.rounds.iter().map(|r| r.distinct_objects).max().unwrap_or(0)
+    }
+
+    /// Number of rounds achieved.
+    pub fn rounds_achieved(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+}
+
+/// Run the perturbation construction against `target`.
+///
+/// ```
+/// use maxreg::TreeMaxRegister;
+/// use perturb::maxreg::{perturb_maxreg, PerturbConfig};
+///
+/// let reg = TreeMaxRegister::new(1 << 16);
+/// let report = perturb_maxreg(
+///     &reg,
+///     PerturbConfig { writers: 32, factor: 2, max_rounds: 64 },
+/// );
+/// assert!(report.every_round_perturbed);
+/// assert!(report.max_distinct_objects() >= 10); // Ω(log₂ m) probes
+/// ```
+pub fn perturb_maxreg<T: MaxRegTarget>(target: &T, cfg: PerturbConfig) -> PerturbReport {
+    assert!(cfg.writers >= 1);
+    let m = target.m();
+    let rt = Runtime::free_running(cfg.writers + 1);
+    let reader_pid = cfg.writers;
+    let reader_ctx = rt.ctx(reader_pid);
+
+    let mut rounds = Vec::new();
+    let mut prev_value = target.read(&reader_ctx);
+    let mut v: u64 = 0;
+    let mut every_round_perturbed = true;
+    let mut saturated = false;
+    let mut value_exhausted = false;
+
+    for round in 1..=cfg.max_rounds {
+        let next = v.saturating_mul(cfg.factor).saturating_add(1);
+        if next > m - 1 {
+            value_exhausted = true;
+            break;
+        }
+        if round as usize > cfg.writers {
+            saturated = true;
+            break;
+        }
+        v = next;
+        let writer_ctx = rt.ctx(round as usize - 1);
+        target.write(&writer_ctx, v);
+
+        // Reader's solo run, traced.
+        let _ = rt.take_trace();
+        rt.enable_tracing();
+        let steps_before = reader_ctx.steps_taken();
+        let value = target.read(&reader_ctx);
+        let reader_steps = reader_ctx.steps_taken() - steps_before;
+        rt.disable_tracing();
+        let trace = rt.take_trace();
+        let distinct_objects: usize = trace
+            .iter()
+            .filter(|e| e.pid == reader_pid)
+            .map(|e| e.obj)
+            .collect::<HashSet<_>>()
+            .len();
+
+        if value <= prev_value {
+            every_round_perturbed = false;
+        }
+        prev_value = value;
+        rounds.push(PerturbRound {
+            round,
+            written: v,
+            reader_value: value,
+            distinct_objects,
+            reader_steps,
+        });
+    }
+
+    PerturbReport { rounds, saturated, value_exhausted, every_round_perturbed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxreg::TreeMaxRegister;
+
+    #[test]
+    fn exact_register_is_perturbed_every_round() {
+        let reg = TreeMaxRegister::new(1 << 20);
+        let report = perturb_maxreg(
+            &reg,
+            PerturbConfig { writers: 64, factor: 2, max_rounds: 100 },
+        );
+        assert!(report.every_round_perturbed);
+        assert!(report.value_exhausted, "values should hit the bound");
+        // factor 2: v_r = 2^r − 1, so ~19 rounds before exceeding 2^20−1.
+        assert!(report.rounds_achieved() >= 18);
+        // The reader probes Ω(log L) distinct objects.
+        assert!(report.max_distinct_objects() >= 10);
+    }
+
+    #[test]
+    fn kmult_register_needs_exponentially_fewer_probes() {
+        let m = 1u64 << 40;
+        let k = 2u64;
+        let exact = TreeMaxRegister::new(m);
+        let approx = approx_objects::KmultBoundedMaxRegister::new(8, m, k);
+        let cfg = PerturbConfig { writers: 64, factor: k * k, max_rounds: 100 };
+        let exact_report = perturb_maxreg(&exact, cfg);
+        let approx_report = perturb_maxreg(&approx, cfg);
+        assert!(exact_report.every_round_perturbed);
+        assert!(approx_report.every_round_perturbed);
+        assert!(
+            approx_report.max_distinct_objects() * 2
+                < exact_report.max_distinct_objects(),
+            "approx {} vs exact {}",
+            approx_report.max_distinct_objects(),
+            exact_report.max_distinct_objects()
+        );
+    }
+
+    #[test]
+    fn writer_exhaustion_saturates() {
+        let reg = TreeMaxRegister::new(1 << 60);
+        let report = perturb_maxreg(
+            &reg,
+            PerturbConfig { writers: 3, factor: 2, max_rounds: 100 },
+        );
+        assert!(report.saturated);
+        assert_eq!(report.rounds_achieved(), 3);
+    }
+}

@@ -1,0 +1,449 @@
+//! The [`Driver`]: one worker thread per process, controller-side
+//! scheduling, and operation-history recording.
+//!
+//! In **gated** mode the driver is the controller of the gate: it submits
+//! operations to per-process workers and advances the execution one
+//! primitive at a time ([`Driver::step`]), under any [`Scheduler`] policy
+//! or under direct, fully scripted control (what the lower-bound
+//! adversaries need — including suspending a process mid-operation
+//! indefinitely by simply never scheduling it again).
+//!
+//! In **free-running** mode workers execute operations as soon as they are
+//! submitted; [`Driver::wait_all`] collects the resulting history.
+//!
+//! Determinism: gated executions serialize primitives completely, and the
+//! implementations under test are deterministic, so replaying the same
+//! submissions under the same schedule reproduces the same shared-memory
+//! execution — the property the perturbation builder relies on.
+
+use crate::gate::GrantOutcome;
+use crate::history::{History, OpRecord};
+use crate::runtime::{Mode, Runtime};
+use crate::sched::Scheduler;
+use crate::ProcCtx;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type OpFn = Box<dyn FnOnce(&ProcCtx) -> u128 + Send + 'static>;
+
+enum Cmd {
+    Op { label: &'static str, arg: u128, f: OpFn },
+    Stop,
+}
+
+/// Result of advancing one process by one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One primitive was executed to completion.
+    Stepped,
+    /// All operations submitted to this process have completed; no step
+    /// was taken.
+    Completed,
+}
+
+/// Controller for a set of worker threads, one per process.
+///
+/// See the [module docs](self) for the execution modes.
+///
+/// ```
+/// use smr::{Driver, Register, Runtime};
+/// use smr::sched::RoundRobin;
+/// use std::sync::Arc;
+///
+/// let rt = Runtime::gated(2);
+/// let mut driver = Driver::new(rt);
+/// let reg = Arc::new(Register::new(0));
+/// for pid in 0..2 {
+///     let reg = Arc::clone(&reg);
+///     driver.submit(pid, "rmw", 0, move |ctx| {
+///         let v = reg.read(ctx);
+///         reg.write(ctx, v + 1);
+///         u128::from(v)
+///     });
+/// }
+/// // Round-robin interleaving loses an update — deterministically.
+/// driver.run_schedule(&mut RoundRobin::new());
+/// assert_eq!(reg.peek(), 1);
+/// ```
+pub struct Driver {
+    runtime: Arc<Runtime>,
+    cmd_tx: Vec<Sender<Cmd>>,
+    evt_rx: Receiver<OpRecord>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: Vec<u64>,
+    completed: Vec<u64>,
+    crashed: Vec<bool>,
+    history: History,
+}
+
+impl Driver {
+    /// Spawn one worker per process of `runtime`.
+    pub fn new(runtime: Arc<Runtime>) -> Self {
+        let n = runtime.n();
+        let (evt_tx, evt_rx) = unbounded();
+        let mut cmd_tx = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for pid in 0..n {
+            let (tx, rx) = unbounded::<Cmd>();
+            cmd_tx.push(tx);
+            let rt = runtime.clone();
+            let etx = evt_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("smr-worker-{pid}"))
+                    .spawn(move || worker_loop(rt, pid, rx, etx))
+                    .expect("spawn worker"),
+            );
+        }
+        Driver {
+            runtime,
+            cmd_tx,
+            evt_rx,
+            workers,
+            submitted: vec![0; n],
+            completed: vec![0; n],
+            crashed: vec![false; n],
+            history: History::new(),
+        }
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// Queue an operation for process `pid`. In gated mode it will not
+    /// take effect until scheduled; in free-running mode it starts
+    /// immediately.
+    pub fn submit<F>(&mut self, pid: usize, label: &'static str, arg: u128, f: F)
+    where
+        F: FnOnce(&ProcCtx) -> u128 + Send + 'static,
+    {
+        self.submitted[pid] += 1;
+        self.cmd_tx[pid]
+            .send(Cmd::Op { label, arg, f: Box::new(f) })
+            .expect("worker alive");
+    }
+
+    /// Operations submitted so far to `pid`.
+    pub fn submitted_to(&self, pid: usize) -> u64 {
+        self.submitted[pid]
+    }
+
+    /// Operations of `pid` whose completion has been observed.
+    pub fn completed_of(&self, pid: usize) -> u64 {
+        self.completed[pid]
+    }
+
+    /// Process ids that still have unfinished submitted operations and
+    /// have not been crashed.
+    pub fn active_pids(&self) -> Vec<usize> {
+        (0..self.runtime.n())
+            .filter(|&p| !self.crashed[p] && self.submitted[p] > self.completed[p])
+            .collect()
+    }
+
+    /// Crash process `pid`: it is never scheduled again in this driver's
+    /// gated execution (its current operation, if any, stays suspended at
+    /// its next primitive forever — the model's crash failure). The
+    /// worker thread itself is reclaimed on drop.
+    ///
+    /// Gated mode only — in free-running mode processes cannot be stopped
+    /// once submitted to.
+    pub fn crash(&mut self, pid: usize) {
+        assert!(
+            self.runtime.gate.is_some(),
+            "crash() requires a gated runtime"
+        );
+        self.crashed[pid] = true;
+    }
+
+    /// `true` if `pid` has been crashed.
+    pub fn is_crashed(&self, pid: usize) -> bool {
+        self.crashed[pid]
+    }
+
+    /// Gated mode only: advance process `pid` by one primitive step (or
+    /// learn that all of its submitted operations completed).
+    ///
+    /// # Panics
+    /// Panics in free-running mode.
+    pub fn step(&mut self, pid: usize) -> StepOutcome {
+        assert!(!self.crashed[pid], "process {pid} has crashed");
+        let gate = self
+            .runtime
+            .gate
+            .as_ref()
+            .expect("step() requires a gated runtime");
+        let out = match gate.grant(pid, self.submitted[pid]) {
+            GrantOutcome::Stepped => StepOutcome::Stepped,
+            GrantOutcome::Completed => StepOutcome::Completed,
+        };
+        self.drain_events();
+        out
+    }
+
+    /// Gated mode only: run `pid` exclusively until all its submitted
+    /// operations complete. Returns the number of steps granted.
+    pub fn run_solo(&mut self, pid: usize) -> u64 {
+        let mut steps = 0;
+        while self.step(pid) == StepOutcome::Stepped {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Gated mode only: drive all submitted operations to completion under
+    /// `sched`. Returns the total number of steps granted.
+    pub fn run_schedule<S: Scheduler + ?Sized>(&mut self, sched: &mut S) -> u64 {
+        let mut steps = 0;
+        loop {
+            let active = self.active_pids();
+            if active.is_empty() {
+                return steps;
+            }
+            let pid = sched.next(&active);
+            if self.step(pid) == StepOutcome::Stepped {
+                steps += 1;
+            }
+        }
+    }
+
+    /// Free-running mode only: block until every submitted operation has
+    /// completed. (Would deadlock in gated mode — steps must be granted.)
+    pub fn wait_all(&mut self) {
+        assert_eq!(
+            self.runtime.mode(),
+            Mode::FreeRunning,
+            "wait_all() requires a free-running runtime"
+        );
+        while self.total_pending() > 0 {
+            let rec = self.evt_rx.recv().expect("workers alive");
+            self.completed[rec.pid] += 1;
+            self.history.push(rec);
+        }
+    }
+
+    fn total_pending(&self) -> u64 {
+        (0..self.runtime.n())
+            .map(|p| self.submitted[p] - self.completed[p])
+            .sum()
+    }
+
+    fn drain_events(&mut self) {
+        while let Ok(rec) = self.evt_rx.try_recv() {
+            self.completed[rec.pid] += 1;
+            self.history.push(rec);
+        }
+    }
+
+    /// The history recorded so far (completed operations only).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Take the recorded history, leaving an empty one.
+    pub fn take_history(&mut self) -> History {
+        std::mem::take(&mut self.history)
+    }
+}
+
+impl Drop for Driver {
+    fn drop(&mut self) {
+        for tx in &self.cmd_tx {
+            let _ = tx.send(Cmd::Stop);
+        }
+        // Unblock any worker parked at the gate mid-operation; it will
+        // finish its operation free-running, then see Stop.
+        self.runtime.release_gate();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<OpRecord>) {
+    let ctx = runtime.ctx(pid);
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Stop => break,
+            Cmd::Op { label, arg, f } => {
+                if let Some(gate) = &runtime.gate {
+                    gate.op_started(pid);
+                }
+                let inv = runtime.ticket();
+                let steps_before = ctx.steps_taken();
+                let ret = f(&ctx);
+                let steps = ctx.steps_taken() - steps_before;
+                let resp = runtime.ticket();
+                // The event must be in the channel before `op_finished` is
+                // signalled, so a controller that observes completion can
+                // always drain the corresponding record.
+                let _ = tx.send(OpRecord {
+                    pid,
+                    label,
+                    arg,
+                    ret,
+                    inv,
+                    resp: Some(resp),
+                    steps,
+                });
+                if let Some(gate) = &runtime.gate {
+                    gate.op_finished(pid);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{RoundRobin, Scripted, SeededRandom};
+    use crate::{Register, Runtime, TasBit};
+
+    #[test]
+    fn free_running_executes_and_records() {
+        let rt = Runtime::free_running(4);
+        let mut d = Driver::new(rt.clone());
+        let reg = Arc::new(Register::new(0));
+        for pid in 0..4 {
+            let reg = reg.clone();
+            d.submit(pid, "write", pid as u128, move |ctx| {
+                reg.write(ctx, ctx.pid() as u64 + 1);
+                0
+            });
+        }
+        d.wait_all();
+        assert_eq!(d.history().len(), 4);
+        assert!(reg.peek() >= 1 && reg.peek() <= 4);
+        assert_eq!(rt.total_steps(), 4);
+    }
+
+    #[test]
+    fn gated_round_robin_runs_to_completion() {
+        let rt = Runtime::gated(3);
+        let mut d = Driver::new(rt.clone());
+        let reg = Arc::new(Register::new(0));
+        for pid in 0..3 {
+            let reg = reg.clone();
+            d.submit(pid, "rmw", 0, move |ctx| {
+                let v = reg.read(ctx);
+                reg.write(ctx, v + 1);
+                u128::from(v)
+            });
+        }
+        let steps = d.run_schedule(&mut RoundRobin::new());
+        assert_eq!(steps, 6, "3 processes x 2 primitives");
+        assert_eq!(d.history().len(), 3);
+        // Round-robin interleaving of read;write read;write read;write:
+        // all three read 0, final value 1.
+        assert_eq!(reg.peek(), 1);
+        for rec in d.history().ops() {
+            assert_eq!(rec.ret, 0, "every process read the initial value");
+        }
+    }
+
+    #[test]
+    fn gated_sequential_schedule_is_atomic() {
+        let rt = Runtime::gated(3);
+        let mut d = Driver::new(rt);
+        let reg = Arc::new(Register::new(0));
+        for pid in 0..3 {
+            let reg = reg.clone();
+            d.submit(pid, "rmw", 0, move |ctx| {
+                let v = reg.read(ctx);
+                reg.write(ctx, v + 1);
+                u128::from(v)
+            });
+        }
+        for pid in 0..3 {
+            d.run_solo(pid);
+        }
+        assert_eq!(reg.peek(), 3, "solo runs do not interleave");
+    }
+
+    #[test]
+    fn scripted_schedules_replay_identically() {
+        let run = |seed: u64| -> Vec<u128> {
+            let rt = Runtime::gated(4);
+            let mut d = Driver::new(rt);
+            let reg = Arc::new(Register::new(0));
+            let tas = Arc::new(TasBit::new());
+            for pid in 0..4 {
+                let reg = reg.clone();
+                let tas = tas.clone();
+                d.submit(pid, "mix", 0, move |ctx| {
+                    let won = !tas.test_and_set(ctx);
+                    let v = reg.read(ctx);
+                    reg.write(ctx, v * 2 + ctx.pid() as u64);
+                    u128::from(won) << 64 | u128::from(v)
+                });
+            }
+            let mut sched = SeededRandom::new(seed);
+            d.run_schedule(&mut sched);
+            let mut h = d.take_history().sorted_by_invocation();
+            h.sort_by_key(|r| r.pid);
+            h.iter().map(|r| r.ret).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same results");
+    }
+
+    #[test]
+    fn zero_step_operations_complete() {
+        let rt = Runtime::gated(2);
+        let mut d = Driver::new(rt);
+        d.submit(0, "noop", 0, |_ctx| 42);
+        assert_eq!(d.run_solo(0), 0);
+        assert_eq!(d.history().ops()[0].ret, 42);
+    }
+
+    #[test]
+    fn mid_operation_suspension() {
+        // Process 0 is suspended after its first primitive; process 1
+        // completes; the suspended op finishes only at Driver drop.
+        let rt = Runtime::gated(2);
+        let mut d = Driver::new(rt);
+        let reg = Arc::new(Register::new(10));
+        {
+            let reg = reg.clone();
+            d.submit(0, "two-steps", 0, move |ctx| {
+                let a = reg.read(ctx);
+                reg.write(ctx, a + 1);
+                0
+            });
+        }
+        {
+            let reg = reg.clone();
+            d.submit(1, "write", 0, move |ctx| {
+                reg.write(ctx, 99);
+                0
+            });
+        }
+        assert_eq!(d.step(0), StepOutcome::Stepped); // 0 read 10, now parked
+        d.run_solo(1); // 1 writes 99
+        assert_eq!(reg.peek(), 99);
+        drop(d); // releases 0, which writes 10 + 1
+        assert_eq!(reg.peek(), 11);
+    }
+
+    #[test]
+    fn scripted_schedule_controls_interleaving() {
+        let rt = Runtime::gated(2);
+        let mut d = Driver::new(rt);
+        let reg = Arc::new(Register::new(0));
+        for pid in 0..2 {
+            let reg = reg.clone();
+            d.submit(pid, "rmw", 0, move |ctx| {
+                let v = reg.read(ctx);
+                reg.write(ctx, v + 10);
+                u128::from(v)
+            });
+        }
+        // p0 fully, then p1 fully: no lost update.
+        let mut s = Scripted::new([0, 0, 1, 1]);
+        d.run_schedule(&mut s);
+        assert_eq!(reg.peek(), 20);
+    }
+}

@@ -1,0 +1,137 @@
+//! Timestamped operation histories, the input to linearizability checking.
+
+/// One completed (or, for crashed processes, pending) operation instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Invoking process.
+    pub pid: usize,
+    /// Operation kind, e.g. `"inc"`, `"read"`, `"write"`.
+    pub label: &'static str,
+    /// Operation argument (0 if none).
+    pub arg: u128,
+    /// Returned value (0 if none). Meaningless if `resp.is_none()`.
+    pub ret: u128,
+    /// Logical invocation timestamp (from [`Runtime::ticket`]).
+    ///
+    /// [`Runtime::ticket`]: crate::Runtime::ticket
+    pub inv: u64,
+    /// Logical response timestamp; `None` for operations that never
+    /// completed (crashed / suspended processes).
+    pub resp: Option<u64>,
+    /// Steps (primitive applications) this operation performed.
+    pub steps: u64,
+}
+
+impl OpRecord {
+    /// `true` if `self` finished before `other` was invoked (real-time
+    /// precedence). Pending operations precede nothing.
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        match self.resp {
+            Some(r) => r < other.inv,
+            None => false,
+        }
+    }
+}
+
+/// An execution history: a set of operation records with real-time order
+/// induced by their logical timestamps.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    ops: Vec<OpRecord>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History { ops: Vec::new() }
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, op: OpRecord) {
+        self.ops.push(op);
+    }
+
+    /// All records, in insertion order.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Records sorted by invocation timestamp.
+    pub fn sorted_by_invocation(&self) -> Vec<OpRecord> {
+        let mut v = self.ops.clone();
+        v.sort_by_key(|op| op.inv);
+        v
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if no records.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Only the completed operations.
+    pub fn completed(&self) -> History {
+        History {
+            ops: self.ops.iter().filter(|op| op.resp.is_some()).cloned().collect(),
+        }
+    }
+
+    /// Total steps across all records.
+    pub fn total_steps(&self) -> u64 {
+        self.ops.iter().map(|op| op.steps).sum()
+    }
+
+    /// Merge another history into this one.
+    pub fn extend(&mut self, other: History) {
+        self.ops.extend(other.ops);
+    }
+}
+
+impl FromIterator<OpRecord> for History {
+    fn from_iter<I: IntoIterator<Item = OpRecord>>(iter: I) -> Self {
+        History { ops: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pid: usize, inv: u64, resp: Option<u64>) -> OpRecord {
+        OpRecord { pid, label: "op", arg: 0, ret: 0, inv, resp, steps: 1 }
+    }
+
+    #[test]
+    fn precedence_requires_completion() {
+        let a = rec(0, 0, Some(5));
+        let b = rec(1, 6, Some(8));
+        let c = rec(2, 3, None);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(!c.precedes(&b));
+    }
+
+    #[test]
+    fn completed_filters_pending() {
+        let mut h = History::new();
+        h.push(rec(0, 0, Some(1)));
+        h.push(rec(1, 2, None));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.completed().len(), 1);
+        assert_eq!(h.total_steps(), 2);
+    }
+
+    #[test]
+    fn sorted_by_invocation_orders() {
+        let mut h = History::new();
+        h.push(rec(0, 9, Some(10)));
+        h.push(rec(1, 2, Some(3)));
+        let s = h.sorted_by_invocation();
+        assert_eq!(s[0].inv, 2);
+        assert_eq!(s[1].inv, 9);
+    }
+}

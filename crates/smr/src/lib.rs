@@ -1,0 +1,66 @@
+//! # smr — instrumented shared-memory runtime
+//!
+//! This crate models the asynchronous shared-memory machine used by
+//! *"Upper and Lower Bounds for Deterministic Approximate Objects"*
+//! (Hendler, Khattabi, Milani, Travers — ICDCS 2021) and by the
+//! lower-bound framework of Aspnes et al. it builds on.
+//!
+//! In that model, `n` crash-prone processes communicate by applying
+//! *primitives* (`read`, `write`, `test&set`) to *base objects*; the cost
+//! of an operation is the number of primitives it applies. This crate
+//! provides:
+//!
+//! * **Instrumented base objects** ([`Register`], [`TasBit`],
+//!   [`FaaRegister`]) — every primitive application is counted against the
+//!   invoking process, so the *step complexity* the paper's theorems bound
+//!   is measured exactly, independent of wall-clock time.
+//! * **Two execution modes** in one [`Runtime`]:
+//!   * *free-running* — primitives execute at native atomic speed, only a
+//!     relaxed per-process counter is bumped (suitable for throughput
+//!     benchmarks);
+//!   * *gated* — each process parks before every primitive until a
+//!     controller grants it one step, giving fully deterministic,
+//!     scriptable interleavings at primitive granularity (what the
+//!     adversary constructions in the paper's lower-bound proofs need).
+//! * **A driver harness** ([`driver::Driver`]) that runs one worker thread
+//!   per process, lets a controller submit operations and schedule steps,
+//!   and records a timestamped operation history for linearizability
+//!   checking.
+//! * **Schedulers** ([`sched`]) — round-robin, seeded-random and scripted.
+//! * **A lock-free growable segment array** ([`SegArray`]) used to hold the
+//!   unbounded `switch` sequence of the paper's Algorithm 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use smr::{Runtime, Register};
+//!
+//! let rt = Runtime::free_running(2);
+//! let reg = Register::new(0);
+//! let ctx = rt.ctx(0);
+//! reg.write(&ctx, 7);
+//! assert_eq!(reg.read(&ctx), 7);
+//! assert_eq!(rt.steps_of(0), 2); // two primitive applications
+//! ```
+
+mod ctx;
+pub mod driver;
+mod gate;
+pub mod history;
+mod primitives;
+mod runtime;
+pub mod sched;
+mod segarray;
+mod step;
+mod trace;
+mod wide;
+
+pub use ctx::ProcCtx;
+pub use driver::{Driver, StepOutcome};
+pub use history::{History, OpRecord};
+pub use primitives::{FaaRegister, Register, TasBit};
+pub use runtime::{Mode, Runtime};
+pub use segarray::SegArray;
+pub use step::StepStats;
+pub use trace::{AccessKind, TraceEvent};
+pub use wide::WideRegister;

@@ -1,0 +1,193 @@
+//! Instrumented base objects.
+//!
+//! The paper's model admits `read`, `write` and `test&set` primitives
+//! (all *historyless*: every non-trivial primitive overwrites whatever is
+//! there, and overwrites itself). [`Register`] supports `read`/`write`;
+//! [`TasBit`] supports `read`/`test&set`. [`FaaRegister`] adds `fetch&add`,
+//! which is **outside** the paper's primitive set — it exists only as a
+//! hardware baseline for the benchmark harness and is documented as such.
+//!
+//! All primitives use `SeqCst` ordering: the modelled machine is
+//! sequentially consistent, and the linearizability arguments in the paper
+//! assume atomic base objects.
+
+use crate::ctx::ProcCtx;
+use crate::trace::AccessKind;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// An atomic read/write register holding a `u64`.
+///
+/// Wider values (e.g. the `(val, sn)` pairs of Algorithm 1's helping
+/// array) are packed into the 64 bits by the caller, mirroring the paper's
+/// assumption that a pair fits in one base object.
+#[derive(Debug)]
+pub struct Register {
+    cell: AtomicU64,
+}
+
+impl Register {
+    /// A register with the given initial value (no step is charged:
+    /// initial values are part of the initial configuration).
+    pub fn new(init: u64) -> Self {
+        Register { cell: AtomicU64::new(init) }
+    }
+
+    /// Apply a `read` primitive: one step.
+    #[inline]
+    pub fn read(&self, ctx: &ProcCtx) -> u64 {
+        let _permit = ctx.step(self.obj_id(), AccessKind::Read);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Apply a `write` primitive: one step.
+    #[inline]
+    pub fn write(&self, ctx: &ProcCtx, v: u64) {
+        let _permit = ctx.step(self.obj_id(), AccessKind::Write);
+        self.cell.store(v, Ordering::SeqCst);
+    }
+
+    /// This object's identity in traces (its address).
+    pub fn obj_id(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Peek without charging a step. **Not a primitive** — for test
+    /// assertions and post-mortem inspection only.
+    pub fn peek(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for Register {
+    fn default() -> Self {
+        Register::new(0)
+    }
+}
+
+/// A 1-bit base object supporting `read` and `test&set`, as used for the
+/// `switch` sequence of Algorithm 1.
+///
+/// `test&set` sets the bit and returns its previous value; it is
+/// historyless (it overwrites itself).
+#[derive(Debug, Default)]
+pub struct TasBit {
+    bit: AtomicBool,
+}
+
+impl TasBit {
+    /// A cleared bit.
+    pub fn new() -> Self {
+        TasBit { bit: AtomicBool::new(false) }
+    }
+
+    /// Apply a `read` primitive: one step.
+    #[inline]
+    pub fn read(&self, ctx: &ProcCtx) -> bool {
+        let _permit = ctx.step(self.obj_id(), AccessKind::Read);
+        self.bit.load(Ordering::SeqCst)
+    }
+
+    /// Apply a `test&set` primitive: one step. Returns the *previous*
+    /// value (`false` means this call set the bit).
+    #[inline]
+    pub fn test_and_set(&self, ctx: &ProcCtx) -> bool {
+        let _permit = ctx.step(self.obj_id(), AccessKind::TestAndSet);
+        self.bit.swap(true, Ordering::SeqCst)
+    }
+
+    /// This object's identity in traces (its address).
+    pub fn obj_id(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Peek without charging a step. **Not a primitive.**
+    pub fn peek(&self) -> bool {
+        self.bit.load(Ordering::SeqCst)
+    }
+}
+
+/// A register with `fetch&add`, used **only** as a hardware baseline in
+/// benchmarks. `fetch&add` is not historyless and is not available to the
+/// paper's algorithms.
+#[derive(Debug, Default)]
+pub struct FaaRegister {
+    cell: AtomicU64,
+}
+
+impl FaaRegister {
+    /// A register initialized to `init`.
+    pub fn new(init: u64) -> Self {
+        FaaRegister { cell: AtomicU64::new(init) }
+    }
+
+    /// Apply a `fetch&add` primitive: one step. Returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, ctx: &ProcCtx, delta: u64) -> u64 {
+        let _permit = ctx.step(self.obj_id(), AccessKind::FetchAdd);
+        self.cell.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Apply a `read` primitive: one step.
+    #[inline]
+    pub fn read(&self, ctx: &ProcCtx) -> u64 {
+        let _permit = ctx.step(self.obj_id(), AccessKind::Read);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// This object's identity in traces (its address).
+    pub fn obj_id(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Peek without charging a step. **Not a primitive.**
+    pub fn peek(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn register_read_write_cost_one_step_each() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let r = Register::new(5);
+        assert_eq!(r.read(&ctx), 5);
+        r.write(&ctx, 9);
+        assert_eq!(r.read(&ctx), 9);
+        assert_eq!(ctx.steps_taken(), 3);
+    }
+
+    #[test]
+    fn tas_bit_sets_once() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let b = TasBit::new();
+        assert!(!b.read(&ctx));
+        assert!(!b.test_and_set(&ctx)); // we set it
+        assert!(b.test_and_set(&ctx)); // already set
+        assert!(b.read(&ctx));
+        assert_eq!(ctx.steps_taken(), 4);
+    }
+
+    #[test]
+    fn faa_adds() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let f = FaaRegister::new(10);
+        assert_eq!(f.fetch_add(&ctx, 5), 10);
+        assert_eq!(f.read(&ctx), 15);
+    }
+
+    #[test]
+    fn peek_charges_no_step() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let r = Register::new(3);
+        assert_eq!(r.peek(), 3);
+        assert_eq!(ctx.steps_taken(), 0);
+    }
+}

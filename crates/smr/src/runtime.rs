@@ -1,0 +1,202 @@
+//! The [`Runtime`]: per-process step accounting plus the optional gate.
+
+use crate::ctx::ProcCtx;
+use crate::gate::Gate;
+use crate::step::{pad, StepStats};
+use crate::trace::{AccessKind, TraceEvent, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Execution mode of a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Primitives run at native speed; only step counters are maintained.
+    FreeRunning,
+    /// Every primitive parks at the gate until a controller grants it.
+    Gated,
+}
+
+/// The shared-memory machine: `n` process slots, each with a step counter,
+/// plus a global logical clock used to timestamp operation histories.
+///
+/// A `Runtime` is cheap to share (`Arc`) and all of its state is
+/// thread-safe; per-process *capabilities* are handed out as [`ProcCtx`]
+/// values via [`Runtime::ctx`].
+pub struct Runtime {
+    n: usize,
+    mode: Mode,
+    steps: Vec<pad::CachePadded<AtomicU64>>,
+    ticket: AtomicU64,
+    tracer: Tracer,
+    pub(crate) gate: Option<Gate>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("n", &self.n)
+            .field("mode", &self.mode)
+            .field("total_steps", &self.total_steps())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// A free-running runtime for `n` processes.
+    pub fn free_running(n: usize) -> Arc<Runtime> {
+        Arc::new(Runtime::with_mode(n, Mode::FreeRunning))
+    }
+
+    /// A gated runtime for `n` processes (deterministic scheduling).
+    pub fn gated(n: usize) -> Arc<Runtime> {
+        Arc::new(Runtime::with_mode(n, Mode::Gated))
+    }
+
+    fn with_mode(n: usize, mode: Mode) -> Runtime {
+        assert!(n > 0, "a runtime needs at least one process");
+        Runtime {
+            n,
+            mode,
+            steps: (0..n).map(|_| pad::CachePadded::new(AtomicU64::new(0))).collect(),
+            ticket: AtomicU64::new(0),
+            tracer: Tracer::default(),
+            gate: match mode {
+                Mode::FreeRunning => None,
+                Mode::Gated => Some(Gate::new(n)),
+            },
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The per-process capability used to apply primitives.
+    ///
+    /// # Panics
+    /// Panics if `pid >= self.n()`.
+    pub fn ctx(self: &Arc<Self>, pid: usize) -> ProcCtx {
+        assert!(pid < self.n, "pid {pid} out of range (n = {})", self.n);
+        ProcCtx::new(self.clone(), pid)
+    }
+
+    /// One context per process, in pid order.
+    pub fn ctxs(self: &Arc<Self>) -> Vec<ProcCtx> {
+        (0..self.n).map(|pid| self.ctx(pid)).collect()
+    }
+
+    /// Steps (primitive applications) performed so far by process `pid`.
+    pub fn steps_of(&self, pid: usize) -> u64 {
+        self.steps[pid].load(Ordering::Relaxed)
+    }
+
+    /// Total steps performed by all processes.
+    pub fn total_steps(&self) -> u64 {
+        self.steps.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A snapshot of all per-process counters.
+    pub fn step_stats(&self) -> StepStats {
+        StepStats::new(
+            self.steps
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
+
+    /// Reset all step counters to zero (counters only; memory untouched).
+    pub fn reset_steps(&self) {
+        for c in &self.steps {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A fresh logical timestamp; strictly increasing across the runtime.
+    pub fn ticket(&self) -> u64 {
+        self.ticket.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub(crate) fn count_step(&self, pid: usize) {
+        self.steps[pid].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn trace(&self, pid: usize, obj: usize, kind: AccessKind) {
+        self.tracer.record(pid, obj, kind);
+    }
+
+    /// Start recording every primitive application into the trace log.
+    pub fn enable_tracing(&self) {
+        self.tracer.set_enabled(true);
+    }
+
+    /// Stop recording primitive applications.
+    pub fn disable_tracing(&self) {
+        self.tracer.set_enabled(false);
+    }
+
+    /// `true` while tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Drain and return the trace recorded so far.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.tracer.take()
+    }
+
+    /// Permanently release the gate; parked processes run free afterwards.
+    ///
+    /// Used on teardown so worker threads never deadlock.
+    pub fn release_gate(&self) {
+        if let Some(gate) = &self.gate {
+            gate.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_are_counted_per_process() {
+        let rt = Runtime::free_running(3);
+        rt.count_step(0);
+        rt.count_step(0);
+        rt.count_step(2);
+        assert_eq!(rt.steps_of(0), 2);
+        assert_eq!(rt.steps_of(1), 0);
+        assert_eq!(rt.steps_of(2), 1);
+        assert_eq!(rt.total_steps(), 3);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let rt = Runtime::free_running(2);
+        rt.count_step(1);
+        rt.reset_steps();
+        assert_eq!(rt.total_steps(), 0);
+    }
+
+    #[test]
+    fn tickets_increase() {
+        let rt = Runtime::free_running(1);
+        let a = rt.ticket();
+        let b = rt.ticket();
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ctx_rejects_bad_pid() {
+        let rt = Runtime::free_running(2);
+        let _ = rt.ctx(2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Schedulers: policies for choosing which process steps next in a gated
+//! execution.
+//!
+//! The asynchronous model places no fairness constraints on the adversary;
+//! these schedulers span the space the experiments need: fair round-robin,
+//! seeded pseudo-random (reproducible "chaotic" interleavings), and fully
+//! scripted (the lower-bound constructions and the Figure 1 scenarios).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// A policy choosing the next process to step among those with work.
+pub trait Scheduler {
+    /// Pick one pid from `active` (non-empty, sorted ascending).
+    fn next(&mut self, active: &[usize]) -> usize;
+}
+
+/// Fair cyclic scheduling.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    last: Option<usize>,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler starting from the lowest pid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, active: &[usize]) -> usize {
+        assert!(!active.is_empty());
+        let pick = match self.last {
+            None => active[0],
+            Some(prev) => *active
+                .iter()
+                .find(|&&p| p > prev)
+                .unwrap_or(&active[0]),
+        };
+        self.last = Some(pick);
+        pick
+    }
+}
+
+/// Seeded pseudo-random scheduling; identical seeds reproduce identical
+/// gated executions.
+#[derive(Debug)]
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// A random scheduler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for SeededRandom {
+    fn next(&mut self, active: &[usize]) -> usize {
+        assert!(!active.is_empty());
+        active[self.rng.random_range(0..active.len())]
+    }
+}
+
+/// A fully scripted schedule: an explicit pid sequence, as the adversary
+/// constructions require. If a scripted pid is no longer active (its ops
+/// all completed), it is skipped; if the script runs dry, scheduling falls
+/// back to round-robin so executions always finish.
+#[derive(Debug)]
+pub struct Scripted {
+    script: VecDeque<usize>,
+    fallback: RoundRobin,
+}
+
+impl Scripted {
+    /// A schedule that replays `script` step by step.
+    pub fn new<I: IntoIterator<Item = usize>>(script: I) -> Self {
+        Scripted {
+            script: script.into_iter().collect(),
+            fallback: RoundRobin::new(),
+        }
+    }
+
+    /// Remaining scripted entries.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for Scripted {
+    fn next(&mut self, active: &[usize]) -> usize {
+        while let Some(pid) = self.script.pop_front() {
+            if active.contains(&pid) {
+                return pid;
+            }
+        }
+        self.fallback.next(active)
+    }
+}
+
+/// Run `pid` exclusively until it finishes, then move on — a "one at a
+/// time" sequential schedule useful for sanity checks.
+#[derive(Debug, Default)]
+pub struct Sequential;
+
+impl Scheduler for Sequential {
+    fn next(&mut self, active: &[usize]) -> usize {
+        active[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        let active = [0, 2, 5];
+        assert_eq!(rr.next(&active), 0);
+        assert_eq!(rr.next(&active), 2);
+        assert_eq!(rr.next(&active), 5);
+        assert_eq!(rr.next(&active), 0);
+    }
+
+    #[test]
+    fn round_robin_skips_inactive() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.next(&[0, 1, 2]), 0);
+        assert_eq!(rr.next(&[0, 2]), 2);
+        assert_eq!(rr.next(&[0, 2]), 0);
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible() {
+        let active = [0, 1, 2, 3];
+        let picks1: Vec<_> = {
+            let mut s = SeededRandom::new(42);
+            (0..50).map(|_| s.next(&active)).collect()
+        };
+        let picks2: Vec<_> = {
+            let mut s = SeededRandom::new(42);
+            (0..50).map(|_| s.next(&active)).collect()
+        };
+        assert_eq!(picks1, picks2);
+    }
+
+    #[test]
+    fn scripted_replays_then_falls_back() {
+        let mut s = Scripted::new([1, 1, 0]);
+        let active = [0, 1];
+        assert_eq!(s.next(&active), 1);
+        assert_eq!(s.next(&active), 1);
+        assert_eq!(s.next(&active), 0);
+        // script dry: round robin
+        assert_eq!(s.next(&active), 0);
+        assert_eq!(s.next(&active), 1);
+    }
+
+    #[test]
+    fn scripted_skips_finished_processes() {
+        let mut s = Scripted::new([3, 0]);
+        let active = [0, 1];
+        assert_eq!(s.next(&active), 0); // 3 not active, skipped
+    }
+}

@@ -1,0 +1,189 @@
+//! [`SegArray`]: a lock-free, growable array with stable element addresses.
+//!
+//! Algorithm 1 of the paper uses an *unbounded* sequence of `switch` bits.
+//! Base objects must have stable identity (a `test&set` applied to
+//! `switch_j` must always hit the same bit), so a `Vec` that reallocates is
+//! unsuitable. `SegArray` allocates geometrically-growing segments on
+//! demand and publishes them with a CAS; elements never move and `get` is
+//! O(1).
+//!
+//! Indexing math: with base-segment capacity `B = 2^LOG_BASE`, segment `s`
+//! holds `B << s` elements, so index `i`'s segment is recovered from the
+//! position of the most significant bit of `i + B`.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+const LOG_BASE: u32 = 6;
+const BASE: usize = 1 << LOG_BASE;
+/// Enough segments to cover the full usize index space.
+const SEGMENTS: usize = (usize::BITS - LOG_BASE) as usize;
+
+/// A lock-free growable array of `T`. Elements are default-initialized on
+/// first segment allocation and never move.
+pub struct SegArray<T: Default> {
+    segments: [AtomicPtr<T>; SEGMENTS],
+}
+
+impl<T: Default> Default for SegArray<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Default> SegArray<T> {
+    /// An empty array; no segment is allocated until first access.
+    pub fn new() -> Self {
+        SegArray {
+            segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    #[inline]
+    fn locate(i: usize) -> (usize, usize) {
+        let adjusted = i + BASE;
+        let msb = usize::BITS - 1 - adjusted.leading_zeros();
+        let seg = (msb - LOG_BASE) as usize;
+        let offset = adjusted - (BASE << seg);
+        (seg, offset)
+    }
+
+    #[inline]
+    fn seg_capacity(seg: usize) -> usize {
+        BASE << seg
+    }
+
+    /// The element at index `i`, allocating its segment if needed.
+    ///
+    /// Lock-free: concurrent allocators race with CAS and the loser frees
+    /// its allocation.
+    pub fn get(&self, i: usize) -> &T {
+        let (seg, offset) = Self::locate(i);
+        let ptr = self.segment_ptr(seg);
+        // SAFETY: `ptr` points to a live, fully-initialized slice of
+        // `seg_capacity(seg)` elements published by `segment_ptr`, and
+        // `offset < seg_capacity(seg)` by construction of `locate`.
+        // Published segments are never freed until `self` is dropped, and
+        // the returned reference borrows `self`.
+        unsafe { &*ptr.add(offset) }
+    }
+
+    fn segment_ptr(&self, seg: usize) -> *mut T {
+        let slot = &self.segments[seg];
+        let existing = slot.load(Ordering::Acquire);
+        if !existing.is_null() {
+            return existing;
+        }
+        let cap = Self::seg_capacity(seg);
+        let fresh: Box<[T]> = (0..cap).map(|_| T::default()).collect();
+        let fresh_ptr = Box::into_raw(fresh) as *mut T;
+        match slot.compare_exchange(
+            std::ptr::null_mut(),
+            fresh_ptr,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => fresh_ptr,
+            Err(winner) => {
+                // SAFETY: we exclusively own `fresh_ptr` (CAS failed, so it
+                // was never published); reconstitute and drop it.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        fresh_ptr, cap,
+                    )));
+                }
+                winner
+            }
+        }
+    }
+
+    /// Number of elements currently backed by allocated segments.
+    pub fn allocated_len(&self) -> usize {
+        self.segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.load(Ordering::Acquire).is_null())
+            .map(|(i, _)| Self::seg_capacity(i))
+            .sum()
+    }
+}
+
+impl<T: Default> Drop for SegArray<T> {
+    fn drop(&mut self) {
+        for (seg, slot) in self.segments.iter().enumerate() {
+            let ptr = slot.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                let cap = Self::seg_capacity(seg);
+                // SAFETY: `ptr` was created by `Box::into_raw` on a boxed
+                // slice of exactly `cap` elements and is owned solely by
+                // `self` at drop time.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, cap)));
+                }
+            }
+        }
+    }
+}
+
+// SAFETY: `SegArray<T>` hands out only shared references to `T`; it is
+// Sync/Send whenever `T` is (the segment pointers are managed atomically).
+unsafe impl<T: Default + Sync> Sync for SegArray<T> {}
+unsafe impl<T: Default + Send> Send for SegArray<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn locate_is_consistent() {
+        // Exhaustively check that (seg, offset) is a bijection over a
+        // prefix of the index space.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000usize {
+            let (seg, off) = SegArray::<u64>::locate(i);
+            assert!(off < SegArray::<u64>::seg_capacity(seg));
+            assert!(seen.insert((seg, off)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn elements_are_stable_and_default() {
+        let arr: SegArray<AtomicU64> = SegArray::new();
+        let a = arr.get(0) as *const _;
+        arr.get(5000).store(7, Ordering::SeqCst);
+        let b = arr.get(0) as *const _;
+        assert_eq!(a, b, "element 0 moved");
+        assert_eq!(arr.get(5000).load(Ordering::SeqCst), 7);
+        assert_eq!(arr.get(4999).load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_safe() {
+        let arr = std::sync::Arc::new(SegArray::<AtomicU64>::new());
+        let mut handles = vec![];
+        for t in 0..8 {
+            let arr = arr.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000usize {
+                    arr.get(i * 8 + t).fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..16_000usize {
+            assert_eq!(arr.get(i).load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn allocated_len_grows() {
+        let arr: SegArray<u64> = SegArray::new();
+        assert_eq!(arr.allocated_len(), 0);
+        let _ = arr.get(0);
+        assert_eq!(arr.allocated_len(), BASE);
+        let _ = arr.get(BASE);
+        assert_eq!(arr.allocated_len(), BASE + 2 * BASE);
+    }
+}

@@ -1,0 +1,116 @@
+//! Optional access tracing: a global, ordered log of primitive
+//! applications, used by the lower-bound experiments (awareness-set
+//! computation per Definition III.2/III.3, and "distinct base objects
+//! accessed per operation" per [5], Theorem 1).
+//!
+//! Tracing is designed for *gated* executions, where steps are already
+//! fully serialized; the log order then equals the execution order. It
+//! works in free-running mode too, but the log order is then merely one
+//! valid linear order of the (SeqCst) primitives.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The primitive applied by a traced step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A trivial primitive: never changes the object.
+    Read,
+    /// A nontrivial historyless primitive: overwrites unconditionally.
+    Write,
+    /// `test&set`: reads and overwrites (historyless).
+    TestAndSet,
+    /// `fetch&add` (baseline only; not in the paper's primitive set).
+    FetchAdd,
+}
+
+impl AccessKind {
+    /// `true` if the primitive may change the object's value.
+    pub fn is_nontrivial(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+
+    /// `true` if the issuing process learns the object's value.
+    pub fn is_reading(self) -> bool {
+        !matches!(self, AccessKind::Write)
+    }
+}
+
+/// One primitive application, as recorded in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the recorded order (0-based).
+    pub seq: u64,
+    /// Issuing process.
+    pub pid: usize,
+    /// Base-object identity (its address; stable for the object's life).
+    pub obj: usize,
+    /// Which primitive was applied.
+    pub kind: AccessKind,
+}
+
+/// The trace collector owned by a [`Runtime`](crate::Runtime).
+#[derive(Debug, Default)]
+pub(crate) struct Tracer {
+    enabled: AtomicBool,
+    log: Mutex<Vec<TraceEvent>>,
+}
+
+impl Tracer {
+    #[inline]
+    pub(crate) fn record(&self, pid: usize, obj: usize, kind: AccessKind) {
+        if self.enabled.load(Ordering::Relaxed) {
+            let mut log = self.log.lock();
+            let seq = log.len() as u64;
+            log.push(TraceEvent { seq, pid, obj, kind });
+        }
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.log.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::default();
+        t.record(0, 1, AccessKind::Read);
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let t = Tracer::default();
+        t.set_enabled(true);
+        t.record(0, 10, AccessKind::Write);
+        t.record(1, 10, AccessKind::Read);
+        let log = t.take();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].seq, 0);
+        assert_eq!(log[0].kind, AccessKind::Write);
+        assert_eq!(log[1].pid, 1);
+        assert!(t.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(!AccessKind::Read.is_nontrivial());
+        assert!(AccessKind::Write.is_nontrivial());
+        assert!(AccessKind::TestAndSet.is_nontrivial());
+        assert!(AccessKind::Read.is_reading());
+        assert!(!AccessKind::Write.is_reading());
+        assert!(AccessKind::TestAndSet.is_reading());
+    }
+}

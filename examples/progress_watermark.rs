@@ -1,0 +1,106 @@
+//! A monotone progress watermark from a k-multiplicative max register.
+//!
+//! Scenario: a parallel pipeline processes a huge keyspace (say, log
+//! offsets up to 2^48). Each worker occasionally publishes the highest
+//! offset it has fully processed; a coordinator wants a cheap, wait-free
+//! "we are roughly here" watermark — off by at most a factor of k, which
+//! is fine for progress bars, GC horizons with slack, or lag alerts.
+//!
+//! The exact bounded max register costs Θ(log₂ m) ≈ 48 steps per
+//! operation at this domain size; Algorithm 2 costs
+//! Θ(log₂ log_k m) ≈ 5 — and this example measures both while checking
+//! the watermark never overtakes the true frontier by more than k.
+//!
+//! ```bash
+//! cargo run --release --example progress_watermark
+//! ```
+
+use approx_objects::KmultBoundedMaxRegister;
+use maxreg::{MaxRegister, TreeMaxRegister};
+use smr::Runtime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const WORKERS: usize = 6;
+const DOMAIN_BITS: u32 = 48;
+const BATCHES: u64 = 2_000;
+
+fn main() {
+    let m = 1u64 << DOMAIN_BITS;
+    let k = 2u64;
+    let rt = Runtime::free_running(WORKERS + 1);
+
+    let watermark = Arc::new(KmultBoundedMaxRegister::new(WORKERS + 1, m, k));
+    let exact = Arc::new(TreeMaxRegister::new(m));
+    // Ground truth for the accuracy check (not part of the algorithm).
+    let true_frontier = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|pid| {
+            let ctx = rt.ctx(pid);
+            let watermark = Arc::clone(&watermark);
+            let exact = Arc::clone(&exact);
+            let frontier = Arc::clone(&true_frontier);
+            std::thread::spawn(move || {
+                // Each worker walks its own geometric offset schedule, so
+                // the global frontier keeps advancing unevenly.
+                let mut offset: u64 = 1 + pid as u64;
+                for _ in 0..BATCHES {
+                    offset = (offset.saturating_mul(3) / 2 + 7).min(m - 1);
+                    frontier.fetch_max(offset, Ordering::Relaxed);
+                    watermark.write(&ctx, offset);
+                    exact.write(&ctx, offset);
+                }
+            })
+        })
+        .collect();
+
+    // The coordinator polls both watermarks while workers run.
+    let coord_ctx = rt.ctx(WORKERS);
+    let mut polls = 0u64;
+    let mut worst_ratio = 1.0f64;
+    while workers.iter().any(|w| !w.is_finished()) {
+        let approx = watermark.read(&coord_ctx);
+        let frontier = true_frontier.load(Ordering::Relaxed);
+        if frontier > 0 && approx > 0 {
+            // approx may lag (concurrent writes) but must never exceed
+            // k × the true frontier.
+            let ratio = approx as f64 / frontier as f64;
+            worst_ratio = worst_ratio.max(ratio);
+            assert!(
+                approx <= u128::from(frontier) * u128::from(k),
+                "watermark {approx} overtook k×frontier ({frontier})"
+            );
+        }
+        polls += 1;
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let approx_final = watermark.read(&coord_ctx);
+    let exact_final = exact.read(&coord_ctx);
+    let steps_total = rt.total_steps();
+    println!("processed frontier (exact register):  {exact_final}");
+    println!("watermark (k = {k} approximate):       {approx_final}");
+    println!("coordinator polls while running:      {polls}");
+    println!("worst watermark/frontier ratio seen:  {worst_ratio:.3} (bound: {k})");
+    println!("total primitive steps, all processes: {steps_total}");
+
+    // Measure the per-op gap on a quiet register.
+    let probe_rt = Runtime::free_running(1);
+    let ctx = probe_rt.ctx(0);
+    let w2 = KmultBoundedMaxRegister::new(1, m, k);
+    let e2 = TreeMaxRegister::new(m);
+    let s0 = ctx.steps_taken();
+    w2.write(&ctx, m / 3);
+    let _ = w2.read(&ctx);
+    let approx_cost = ctx.steps_taken() - s0;
+    let s0 = ctx.steps_taken();
+    e2.write(&ctx, m / 3);
+    let _ = e2.read(&ctx);
+    let exact_cost = ctx.steps_taken() - s0;
+    println!("\nper (write+read) pair at m = 2^{DOMAIN_BITS}:");
+    println!("  exact max register:        {exact_cost} steps (Θ(log₂ m))");
+    println!("  k-multiplicative register: {approx_cost} steps (Θ(log₂ log_k m))");
+}
