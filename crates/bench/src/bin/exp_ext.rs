@@ -15,16 +15,12 @@
 //! Run: `cargo run --release -p bench --bin exp_ext`.
 
 use approx_objects::KmultUnboundedMaxRegister;
-use bench::tables::{f2, Table};
 use bench::log2f;
+use bench::tables::{f2, Table};
 use maxreg::{CollectMaxRegister, MaxRegister, UnboundedMaxRegister};
 use smr::Runtime;
 
-fn measure<W: Fn(&smr::ProcCtx), R: Fn(&smr::ProcCtx)>(
-    n: usize,
-    write: W,
-    read: R,
-) -> u64 {
+fn measure<W: Fn(&smr::ProcCtx), R: Fn(&smr::ProcCtx)>(n: usize, write: W, read: R) -> u64 {
     let rt = Runtime::free_running(n);
     let ctx = rt.ctx(0);
     write(&ctx);
@@ -49,27 +45,43 @@ fn main() {
 
         let exact = {
             let reg = UnboundedMaxRegister::new();
-            measure(n, |c| reg.write(c, v), |c| {
-                let _ = reg.read(c);
-            })
+            measure(
+                n,
+                |c| reg.write(c, v),
+                |c| {
+                    let _ = reg.read(c);
+                },
+            )
         };
         let k2 = {
             let reg = KmultUnboundedMaxRegister::new(n, 2);
-            measure(n, |c| reg.write(c, v), |c| {
-                let _ = reg.read(c);
-            })
+            measure(
+                n,
+                |c| reg.write(c, v),
+                |c| {
+                    let _ = reg.read(c);
+                },
+            )
         };
         let k16 = {
             let reg = KmultUnboundedMaxRegister::new(n, 16);
-            measure(n, |c| reg.write(c, v), |c| {
-                let _ = reg.read(c);
-            })
+            measure(
+                n,
+                |c| reg.write(c, v),
+                |c| {
+                    let _ = reg.read(c);
+                },
+            )
         };
         let collect = {
             let reg = CollectMaxRegister::new(n);
-            measure(n, |c| reg.write(c, v), |c| {
-                let _ = reg.read(c);
-            })
+            measure(
+                n,
+                |c| reg.write(c, v),
+                |c| {
+                    let _ = reg.read(c);
+                },
+            )
         };
 
         table.row([

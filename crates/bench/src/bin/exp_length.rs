@@ -12,9 +12,9 @@
 
 use approx_objects::KmultCounter;
 use bench::tables::{f2, Table};
+use bench::workloads::run_counter_workload;
 use counter::{AachCounter, CollectCounter, UnboundedTreeCounter};
 use perturb::counter::{KmultTarget, SharedCounter};
-use bench::workloads::run_counter_workload;
 use std::sync::Arc;
 
 fn main() {

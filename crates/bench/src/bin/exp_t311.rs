@@ -64,7 +64,13 @@ fn main() {
 
     // Part A + B: spec-compliant counters.
     let mut a = Table::new([
-        "n", "k", "Ω: log₂(n/k²)", "collect", "aach", "snapshot", "kmult k=⌈√n⌉",
+        "n",
+        "k",
+        "Ω: log₂(n/k²)",
+        "collect",
+        "aach",
+        "snapshot",
+        "kmult k=⌈√n⌉",
     ]);
     let mut b = Table::new([
         "n",
@@ -169,7 +175,9 @@ fn main() {
             n.to_string(),
             "collect (exact ⇒ k-mult for any k)".into(),
             threshold.to_string(),
-            collect_aw.processes_aware_of_at_least(threshold).to_string(),
+            collect_aw
+                .processes_aware_of_at_least(threshold)
+                .to_string(),
             format!("≥ {}", n / 2),
         ]);
         let legal_threshold = (n as u64).div_ceil(2 * legal_k * legal_k) as usize;
@@ -196,7 +204,15 @@ fn main() {
     b.print("(B) awareness sets");
 
     // Part C: running Algorithm 1 below its legal k breaks accuracy.
-    let mut c_table = Table::new(["n", "illegal k", "√n", "quiescent v", "read x", "v/x", "k-accurate?"]);
+    let mut c_table = Table::new([
+        "n",
+        "illegal k",
+        "√n",
+        "quiescent v",
+        "read x",
+        "v/x",
+        "k-accurate?",
+    ]);
     for n in [16usize, 64, 256] {
         let illegal_k: u64 = 2;
         let rt = Runtime::free_running(n);
@@ -218,7 +234,11 @@ fn main() {
             v.to_string(),
             x.to_string(),
             f2(v as f64 / x as f64),
-            if ok { "yes".into() } else { "NO — spec violated".to_string() },
+            if ok {
+                "yes".into()
+            } else {
+                "NO — spec violated".to_string()
+            },
         ]);
     }
     println!("\nwhy small k escapes nothing: Algorithm 1 forced to k < √n stops");

@@ -26,7 +26,15 @@ fn main() {
     let ops = 40_000 * scale();
     let read_every = 16;
     let mut table = Table::new([
-        "n", "k=⌈√n⌉", "kmult", "collect", "aach", "longlived", "faa", "kmult final read", "accuracy v/x",
+        "n",
+        "k=⌈√n⌉",
+        "kmult",
+        "collect",
+        "aach",
+        "longlived",
+        "faa",
+        "kmult final read",
+        "accuracy v/x",
     ]);
 
     for n in [2usize, 4, 8, 16, 32, 64] {

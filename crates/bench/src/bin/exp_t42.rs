@@ -15,8 +15,8 @@
 //! Run: `cargo run --release -p bench --bin exp_t42`.
 
 use approx_objects::KmultBoundedMaxRegister;
-use bench::tables::{f2, Table};
 use bench::log2f;
+use bench::tables::{f2, Table};
 use maxreg::{AdaptiveMaxRegister, MaxRegister, TreeMaxRegister};
 use smr::Runtime;
 

@@ -41,7 +41,14 @@ fn main() {
         // (its L = m−1 is astronomically larger; the cap realizes the
         // min(·, n) arm).
         let exact = TreeMaxRegister::new(m);
-        let r = perturb_maxreg(&exact, PerturbConfig { writers, factor: 1, max_rounds: 512 });
+        let r = perturb_maxreg(
+            &exact,
+            PerturbConfig {
+                writers,
+                factor: 1,
+                max_rounds: 512,
+            },
+        );
         table.row([
             format!("2^{bits}"),
             "exact".into(),
@@ -56,7 +63,11 @@ fn main() {
             let reg = KmultBoundedMaxRegister::new(writers + 1, m, k);
             let r = perturb_maxreg(
                 &reg,
-                PerturbConfig { writers, factor: k * k, max_rounds: 512 },
+                PerturbConfig {
+                    writers,
+                    factor: k * k,
+                    max_rounds: 512,
+                },
             );
             table.row([
                 format!("2^{bits}"),

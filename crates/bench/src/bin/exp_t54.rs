@@ -36,7 +36,12 @@ fn main() {
     ]);
 
     for (label, m) in [("2^16", 1u128 << 16), ("2^20", 1 << 20), ("2^24", 1 << 24)] {
-        let cfg = CounterPerturbConfig { writers, k, m, max_rounds: 128 };
+        let cfg = CounterPerturbConfig {
+            writers,
+            k,
+            m,
+            max_rounds: 128,
+        };
 
         let kmult = {
             let c = KmultCounter::new(writers + 1, k);

@@ -106,7 +106,11 @@ fn main() {
         let add = run_kadd(n, k, ops_per);
         table.row([
             k.to_string(),
-            if k * k >= n as u64 { "yes".into() } else { "no".to_string() },
+            if k * k >= n as u64 {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             f2(mult.amortized),
             f2(mult.worst_err),
             f2(add.amortized),

@@ -145,7 +145,11 @@ mod tests {
             let um = u_min(p, q, k);
             assert!(um >= prev, "u_min not monotone at h = {h}");
             prev = um;
-            h = if h.is_multiple_of(k) { h + 1 } else { h + k - 1 };
+            h = if h.is_multiple_of(k) {
+                h + 1
+            } else {
+                h + k - 1
+            };
         }
     }
 

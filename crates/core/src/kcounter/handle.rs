@@ -177,9 +177,19 @@ impl KmultCounterHandle {
             // No increment was ever announced — and since every first
             // increment attempts switch_0, no increment completed at all
             // before this read (lines 56–57).
-            return KmultReadOutcome { value: 0, p: 0, q: 0, helped: false };
+            return KmultReadOutcome {
+                value: 0,
+                p: 0,
+                q: 0,
+                helped: false,
+            };
         }
-        KmultReadOutcome { value: return_value(p, q, k), p, q, helped: false }
+        KmultReadOutcome {
+            value: return_value(p, q, k),
+            p,
+            q,
+            helped: false,
+        }
     }
 
     /// `CounterRead()` — the approximate number of increments.
@@ -238,10 +248,7 @@ mod tests {
             for v in 1..=2_000u128 {
                 h.increment(&ctx);
                 let x = h.read(&ctx);
-                assert!(
-                    within_k(v, x, k),
-                    "k={k}: after {v} increments read {x}"
-                );
+                assert!(within_k(v, x, k), "k={k}: after {v} increments read {x}");
             }
         }
     }

@@ -90,7 +90,8 @@ impl KmultCounter {
     }
 
     pub(crate) fn switch(&self, j: u64) -> &TasBit {
-        self.switches.get(usize::try_from(j).expect("switch index fits usize"))
+        self.switches
+            .get(usize::try_from(j).expect("switch index fits usize"))
     }
 
     /// Read `H[i]`, unpacking the `(val, sn)` pair. One step.

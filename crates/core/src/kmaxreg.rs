@@ -121,10 +121,7 @@ mod tests {
                 let r = KmultBoundedMaxRegister::new(1, m, k);
                 r.write(&ctx, v);
                 let x = r.read(&ctx);
-                assert!(
-                    within_k(u128::from(v), x, k),
-                    "k={k} v={v} read {x}"
-                );
+                assert!(within_k(u128::from(v), x, k), "k={k} v={v} read {x}");
                 assert!(x >= u128::from(v), "one-sided: x ≥ v");
             }
         }

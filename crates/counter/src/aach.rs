@@ -76,7 +76,11 @@ impl Counter for AachCounter {
         let pid = ctx.pid();
         let leaf = &self.leaves[pid];
         let mine = leaf.read(ctx) + 1;
-        assert!(mine < self.bound, "counter capacity (m = {}) exceeded", self.bound);
+        assert!(
+            mine < self.bound,
+            "counter capacity (m = {}) exceeded",
+            self.bound
+        );
         leaf.write(ctx, mine);
         if self.p == 1 {
             return; // single process: the leaf is the whole tree
@@ -84,7 +88,11 @@ impl Counter for AachCounter {
         let mut node = (self.p + pid) / 2;
         while node >= 1 {
             let sum = self.slot_value(ctx, 2 * node) + self.slot_value(ctx, 2 * node + 1);
-            assert!(sum < self.bound, "counter capacity (m = {}) exceeded", self.bound);
+            assert!(
+                sum < self.bound,
+                "counter capacity (m = {}) exceeded",
+                self.bound
+            );
             self.inner[node].write(ctx, sum);
             if node == 1 {
                 break;
@@ -134,7 +142,10 @@ mod tests {
         let s0 = ctx.steps_taken();
         let _ = c.read(&ctx);
         let read_steps = ctx.steps_taken() - s0;
-        assert!(read_steps <= 16 + 1, "root read is O(log m), got {read_steps}");
+        assert!(
+            read_steps <= 16 + 1,
+            "root read is O(log m), got {read_steps}"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ impl CollectCounter {
     /// A counter for `n` processes.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one process");
-        CollectCounter { cells: (0..n).map(|_| Register::new(0)).collect() }
+        CollectCounter {
+            cells: (0..n).map(|_| Register::new(0)).collect(),
+        }
     }
 
     /// Number of processes.

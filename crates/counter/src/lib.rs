@@ -40,9 +40,9 @@ mod spec;
 mod unbounded_tree;
 
 pub use aach::AachCounter;
-pub use unbounded_tree::UnboundedTreeCounter;
 pub use collect::CollectCounter;
 pub use fetch_add::FaaCounter;
 pub use reference::LockCounter;
 pub use snapshot::{AtomicSnapshot, SnapshotCounter};
 pub use spec::Counter;
+pub use unbounded_tree::UnboundedTreeCounter;

@@ -79,7 +79,14 @@ impl AtomicSnapshot {
         let view = self.scan(ctx);
         let own = &self.segments[ctx.pid()];
         let old = own.read(ctx);
-        own.write(ctx, Segment { value, seq: old.seq + 1, view });
+        own.write(
+            ctx,
+            Segment {
+                value,
+                seq: old.seq + 1,
+                view,
+            },
+        );
     }
 
     /// Current value of the invoking process's own component (one step).
@@ -97,7 +104,9 @@ pub struct SnapshotCounter {
 impl SnapshotCounter {
     /// A counter for `n` processes.
     pub fn new(n: usize) -> Self {
-        SnapshotCounter { snap: AtomicSnapshot::new(n) }
+        SnapshotCounter {
+            snap: AtomicSnapshot::new(n),
+        }
     }
 }
 

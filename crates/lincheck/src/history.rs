@@ -16,7 +16,10 @@ impl Interval {
     /// A completed operation window.
     pub fn done(inv: u64, resp: u64) -> Self {
         assert!(inv < resp, "response must follow invocation");
-        Interval { inv, resp: Some(resp) }
+        Interval {
+            inv,
+            resp: Some(resp),
+        }
     }
 
     /// A pending operation window.
@@ -83,10 +86,17 @@ impl CounterHistory {
         let mut out = CounterHistory::default();
         for op in h.ops() {
             if op.label == inc_label {
-                out.incs.push(Interval { inv: op.inv, resp: op.resp });
+                out.incs.push(Interval {
+                    inv: op.inv,
+                    resp: op.resp,
+                });
             } else if op.label == read_label {
                 if let Some(resp) = op.resp {
-                    out.reads.push(TimedRead { inv: op.inv, resp, value: op.ret });
+                    out.reads.push(TimedRead {
+                        inv: op.inv,
+                        resp,
+                        value: op.ret,
+                    });
                 }
             }
         }
@@ -116,12 +126,19 @@ impl MaxRegHistory {
         for op in h.ops() {
             if op.label == write_label {
                 out.writes.push(TimedWrite {
-                    window: Interval { inv: op.inv, resp: op.resp },
+                    window: Interval {
+                        inv: op.inv,
+                        resp: op.resp,
+                    },
                     value: u64::try_from(op.arg).expect("written value fits u64"),
                 });
             } else if op.label == read_label {
                 if let Some(resp) = op.resp {
-                    out.reads.push(TimedRead { inv: op.inv, resp, value: op.ret });
+                    out.reads.push(TimedRead {
+                        inv: op.inv,
+                        resp,
+                        value: op.ret,
+                    });
                 }
             }
         }
@@ -153,10 +170,42 @@ mod tests {
     #[test]
     fn from_records_partitions_ops() {
         let mut h = History::new();
-        h.push(OpRecord { pid: 0, label: "inc", arg: 0, ret: 0, inv: 0, resp: Some(1), steps: 1 });
-        h.push(OpRecord { pid: 1, label: "read", arg: 0, ret: 7, inv: 2, resp: Some(3), steps: 1 });
-        h.push(OpRecord { pid: 2, label: "read", arg: 0, ret: 9, inv: 4, resp: None, steps: 1 });
-        h.push(OpRecord { pid: 2, label: "inc", arg: 0, ret: 0, inv: 5, resp: None, steps: 1 });
+        h.push(OpRecord {
+            pid: 0,
+            label: "inc",
+            arg: 0,
+            ret: 0,
+            inv: 0,
+            resp: Some(1),
+            steps: 1,
+        });
+        h.push(OpRecord {
+            pid: 1,
+            label: "read",
+            arg: 0,
+            ret: 7,
+            inv: 2,
+            resp: Some(3),
+            steps: 1,
+        });
+        h.push(OpRecord {
+            pid: 2,
+            label: "read",
+            arg: 0,
+            ret: 9,
+            inv: 4,
+            resp: None,
+            steps: 1,
+        });
+        h.push(OpRecord {
+            pid: 2,
+            label: "inc",
+            arg: 0,
+            ret: 0,
+            inv: 5,
+            resp: None,
+            steps: 1,
+        });
         let ch = CounterHistory::from_records(&h, "inc", "read");
         assert_eq!(ch.incs.len(), 2);
         assert_eq!(ch.reads.len(), 1, "pending read dropped");

@@ -78,7 +78,6 @@ pub fn check_counter_with<W>(h: &CounterHistory, window: W) -> Result<(), Violat
 where
     W: Fn(u128) -> (u128, u128),
 {
-
     // Completed increments, by response; all increments, by invocation.
     let mut resp_times: Vec<u64> = h.incs.iter().filter_map(|i| i.resp).collect();
     resp_times.sort_unstable();
@@ -214,8 +213,7 @@ pub fn check_maxreg(h: &MaxRegHistory, k: u64) -> Result<(), Violation> {
                 let r = &h.reads[i];
                 let spec_lo = r.value.div_ceil(kk.max(1)).min(r.value);
                 let spec_hi = r.value.saturating_mul(kk);
-                let base = max_completed_before(r.inv)
-                    .max(max_read_before(&read_chain, r.inv));
+                let base = max_completed_before(r.inv).max(max_read_before(&read_chain, r.inv));
                 let m = if base >= spec_lo {
                     // The forced maximum alone is admissible (and
                     // realized) -- no extra witness needed.
@@ -283,7 +281,10 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(len: usize) -> Self {
-        Fenwick { tree: vec![0; len + 1], total: 0 }
+        Fenwick {
+            tree: vec![0; len + 1],
+            total: 0,
+        }
     }
 
     fn add(&mut self, i: usize, delta: u64) {
@@ -455,7 +456,10 @@ mod tests {
     }
 
     fn write(inv: u64, resp: u64, value: u64) -> TimedWrite {
-        TimedWrite { window: Interval::done(inv, resp), value }
+        TimedWrite {
+            window: Interval::done(inv, resp),
+            value,
+        }
     }
 
     #[test]

@@ -79,9 +79,10 @@ fn dfs(
         }
         // `e` may be linearized next iff no other unlinearized operation
         // completed before `e` was invoked.
-        let blocked = events.iter().enumerate().any(|(j, f)| {
-            j != i && done & (1 << j) == 0 && matches!(f.resp, Some(r) if r < e.inv)
-        });
+        let blocked = events
+            .iter()
+            .enumerate()
+            .any(|(j, f)| j != i && done & (1 << j) == 0 && matches!(f.resp, Some(r) if r < e.inv));
         if blocked {
             continue;
         }
@@ -105,7 +106,11 @@ mod tests {
     use super::*;
 
     fn ev(op: WgOp, inv: u64, resp: u64) -> WgEvent {
-        WgEvent { op, inv, resp: Some(resp) }
+        WgEvent {
+            op,
+            inv,
+            resp: Some(resp),
+        }
     }
 
     #[test]
@@ -116,10 +121,7 @@ mod tests {
             ev(WgOp::CounterRead(2), 4, 5),
         ];
         assert!(wg_check(&h, 1));
-        let bad = [
-            ev(WgOp::Inc, 0, 1),
-            ev(WgOp::CounterRead(2), 2, 3),
-        ];
+        let bad = [ev(WgOp::Inc, 0, 1), ev(WgOp::CounterRead(2), 2, 3)];
         assert!(!wg_check(&bad, 1));
     }
 
@@ -128,7 +130,11 @@ mod tests {
         // Read concurrent with an increment: 0 and 1 both fine.
         for ret in [0u128, 1] {
             let h = [
-                WgEvent { op: WgOp::Inc, inv: 0, resp: Some(10) },
+                WgEvent {
+                    op: WgOp::Inc,
+                    inv: 0,
+                    resp: Some(10),
+                },
                 ev(WgOp::CounterRead(ret), 1, 2),
             ];
             assert!(wg_check(&h, 1), "ret {ret}");
@@ -138,7 +144,11 @@ mod tests {
     #[test]
     fn pending_ops_are_optional() {
         let h = [
-            WgEvent { op: WgOp::Inc, inv: 0, resp: None },
+            WgEvent {
+                op: WgOp::Inc,
+                inv: 0,
+                resp: None,
+            },
             ev(WgOp::CounterRead(0), 1, 2),
             ev(WgOp::CounterRead(1), 3, 4),
         ];
@@ -156,10 +166,7 @@ mod tests {
         ];
         assert!(!wg_check(&h, 1));
         assert!(wg_check(&h, 2), "6 ∈ [3/2, 6]");
-        let too_high = [
-            ev(WgOp::Inc, 0, 1),
-            ev(WgOp::CounterRead(3), 2, 3),
-        ];
+        let too_high = [ev(WgOp::Inc, 0, 1), ev(WgOp::CounterRead(3), 2, 3)];
         assert!(!wg_check(&too_high, 2));
         assert!(wg_check(&too_high, 3));
     }
@@ -172,10 +179,7 @@ mod tests {
             ev(WgOp::MaxRead(7), 4, 5),
         ];
         assert!(wg_check(&h, 1));
-        let bad = [
-            ev(WgOp::Write(7), 0, 1),
-            ev(WgOp::MaxRead(3), 2, 3),
-        ];
+        let bad = [ev(WgOp::Write(7), 0, 1), ev(WgOp::MaxRead(3), 2, 3)];
         assert!(!wg_check(&bad, 1));
         assert!(wg_check(&bad, 3), "3 ∈ [7/3, 21]");
     }
@@ -183,10 +187,7 @@ mod tests {
     #[test]
     fn real_time_order_is_enforced() {
         // Write completes before read starts; read of stale 0 invalid.
-        let h = [
-            ev(WgOp::Write(9), 0, 1),
-            ev(WgOp::MaxRead(0), 2, 3),
-        ];
+        let h = [ev(WgOp::Write(9), 0, 1), ev(WgOp::MaxRead(0), 2, 3)];
         assert!(!wg_check(&h, 5), "x = 0 requires v = 0");
     }
 }

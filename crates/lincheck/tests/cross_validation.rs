@@ -55,7 +55,11 @@ fn counter_engines_agree_on_random_histories() {
             let (inv, resp) = random_window(&mut rng, horizon);
             let value = u128::from(rng.random_range(0..(n_incs as u64 * 2 + 3)));
             reads.push(TimedRead { inv, resp, value });
-            events.push(WgEvent { op: WgOp::CounterRead(value), inv, resp: Some(resp) });
+            events.push(WgEvent {
+                op: WgOp::CounterRead(value),
+                inv,
+                resp: Some(resp),
+            });
         }
 
         let h = CounterHistory { incs, reads };
@@ -77,8 +81,14 @@ fn counter_engines_agree_on_random_histories() {
         disagreements.first()
     );
     // Sanity: the generator must exercise both verdicts heavily.
-    assert!(accepted > 200, "only {accepted} accepted — generator too harsh");
-    assert!(rejected > 200, "only {rejected} rejected — generator too lax");
+    assert!(
+        accepted > 200,
+        "only {accepted} accepted — generator too harsh"
+    );
+    assert!(
+        rejected > 200,
+        "only {rejected} rejected — generator too lax"
+    );
 }
 
 #[test]
@@ -119,7 +129,11 @@ fn maxreg_engines_agree_on_random_histories() {
             let (inv, resp) = random_window(&mut rng, horizon);
             let value = u128::from(rng.random_range(0..14u64));
             reads.push(TimedRead { inv, resp, value });
-            events.push(WgEvent { op: WgOp::MaxRead(value), inv, resp: Some(resp) });
+            events.push(WgEvent {
+                op: WgOp::MaxRead(value),
+                inv,
+                resp: Some(resp),
+            });
         }
 
         let h = MaxRegHistory { writes, reads };
@@ -140,6 +154,12 @@ fn maxreg_engines_agree_on_random_histories() {
         disagreements.len(),
         disagreements.first()
     );
-    assert!(accepted > 200, "only {accepted} accepted — generator too harsh");
-    assert!(rejected > 200, "only {rejected} rejected — generator too lax");
+    assert!(
+        accepted > 200,
+        "only {accepted} accepted — generator too harsh"
+    );
+    assert!(
+        rejected > 200,
+        "only {rejected} rejected — generator too lax"
+    );
 }

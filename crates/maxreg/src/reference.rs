@@ -25,7 +25,10 @@ impl LockMaxRegister {
     /// An `m`-bounded oracle.
     pub fn bounded(m: u64) -> Self {
         assert!(m > 0);
-        LockMaxRegister { value: Mutex::new(0), bound: Some(m) }
+        LockMaxRegister {
+            value: Mutex::new(0),
+            bound: Some(m),
+        }
     }
 }
 

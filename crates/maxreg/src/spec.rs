@@ -65,6 +65,10 @@ pub(crate) mod testutil {
             h.join().unwrap();
         }
         let ctx = rt.ctx(0);
-        assert_eq!(reg.read(&ctx), (n as u64) * per, "global max after quiescence");
+        assert_eq!(
+            reg.read(&ctx),
+            (n as u64) * per,
+            "global max after quiescence"
+        );
     }
 }

@@ -103,7 +103,10 @@ impl TreeMaxRegister {
     /// Panics if `m == 0`.
     pub fn new(m: u64) -> Self {
         assert!(m > 0, "bound must be positive");
-        TreeMaxRegister { bound: m, root: Node::new() }
+        TreeMaxRegister {
+            bound: m,
+            root: Node::new(),
+        }
     }
 
     /// The bound `m`.
@@ -142,7 +145,11 @@ impl TreeMaxRegister {
 
 impl MaxRegister for TreeMaxRegister {
     fn write(&self, ctx: &ProcCtx, v: u64) {
-        assert!(v < self.bound, "value {v} out of range (m = {})", self.bound);
+        assert!(
+            v < self.bound,
+            "value {v} out of range (m = {})",
+            self.bound
+        );
         Self::write_rec(&self.root, ctx, v, self.bound);
     }
 
@@ -173,8 +180,12 @@ impl Drop for TreeMaxRegister {
     fn drop(&mut self) {
         Node::free(self.root.left.load(Ordering::Relaxed));
         Node::free(self.root.right.load(Ordering::Relaxed));
-        self.root.left.store(std::ptr::null_mut(), Ordering::Relaxed);
-        self.root.right.store(std::ptr::null_mut(), Ordering::Relaxed);
+        self.root
+            .left
+            .store(std::ptr::null_mut(), Ordering::Relaxed);
+        self.root
+            .right
+            .store(std::ptr::null_mut(), Ordering::Relaxed);
     }
 }
 

@@ -17,10 +17,7 @@ enum Op {
 
 fn ops_strategy(max_value: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        prop_oneof![
-            (0..max_value).prop_map(Op::Write),
-            Just(Op::Read),
-        ],
+        prop_oneof![(0..max_value).prop_map(Op::Write), Just(Op::Read),],
         1..len,
     )
 }

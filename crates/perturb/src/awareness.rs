@@ -77,7 +77,12 @@ mod tests {
     use smr::AccessKind;
 
     fn ev(seq: u64, pid: usize, obj: usize, kind: AccessKind) -> TraceEvent {
-        TraceEvent { seq, pid, obj, kind }
+        TraceEvent {
+            seq,
+            pid,
+            obj,
+            kind,
+        }
     }
 
     #[test]

@@ -10,7 +10,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set over `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// A singleton set.
@@ -22,7 +25,11 @@ impl BitSet {
 
     /// Insert `i`; returns `true` if newly inserted.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let w = i / 64;
         let b = 1u64 << (i % 64);
         let fresh = self.words[w] & b == 0;

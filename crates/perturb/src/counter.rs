@@ -54,7 +54,9 @@ impl KmultTarget {
     /// Wrap a k-multiplicative counter, creating one handle per process.
     pub fn new(counter: &Arc<KmultCounter>) -> Self {
         KmultTarget {
-            handles: (0..counter.n()).map(|p| Mutex::new(counter.handle(p))).collect(),
+            handles: (0..counter.n())
+                .map(|p| Mutex::new(counter.handle(p)))
+                .collect(),
         }
     }
 }
@@ -115,7 +117,11 @@ pub struct CounterPerturbReport {
 impl CounterPerturbReport {
     /// Largest distinct-object count over all reader runs.
     pub fn max_distinct_objects(&self) -> usize {
-        self.rounds.iter().map(|r| r.distinct_objects).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.distinct_objects)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of rounds achieved.
@@ -188,7 +194,12 @@ pub fn perturb_counter<T: CounterTarget>(
         });
     }
 
-    CounterPerturbReport { rounds, saturated, value_exhausted, every_round_perturbed }
+    CounterPerturbReport {
+        rounds,
+        saturated,
+        value_exhausted,
+        every_round_perturbed,
+    }
 }
 
 #[cfg(test)]
@@ -202,10 +213,19 @@ mod tests {
         let target = SharedCounter(c);
         let report = perturb_counter(
             &target,
-            CounterPerturbConfig { writers: 8, k: 2, m: 1 << 20, max_rounds: 50 },
+            CounterPerturbConfig {
+                writers: 8,
+                k: 2,
+                m: 1 << 20,
+                max_rounds: 50,
+            },
         );
         assert!(report.every_round_perturbed);
-        assert!(report.rounds_achieved() >= 5, "got {}", report.rounds_achieved());
+        assert!(
+            report.rounds_achieved() >= 5,
+            "got {}",
+            report.rounds_achieved()
+        );
         // Exact reads return the exact total.
         for r in &report.rounds {
             assert_eq!(r.reader_value, r.total_increments);
@@ -219,7 +239,12 @@ mod tests {
         let target = KmultTarget::new(&c);
         let report = perturb_counter(
             &target,
-            CounterPerturbConfig { writers: 8, k, m: 1 << 24, max_rounds: 50 },
+            CounterPerturbConfig {
+                writers: 8,
+                k,
+                m: 1 << 24,
+                max_rounds: 50,
+            },
         );
         assert!(report.every_round_perturbed);
         for r in &report.rounds {
@@ -240,7 +265,12 @@ mod tests {
         let target = SharedCounter(c);
         let report = perturb_counter(
             &target,
-            CounterPerturbConfig { writers: 4, k: 2, m: 1 << 28, max_rounds: 4 },
+            CounterPerturbConfig {
+                writers: 4,
+                k: 2,
+                m: 1 << 28,
+                max_rounds: 4,
+            },
         );
         let incs: Vec<u128> = report.rounds.iter().map(|r| r.increments).collect();
         assert_eq!(incs[0], 1);

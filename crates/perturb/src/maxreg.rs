@@ -109,7 +109,11 @@ pub struct PerturbReport {
 impl PerturbReport {
     /// Largest number of distinct base objects any reader run accessed.
     pub fn max_distinct_objects(&self) -> usize {
-        self.rounds.iter().map(|r| r.distinct_objects).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.distinct_objects)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of rounds achieved.
@@ -188,7 +192,12 @@ pub fn perturb_maxreg<T: MaxRegTarget>(target: &T, cfg: PerturbConfig) -> Pertur
         });
     }
 
-    PerturbReport { rounds, saturated, value_exhausted, every_round_perturbed }
+    PerturbReport {
+        rounds,
+        saturated,
+        value_exhausted,
+        every_round_perturbed,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +210,11 @@ mod tests {
         let reg = TreeMaxRegister::new(1 << 20);
         let report = perturb_maxreg(
             &reg,
-            PerturbConfig { writers: 64, factor: 2, max_rounds: 100 },
+            PerturbConfig {
+                writers: 64,
+                factor: 2,
+                max_rounds: 100,
+            },
         );
         assert!(report.every_round_perturbed);
         assert!(report.value_exhausted, "values should hit the bound");
@@ -217,14 +230,17 @@ mod tests {
         let k = 2u64;
         let exact = TreeMaxRegister::new(m);
         let approx = approx_objects::KmultBoundedMaxRegister::new(8, m, k);
-        let cfg = PerturbConfig { writers: 64, factor: k * k, max_rounds: 100 };
+        let cfg = PerturbConfig {
+            writers: 64,
+            factor: k * k,
+            max_rounds: 100,
+        };
         let exact_report = perturb_maxreg(&exact, cfg);
         let approx_report = perturb_maxreg(&approx, cfg);
         assert!(exact_report.every_round_perturbed);
         assert!(approx_report.every_round_perturbed);
         assert!(
-            approx_report.max_distinct_objects() * 2
-                < exact_report.max_distinct_objects(),
+            approx_report.max_distinct_objects() * 2 < exact_report.max_distinct_objects(),
             "approx {} vs exact {}",
             approx_report.max_distinct_objects(),
             exact_report.max_distinct_objects()
@@ -236,7 +252,11 @@ mod tests {
         let reg = TreeMaxRegister::new(1 << 60);
         let report = perturb_maxreg(
             &reg,
-            PerturbConfig { writers: 3, factor: 2, max_rounds: 100 },
+            PerturbConfig {
+                writers: 3,
+                factor: 2,
+                max_rounds: 100,
+            },
         );
         assert!(report.saturated);
         assert_eq!(report.rounds_achieved(), 3);

@@ -60,7 +60,10 @@ impl ProcCtx {
             None => {
                 self.runtime.count_step(self.pid);
                 self.runtime.trace(self.pid, obj, kind);
-                StepPermit { gate: None, pid: self.pid }
+                StepPermit {
+                    gate: None,
+                    pid: self.pid,
+                }
             }
             Some(gate) => {
                 let granted = gate.acquire(self.pid);

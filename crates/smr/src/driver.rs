@@ -28,7 +28,11 @@ use std::thread::JoinHandle;
 type OpFn = Box<dyn FnOnce(&ProcCtx) -> u128 + Send + 'static>;
 
 enum Cmd {
-    Op { label: &'static str, arg: u128, f: OpFn },
+    Op {
+        label: &'static str,
+        arg: u128,
+        f: OpFn,
+    },
     Stop,
 }
 
@@ -74,6 +78,10 @@ pub struct Driver {
     submitted: Vec<u64>,
     completed: Vec<u64>,
     crashed: Vec<bool>,
+    /// Invocation records of ops that have started but not yet completed
+    /// (at most one per worker). Surfaced as pending history records when
+    /// the process crashes mid-operation.
+    in_flight: Vec<Option<OpRecord>>,
     history: History,
 }
 
@@ -104,6 +112,7 @@ impl Driver {
             submitted: vec![0; n],
             completed: vec![0; n],
             crashed: vec![false; n],
+            in_flight: vec![None; n],
             history: History::new(),
         }
     }
@@ -122,7 +131,11 @@ impl Driver {
     {
         self.submitted[pid] += 1;
         self.cmd_tx[pid]
-            .send(Cmd::Op { label, arg, f: Box::new(f) })
+            .send(Cmd::Op {
+                label,
+                arg,
+                f: Box::new(f),
+            })
             .expect("worker alive");
     }
 
@@ -145,18 +158,38 @@ impl Driver {
     }
 
     /// Crash process `pid`: it is never scheduled again in this driver's
-    /// gated execution (its current operation, if any, stays suspended at
-    /// its next primitive forever — the model's crash failure). The
-    /// worker thread itself is reclaimed on drop.
+    /// gated execution — the model's crash failure. The crash takes
+    /// effect at the process's next primitive: queued operations that
+    /// apply no primitives still run to completion (a crash is only
+    /// observable through shared memory), while the operation parked at
+    /// a primitive, if any, stays suspended forever and is surfaced as a
+    /// pending history record (`resp = None`) so linearizability
+    /// checkers can account for its optional effects. The worker thread
+    /// itself is reclaimed on drop.
     ///
-    /// Gated mode only — in free-running mode processes cannot be stopped
-    /// once submitted to.
+    /// Gated mode only — in free-running mode processes cannot be
+    /// stopped once submitted to.
     pub fn crash(&mut self, pid: usize) {
-        assert!(
-            self.runtime.gate.is_some(),
-            "crash() requires a gated runtime"
-        );
+        let gate = self
+            .runtime
+            .gate
+            .as_ref()
+            .expect("crash() requires a gated runtime");
+        // Synchronize with the worker before deciding what is pending:
+        // wait until it is parked at a primitive or out of work. This
+        // guarantees every announcement/completion it will ever emit
+        // without further grants is in the channel, so the drain below
+        // observes a deterministic cut regardless of thread timing.
+        gate.quiesce(pid, self.submitted[pid]);
         self.crashed[pid] = true;
+        self.drain_events();
+        if let Some(mut rec) = self.in_flight[pid].take() {
+            // The announcement's `steps` field holds the process's
+            // cumulative step count at invocation (see `worker_loop`);
+            // convert it to the steps the suspended op itself performed.
+            rec.steps = self.runtime.steps_of(pid) - rec.steps;
+            self.history.push(rec);
+        }
     }
 
     /// `true` if `pid` has been crashed.
@@ -220,8 +253,7 @@ impl Driver {
         );
         while self.total_pending() > 0 {
             let rec = self.evt_rx.recv().expect("workers alive");
-            self.completed[rec.pid] += 1;
-            self.history.push(rec);
+            self.record(rec);
         }
     }
 
@@ -233,12 +265,28 @@ impl Driver {
 
     fn drain_events(&mut self) {
         while let Ok(rec) = self.evt_rx.try_recv() {
-            self.completed[rec.pid] += 1;
-            self.history.push(rec);
+            self.record(rec);
         }
     }
 
-    /// The history recorded so far (completed operations only).
+    /// Process one worker event: an invocation announcement (pending
+    /// record, `resp = None`) or a completion.
+    fn record(&mut self, rec: OpRecord) {
+        if rec.resp.is_some() {
+            self.in_flight[rec.pid] = None;
+            self.completed[rec.pid] += 1;
+            self.history.push(rec);
+        } else {
+            let pid = rec.pid;
+            self.in_flight[pid] = Some(rec);
+        }
+    }
+
+    /// The history recorded so far: completed operations, plus pending
+    /// records (`resp = None`) for operations suspended by [`crash`].
+    /// Use [`History::completed`] for the completed-only view.
+    ///
+    /// [`crash`]: Driver::crash
     pub fn history(&self) -> &History {
         &self.history
     }
@@ -274,6 +322,27 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
                 }
                 let inv = runtime.ticket();
                 let steps_before = ctx.steps_taken();
+                // Gated mode only: announce the invocation before
+                // executing, so if this process crashes mid-operation
+                // the controller still learns the op started (its
+                // effects are optional for linearization). The
+                // announcement's `steps` field carries the process's
+                // cumulative step count at invocation; `Driver::crash`
+                // rewrites it to the steps the op itself performed
+                // before surfacing the record. Free-running runtimes
+                // cannot crash processes, so the announcement would be
+                // pure channel overhead there.
+                if runtime.gate.is_some() {
+                    let _ = tx.send(OpRecord {
+                        pid,
+                        label,
+                        arg,
+                        ret: 0,
+                        inv,
+                        resp: None,
+                        steps: steps_before,
+                    });
+                }
                 let ret = f(&ctx);
                 let steps = ctx.steps_taken() - steps_before;
                 let resp = runtime.ticket();
@@ -397,6 +466,77 @@ mod tests {
         d.submit(0, "noop", 0, |_ctx| 42);
         assert_eq!(d.run_solo(0), 0);
         assert_eq!(d.history().ops()[0].ret, 42);
+    }
+
+    #[test]
+    fn crash_after_zero_step_op_records_no_duplicate() {
+        // The op performs no primitives, so it completes even if crash()
+        // lands in the announcement→completion window: crash must
+        // synchronize with the worker and record exactly one (completed)
+        // op — never a pending duplicate.
+        for _ in 0..50 {
+            let rt = Runtime::gated(2);
+            let mut d = Driver::new(rt);
+            d.submit(0, "noop", 0, |_ctx| 42);
+            d.crash(0);
+            assert_eq!(d.completed_of(0), 1, "zero-primitive op completes");
+            assert_eq!(d.history().len(), 1, "exactly one record");
+            assert!(d.history().ops()[0].resp.is_some());
+        }
+    }
+
+    #[test]
+    fn crash_right_after_submit_is_deterministic() {
+        // The op's first primitive parks the worker; crash() must wait
+        // for that park so the pending record is surfaced on every run,
+        // not only when the OS happened to schedule the worker first.
+        for _ in 0..50 {
+            let rt = Runtime::gated(2);
+            let mut d = Driver::new(rt);
+            let reg = Arc::new(Register::new(0));
+            {
+                let reg = reg.clone();
+                d.submit(0, "inc", 0, move |ctx| {
+                    let v = reg.read(ctx);
+                    reg.write(ctx, v + 1);
+                    0
+                });
+            }
+            d.crash(0);
+            assert_eq!(d.completed_of(0), 0);
+            assert_eq!(d.history().len(), 1, "pending record surfaced");
+            let rec = &d.history().ops()[0];
+            assert_eq!(rec.resp, None);
+            assert_eq!(rec.label, "inc");
+            assert_eq!(reg.peek(), 0, "no primitive was granted");
+        }
+    }
+
+    #[test]
+    fn crash_mid_op_then_later_ops_never_invoked() {
+        // Ops queued behind the suspended one must not generate records.
+        let rt = Runtime::gated(2);
+        let mut d = Driver::new(rt);
+        let reg = Arc::new(Register::new(0));
+        for i in 0..3 {
+            let reg = reg.clone();
+            d.submit(0, "w", i, move |ctx| {
+                reg.write(ctx, 1);
+                reg.write(ctx, 2);
+                0
+            });
+        }
+        assert_eq!(d.step(0), StepOutcome::Stepped);
+        d.crash(0);
+        assert_eq!(d.history().len(), 1, "only the started op is visible");
+        assert_eq!(d.history().ops()[0].resp, None);
+        assert_eq!(d.history().ops()[0].arg, 0, "it is the first op");
+        assert_eq!(
+            d.history().ops()[0].steps,
+            1,
+            "the pending record reports the step the op performed"
+        );
+        assert_eq!(d.history().total_steps(), d.runtime().total_steps());
     }
 
     #[test]

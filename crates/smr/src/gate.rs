@@ -9,7 +9,7 @@
 //! because the implementations are deterministic — replayable from a
 //! schedule script.
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 /// What a worker thread is currently doing, as observed through the gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,15 +135,9 @@ impl Gate {
     /// start the next one.
     pub(crate) fn grant(&self, pid: usize, expected_ops: u64) -> GrantOutcome {
         let slot = &self.slots[pid];
-        let mut st = slot.m.lock();
-        loop {
-            match st.state {
-                ProcState::Parked if !st.granted => break,
-                ProcState::Idle if st.ops_finished >= expected_ops => {
-                    return GrantOutcome::Completed;
-                }
-                _ => slot.cv.wait(&mut st),
-            }
+        let (mut st, parked) = self.wait_stable(pid, expected_ops);
+        if !parked {
+            return GrantOutcome::Completed;
         }
         st.granted = true;
         let target = st.steps_done + 1;
@@ -160,6 +154,39 @@ impl Gate {
             slot.cv.wait(&mut st);
         }
         GrantOutcome::Stepped
+    }
+
+    /// Controller side: block until `pid` is at a stable point. Returns
+    /// the slot guard and `true` if the worker is parked at a primitive
+    /// awaiting a grant, `false` if it is idle with all `expected_ops`
+    /// operations finished.
+    fn wait_stable(&self, pid: usize, expected_ops: u64) -> (MutexGuard<'_, SlotState>, bool) {
+        let slot = &self.slots[pid];
+        let mut st = slot.m.lock();
+        loop {
+            match st.state {
+                ProcState::Parked if !st.granted => return (st, true),
+                ProcState::Idle if st.ops_finished >= expected_ops => return (st, false),
+                _ => slot.cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Controller side: block until `pid` is at a stable point — parked
+    /// at a primitive (mid-operation) or idle having finished all
+    /// `expected_ops` operations. Queued operations that apply no
+    /// primitives run to completion on the way (they need no grants);
+    /// the first primitive parks the worker.
+    ///
+    /// On return, every invocation announcement and completion record
+    /// the worker will ever emit without further grants is already in
+    /// the event channel: on the worker thread each send precedes the
+    /// state transition this waits on (program order), the channel
+    /// delivers a sender's messages in send order, and observing the
+    /// transition under the slot mutex makes the earlier send visible
+    /// to a subsequent drain.
+    pub(crate) fn quiesce(&self, pid: usize, expected_ops: u64) {
+        let _ = self.wait_stable(pid, expected_ops);
     }
 
     /// Release all parked workers permanently; subsequent acquires no-op.

@@ -76,7 +76,12 @@ impl History {
     /// Only the completed operations.
     pub fn completed(&self) -> History {
         History {
-            ops: self.ops.iter().filter(|op| op.resp.is_some()).cloned().collect(),
+            ops: self
+                .ops
+                .iter()
+                .filter(|op| op.resp.is_some())
+                .cloned()
+                .collect(),
         }
     }
 
@@ -93,7 +98,9 @@ impl History {
 
 impl FromIterator<OpRecord> for History {
     fn from_iter<I: IntoIterator<Item = OpRecord>>(iter: I) -> Self {
-        History { ops: iter.into_iter().collect() }
+        History {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -102,7 +109,15 @@ mod tests {
     use super::*;
 
     fn rec(pid: usize, inv: u64, resp: Option<u64>) -> OpRecord {
-        OpRecord { pid, label: "op", arg: 0, ret: 0, inv, resp, steps: 1 }
+        OpRecord {
+            pid,
+            label: "op",
+            arg: 0,
+            ret: 0,
+            inv,
+            resp,
+            steps: 1,
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Register {
     /// A register with the given initial value (no step is charged:
     /// initial values are part of the initial configuration).
     pub fn new(init: u64) -> Self {
-        Register { cell: AtomicU64::new(init) }
+        Register {
+            cell: AtomicU64::new(init),
+        }
     }
 
     /// Apply a `read` primitive: one step.
@@ -77,7 +79,9 @@ pub struct TasBit {
 impl TasBit {
     /// A cleared bit.
     pub fn new() -> Self {
-        TasBit { bit: AtomicBool::new(false) }
+        TasBit {
+            bit: AtomicBool::new(false),
+        }
     }
 
     /// Apply a `read` primitive: one step.
@@ -117,7 +121,9 @@ pub struct FaaRegister {
 impl FaaRegister {
     /// A register initialized to `init`.
     pub fn new(init: u64) -> Self {
-        FaaRegister { cell: AtomicU64::new(init) }
+        FaaRegister {
+            cell: AtomicU64::new(init),
+        }
     }
 
     /// Apply a `fetch&add` primitive: one step. Returns the previous value.

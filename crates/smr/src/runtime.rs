@@ -57,7 +57,9 @@ impl Runtime {
         Runtime {
             n,
             mode,
-            steps: (0..n).map(|_| pad::CachePadded::new(AtomicU64::new(0))).collect(),
+            steps: (0..n)
+                .map(|_| pad::CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             ticket: AtomicU64::new(0),
             tracer: Tracer::default(),
             gate: match mode {

@@ -34,10 +34,7 @@ impl Scheduler for RoundRobin {
         assert!(!active.is_empty());
         let pick = match self.last {
             None => active[0],
-            Some(prev) => *active
-                .iter()
-                .find(|&&p| p > prev)
-                .unwrap_or(&active[0]),
+            Some(prev) => *active.iter().find(|&&p| p > prev).unwrap_or(&active[0]),
         };
         self.last = Some(pick);
         pick
@@ -54,7 +51,9 @@ pub struct SeededRandom {
 impl SeededRandom {
     /// A random scheduler with the given seed.
     pub fn new(seed: u64) -> Self {
-        SeededRandom { rng: StdRng::seed_from_u64(seed) }
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

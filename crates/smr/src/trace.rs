@@ -62,7 +62,12 @@ impl Tracer {
         if self.enabled.load(Ordering::Relaxed) {
             let mut log = self.log.lock();
             let seq = log.len() as u64;
-            log.push(TraceEvent { seq, pid, obj, kind });
+            log.push(TraceEvent {
+                seq,
+                pid,
+                obj,
+                kind,
+            });
         }
     }
 

@@ -25,7 +25,9 @@ pub struct WideRegister<T: Clone + Send> {
 impl<T: Clone + Send> WideRegister<T> {
     /// A register with the given initial value.
     pub fn new(init: T) -> Self {
-        WideRegister { cell: Mutex::new(init) }
+        WideRegister {
+            cell: Mutex::new(init),
+        }
     }
 
     /// Apply a `read` primitive: one step.

@@ -41,7 +41,10 @@ fn lost_update() {
     for pid in [0, 1, 0, 1] {
         assert_eq!(d.step(pid), StepOutcome::Stepped);
     }
-    println!("   both processes incremented; register holds {} (one update lost)\n", reg.peek());
+    println!(
+        "   both processes incremented; register holds {} (one update lost)\n",
+        reg.peek()
+    );
 }
 
 /// Freeze a process right after it wins a switch but before it updates
@@ -74,8 +77,12 @@ fn frozen_announcer() {
     assert_eq!(d.step(0), StepOutcome::Stepped);
     assert_eq!(d.step(0), StepOutcome::Stepped);
     println!("   process 0 frozen: switch_1 is set, H[0] not yet written");
-    println!("   switch prefix now: {}{}{}",
-        counter.peek_switch(0) as u8, counter.peek_switch(1) as u8, counter.peek_switch(2) as u8);
+    println!(
+        "   switch prefix now: {}{}{}",
+        counter.peek_switch(0) as u8,
+        counter.peek_switch(1) as u8,
+        counter.peek_switch(2) as u8
+    );
 
     // Process 1 reads; the frozen announcement is visible through the
     // switch (test&set landed), so the read may count it — and the

@@ -29,7 +29,11 @@ fn main() {
             })
         })
         .collect();
-    let last_read = workers.drain(..).map(|w| w.join().unwrap()).next_back().unwrap();
+    let last_read = workers
+        .drain(..)
+        .map(|w| w.join().unwrap())
+        .next_back()
+        .unwrap();
 
     let true_count = (n * 10_000) as u128;
     println!("counter: true count = {true_count}, a worker's final read = {last_read}");

@@ -20,18 +20,15 @@ fn main() {
     println!("Algorithm 1 lab: n = {n}, k = {k}, {ops} increments per process");
     let counter = KmultCounter::new(n, k);
     if !counter.accuracy_guaranteed() {
-        println!("⚠ k < √n = {:.2}: accuracy is NOT guaranteed (Theorem III.9's", (n as f64).sqrt());
+        println!(
+            "⚠ k < √n = {:.2}: accuracy is NOT guaranteed (Theorem III.9's",
+            (n as f64).sqrt()
+        );
         println!("  premise fails) — watch the ratio column exceed k.");
     }
     let rt = Runtime::free_running(n);
 
-    let checkpoints = [
-        ops / 100,
-        ops / 10,
-        ops / 4,
-        ops / 2,
-        ops,
-    ];
+    let checkpoints = [ops / 100, ops / 10, ops / 4, ops / 2, ops];
 
     let handles: Vec<_> = (0..n)
         .map(|pid| {
@@ -61,10 +58,12 @@ fn main() {
         frontier += 1;
     }
     println!("  switch frontier         = {frontier} (first unset switch)");
-    let intervals = if frontier == 0 { 0 } else { (frontier - 1).div_ceil(k) };
-    println!(
-        "  intervals filled        ≈ {intervals} (each interval j costs k^j incs per switch)"
-    );
+    let intervals = if frontier == 0 {
+        0
+    } else {
+        (frontier - 1).div_ceil(k)
+    };
+    println!("  intervals filled        ≈ {intervals} (each interval j costs k^j incs per switch)");
 
     // Reads from every process, with detail.
     println!("\nper-process reads (each walks its own persistent cursor):");

@@ -103,7 +103,10 @@ fn startup_window_requires_k_at_least_n_minus_1() {
     }
     let ctx = rt.ctx(0);
     let x = handles[0].read(&ctx);
-    assert!(within_k(n as u128, x, k), "k = n−1 keeps the window accurate");
+    assert!(
+        within_k(n as u128, x, k),
+        "k = n−1 keeps the window accurate"
+    );
 
     // …while k clearly below √n breaks it (cf. EXP-T3.11 part C).
     let n = 64;

@@ -8,7 +8,9 @@
 //! spec holds from the first operation — see DESIGN.md §5 on the startup
 //! window).
 
-use counter::{AachCounter, CollectCounter, Counter, FaaCounter, SnapshotCounter, UnboundedTreeCounter};
+use counter::{
+    AachCounter, CollectCounter, Counter, FaaCounter, SnapshotCounter, UnboundedTreeCounter,
+};
 use lincheck::monotone::check_counter;
 use lincheck::CounterHistory;
 use parking_lot::Mutex;
@@ -18,7 +20,12 @@ use std::sync::Arc;
 
 /// Run a free-running mixed workload against a `Counter`, returning the
 /// recorded history.
-fn run_free<C: Counter + 'static>(c: Arc<C>, n: usize, ops: u64, read_every: u64) -> CounterHistory {
+fn run_free<C: Counter + 'static>(
+    c: Arc<C>,
+    n: usize,
+    ops: u64,
+    read_every: u64,
+) -> CounterHistory {
     let rt = Runtime::free_running(n);
     let mut d = Driver::new(rt);
     for pid in 0..n {

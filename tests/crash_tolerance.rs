@@ -37,7 +37,11 @@ fn survivors_complete_after_mid_increment_crash() {
             0
         });
     }
-    assert_eq!(d.step(0), StepOutcome::Stepped, "one primitive in, then crash");
+    assert_eq!(
+        d.step(0),
+        StepOutcome::Stepped,
+        "one primitive in, then crash"
+    );
     d.crash(0);
 
     // Survivors run a real workload to completion.
@@ -59,11 +63,11 @@ fn survivors_complete_after_mid_increment_crash() {
     assert_eq!(d.completed_of(1), 100, "survivor 1 completed everything");
     assert_eq!(d.completed_of(2), 100, "survivor 2 completed everything");
 
-    // The recorded (completed-ops) history must still be k-accurate. The
-    // crashed process's partially applied test&set, if any, is a pending
-    // increment — legal to linearize or drop; our history simply omits
-    // it, and the checker's B-window tolerates the extra set switch
-    // because read values only ever grow with it.
+    // The recorded history must still be k-accurate. The crashed
+    // process's partially applied test&set, if any, belongs to an
+    // increment the driver surfaces as a pending record (resp = None) —
+    // legal to linearize or drop, so the checker's B-window widens to
+    // tolerate the extra set switch a survivor's read may have observed.
     let h = CounterHistory::from_records(d.history(), "inc", "read");
     check_counter(&h, k).unwrap_or_else(|v| panic!("post-crash history: {v}"));
 }

@@ -48,7 +48,11 @@ fn kmult_run(seed: u64) -> Signature {
     rets.sort();
     let values = rets.into_iter().map(|(_, _, v)| v).collect();
     let steps = (0..n).map(|p| rt.steps_of(p)).collect();
-    let trace = rt.take_trace().into_iter().map(|e| (e.pid, e.kind)).collect();
+    let trace = rt
+        .take_trace()
+        .into_iter()
+        .map(|e| (e.pid, e.kind))
+        .collect();
     (values, steps, trace)
 }
 

@@ -55,7 +55,11 @@ fn case_a_interval_full() {
         [true, true, true, true, true, false],
         "switch prefix 11111 expected"
     );
-    assert_eq!((o.p, o.q), (0, 1), "read lands on (p=0, q=1) — Figure 1 case a");
+    assert_eq!(
+        (o.p, o.q),
+        (0, 1),
+        "read lands on (p=0, q=1) — Figure 1 case a"
+    );
     assert_eq!(v, 17);
     assert_envelope("case a", v, &o, 2);
 }
@@ -63,8 +67,16 @@ fn case_a_interval_full() {
 #[test]
 fn case_b2_only_first_switch() {
     let (v, o, switches) = run_case(&[(0, 1), (0, K)]);
-    assert_eq!(switches[..3], [true, true, false], "switch prefix 11 expected");
-    assert_eq!((o.p, o.q), (1, 0), "read lands on (p=1, q=0) — Figure 1 case b.2");
+    assert_eq!(
+        switches[..3],
+        [true, true, false],
+        "switch prefix 11 expected"
+    );
+    assert_eq!(
+        (o.p, o.q),
+        (1, 0),
+        "read lands on (p=1, q=0) — Figure 1 case b.2"
+    );
     assert_eq!(v, 1 + u128::from(K));
     assert_envelope("case b.2", v, &o, 2);
 }
@@ -88,7 +100,10 @@ fn case_b1_middle_switch_also_set() {
 fn b1_and_b2_are_indistinguishable_to_the_reader() {
     let (_, o_b2, _) = run_case(&[(0, 1), (0, K)]);
     let (_, o_b1, _) = run_case(&[(0, 1), (0, K), (1, 1 + K)]);
-    assert_eq!(o_b1.value, o_b2.value, "same return value from different states");
+    assert_eq!(
+        o_b1.value, o_b2.value,
+        "same return value from different states"
+    );
     assert_eq!((o_b1.p, o_b1.q), (o_b2.p, o_b2.q));
     // …which is exactly why u_max charges for the possibly-set middles:
     // both true counts (5 and 10) sit inside the same envelope.

@@ -84,12 +84,18 @@ fn starved_reader_completes_via_helping() {
         .clone();
     let helped = rec.ret >> 120 != 0;
     let value = rec.ret & ((1u128 << 120) - 1);
-    assert!(helped, "the reader must have returned via the helping branch");
+    assert!(
+        helped,
+        "the reader must have returned via the helping branch"
+    );
     assert!(value > 0);
     // Lemma III.3: the helped value corresponds to a switch set during
     // the read — so it is a current value, bounded by k × all increments.
     let max_possible = u128::from(100u32 + 100_000) * u128::from(k);
-    assert!(value <= max_possible, "helped value {value} exceeds {max_possible}");
+    assert!(
+        value <= max_possible,
+        "helped value {value} exceeds {max_possible}"
+    );
 }
 
 /// A reader suspended mid-read resumes correctly when rescheduled much

@@ -5,7 +5,9 @@
 use approx_objects::{KmultBoundedMaxRegister, KmultUnboundedMaxRegister};
 use lincheck::monotone::check_maxreg;
 use lincheck::MaxRegHistory;
-use maxreg::{AdaptiveMaxRegister, CollectMaxRegister, MaxRegister, TreeMaxRegister, UnboundedMaxRegister};
+use maxreg::{
+    AdaptiveMaxRegister, CollectMaxRegister, MaxRegister, TreeMaxRegister, UnboundedMaxRegister,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use smr::sched::SeededRandom;
@@ -51,14 +53,26 @@ fn run_exact<M: MaxRegister + 'static>(
 
 #[test]
 fn tree_maxreg_is_linearizable() {
-    let h = run_exact(Arc::new(TreeMaxRegister::new(1 << 16)), 6, 120, 1 << 16, None);
+    let h = run_exact(
+        Arc::new(TreeMaxRegister::new(1 << 16)),
+        6,
+        120,
+        1 << 16,
+        None,
+    );
     check_maxreg(&h, 1).unwrap_or_else(|v| panic!("tree: {v}"));
 }
 
 #[test]
 fn tree_maxreg_is_linearizable_gated() {
     for seed in [2u64, 13, 77] {
-        let h = run_exact(Arc::new(TreeMaxRegister::new(1 << 10)), 3, 40, 1 << 10, Some(seed));
+        let h = run_exact(
+            Arc::new(TreeMaxRegister::new(1 << 10)),
+            3,
+            40,
+            1 << 10,
+            Some(seed),
+        );
         check_maxreg(&h, 1).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
     }
 }
@@ -75,7 +89,13 @@ fn adaptive_maxreg_is_linearizable_both_arms() {
     let h = run_exact(Arc::new(AdaptiveMaxRegister::new(8, 256)), 8, 80, 256, None);
     check_maxreg(&h, 1).unwrap_or_else(|v| panic!("adaptive/tree: {v}"));
     // Collect arm.
-    let h = run_exact(Arc::new(AdaptiveMaxRegister::new(3, 1 << 40)), 3, 80, 1 << 40, None);
+    let h = run_exact(
+        Arc::new(AdaptiveMaxRegister::new(3, 1 << 40)),
+        3,
+        80,
+        1 << 40,
+        None,
+    );
     check_maxreg(&h, 1).unwrap_or_else(|v| panic!("adaptive/collect: {v}"));
 }
 
@@ -86,13 +106,7 @@ fn unbounded_exact_maxreg_is_linearizable() {
 }
 
 /// Workload against the k-multiplicative bounded register.
-fn run_kmult_bounded(
-    n: usize,
-    m: u64,
-    k: u64,
-    ops: u64,
-    gated_seed: Option<u64>,
-) -> MaxRegHistory {
+fn run_kmult_bounded(n: usize, m: u64, k: u64, ops: u64, gated_seed: Option<u64>) -> MaxRegHistory {
     let rt = match gated_seed {
         None => Runtime::free_running(n),
         Some(_) => Runtime::gated(n),

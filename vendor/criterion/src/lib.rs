@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace's two benches use:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::{iter, iter_custom}`, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros, and `black_box`.
+//!
+//! Measurement model: double the iteration count until a sample takes at
+//! least ~20 ms, then report mean ns/iter (and throughput if set) to
+//! stdout. No statistical analysis, outlier rejection, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+const MAX_ITERS: u64 = 1 << 24;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f` over an adaptively chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+                self.measured = Some((elapsed, iters));
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    /// `f(iters)` must run `iters` iterations and return the elapsed
+    /// time for exactly that work.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let mut iters = 1u64;
+        loop {
+            let elapsed = f(iters);
+            if elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+                self.measured = Some((elapsed, iters));
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+}
+
+fn run_one(full_name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some((elapsed, iters)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = throughput.map(|t| {
+                let units = match t {
+                    Throughput::Elements(e) => (e as f64, "elem/s"),
+                    Throughput::Bytes(by) => (by as f64, "B/s"),
+                };
+                let per_sec = units.0 * 1e9 / ns;
+                format!("  ({per_sec:.0} {})", units.1)
+            });
+            println!("{full_name}: {ns:.1} ns/iter{}", rate.unwrap_or_default());
+        }
+        _ => println!("{full_name}: no measurement (closure never called iter)"),
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_one(&full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().name, None, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for i in 0..iters {
+                    black_box(i);
+                }
+                start.elapsed().max(std::time::Duration::from_millis(25))
+            })
+        });
+    }
+}

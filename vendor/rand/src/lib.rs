@@ -1,0 +1,199 @@
+//! Offline stand-in for `rand`, providing the rand-0.9-style surface
+//! this workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and `RngExt::random_range`. The generator is SplitMix64 — not
+//! cryptographic, but deterministic, seedable, and well distributed,
+//! which is all the schedulers and stress tests need.
+
+/// Core trait: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods on any `RngCore` (the rand-0.9 `Rng` analogue).
+pub trait RngExt: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+
+    /// Uniform `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Alias kept for code written against the classic `rand::Rng` name.
+pub use RngExt as Rng;
+
+/// Types samplable uniformly from an inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full u128 domain: any draw is uniform.
+                    let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    return draw as $t;
+                }
+                // Rejection sampling over u128 draws to avoid modulo bias.
+                let zone = u128::MAX - (u128::MAX - span + 1) % span;
+                loop {
+                    let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    if draw <= zone {
+                        return (lo as u128 + draw % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let ulo = (lo as $u) ^ (1 << (<$u>::BITS - 1));
+                let uhi = (hi as $u) ^ (1 << (<$u>::BITS - 1));
+                let v = <$u>::sample_inclusive(rng, ulo, uhi);
+                (v ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait IntoUniformRange<T> {
+    /// `(low, high_inclusive)` bounds of the range.
+    fn bounds(&self) -> (T, T);
+}
+
+impl<T: SampleUniform + StepBack> IntoUniformRange<T> for core::ops::Range<T> {
+    fn bounds(&self) -> (T, T) {
+        (self.start, self.end.step_back())
+    }
+}
+
+impl<T: SampleUniform> IntoUniformRange<T> for core::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Decrement by one unit, for converting `a..b` to inclusive bounds.
+pub trait StepBack: Copy {
+    fn step_back(self) -> Self;
+}
+
+macro_rules! impl_step_back {
+    ($($t:ty),*) => {$(
+        impl StepBack for $t {
+            fn step_back(self) -> Self {
+                self.checked_sub(1).expect("empty range in random_range")
+            }
+        }
+    )*};
+}
+
+impl_step_back!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — the stand-in "standard" RNG.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    /// Same generator; the workspace only needs determinism, not speed
+    /// tiers.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.random_range(0..=4);
+            assert!(w <= 4);
+            let s: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
