@@ -1,0 +1,180 @@
+//! EXP-CHECKER — throughput of the linearizability checkers on
+//! synthetic large counter histories: the `O(R log R + I log I)` sweep
+//! engine vs the retained `O(R² log I)` pairwise reference.
+//!
+//! The north star is checking **million-op histories**; this experiment
+//! tracks the asymptotic win that makes that feasible. Histories are
+//! synthesized from a valid execution (every read returns its
+//! forced-before count, which always linearizes), with heavily
+//! overlapping windows, pending operations and multi-unit increment
+//! batches, so the sweep's monotone stack and the reference's Fenwick
+//! streaming both do real work. On each size where both engines run,
+//! their verdicts are cross-checked.
+//!
+//! Results land in `BENCH_checker.json` (cwd) for regression tracking.
+//!
+//! Run: `cargo run --release -p bench --bin exp_checker`
+//! CI:  `cargo run --release -p bench --bin exp_checker -- --smoke`
+//! (`--smoke` shrinks the sizes to keep the bin exercised without
+//! costing CI minutes; `REPRO_SCALE` multiplies the full sizes.)
+
+use bench::tables::{f2, Table};
+use lincheck::monotone::{check_counter, prefix_sums, weighted_lt};
+use lincheck::{naive, CounterHistory, Interval, TimedInc, TimedRead};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Synthesize a linearizable counter history of `n_incs` increment
+/// records and `n_reads` reads with overlapping windows. Reads return
+/// their forced-before weight `A_r` — always a valid assignment (the
+/// greedy's own lower bound), so the sweep runs to completion over the
+/// whole history instead of bailing at the first read.
+fn synth_history(n_incs: usize, n_reads: usize, seed: u64) -> CounterHistory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = 2 * (n_incs + n_reads) as u64 + 2;
+    let mut incs = Vec::with_capacity(n_incs);
+    for _ in 0..n_incs {
+        let inv = rng.random_range(0..horizon);
+        let pending = rng.random_range(0..16) == 0;
+        let amount = 1 + rng.random_range(0..3);
+        incs.push(TimedInc {
+            window: if pending {
+                Interval::pending(inv)
+            } else {
+                Interval::done(inv, inv + 1 + rng.random_range(0..32))
+            },
+            amount,
+        });
+    }
+    // Forced-before table: completed increments by response, using the
+    // checker's own weighted-count primitives so the generator can never
+    // drift from the engine's boundary semantics.
+    let mut by_resp: Vec<(u64, u64)> = incs
+        .iter()
+        .filter_map(|i| i.window.resp.map(|r| (r, i.amount)))
+        .collect();
+    by_resp.sort_unstable();
+    let prefix = prefix_sums(&by_resp);
+    let reads = (0..n_reads)
+        .map(|_| {
+            let inv = rng.random_range(0..horizon);
+            TimedRead {
+                inv,
+                resp: inv + 1 + rng.random_range(0..32),
+                value: weighted_lt(&by_resp, &prefix, inv),
+            }
+        })
+        .collect();
+    CounterHistory { incs, reads }
+}
+
+struct Sample {
+    engine: &'static str,
+    total_ops: usize,
+    millis: f64,
+    verdict: bool,
+}
+
+fn time_engine<F: Fn(&CounterHistory) -> bool>(
+    engine: &'static str,
+    h: &CounterHistory,
+    f: F,
+) -> Sample {
+    let start = Instant::now();
+    let verdict = f(h);
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    Sample {
+        engine,
+        total_ops: h.incs.len() + h.reads.len(),
+        millis,
+        verdict,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = bench::scale() as usize;
+
+    // (total records, run the quadratic reference too?)
+    let sizes: Vec<(usize, bool)> = if smoke {
+        vec![(2_000, true), (10_000, false)]
+    } else {
+        vec![
+            (10_000, true),
+            (30_000, true),
+            (100_000 * scale, false),
+            (300_000 * scale, false),
+            (1_000_000 * scale, false),
+        ]
+    };
+
+    let mut table = Table::new(["records", "engine", "ms", "records/s", "verdict"]);
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for (idx, &(total, with_naive)) in sizes.iter().enumerate() {
+        // 2/3 increments, 1/3 reads — roughly the stress-test mix.
+        let h = synth_history(total * 2 / 3, total - total * 2 / 3, 0xC0DE + idx as u64);
+
+        let sweep = time_engine("sweep", &h, |h| check_counter(h, 1).is_ok());
+        assert!(sweep.verdict, "synthetic history must linearize");
+        samples.push(sweep);
+
+        if with_naive {
+            let reference = time_engine("naive", &h, |h| naive::check_counter(h, 1).is_ok());
+            let s = samples.last().unwrap();
+            assert_eq!(
+                s.verdict, reference.verdict,
+                "engines disagree on a {total}-record history"
+            );
+            samples.push(reference);
+        }
+    }
+
+    for s in &samples {
+        table.row([
+            s.total_ops.to_string(),
+            s.engine.to_string(),
+            f2(s.millis),
+            format!("{:.0}", s.total_ops as f64 / (s.millis / 1e3).max(1e-9)),
+            if s.verdict {
+                "ok".into()
+            } else {
+                "VIOLATION".to_string()
+            },
+        ]);
+    }
+
+    println!("EXP-CHECKER — monotone checker throughput on synthetic histories");
+    println!("sweep = O(R log R + I log I) production engine;");
+    println!("naive = retained O(R² log I) pairwise reference (small sizes only).");
+    table.print(if smoke {
+        "checker throughput (--smoke sizes)"
+    } else {
+        "checker throughput"
+    });
+
+    // Machine-readable results for regression tracking.
+    let mut json = String::from("{\n  \"bench\": \"checker_throughput\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"records\": {}, \"millis\": {:.3}, \"records_per_sec\": {:.0}}}{}\n",
+            s.engine,
+            s.total_ops,
+            s.millis,
+            s.total_ops as f64 / (s.millis / 1e3).max(1e-9),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_checker.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

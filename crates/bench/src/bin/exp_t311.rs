@@ -31,7 +31,7 @@ use bench::tables::{f2, Table};
 use counter::{AachCounter, CollectCounter, Counter, SnapshotCounter};
 use parking_lot::Mutex;
 use smr::sched::RoundRobin;
-use smr::{Driver, Runtime};
+use smr::{Driver, OpSpec, Runtime};
 use std::sync::Arc;
 
 /// Run the one-increment-one-read workload gated + traced; return
@@ -49,8 +49,8 @@ where
     rt.enable_tracing();
     let mut driver = Driver::new(rt.clone());
     for pid in 0..n {
-        driver.submit(pid, "inc", 0, inc_op(pid));
-        driver.submit(pid, "read", 0, read_op(pid));
+        driver.submit(pid, OpSpec::inc(), inc_op(pid));
+        driver.submit(pid, OpSpec::read(), read_op(pid));
     }
     let steps = driver.run_schedule(&mut RoundRobin::new());
     rt.disable_tracing();

@@ -1,6 +1,13 @@
 //! History representations consumed by the checkers.
+//!
+//! Extraction from driver records is **typed**: [`CounterHistory`] and
+//! [`MaxRegHistory`] pattern-match on [`smr::OpKind`] — no label
+//! strings — and a record outside the expected vocabulary is rejected
+//! with an [`UnsupportedOp`] error instead of a panic. Increment records
+//! carry a multiplicity ([`TimedInc::amount`]): one submitted closure
+//! that performs N unit increments is weighted as N by the checkers.
 
-use smr::History;
+use smr::{History, OpKind};
 
 /// An operation's execution window. `resp = None` means the operation
 /// never completed (its effects may or may not have taken place).
@@ -44,6 +51,30 @@ pub struct TimedRead {
     pub value: u128,
 }
 
+/// An increment operation: a window plus a multiplicity. A batch of
+/// `amount` unit increments submitted as one closure is one `TimedInc`;
+/// the checkers treat it exactly like `amount` unit increments sharing
+/// the window (a pending batch may have landed any prefix of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedInc {
+    /// Execution window.
+    pub window: Interval,
+    /// How many unit increments the operation performs.
+    pub amount: u64,
+}
+
+impl TimedInc {
+    /// A single unit increment over `window`.
+    pub fn unit(window: Interval) -> Self {
+        TimedInc { window, amount: 1 }
+    }
+
+    /// A batch of `amount` unit increments over `window`.
+    pub fn batch(window: Interval, amount: u64) -> Self {
+        TimedInc { window, amount }
+    }
+}
+
 /// A write operation (max-register histories) and its argument.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedWrite {
@@ -68,44 +99,88 @@ impl std::fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
-/// A counter history: unit increments plus reads.
+/// A record that does not belong to the object vocabulary a history
+/// extractor expected — e.g. a `Custom` op (whose argument may not even
+/// fit the object's value domain) in a counter history, or a `Write` in
+/// one. Returned by the `from_records` constructors instead of
+/// panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedOp {
+    /// Invoking process of the offending record.
+    pub pid: usize,
+    /// Diagnostic label of the offending record.
+    pub label: &'static str,
+    /// Which history extraction rejected it.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for UnsupportedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "operation \"{}\" (pid {}) is not part of the {} vocabulary",
+            self.label, self.pid, self.expected
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedOp {}
+
+/// A counter history: (weighted) increments plus reads.
 #[derive(Debug, Clone, Default)]
 pub struct CounterHistory {
-    /// Increment windows (completed and pending).
-    pub incs: Vec<Interval>,
+    /// Increment windows (completed and pending) with multiplicities.
+    pub incs: Vec<TimedInc>,
     /// Completed reads (pending reads returned nothing checkable).
     pub reads: Vec<TimedRead>,
 }
 
 impl CounterHistory {
-    /// Extract a counter history from driver records: operations labelled
-    /// `inc_label` are increments, `read_label` are reads. Pending reads
-    /// are dropped; pending increments are kept (their effect is
-    /// optional).
-    pub fn from_records(h: &History, inc_label: &str, read_label: &str) -> Self {
+    /// Extract a counter history from driver records: `Inc` records are
+    /// increments (weighted by their `amount`), `Read` records are
+    /// reads. Pending reads are dropped; pending increments are kept
+    /// (their effect is optional). A `Write` or `Custom` record is
+    /// rejected with [`UnsupportedOp`].
+    pub fn from_records(h: &History) -> Result<Self, UnsupportedOp> {
         let mut out = CounterHistory::default();
         for op in h.ops() {
-            if op.label == inc_label {
-                out.incs.push(Interval {
-                    inv: op.inv,
-                    resp: op.resp,
-                });
-            } else if op.label == read_label {
-                if let Some(resp) = op.resp {
-                    out.reads.push(TimedRead {
+            match op.kind {
+                OpKind::Inc { amount } => out.incs.push(TimedInc {
+                    window: Interval {
                         inv: op.inv,
-                        resp,
-                        value: op.ret,
-                    });
+                        resp: op.resp,
+                    },
+                    amount,
+                }),
+                OpKind::Read { returned } => {
+                    if let Some(resp) = op.resp {
+                        out.reads.push(TimedRead {
+                            inv: op.inv,
+                            resp,
+                            value: returned,
+                        });
+                    }
+                }
+                OpKind::Write { .. } | OpKind::Custom { .. } => {
+                    return Err(UnsupportedOp {
+                        pid: op.pid,
+                        label: op.label(),
+                        expected: "counter",
+                    })
                 }
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Total completed increments — the exact quiescent count.
+    /// Total completed unit increments (weighted by multiplicity) — the
+    /// exact quiescent count.
     pub fn completed_incs(&self) -> u128 {
-        self.incs.iter().filter(|i| i.resp.is_some()).count() as u128
+        self.incs
+            .iter()
+            .filter(|i| i.window.resp.is_some())
+            .map(|i| u128::from(i.amount))
+            .sum()
     }
 }
 
@@ -119,37 +194,58 @@ pub struct MaxRegHistory {
 }
 
 impl MaxRegHistory {
-    /// Extract a max-register history from driver records (`arg` is the
-    /// written value for `write_label` operations).
-    pub fn from_records(h: &History, write_label: &str, read_label: &str) -> Self {
+    /// Extract a max-register history from driver records: `Write`
+    /// records are writes (the value is `u64` by construction — no
+    /// narrowing, no panic), `Read` records are reads. An `Inc` or
+    /// `Custom` record (whose argument may exceed the register's `u64`
+    /// domain) is rejected with [`UnsupportedOp`].
+    pub fn from_records(h: &History) -> Result<Self, UnsupportedOp> {
         let mut out = MaxRegHistory::default();
         for op in h.ops() {
-            if op.label == write_label {
-                out.writes.push(TimedWrite {
+            match op.kind {
+                OpKind::Write { value } => out.writes.push(TimedWrite {
                     window: Interval {
                         inv: op.inv,
                         resp: op.resp,
                     },
-                    value: u64::try_from(op.arg).expect("written value fits u64"),
-                });
-            } else if op.label == read_label {
-                if let Some(resp) = op.resp {
-                    out.reads.push(TimedRead {
-                        inv: op.inv,
-                        resp,
-                        value: op.ret,
-                    });
+                    value,
+                }),
+                OpKind::Read { returned } => {
+                    if let Some(resp) = op.resp {
+                        out.reads.push(TimedRead {
+                            inv: op.inv,
+                            resp,
+                            value: returned,
+                        });
+                    }
+                }
+                OpKind::Inc { .. } | OpKind::Custom { .. } => {
+                    return Err(UnsupportedOp {
+                        pid: op.pid,
+                        label: op.label(),
+                        expected: "max-register",
+                    })
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smr::OpRecord;
+    use smr::{OpRecord, OpSpec};
+
+    fn rec(pid: usize, spec: OpSpec, ret: u128, inv: u64, resp: Option<u64>) -> OpRecord {
+        OpRecord {
+            pid,
+            kind: spec.kind(ret),
+            inv,
+            resp,
+            steps: 1,
+        }
+    }
 
     #[test]
     fn interval_precedence() {
@@ -170,45 +266,52 @@ mod tests {
     #[test]
     fn from_records_partitions_ops() {
         let mut h = History::new();
-        h.push(OpRecord {
-            pid: 0,
-            label: "inc",
-            arg: 0,
-            ret: 0,
-            inv: 0,
-            resp: Some(1),
-            steps: 1,
-        });
-        h.push(OpRecord {
-            pid: 1,
-            label: "read",
-            arg: 0,
-            ret: 7,
-            inv: 2,
-            resp: Some(3),
-            steps: 1,
-        });
-        h.push(OpRecord {
-            pid: 2,
-            label: "read",
-            arg: 0,
-            ret: 9,
-            inv: 4,
-            resp: None,
-            steps: 1,
-        });
-        h.push(OpRecord {
-            pid: 2,
-            label: "inc",
-            arg: 0,
-            ret: 0,
-            inv: 5,
-            resp: None,
-            steps: 1,
-        });
-        let ch = CounterHistory::from_records(&h, "inc", "read");
+        h.push(rec(0, OpSpec::inc(), 0, 0, Some(1)));
+        h.push(rec(1, OpSpec::read(), 7, 2, Some(3)));
+        h.push(rec(2, OpSpec::read(), 9, 4, None));
+        h.push(rec(2, OpSpec::inc_by(3), 0, 5, None));
+        let ch = CounterHistory::from_records(&h).expect("typed counter history");
         assert_eq!(ch.incs.len(), 2);
         assert_eq!(ch.reads.len(), 1, "pending read dropped");
-        assert_eq!(ch.completed_incs(), 1);
+        assert_eq!(ch.completed_incs(), 1, "pending batch not counted");
+    }
+
+    #[test]
+    fn batched_increments_are_weighted() {
+        let mut h = History::new();
+        h.push(rec(0, OpSpec::inc_by(10), 0, 0, Some(1)));
+        h.push(rec(1, OpSpec::inc(), 0, 2, Some(3)));
+        let ch = CounterHistory::from_records(&h).expect("typed counter history");
+        assert_eq!(ch.incs.len(), 2, "two records");
+        assert_eq!(ch.completed_incs(), 11, "eleven unit increments");
+    }
+
+    #[test]
+    fn counter_history_rejects_foreign_ops_gracefully() {
+        let mut h = History::new();
+        h.push(rec(0, OpSpec::inc(), 0, 0, Some(1)));
+        h.push(rec(3, OpSpec::custom("cas", 9), 1, 2, Some(3)));
+        let err = CounterHistory::from_records(&h).expect_err("custom op rejected");
+        assert_eq!(err.pid, 3);
+        assert_eq!(err.label, "cas");
+        assert!(err.to_string().contains("counter"));
+    }
+
+    #[test]
+    fn maxreg_history_accepts_writes_rejects_custom() {
+        let mut h = History::new();
+        h.push(rec(0, OpSpec::write(5), 0, 0, Some(1)));
+        h.push(rec(1, OpSpec::read(), 5, 2, Some(3)));
+        let mh = MaxRegHistory::from_records(&h).expect("typed maxreg history");
+        assert_eq!(mh.writes.len(), 1);
+        assert_eq!(mh.reads.len(), 1);
+
+        // Regression: an oversized argument can only enter through the
+        // Custom escape hatch now, and it is rejected gracefully — the
+        // old `u64::try_from(arg).expect(...)` panic path is gone.
+        h.push(rec(2, OpSpec::custom("write", u128::MAX), 0, 4, Some(5)));
+        let err = MaxRegHistory::from_records(&h).expect_err("oversized custom op rejected");
+        assert_eq!(err.pid, 2);
+        assert!(err.to_string().contains("max-register"));
     }
 }

@@ -8,23 +8,34 @@
 //!   any `x` with `v/k ≤ x ≤ v·k` for the exact value `v` at its
 //!   linearization point (`k = 1` recovers the exact specs).
 //!
-//! Two engines:
+//! Three engines:
 //!
-//! * [`monotone`] — an `O(h log h)` decision procedure exploiting
+//! * [`monotone`] — the production decision procedure exploiting
 //!   monotonicity: each read constrains the object value over its
 //!   real-time window to an interval; a greedy minimal assignment that
 //!   respects real-time read ordering exists iff the history is
-//!   linearizable. This is the engine used by the stress tests.
+//!   linearizable. The counter checker evaluates the cross-read
+//!   constraints with a timestamp sweep over a monotone stack in
+//!   `O(R log R + I log I)`; this is the engine used by the stress tests
+//!   and sized for million-op histories.
+//! * [`naive`] — the retired quadratic transcriptions of the same
+//!   predicates, retained as cross-validation references.
 //! * [`wg`] — an exhaustive Wing&ndash;Gong search (with memoization),
 //!   exponential but spec-agnostic; used on small randomized histories to
-//!   cross-validate the monotone engine (see this crate's tests).
+//!   cross-validate the polynomial engines (see this crate's tests).
 //!
-//! Histories come from [`smr::History`] records via
-//! [`CounterHistory::from_records`] / [`MaxRegHistory::from_records`], or
-//! can be built by hand.
+//! Histories come from the **typed** [`smr::History`] event log via
+//! [`CounterHistory::from_records`] / [`MaxRegHistory::from_records`]
+//! (pattern-matching on [`smr::OpKind`] — no label strings, and records
+//! outside the object vocabulary are rejected with [`UnsupportedOp`],
+//! not a panic), or can be built by hand.
 
 mod history;
 pub mod monotone;
+pub mod naive;
 pub mod wg;
 
-pub use history::{CounterHistory, Interval, MaxRegHistory, TimedRead, TimedWrite, Violation};
+pub use history::{
+    CounterHistory, Interval, MaxRegHistory, TimedInc, TimedRead, TimedWrite, UnsupportedOp,
+    Violation,
+};

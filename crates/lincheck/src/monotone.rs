@@ -3,29 +3,60 @@
 //!
 //! ## Counter
 //!
-//! A history of unit increments and reads returning `x_r` is linearizable
-//! w.r.t. the k-multiplicative counter spec iff each read `r` can be
-//! assigned an exact count `v_r` such that
+//! A history of (weighted) increments and reads returning `x_r` is
+//! linearizable w.r.t. the k-multiplicative counter spec iff each read
+//! `r` can be assigned an exact count `v_r` such that
 //!
 //! 1. `⌈x_r/k⌉ ≤ v_r ≤ x_r·k` (spec admissibility);
-//! 2. `A_r ≤ v_r ≤ B_r`, where `A_r` counts increments *completed
+//! 2. `A_r ≤ v_r ≤ B_r`, where `A_r` sums increments *completed
 //!    strictly before* `r` was invoked (they are forced before `r`) and
-//!    `B_r` counts increments invoked at or before `r`'s response (only
+//!    `B_r` sums increments invoked at or before `r`'s response (only
 //!    these can precede `r` — `i` may precede `r` iff `r` does not
 //!    strictly precede `i`, i.e. `i.inv ≤ r.resp`);
 //! 3. for every pair of reads with `r.resp < s.inv`:
-//!    `v_s ≥ v_r + D(r, s)`, where `D(r, s)` counts increments whose whole
+//!    `v_s ≥ v_r + D(r, s)`, where `D(r, s)` sums increments whose whole
 //!    window lies between `r`'s response and `s`'s invocation — everything
 //!    `r` counted precedes `s` too, and the `D` increments are forced in
 //!    between.
+//!
+//! An increment record of multiplicity `m` counts as `m` everywhere — it
+//! is exactly `m` unit increments sharing one window (a pending batch
+//! may have landed any prefix of them).
 //!
 //! Necessity of 1–3 is immediate; sufficiency is the standard
 //! interval-order construction (place reads in `v_r`-order refined by
 //! real time, then slot increments). The greedy longest-path assignment
 //! `v_r = max(lo_r, max_{r'≺r}(v_{r'} + D(r', r)))` is minimal, so it
-//! succeeds iff some assignment does. This engine is additionally
-//! cross-validated against the exhaustive [`wg`](crate::wg) checker on
-//! thousands of randomized histories (see `tests/`).
+//! succeeds iff some assignment does.
+//!
+//! ### The sweep
+//!
+//! Constraint 3 is the hot loop. Evaluating it pairwise is `O(R²)`
+//! ([`naive`](crate::naive) keeps that transcription as the
+//! cross-validation reference); this engine instead sweeps all events in
+//! timestamp order and maintains, in a monotone stack, the running
+//! quantity
+//!
+//! ```text
+//! M(t) = max over reads p with p.resp < t of  ( v_p + D(p, t) )
+//! ```
+//!
+//! so a read invoked at `t` needs just `v_r ≥ max(lo_r, M(t))`. Three
+//! event types drive the sweep: a read *query* at `r.inv` (assign
+//! `v_r`), a read *insert* at `r.resp` (add the term `v_r`, with
+//! `D(r, t) = 0` at that instant), and an increment *arrival* at
+//! `i.resp` (add its amount to the term of every read with
+//! `p.resp < i.inv` — exactly the reads whose `D` the increment enters).
+//! Terms only grow, prefixes (in `resp` order) grow fastest, so the set
+//! of reads that can ever realize the maximum is a stack of strictly
+//! increasing terms; each read enters and leaves it at most once.
+//!
+//! **Complexity: `O(R log R + I log I)`** for `R` reads and `I`
+//! increment records — each event costs one `O(log)` ordered-map
+//! operation plus amortized-constant stack pops, and the only other
+//! work is sorting. (The previous pairwise engine was `O(R² log I)`.)
+//! Cross-validated against [`naive`](crate::naive) and the exhaustive
+//! [`wg`](crate::wg) checker on randomized histories (see `tests/`).
 //!
 //! ## Max register
 //!
@@ -48,11 +79,8 @@
 //! and the greedy picks the smallest admissible `ev(w)`. All quantities
 //! depend only on strictly earlier timestamps, so a single event-ordered
 //! sweep (write invocations before read responses at equal times)
-//! computes everything; the greedy-minimal assignment succeeds iff some
-//! assignment does.
-//!
-//! Complexity: `O(R² log I + I log I)` for `R` reads and `I` updates —
-//! comfortably fast for the stress-test histories this crate checks.
+//! computes everything: `O((R + W) log (R + W))` for `R` reads and `W`
+//! writes.
 
 use crate::history::{CounterHistory, MaxRegHistory, Violation};
 
@@ -71,73 +99,199 @@ pub fn check_counter_additive(h: &CounterHistory, k: u64) -> Result<(), Violatio
     check_counter_with(h, move |x| (x.saturating_sub(kk), x.saturating_add(kk)))
 }
 
+/// The sweep's three event types. Tie-breaking at equal timestamps:
+/// queries first (a read's constraints come from *strictly* earlier
+/// responses), then inserts and increment arrivals (their relative order
+/// is immaterial — an increment's `inv` is strictly below its `resp`, so
+/// it never targets a read inserted at the same instant).
+#[derive(Clone, Copy)]
+enum Event {
+    /// Assign `v_r` for read `j` (at `r.inv`).
+    Query(usize),
+    /// Add read `j`'s term to the stack (at `r.resp`).
+    Insert(usize),
+    /// Completed increment `i` arrives (at `i.resp`).
+    IncArrival(usize),
+}
+
 /// Check a counter history against an arbitrary relaxed read
 /// specification: `window(x)` maps a returned value to the inclusive
 /// interval of exact counts that may have produced it.
+///
+/// Complexity `O(R log R + I log I)` — see the [module docs](self).
+///
+/// # Panics
+/// If a hand-built read has `inv ≥ resp` — a malformed window
+/// ([`Interval::done`](crate::Interval::done) enforces the same
+/// invariant, and driver-recorded histories satisfy it by
+/// construction).
 pub fn check_counter_with<W>(h: &CounterHistory, window: W) -> Result<(), Violation>
 where
     W: Fn(u128) -> (u128, u128),
 {
-    // Completed increments, by response; all increments, by invocation.
-    let mut resp_times: Vec<u64> = h.incs.iter().filter_map(|i| i.resp).collect();
-    resp_times.sort_unstable();
-    let mut inv_times: Vec<u64> = h.incs.iter().map(|i| i.inv).collect();
-    inv_times.sort_unstable();
-
-    // Completed increments as (resp, inv), sorted by resp — streamed into
-    // the Fenwick tree (indexed by inv rank) as the sweep passes their
-    // response times.
-    let mut completed: Vec<(u64, u64)> = h
+    // Weighted timestamp tables for the per-read window bounds.
+    // A_r = sum over completed increments with resp < r.inv;
+    // B_r = sum over all increments with inv ≤ r.resp.
+    let mut by_resp: Vec<(u64, u64)> = h
         .incs
         .iter()
-        .filter_map(|i| i.resp.map(|r| (r, i.inv)))
+        .filter_map(|i| i.window.resp.map(|r| (r, i.amount)))
         .collect();
-    completed.sort_unstable();
-    let inv_rank = |t: u64| -> usize { partition_point_leq(&inv_times, t) };
+    by_resp.sort_unstable();
+    let resp_prefix = prefix_sums(&by_resp);
+    let mut by_inv: Vec<(u64, u64)> = h.incs.iter().map(|i| (i.window.inv, i.amount)).collect();
+    by_inv.sort_unstable();
+    let inv_prefix = prefix_sums(&by_inv);
 
-    let mut reads: Vec<(usize, &crate::history::TimedRead)> = h.reads.iter().enumerate().collect();
-    reads.sort_by_key(|(_, r)| r.inv);
+    // Completed increments as (inv, amount), indexed by the arrival
+    // events (which fire at the increment's resp).
+    let arrivals: Vec<(u64, u64)> = h
+        .incs
+        .iter()
+        .filter(|i| i.window.resp.is_some())
+        .map(|i| (i.window.inv, i.amount))
+        .collect();
 
-    let mut fen = Fenwick::new(inv_times.len());
-    let mut stream = 0usize;
-    // Assigned counts, in `reads` (inv-sorted) order.
-    let mut assigned: Vec<u128> = Vec::with_capacity(reads.len());
-
-    for (pos, (idx, r)) in reads.iter().enumerate() {
-        // Stream increments with resp < r.inv into the Fenwick tree.
-        while stream < completed.len() && completed[stream].0 < r.inv {
-            fen.add(inv_rank(completed[stream].1) - 1, 1);
-            stream += 1;
-        }
-        let a = count_lt(&resp_times, r.inv) as u128;
-        let b = count_leq(&inv_times, r.resp) as u128;
-        let (spec_lo, spec_hi) = window(r.value);
-        let mut lo = spec_lo.max(a);
-        let hi = spec_hi.min(b);
-
-        // Pairwise constraints from every read that precedes r.
-        for (ppos, (_, p)) in reads.iter().enumerate().take(pos) {
-            if p.resp < r.inv {
-                // D = completed increments with inv > p.resp and resp < r.inv.
-                // The tree currently holds exactly those with resp < r.inv.
-                let d = fen.count_suffix(inv_rank(p.resp)) as u128;
-                lo = lo.max(assigned[ppos] + d);
+    let mut events: Vec<(u64, u8, Event)> = Vec::with_capacity(2 * h.reads.len() + arrivals.len());
+    for (j, r) in h.reads.iter().enumerate() {
+        assert!(r.inv < r.resp, "read window must satisfy inv < resp");
+        events.push((r.inv, 0, Event::Query(j)));
+        events.push((r.resp, 1, Event::Insert(j)));
+    }
+    {
+        let mut idx = 0;
+        for i in &h.incs {
+            if let Some(resp) = i.window.resp {
+                events.push((resp, 1, Event::IncArrival(idx)));
+                idx += 1;
             }
         }
+    }
+    events.sort_by_key(|&(t, tie, _)| (t, tie));
 
-        if lo > hi {
-            return Err(Violation {
-                message: format!(
-                    "read #{idx} (window [{}, {}]) returned {} but the exact \
-                     count is confined to an empty window: need ≥ {lo}, ≤ {hi} \
-                     (forced-before A = {a}, possible-before B = {b})",
-                    r.inv, r.resp, r.value
-                ),
-            });
+    let mut assigned: Vec<u128> = vec![0; h.reads.len()];
+    let mut stack = MonotoneStack::new();
+
+    for &(_, _, ev) in &events {
+        match ev {
+            Event::Query(j) => {
+                let r = &h.reads[j];
+                let a = weighted_lt(&by_resp, &resp_prefix, r.inv);
+                let b = weighted_leq(&by_inv, &inv_prefix, r.resp);
+                let (spec_lo, spec_hi) = window(r.value);
+                let mut lo = spec_lo.max(a);
+                if let Some(m) = stack.max() {
+                    lo = lo.max(m);
+                }
+                let hi = spec_hi.min(b);
+                if lo > hi {
+                    return Err(Violation {
+                        message: format!(
+                            "read #{j} (window [{}, {}]) returned {} but the exact \
+                             count is confined to an empty window: need ≥ {lo}, ≤ {hi} \
+                             (forced-before A = {a}, possible-before B = {b})",
+                            r.inv, r.resp, r.value
+                        ),
+                    });
+                }
+                assigned[j] = lo;
+            }
+            Event::Insert(j) => {
+                stack.insert(h.reads[j].resp, assigned[j]);
+            }
+            Event::IncArrival(i) => {
+                let (inv, amount) = arrivals[i];
+                stack.raise_before(inv, u128::from(amount));
+            }
         }
-        assigned.push(lo);
     }
     Ok(())
+}
+
+/// The monotone stack behind the counter sweep: entries `(resp, term)`
+/// inserted in nondecreasing `resp` order, supporting
+///
+/// * `raise_before(t, w)` — add `w` to the term of every entry with
+///   `resp < t` (a *prefix* of the stack);
+/// * `max()` — the largest current term;
+/// * `insert(resp, term)` — add an entry at the top.
+///
+/// Invariant: terms strictly increase from bottom (oldest `resp`) to
+/// top. An entry whose term is overtaken by an earlier entry is
+/// *dominated forever* — every future `raise_before` that reaches it
+/// also reaches the earlier entry — so it is popped. Terms are stored as
+/// successive differences in an ordered map keyed by `resp`: a prefix
+/// raise is `+w` on the first difference and a deficit walk from the
+/// boundary that pops entries whose difference it exhausts. Each entry
+/// is inserted and popped at most once, so all operations are `O(log R)`
+/// amortized.
+struct MonotoneStack {
+    /// `resp → diff`; the term of an entry is the sum of all diffs up to
+    /// and including its own. All diffs are strictly positive.
+    diffs: std::collections::BTreeMap<u64, u128>,
+    /// Sum of all diffs = term of the top entry = current maximum.
+    total: u128,
+}
+
+impl MonotoneStack {
+    fn new() -> Self {
+        MonotoneStack {
+            diffs: std::collections::BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Largest current term, if any entry is live.
+    fn max(&self) -> Option<u128> {
+        (!self.diffs.is_empty()).then_some(self.total)
+    }
+
+    /// Push `(resp, term)`. Requires `resp` ≥ every present key (inserts
+    /// arrive in response order). A term not exceeding the current
+    /// maximum is dominated on arrival and discarded.
+    fn insert(&mut self, resp: u64, term: u128) {
+        if !self.diffs.is_empty() && term <= self.total {
+            return;
+        }
+        // An existing entry at the same `resp` (necessarily the top) has
+        // identical future exposure and a smaller term: replace it,
+        // folding its diff into the newcomer's.
+        let folded = self.diffs.remove(&resp).unwrap_or(0);
+        self.diffs.insert(resp, term - self.total + folded);
+        self.total = term;
+    }
+
+    /// Add `w` to the term of every entry with `resp < t`, popping
+    /// entries this dominates.
+    fn raise_before(&mut self, t: u64, w: u128) {
+        match self.diffs.first_entry() {
+            Some(first) if *first.key() < t => {
+                *first.into_mut() += w;
+                self.total += w;
+            }
+            _ => return, // no entry precedes t
+        }
+        // Restore the terms of entries at or beyond the boundary by
+        // walking the deficit through their diffs; an exhausted diff
+        // means the entry's term sank to its predecessor's — dominated.
+        let mut deficit = w;
+        let mut dead: Vec<u64> = Vec::new();
+        for (&resp, diff) in self.diffs.range_mut(t..) {
+            let d = deficit.min(*diff);
+            *diff -= d;
+            deficit -= d;
+            self.total -= d;
+            if *diff == 0 {
+                dead.push(resp);
+            }
+            if deficit == 0 {
+                break;
+            }
+        }
+        for resp in dead {
+            self.diffs.remove(&resp);
+        }
+    }
 }
 
 /// Check a max-register history against the k-multiplicative-accurate max
@@ -253,14 +407,38 @@ pub fn check_maxreg(h: &MaxRegHistory, k: u64) -> Result<(), Violation> {
     Ok(())
 }
 
-/// Elements of a sorted slice strictly less than `t`.
-fn count_lt(sorted: &[u64], t: u64) -> usize {
-    sorted.partition_point(|&x| x < t)
+/// Prefix sums of the weights of a time-sorted `(time, weight)` slice.
+/// With [`weighted_lt`]/[`weighted_leq`], the weighted-count primitive
+/// shared by both checker engines and by history generators that must
+/// agree with their boundary semantics (e.g. `exp_checker`).
+pub fn prefix_sums(sorted: &[(u64, u64)]) -> Vec<u128> {
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut run: u128 = 0;
+    for &(_, w) in sorted {
+        run += u128::from(w);
+        out.push(run);
+    }
+    out
 }
 
-/// Elements of a sorted slice less than or equal to `t`.
-fn count_leq(sorted: &[u64], t: u64) -> usize {
-    sorted.partition_point(|&x| x <= t)
+/// Total weight of entries with time strictly less than `t`.
+pub fn weighted_lt(sorted: &[(u64, u64)], prefix: &[u128], t: u64) -> u128 {
+    let cnt = sorted.partition_point(|&(x, _)| x < t);
+    if cnt == 0 {
+        0
+    } else {
+        prefix[cnt - 1]
+    }
+}
+
+/// Total weight of entries with time less than or equal to `t`.
+pub fn weighted_leq(sorted: &[(u64, u64)], prefix: &[u128], t: u64) -> u128 {
+    let cnt = sorted.partition_point(|&(x, _)| x <= t);
+    if cnt == 0 {
+        0
+    } else {
+        prefix[cnt - 1]
+    }
 }
 
 /// Elements of a key-sorted slice with key strictly less than `t`.
@@ -268,58 +446,13 @@ fn count_lt_key(sorted: &[(u64, u64)], t: u64) -> usize {
     sorted.partition_point(|&(x, _)| x < t)
 }
 
-/// Elements of a sorted slice less than or equal to `t`.
-fn partition_point_leq(sorted: &[u64], t: u64) -> usize {
-    sorted.partition_point(|&x| x <= t)
-}
-
-/// A Fenwick (binary indexed) tree over `len` slots, counting points.
-struct Fenwick {
-    tree: Vec<u64>,
-    total: u64,
-}
-
-impl Fenwick {
-    fn new(len: usize) -> Self {
-        Fenwick {
-            tree: vec![0; len + 1],
-            total: 0,
-        }
-    }
-
-    fn add(&mut self, i: usize, delta: u64) {
-        let mut i = i + 1;
-        while i < self.tree.len() {
-            self.tree[i] += delta;
-            i += i & i.wrapping_neg();
-        }
-        self.total += delta;
-    }
-
-    /// Sum of slots `0..=i-1` (prefix of length `i`).
-    fn prefix(&self, i: usize) -> u64 {
-        let mut i = i.min(self.tree.len() - 1);
-        let mut s = 0;
-        while i > 0 {
-            s += self.tree[i];
-            i -= i & i.wrapping_neg();
-        }
-        s
-    }
-
-    /// Points in slots `from..` (suffix).
-    fn count_suffix(&self, from: usize) -> u64 {
-        self.total - self.prefix(from)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::{Interval, TimedRead, TimedWrite};
+    use crate::history::{Interval, TimedInc, TimedRead, TimedWrite};
 
-    fn inc(inv: u64, resp: u64) -> Interval {
-        Interval::done(inv, resp)
+    fn inc(inv: u64, resp: u64) -> TimedInc {
+        TimedInc::unit(Interval::done(inv, resp))
     }
 
     fn read(inv: u64, resp: u64, value: u128) -> TimedRead {
@@ -417,6 +550,59 @@ mod tests {
     }
 
     #[test]
+    fn chained_reads_accumulate_through_the_stack() {
+        // Three sequenced reads, an in-between increment after each:
+        // every read forces the next one unit higher. Exercises repeated
+        // raise_before + insert interleavings.
+        let h = CounterHistory {
+            incs: vec![inc(0, 100), inc(3, 4), inc(7, 8)],
+            reads: vec![read(1, 2, 1), read(5, 6, 2), read(9, 10, 3)],
+        };
+        assert!(check_counter(&h, 1).is_ok());
+        let h = CounterHistory {
+            incs: vec![inc(0, 100), inc(3, 4), inc(7, 8)],
+            reads: vec![read(1, 2, 1), read(5, 6, 2), read(9, 10, 2)],
+        };
+        assert!(check_counter(&h, 1).is_err(), "third read must reach 3");
+    }
+
+    #[test]
+    fn batched_increment_counts_with_multiplicity() {
+        // One completed batch of 5: a later read must return 5 exactly.
+        let h = CounterHistory {
+            incs: vec![TimedInc::batch(Interval::done(0, 1), 5)],
+            reads: vec![read(2, 3, 5)],
+        };
+        assert!(check_counter(&h, 1).is_ok());
+        let h = CounterHistory {
+            incs: vec![TimedInc::batch(Interval::done(0, 1), 5)],
+            reads: vec![read(2, 3, 1)],
+        };
+        assert!(
+            check_counter(&h, 1).is_err(),
+            "a completed batch forces all 5 units"
+        );
+    }
+
+    #[test]
+    fn pending_batch_allows_any_prefix() {
+        // A pending batch of 4 concurrent with the read: any value in
+        // 0..=4 is a legal prefix; 5 is not.
+        for ret in 0u128..=4 {
+            let h = CounterHistory {
+                incs: vec![TimedInc::batch(Interval::pending(0), 4)],
+                reads: vec![read(1, 2, ret)],
+            };
+            assert!(check_counter(&h, 1).is_ok(), "ret {ret}");
+        }
+        let h = CounterHistory {
+            incs: vec![TimedInc::batch(Interval::pending(0), 4)],
+            reads: vec![read(1, 2, 5)],
+        };
+        assert!(check_counter(&h, 1).is_err());
+    }
+
+    #[test]
     fn additive_spec_accepts_and_rejects() {
         let h = CounterHistory {
             incs: vec![inc(0, 1), inc(2, 3), inc(4, 5)],
@@ -448,11 +634,34 @@ mod tests {
     fn pending_increment_is_optional() {
         for ret in [0u128, 1] {
             let h = CounterHistory {
-                incs: vec![Interval::pending(0)],
+                incs: vec![TimedInc::unit(Interval::pending(0))],
                 reads: vec![read(1, 2, ret)],
             };
             assert!(check_counter(&h, 1).is_ok(), "ret {ret}");
         }
+    }
+
+    #[test]
+    fn monotone_stack_prefix_raises_and_domination() {
+        let mut s = MonotoneStack::new();
+        assert_eq!(s.max(), None);
+        s.insert(2, 5);
+        s.insert(4, 7);
+        s.insert(6, 20);
+        assert_eq!(s.max(), Some(20));
+        // Raise entries with resp < 3 by 4: terms 9, 7→dominated, 20.
+        s.raise_before(3, 4);
+        assert_eq!(s.max(), Some(20));
+        assert_eq!(s.diffs.len(), 2, "middle entry popped");
+        // Raise entries with resp < 7 by 100: both remaining entries.
+        s.raise_before(7, 100);
+        assert_eq!(s.max(), Some(120));
+        // Dominated-on-arrival insert is discarded.
+        s.insert(9, 3);
+        assert_eq!(s.diffs.len(), 2);
+        // Raise with boundary before everything: no-op.
+        s.raise_before(1, 50);
+        assert_eq!(s.max(), Some(120));
     }
 
     fn write(inv: u64, resp: u64, value: u64) -> TimedWrite {
@@ -514,19 +723,5 @@ mod tests {
             reads: vec![read(2, 3, 0)],
         };
         assert!(check_maxreg(&h, 3).is_err(), "x = 0 forces v = 0");
-    }
-
-    #[test]
-    fn fenwick_counts() {
-        let mut f = Fenwick::new(8);
-        f.add(0, 1);
-        f.add(3, 2);
-        f.add(7, 1);
-        assert_eq!(f.prefix(0), 0);
-        assert_eq!(f.prefix(1), 1);
-        assert_eq!(f.prefix(4), 3);
-        assert_eq!(f.prefix(8), 4);
-        assert_eq!(f.count_suffix(4), 1);
-        assert_eq!(f.count_suffix(0), 4);
     }
 }

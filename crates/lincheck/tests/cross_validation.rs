@@ -1,14 +1,23 @@
-//! Cross-validation of the polynomial monotone checker against the
-//! exhaustive Wing–Gong checker on randomized small histories.
+//! Cross-validation of the polynomial checkers against independent
+//! engines on randomized histories.
 //!
-//! The monotone engine's pairwise-interval argument is subtle (see the
-//! `monotone` module docs); this test is the empirical proof obligation:
-//! on thousands of random histories — dense with both linearizable and
-//! non-linearizable cases — the two engines must agree exactly.
+//! Two layers of evidence:
+//!
+//! * **vs Wing–Gong** — the sweep engines must agree exactly with the
+//!   exhaustive checker on thousands of small random histories, dense
+//!   with both linearizable and non-linearizable cases (batched
+//!   increments are expanded into unit `Inc` events for the exhaustive
+//!   side).
+//! * **vs the `naive` references** (property tests) — on larger random
+//!   histories, beyond what Wing–Gong can explore, the `O(R log R)`
+//!   sweep counter checker and the sweep max-register checker must
+//!   agree with the retained quadratic transcriptions, including
+//!   pending operations and multi-unit increment batches.
 
-use lincheck::monotone::{check_counter, check_maxreg};
+use lincheck::monotone::{check_counter, check_counter_additive, check_maxreg};
 use lincheck::wg::{wg_check, WgEvent, WgOp};
-use lincheck::{CounterHistory, Interval, MaxRegHistory, TimedRead, TimedWrite};
+use lincheck::{naive, CounterHistory, Interval, MaxRegHistory, TimedInc, TimedRead, TimedWrite};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -39,21 +48,30 @@ fn counter_engines_agree_on_random_histories() {
         for _ in 0..n_incs {
             let (inv, resp) = random_window(&mut rng, horizon);
             let pending = rng.random_range(0..8) == 0;
-            incs.push(if pending {
-                Interval::pending(inv)
-            } else {
-                Interval::done(inv, resp)
+            let amount = 1 + rng.random_range(0..2); // occasional batch of 2
+            incs.push(TimedInc {
+                window: if pending {
+                    Interval::pending(inv)
+                } else {
+                    Interval::done(inv, resp)
+                },
+                amount,
             });
-            events.push(WgEvent {
-                op: WgOp::Inc,
-                inv,
-                resp: (!pending).then_some(resp),
-            });
+            // The exhaustive checker sees a batch as `amount` unit
+            // increments sharing the window — the semantics of the
+            // multiplicity field.
+            for _ in 0..amount {
+                events.push(WgEvent {
+                    op: WgOp::Inc,
+                    inv,
+                    resp: (!pending).then_some(resp),
+                });
+            }
         }
         let mut reads = Vec::new();
         for _ in 0..n_reads {
             let (inv, resp) = random_window(&mut rng, horizon);
-            let value = u128::from(rng.random_range(0..(n_incs as u64 * 2 + 3)));
+            let value = u128::from(rng.random_range(0..(n_incs as u64 * 4 + 3)));
             reads.push(TimedRead { inv, resp, value });
             events.push(WgEvent {
                 op: WgOp::CounterRead(value),
@@ -162,4 +180,116 @@ fn maxreg_engines_agree_on_random_histories() {
         rejected > 200,
         "only {rejected} rejected — generator too lax"
     );
+}
+
+/// Strategy pieces: `(inv, duration, payload, pending-die)` tuples over
+/// a small horizon so windows overlap heavily. A `pending-die` of 0
+/// (1 in 6) makes the operation pending.
+type OpTuple = (u64, u64, u64, u8);
+
+fn counter_history(incs: &[OpTuple], reads: &[(u64, u64, u64)]) -> CounterHistory {
+    CounterHistory {
+        incs: incs
+            .iter()
+            .map(|&(inv, dur, amount, die)| TimedInc {
+                window: if die == 0 {
+                    Interval::pending(inv)
+                } else {
+                    Interval::done(inv, inv + dur)
+                },
+                amount,
+            })
+            .collect(),
+        reads: reads
+            .iter()
+            .map(|&(inv, dur, value)| TimedRead {
+                inv,
+                resp: inv + dur,
+                value: u128::from(value),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The sweep counter checker agrees with the retained pairwise
+    /// reference on histories an exhaustive search could never cover:
+    /// dozens of overlapping windows, pending increments, and batches.
+    #[test]
+    fn sweep_counter_agrees_with_naive_reference(
+        k in 1u64..4,
+        incs in prop::collection::vec((0u64..40, 1u64..15, 1u64..6, 0u8..6), 0..30),
+        reads in prop::collection::vec((0u64..40, 1u64..15, 0u64..40), 1..30),
+    ) {
+        let h = counter_history(&incs, &reads);
+        let sweep = check_counter(&h, k);
+        let reference = naive::check_counter(&h, k);
+        prop_assert_eq!(
+            sweep.is_ok(),
+            reference.is_ok(),
+            "k={} sweep={:?} naive={:?} history={:?}",
+            k,
+            sweep,
+            reference,
+            h
+        );
+    }
+
+    /// Same agreement for the additive relaxation (different window
+    /// shape, same engine plumbing).
+    #[test]
+    fn sweep_additive_counter_agrees_with_naive_reference(
+        k in 0u64..5,
+        incs in prop::collection::vec((0u64..30, 1u64..12, 1u64..4, 0u8..6), 0..20),
+        reads in prop::collection::vec((0u64..30, 1u64..12, 0u64..25), 1..20),
+    ) {
+        let h = counter_history(&incs, &reads);
+        prop_assert_eq!(
+            check_counter_additive(&h, k).is_ok(),
+            naive::check_counter_additive(&h, k).is_ok(),
+            "k={} history={:?}",
+            k,
+            h
+        );
+    }
+
+    /// The sweep max-register checker agrees with the quadratic
+    /// transcription, pending writes included.
+    #[test]
+    fn sweep_maxreg_agrees_with_naive_reference(
+        k in 1u64..4,
+        writes in prop::collection::vec((0u64..40, 1u64..15, 1u64..20, 0u8..6), 0..30),
+        reads in prop::collection::vec((0u64..40, 1u64..15, 0u64..30), 1..30),
+    ) {
+        let h = MaxRegHistory {
+            writes: writes
+                .iter()
+                .map(|&(inv, dur, value, die)| TimedWrite {
+                    window: if die == 0 {
+                        Interval::pending(inv)
+                    } else {
+                        Interval::done(inv, inv + dur)
+                    },
+                    value,
+                })
+                .collect(),
+            reads: reads
+                .iter()
+                .map(|&(inv, dur, value)| TimedRead {
+                    inv,
+                    resp: inv + dur,
+                    value: u128::from(value),
+                })
+                .collect(),
+        };
+        prop_assert_eq!(
+            check_maxreg(&h, k).is_ok(),
+            naive::check_maxreg(&h, k).is_ok(),
+            "k={} history={:?}",
+            k,
+            h
+        );
+    }
 }

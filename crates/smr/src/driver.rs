@@ -17,7 +17,7 @@
 //! execution — the property the perturbation builder relies on.
 
 use crate::gate::GrantOutcome;
-use crate::history::{History, OpRecord};
+use crate::history::{History, OpRecord, OpSpec};
 use crate::runtime::{Mode, Runtime};
 use crate::sched::Scheduler;
 use crate::ProcCtx;
@@ -28,11 +28,7 @@ use std::thread::JoinHandle;
 type OpFn = Box<dyn FnOnce(&ProcCtx) -> u128 + Send + 'static>;
 
 enum Cmd {
-    Op {
-        label: &'static str,
-        arg: u128,
-        f: OpFn,
-    },
+    Op { spec: OpSpec, f: OpFn },
     Stop,
 }
 
@@ -51,7 +47,7 @@ pub enum StepOutcome {
 /// See the [module docs](self) for the execution modes.
 ///
 /// ```
-/// use smr::{Driver, Register, Runtime};
+/// use smr::{Driver, OpSpec, Register, Runtime};
 /// use smr::sched::RoundRobin;
 /// use std::sync::Arc;
 ///
@@ -60,7 +56,7 @@ pub enum StepOutcome {
 /// let reg = Arc::new(Register::new(0));
 /// for pid in 0..2 {
 ///     let reg = Arc::clone(&reg);
-///     driver.submit(pid, "rmw", 0, move |ctx| {
+///     driver.submit(pid, OpSpec::custom("rmw", 0), move |ctx| {
 ///         let v = reg.read(ctx);
 ///         reg.write(ctx, v + 1);
 ///         u128::from(v)
@@ -80,7 +76,10 @@ pub struct Driver {
     crashed: Vec<bool>,
     /// Invocation records of ops that have started but not yet completed
     /// (at most one per worker). Surfaced as pending history records when
-    /// the process crashes mid-operation.
+    /// the process crashes mid-operation, and by [`history_snapshot`] for
+    /// processes that are merely suspended.
+    ///
+    /// [`history_snapshot`]: Driver::history_snapshot
     in_flight: Vec<Option<OpRecord>>,
     history: History,
 }
@@ -122,18 +121,20 @@ impl Driver {
         &self.runtime
     }
 
-    /// Queue an operation for process `pid`. In gated mode it will not
-    /// take effect until scheduled; in free-running mode it starts
-    /// immediately.
-    pub fn submit<F>(&mut self, pid: usize, label: &'static str, arg: u128, f: F)
+    /// Queue an operation for process `pid`. `spec` is the typed
+    /// description of what the closure does ([`OpSpec::inc`],
+    /// [`OpSpec::read`], …); the closure's return value completes the
+    /// recorded [`OpKind`](crate::OpKind). In gated mode the operation
+    /// will not take effect until scheduled; in free-running mode it
+    /// starts immediately.
+    pub fn submit<F>(&mut self, pid: usize, spec: OpSpec, f: F)
     where
         F: FnOnce(&ProcCtx) -> u128 + Send + 'static,
     {
         self.submitted[pid] += 1;
         self.cmd_tx[pid]
             .send(Cmd::Op {
-                label,
-                arg,
+                spec,
                 f: Box::new(f),
             })
             .expect("worker alive");
@@ -284,11 +285,63 @@ impl Driver {
 
     /// The history recorded so far: completed operations, plus pending
     /// records (`resp = None`) for operations suspended by [`crash`].
-    /// Use [`History::completed`] for the completed-only view.
+    /// Use [`History::completed`] for the completed-only view, and
+    /// [`history_snapshot`] for a view that also surfaces the in-flight
+    /// operations of *suspended but uncrashed* processes.
     ///
     /// [`crash`]: Driver::crash
+    /// [`history_snapshot`]: Driver::history_snapshot
     pub fn history(&self) -> &History {
         &self.history
+    }
+
+    /// A live snapshot of the history **including pending records for
+    /// every in-flight operation** — crashed processes (as in
+    /// [`history`]) *and* processes the schedule merely suspended
+    /// mid-operation and may or may not ever run again.
+    ///
+    /// Gated mode: every uncrashed process is first quiesced at a stable
+    /// point (parked at a primitive or idle) via the gate — the same
+    /// synchronization [`crash`] uses — so the snapshot is a
+    /// deterministic cut of the execution, and it is what a
+    /// linearizability checker should consume when the execution has not
+    /// quiesced: a suspended operation's effects are optional, exactly
+    /// like a crashed one's. The suspended operations remain in flight:
+    /// if the schedule later resumes them, the final history records
+    /// their completions as usual.
+    ///
+    /// Free-running mode: workers send no invocation announcements, so
+    /// an operation that is mid-execution has **no** pending record here
+    /// — the snapshot is just the completed history drained so far, and
+    /// it is *not* checker-complete until the execution quiesces
+    /// ([`wait_all`]): a concurrent read may already have observed the
+    /// effects of an operation this snapshot omits. Check free-running
+    /// histories only after `wait_all`.
+    ///
+    /// [`wait_all`]: Driver::wait_all
+    /// [`history`]: Driver::history
+    /// [`crash`]: Driver::crash
+    pub fn history_snapshot(&mut self) -> History {
+        if let Some(gate) = self.runtime.gate.as_ref() {
+            for pid in 0..self.runtime.n() {
+                if !self.crashed[pid] {
+                    gate.quiesce(pid, self.submitted[pid]);
+                }
+            }
+        }
+        self.drain_events();
+        let mut snap = self.history.clone();
+        for pid in 0..self.runtime.n() {
+            if let Some(rec) = &self.in_flight[pid] {
+                let mut rec = rec.clone();
+                // As in `crash`: the announcement's `steps` field carries
+                // the cumulative count at invocation; report the steps
+                // the suspended operation itself has performed so far.
+                rec.steps = self.runtime.steps_of(pid) - rec.steps;
+                snap.push(rec);
+            }
+        }
+        snap
     }
 
     /// Take the recorded history, leaving an empty one.
@@ -316,28 +369,28 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Stop => break,
-            Cmd::Op { label, arg, f } => {
+            Cmd::Op { spec, f } => {
                 if let Some(gate) = &runtime.gate {
                     gate.op_started(pid);
                 }
                 let inv = runtime.ticket();
                 let steps_before = ctx.steps_taken();
                 // Gated mode only: announce the invocation before
-                // executing, so if this process crashes mid-operation
-                // the controller still learns the op started (its
-                // effects are optional for linearization). The
-                // announcement's `steps` field carries the process's
-                // cumulative step count at invocation; `Driver::crash`
-                // rewrites it to the steps the op itself performed
-                // before surfacing the record. Free-running runtimes
-                // cannot crash processes, so the announcement would be
-                // pure channel overhead there.
+                // executing, so if this process crashes or is suspended
+                // mid-operation the controller still learns the op
+                // started (its effects are optional for linearization).
+                // The announcement's kind carries the spec's
+                // invocation-time payload with a zero result, and its
+                // `steps` field the process's cumulative step count at
+                // invocation; `Driver::crash`/`history_snapshot` rewrite
+                // the latter to the steps the op itself performed before
+                // surfacing the record. Free-running runtimes cannot
+                // suspend processes, so the announcement would be pure
+                // channel overhead there.
                 if runtime.gate.is_some() {
                     let _ = tx.send(OpRecord {
                         pid,
-                        label,
-                        arg,
-                        ret: 0,
+                        kind: spec.kind(0),
                         inv,
                         resp: None,
                         steps: steps_before,
@@ -351,9 +404,7 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
                 // always drain the corresponding record.
                 let _ = tx.send(OpRecord {
                     pid,
-                    label,
-                    arg,
-                    ret,
+                    kind: spec.kind(ret),
                     inv,
                     resp: Some(resp),
                     steps,
@@ -369,6 +420,7 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::OpKind;
     use crate::sched::{RoundRobin, Scripted, SeededRandom};
     use crate::{Register, Runtime, TasBit};
 
@@ -379,7 +431,7 @@ mod tests {
         let reg = Arc::new(Register::new(0));
         for pid in 0..4 {
             let reg = reg.clone();
-            d.submit(pid, "write", pid as u128, move |ctx| {
+            d.submit(pid, OpSpec::write(pid as u64), move |ctx| {
                 reg.write(ctx, ctx.pid() as u64 + 1);
                 0
             });
@@ -397,7 +449,7 @@ mod tests {
         let reg = Arc::new(Register::new(0));
         for pid in 0..3 {
             let reg = reg.clone();
-            d.submit(pid, "rmw", 0, move |ctx| {
+            d.submit(pid, OpSpec::custom("rmw", 0), move |ctx| {
                 let v = reg.read(ctx);
                 reg.write(ctx, v + 1);
                 u128::from(v)
@@ -410,7 +462,7 @@ mod tests {
         // all three read 0, final value 1.
         assert_eq!(reg.peek(), 1);
         for rec in d.history().ops() {
-            assert_eq!(rec.ret, 0, "every process read the initial value");
+            assert_eq!(rec.returned(), 0, "every process read the initial value");
         }
     }
 
@@ -421,7 +473,7 @@ mod tests {
         let reg = Arc::new(Register::new(0));
         for pid in 0..3 {
             let reg = reg.clone();
-            d.submit(pid, "rmw", 0, move |ctx| {
+            d.submit(pid, OpSpec::custom("rmw", 0), move |ctx| {
                 let v = reg.read(ctx);
                 reg.write(ctx, v + 1);
                 u128::from(v)
@@ -443,7 +495,7 @@ mod tests {
             for pid in 0..4 {
                 let reg = reg.clone();
                 let tas = tas.clone();
-                d.submit(pid, "mix", 0, move |ctx| {
+                d.submit(pid, OpSpec::custom("mix", 0), move |ctx| {
                     let won = !tas.test_and_set(ctx);
                     let v = reg.read(ctx);
                     reg.write(ctx, v * 2 + ctx.pid() as u64);
@@ -454,7 +506,7 @@ mod tests {
             d.run_schedule(&mut sched);
             let mut h = d.take_history().sorted_by_invocation();
             h.sort_by_key(|r| r.pid);
-            h.iter().map(|r| r.ret).collect()
+            h.iter().map(|r| r.returned()).collect()
         };
         assert_eq!(run(7), run(7), "same seed, same results");
     }
@@ -463,9 +515,9 @@ mod tests {
     fn zero_step_operations_complete() {
         let rt = Runtime::gated(2);
         let mut d = Driver::new(rt);
-        d.submit(0, "noop", 0, |_ctx| 42);
+        d.submit(0, OpSpec::custom("noop", 0), |_ctx| 42);
         assert_eq!(d.run_solo(0), 0);
-        assert_eq!(d.history().ops()[0].ret, 42);
+        assert_eq!(d.history().ops()[0].returned(), 42);
     }
 
     #[test]
@@ -477,7 +529,7 @@ mod tests {
         for _ in 0..50 {
             let rt = Runtime::gated(2);
             let mut d = Driver::new(rt);
-            d.submit(0, "noop", 0, |_ctx| 42);
+            d.submit(0, OpSpec::custom("noop", 0), |_ctx| 42);
             d.crash(0);
             assert_eq!(d.completed_of(0), 1, "zero-primitive op completes");
             assert_eq!(d.history().len(), 1, "exactly one record");
@@ -496,7 +548,7 @@ mod tests {
             let reg = Arc::new(Register::new(0));
             {
                 let reg = reg.clone();
-                d.submit(0, "inc", 0, move |ctx| {
+                d.submit(0, OpSpec::inc(), move |ctx| {
                     let v = reg.read(ctx);
                     reg.write(ctx, v + 1);
                     0
@@ -507,7 +559,7 @@ mod tests {
             assert_eq!(d.history().len(), 1, "pending record surfaced");
             let rec = &d.history().ops()[0];
             assert_eq!(rec.resp, None);
-            assert_eq!(rec.label, "inc");
+            assert_eq!(rec.kind, OpKind::Inc { amount: 1 });
             assert_eq!(reg.peek(), 0, "no primitive was granted");
         }
     }
@@ -520,7 +572,7 @@ mod tests {
         let reg = Arc::new(Register::new(0));
         for i in 0..3 {
             let reg = reg.clone();
-            d.submit(0, "w", i, move |ctx| {
+            d.submit(0, OpSpec::custom("w", i), move |ctx| {
                 reg.write(ctx, 1);
                 reg.write(ctx, 2);
                 0
@@ -530,7 +582,15 @@ mod tests {
         d.crash(0);
         assert_eq!(d.history().len(), 1, "only the started op is visible");
         assert_eq!(d.history().ops()[0].resp, None);
-        assert_eq!(d.history().ops()[0].arg, 0, "it is the first op");
+        assert_eq!(
+            d.history().ops()[0].kind,
+            OpKind::Custom {
+                label: "w",
+                arg: 0,
+                ret: 0
+            },
+            "it is the first op"
+        );
         assert_eq!(
             d.history().ops()[0].steps,
             1,
@@ -548,7 +608,7 @@ mod tests {
         let reg = Arc::new(Register::new(10));
         {
             let reg = reg.clone();
-            d.submit(0, "two-steps", 0, move |ctx| {
+            d.submit(0, OpSpec::custom("two-steps", 0), move |ctx| {
                 let a = reg.read(ctx);
                 reg.write(ctx, a + 1);
                 0
@@ -556,7 +616,7 @@ mod tests {
         }
         {
             let reg = reg.clone();
-            d.submit(1, "write", 0, move |ctx| {
+            d.submit(1, OpSpec::write(99), move |ctx| {
                 reg.write(ctx, 99);
                 0
             });
@@ -569,13 +629,78 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_surfaces_suspended_op_and_final_history_completes_it() {
+        // A process suspended mid-operation (never crashed, never
+        // rescheduled so far) is invisible to `history()` but must
+        // appear as a pending record in `history_snapshot()`; once the
+        // schedule resumes it, the final history records the completion
+        // and a fresh snapshot has no pending residue.
+        let rt = Runtime::gated(2);
+        let mut d = Driver::new(rt);
+        let reg = Arc::new(Register::new(0));
+        {
+            let reg = reg.clone();
+            d.submit(0, OpSpec::inc(), move |ctx| {
+                let v = reg.read(ctx);
+                reg.write(ctx, v + 1);
+                0
+            });
+        }
+        d.submit(1, OpSpec::read(), {
+            let reg = reg.clone();
+            move |ctx| u128::from(reg.read(ctx))
+        });
+        assert_eq!(d.step(0), StepOutcome::Stepped); // 0 read, parked at write
+        d.run_solo(1);
+
+        assert_eq!(d.history().len(), 1, "only the completed read");
+        let snap = d.history_snapshot();
+        assert_eq!(snap.len(), 2, "snapshot adds the suspended inc");
+        let pending: Vec<_> = snap.ops().iter().filter(|r| r.resp.is_none()).collect();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].pid, 0);
+        assert_eq!(pending[0].kind, OpKind::Inc { amount: 1 });
+        assert_eq!(pending[0].steps, 1, "one primitive performed so far");
+
+        // Resume the suspended process: the op completes normally.
+        d.run_solo(0);
+        assert_eq!(d.completed_of(0), 1);
+        let snap = d.history_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.ops().iter().all(|r| r.resp.is_some()));
+    }
+
+    #[test]
+    fn snapshot_waits_for_worker_to_reach_a_stable_point() {
+        // Immediately after submit the worker may not have parked yet;
+        // the snapshot must quiesce (same as crash) so the pending
+        // record is surfaced deterministically on every run.
+        for _ in 0..50 {
+            let rt = Runtime::gated(2);
+            let mut d = Driver::new(rt);
+            let reg = Arc::new(Register::new(0));
+            {
+                let reg = reg.clone();
+                d.submit(0, OpSpec::inc(), move |ctx| {
+                    reg.write(ctx, 1);
+                    0
+                });
+            }
+            let snap = d.history_snapshot();
+            assert_eq!(snap.len(), 1, "pending record surfaced");
+            assert_eq!(snap.ops()[0].resp, None);
+            assert_eq!(d.history().len(), 0, "plain history untouched");
+        }
+    }
+
+    #[test]
     fn scripted_schedule_controls_interleaving() {
         let rt = Runtime::gated(2);
         let mut d = Driver::new(rt);
         let reg = Arc::new(Register::new(0));
         for pid in 0..2 {
             let reg = reg.clone();
-            d.submit(pid, "rmw", 0, move |ctx| {
+            d.submit(pid, OpSpec::custom("rmw", 0), move |ctx| {
                 let v = reg.read(ctx);
                 reg.write(ctx, v + 10);
                 u128::from(v)

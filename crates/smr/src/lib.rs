@@ -57,7 +57,7 @@ mod wide;
 
 pub use ctx::ProcCtx;
 pub use driver::{Driver, StepOutcome};
-pub use history::{History, OpRecord};
+pub use history::{History, OpKind, OpRecord, OpSpec};
 pub use primitives::{FaaRegister, Register, TasBit};
 pub use runtime::{Mode, Runtime};
 pub use segarray::SegArray;

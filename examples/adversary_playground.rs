@@ -14,7 +14,7 @@
 
 use approx_objects::{arith, KmultCounter};
 use parking_lot::Mutex;
-use smr::{Driver, Register, Runtime, StepOutcome};
+use smr::{Driver, OpSpec, Register, Runtime, StepOutcome};
 use std::sync::Arc;
 
 fn main() {
@@ -31,7 +31,7 @@ fn lost_update() {
     let reg = Arc::new(Register::new(0));
     for pid in 0..2 {
         let reg = Arc::clone(&reg);
-        d.submit(pid, "rmw", 0, move |ctx| {
+        d.submit(pid, OpSpec::custom("rmw", 0), move |ctx| {
             let v = reg.read(ctx);
             reg.write(ctx, v + 1);
             u128::from(v)
@@ -64,7 +64,7 @@ fn frozen_announcer() {
     // so freeze instead inside a later announcement: TAS + H-write.
     {
         let handles = Arc::clone(&handles);
-        d.submit(0, "incs", 0, move |ctx| {
+        d.submit(0, OpSpec::inc_by(3), move |ctx| {
             let mut h = handles[0].lock();
             for _ in 0..3 {
                 h.increment(ctx); // k = 2: inc #1 sets switch_0, inc #3 announces in interval 1
@@ -90,10 +90,10 @@ fn frozen_announcer() {
     // in flight).
     {
         let handles = Arc::clone(&handles);
-        d.submit(1, "read", 0, move |ctx| handles[1].lock().read(ctx));
+        d.submit(1, OpSpec::read(), move |ctx| handles[1].lock().read(ctx));
     }
     d.run_solo(1);
-    let read_val = d.history().ops().last().expect("read recorded").ret;
+    let read_val = d.history().ops().last().expect("read recorded").returned();
     let (p, q) = (1, 0); // reader saw switch_1 as the last set switch
     println!(
         "   process 1 read {} = ReturnValue(p={p}, q={q}); envelope [u_min, u_max] = [{}, {}]",

@@ -13,7 +13,7 @@ use counter::{CollectCounter, Counter};
 use parking_lot::Mutex;
 use perturb::awareness;
 use smr::sched::{RoundRobin, SeededRandom};
-use smr::{Driver, Runtime};
+use smr::{Driver, OpSpec, Runtime};
 use std::sync::Arc;
 
 fn run_one_inc_one_read_collect(n: usize, seed: Option<u64>) -> awareness::AwarenessReport {
@@ -23,12 +23,12 @@ fn run_one_inc_one_read_collect(n: usize, seed: Option<u64>) -> awareness::Aware
     let mut d = Driver::new(rt.clone());
     for pid in 0..n {
         let c = Arc::clone(&counter);
-        d.submit(pid, "inc", 0, move |ctx| {
+        d.submit(pid, OpSpec::inc(), move |ctx| {
             c.increment(ctx);
             0
         });
         let c = Arc::clone(&counter);
-        d.submit(pid, "read", 0, move |ctx| c.read(ctx));
+        d.submit(pid, OpSpec::read(), move |ctx| c.read(ctx));
     }
     match seed {
         None => {
@@ -72,12 +72,14 @@ fn corollary_holds_for_kmult_counter_at_legal_k() {
     let mut d = Driver::new(rt.clone());
     for pid in 0..n {
         let handles2 = Arc::clone(&handles);
-        d.submit(pid, "inc", 0, move |ctx| {
+        d.submit(pid, OpSpec::inc(), move |ctx| {
             handles2[pid].lock().increment(ctx);
             0
         });
         let handles2 = Arc::clone(&handles);
-        d.submit(pid, "read", 0, move |ctx| handles2[pid].lock().read(ctx));
+        d.submit(pid, OpSpec::read(), move |ctx| {
+            handles2[pid].lock().read(ctx)
+        });
     }
     d.run_schedule(&mut RoundRobin::new());
     rt.disable_tracing();

@@ -15,7 +15,7 @@ use lincheck::monotone::check_counter;
 use lincheck::CounterHistory;
 use parking_lot::Mutex;
 use smr::sched::SeededRandom;
-use smr::{Driver, Runtime};
+use smr::{Driver, OpSpec, Runtime};
 use std::sync::Arc;
 
 /// Run a free-running mixed workload against a `Counter`, returning the
@@ -32,9 +32,9 @@ fn run_free<C: Counter + 'static>(
         for i in 1..=ops {
             let c = Arc::clone(&c);
             if i % read_every == 0 {
-                d.submit(pid, "read", 0, move |ctx| c.read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| c.read(ctx));
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     c.increment(ctx);
                     0
                 });
@@ -42,7 +42,7 @@ fn run_free<C: Counter + 'static>(
         }
     }
     d.wait_all();
-    CounterHistory::from_records(d.history(), "inc", "read")
+    CounterHistory::from_records(d.history()).expect("typed counter history")
 }
 
 /// Same under a gated seeded-random schedule (deterministic adversarial
@@ -60,9 +60,9 @@ fn run_gated<C: Counter + 'static>(
         for i in 1..=ops {
             let c = Arc::clone(&c);
             if i % read_every == 0 {
-                d.submit(pid, "read", 0, move |ctx| c.read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| c.read(ctx));
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     c.increment(ctx);
                     0
                 });
@@ -70,7 +70,7 @@ fn run_gated<C: Counter + 'static>(
         }
     }
     d.run_schedule(&mut SeededRandom::new(seed));
-    CounterHistory::from_records(d.history(), "inc", "read")
+    CounterHistory::from_records(d.history()).expect("typed counter history")
 }
 
 #[test]
@@ -136,6 +136,46 @@ fn faa_counter_is_linearizable() {
     check_counter(&h, 1).unwrap_or_else(|v| panic!("faa counter: {v}"));
 }
 
+/// Batched increments: one submitted closure performs `batch` unit
+/// increments and is recorded once with multiplicity `batch` — the
+/// ROADMAP "operation granularity" item. The checker must weight it
+/// fully: reads interleaved with the batches see every landed unit, so
+/// a multiplicity-blind checker (each record counted as ±1) would
+/// reject these histories outright.
+#[test]
+fn batched_increments_are_weighted_by_multiplicity() {
+    let n = 4;
+    let batch = 8u64;
+    for seed in [3u64, 19] {
+        let rt = Runtime::gated(n);
+        let c = Arc::new(CollectCounter::new(n));
+        let mut d = Driver::new(rt);
+        for pid in 0..n {
+            for i in 1..=12u64 {
+                let c = Arc::clone(&c);
+                if i % 4 == 0 {
+                    d.submit(pid, OpSpec::read(), move |ctx| c.read(ctx));
+                } else {
+                    d.submit(pid, OpSpec::inc_by(batch), move |ctx| {
+                        for _ in 0..batch {
+                            c.increment(ctx);
+                        }
+                        0
+                    });
+                }
+            }
+        }
+        d.run_schedule(&mut SeededRandom::new(seed));
+        let h = CounterHistory::from_records(d.history()).expect("typed counter history");
+        assert_eq!(
+            h.completed_incs(),
+            u128::from(n as u64 * 9 * batch),
+            "9 batches of {batch} per process"
+        );
+        check_counter(&h, 1).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
 /// Algorithm 1 with `k ≥ n − 1`: the raw k-multiplicative spec holds over
 /// the whole execution, including the startup window.
 fn run_kmult(n: usize, k: u64, ops: u64, read_every: u64, seed: Option<u64>) -> CounterHistory {
@@ -151,9 +191,11 @@ fn run_kmult(n: usize, k: u64, ops: u64, read_every: u64, seed: Option<u64>) -> 
         for i in 1..=ops {
             let handles = Arc::clone(&handles);
             if i % read_every == 0 {
-                d.submit(pid, "read", 0, move |ctx| handles[pid].lock().read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| {
+                    handles[pid].lock().read(ctx)
+                });
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     handles[pid].lock().increment(ctx);
                     0
                 });
@@ -166,7 +208,7 @@ fn run_kmult(n: usize, k: u64, ops: u64, read_every: u64, seed: Option<u64>) -> 
             d.run_schedule(&mut SeededRandom::new(s));
         }
     }
-    CounterHistory::from_records(d.history(), "inc", "read")
+    CounterHistory::from_records(d.history()).expect("typed counter history")
 }
 
 #[test]

@@ -11,7 +11,7 @@ use lincheck::monotone::check_counter;
 use lincheck::CounterHistory;
 use parking_lot::Mutex;
 use smr::sched::SeededRandom;
-use smr::{Driver, Runtime, StepOutcome};
+use smr::{Driver, OpSpec, Runtime, StepOutcome};
 use std::sync::Arc;
 
 #[test]
@@ -25,11 +25,13 @@ fn survivors_complete_after_mid_increment_crash() {
     let mut d = Driver::new(rt);
 
     // Process 0 will crash mid-announcement: run it until it is inside
-    // an increment that performs primitives (its 1st increment attempts
-    // switch_0), take exactly one step of it, then crash it.
+    // an increment batch that performs primitives (its 1st increment
+    // attempts switch_0), take exactly one step of it, then crash it.
+    // The batch is submitted with its true multiplicity, so the pending
+    // record tells the checker up to 10 units may have landed.
     {
         let handles = Arc::clone(&handles);
-        d.submit(0, "inc", 0, move |ctx| {
+        d.submit(0, OpSpec::inc_by(10), move |ctx| {
             let mut h = handles[0].lock();
             for _ in 0..10 {
                 h.increment(ctx);
@@ -49,9 +51,11 @@ fn survivors_complete_after_mid_increment_crash() {
         for i in 1..=100u64 {
             let handles = Arc::clone(&handles);
             if i % 10 == 0 {
-                d.submit(pid, "read", 0, move |ctx| handles[pid].lock().read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| {
+                    handles[pid].lock().read(ctx)
+                });
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     handles[pid].lock().increment(ctx);
                     0
                 });
@@ -68,7 +72,7 @@ fn survivors_complete_after_mid_increment_crash() {
     // increment the driver surfaces as a pending record (resp = None) —
     // legal to linearize or drop, so the checker's B-window widens to
     // tolerate the extra set switch a survivor's read may have observed.
-    let h = CounterHistory::from_records(d.history(), "inc", "read");
+    let h = CounterHistory::from_records(d.history()).expect("typed counter history");
     check_counter(&h, k).unwrap_or_else(|v| panic!("post-crash history: {v}"));
 }
 
@@ -82,7 +86,7 @@ fn reader_crash_does_not_block_writers() {
     // Reader starts a read and crashes after one collect step.
     {
         let c = Arc::clone(&counter);
-        d.submit(1, "read", 0, move |ctx| c.read(ctx));
+        d.submit(1, OpSpec::read(), move |ctx| c.read(ctx));
     }
     assert_eq!(d.step(1), StepOutcome::Stepped);
     d.crash(1);
@@ -90,7 +94,7 @@ fn reader_crash_does_not_block_writers() {
     // Writer proceeds unimpeded (wait-freedom is per-process).
     for _ in 0..50 {
         let c = Arc::clone(&counter);
-        d.submit(0, "inc", 0, move |ctx| {
+        d.submit(0, OpSpec::inc(), move |ctx| {
             c.increment(ctx);
             0
         });
@@ -103,7 +107,7 @@ fn reader_crash_does_not_block_writers() {
 fn crashed_process_cannot_be_scheduled() {
     let rt = Runtime::gated(2);
     let mut d = Driver::new(rt);
-    d.submit(0, "noop", 0, |_| 0);
+    d.submit(0, OpSpec::custom("noop", 0), |_| 0);
     d.crash(0);
     assert!(d.is_crashed(0));
     assert!(!d.active_pids().contains(&0));
@@ -128,9 +132,11 @@ fn half_the_processes_crash_mid_announcement() {
         for i in 1..=60u64 {
             let handles = Arc::clone(&handles);
             if i % 12 == 0 {
-                d.submit(pid, "read", 0, move |ctx| handles[pid].lock().read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| {
+                    handles[pid].lock().read(ctx)
+                });
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     handles[pid].lock().increment(ctx);
                     0
                 });
@@ -146,6 +152,6 @@ fn half_the_processes_crash_mid_announcement() {
     for pid in 3..n {
         assert_eq!(d.completed_of(pid), 60, "survivor {pid}");
     }
-    let h = CounterHistory::from_records(d.history(), "inc", "read");
+    let h = CounterHistory::from_records(d.history()).expect("typed counter history");
     check_counter(&h, k).unwrap_or_else(|v| panic!("post-crash history: {v}"));
 }

@@ -7,7 +7,7 @@ use approx_objects::{KmultCounter, KmultCounterHandle};
 use counter::{CollectCounter, Counter};
 use parking_lot::Mutex;
 use smr::sched::SeededRandom;
-use smr::{AccessKind, Driver, Runtime};
+use smr::{AccessKind, Driver, OpKind, OpSpec, Runtime};
 use std::sync::Arc;
 
 /// A run signature: (per-op return values in submission order, per-pid
@@ -27,9 +27,11 @@ fn kmult_run(seed: u64) -> Signature {
         for i in 1..=60u64 {
             let handles = Arc::clone(&handles);
             if i % 6 == 0 {
-                d.submit(pid, "read", 0, move |ctx| handles[pid].lock().read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| {
+                    handles[pid].lock().read(ctx)
+                });
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     handles[pid].lock().increment(ctx);
                     0
                 });
@@ -43,7 +45,7 @@ fn kmult_run(seed: u64) -> Signature {
         .history()
         .ops()
         .iter()
-        .map(|r| (r.pid, r.inv, r.ret))
+        .map(|r| (r.pid, r.inv, r.returned()))
         .collect();
     rets.sort();
     let values = rets.into_iter().map(|(_, _, v)| v).collect();
@@ -90,9 +92,9 @@ fn op_records_carry_exact_step_counts() {
         for i in 1..=20u64 {
             let c = Arc::clone(&counter);
             if i % 4 == 0 {
-                d.submit(pid, "read", 0, move |ctx| c.read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| c.read(ctx));
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     c.increment(ctx);
                     0
                 });
@@ -104,10 +106,10 @@ fn op_records_carry_exact_step_counts() {
     assert_eq!(history_steps, rt.total_steps());
     // Collect counter: increments cost exactly 2, reads exactly n.
     for op in d.history().ops() {
-        match op.label {
-            "inc" => assert_eq!(op.steps, 2),
-            "read" => assert_eq!(op.steps, n as u64),
-            other => panic!("unexpected label {other}"),
+        match op.kind {
+            OpKind::Inc { .. } => assert_eq!(op.steps, 2),
+            OpKind::Read { .. } => assert_eq!(op.steps, n as u64),
+            other => panic!("unexpected operation {other:?}"),
         }
     }
 }
@@ -123,7 +125,7 @@ fn tickets_order_histories_consistently() {
     for pid in 0..n {
         for _ in 0..50u64 {
             let c = Arc::clone(&counter);
-            d.submit(pid, "inc", 0, move |ctx| {
+            d.submit(pid, OpSpec::inc(), move |ctx| {
                 c.increment(ctx);
                 0
             });

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use smr::sched::SeededRandom;
-use smr::{Driver, Runtime};
+use smr::{Driver, OpSpec, Runtime};
 use std::sync::Arc;
 
 const SEEDS: [u64; 6] = [1, 2, 3, 0xDEAD, 0xBEEF, 0xC0FFEE];
@@ -24,9 +24,9 @@ fn drive_counter<C: Counter + 'static>(c: Arc<C>, n: usize, ops: u64, seed: u64)
         for i in 1..=ops {
             let c = Arc::clone(&c);
             if i % 5 == 0 {
-                d.submit(pid, "read", 0, move |ctx| c.read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| c.read(ctx));
             } else {
-                d.submit(pid, "inc", 0, move |ctx| {
+                d.submit(pid, OpSpec::inc(), move |ctx| {
                     c.increment(ctx);
                     0
                 });
@@ -34,7 +34,7 @@ fn drive_counter<C: Counter + 'static>(c: Arc<C>, n: usize, ops: u64, seed: u64)
         }
     }
     d.run_schedule(&mut SeededRandom::new(seed));
-    CounterHistory::from_records(d.history(), "inc", "read")
+    CounterHistory::from_records(d.history()).expect("typed counter history")
 }
 
 #[test]
@@ -75,9 +75,11 @@ fn kmult_counter_seed_matrix() {
             for i in 1..=50u64 {
                 let handles = Arc::clone(&handles);
                 if i % 5 == 0 {
-                    d.submit(pid, "read", 0, move |ctx| handles[pid].lock().read(ctx));
+                    d.submit(pid, OpSpec::read(), move |ctx| {
+                        handles[pid].lock().read(ctx)
+                    });
                 } else {
-                    d.submit(pid, "inc", 0, move |ctx| {
+                    d.submit(pid, OpSpec::inc(), move |ctx| {
                         handles[pid].lock().increment(ctx);
                         0
                     });
@@ -85,7 +87,7 @@ fn kmult_counter_seed_matrix() {
             }
         }
         d.run_schedule(&mut SeededRandom::new(seed));
-        let h = CounterHistory::from_records(d.history(), "inc", "read");
+        let h = CounterHistory::from_records(d.history()).expect("typed counter history");
         check_counter(&h, k).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
     }
 }
@@ -104,9 +106,11 @@ fn kadd_counter_seed_matrix() {
             for i in 1..=50u64 {
                 let handles = Arc::clone(&handles);
                 if i % 5 == 0 {
-                    d.submit(pid, "read", 0, move |ctx| handles[pid].lock().read(ctx));
+                    d.submit(pid, OpSpec::read(), move |ctx| {
+                        handles[pid].lock().read(ctx)
+                    });
                 } else {
-                    d.submit(pid, "inc", 0, move |ctx| {
+                    d.submit(pid, OpSpec::inc(), move |ctx| {
                         handles[pid].lock().increment(ctx);
                         0
                     });
@@ -114,7 +118,7 @@ fn kadd_counter_seed_matrix() {
             }
         }
         d.run_schedule(&mut SeededRandom::new(seed));
-        let h = CounterHistory::from_records(d.history(), "inc", "read");
+        let h = CounterHistory::from_records(d.history()).expect("typed counter history");
         check_counter_additive(&h, k).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
     }
 }
@@ -132,10 +136,10 @@ fn tree_maxreg_seed_matrix() {
             for i in 1..=40u64 {
                 let reg = Arc::clone(&reg);
                 if i % 4 == 0 {
-                    d.submit(pid, "read", 0, move |ctx| u128::from(reg.read(ctx)));
+                    d.submit(pid, OpSpec::read(), move |ctx| u128::from(reg.read(ctx)));
                 } else {
                     let v = rng.random_range(1..m);
-                    d.submit(pid, "write", u128::from(v), move |ctx| {
+                    d.submit(pid, OpSpec::write(v), move |ctx| {
                         reg.write(ctx, v);
                         0
                     });
@@ -143,7 +147,7 @@ fn tree_maxreg_seed_matrix() {
             }
         }
         d.run_schedule(&mut SeededRandom::new(seed));
-        let h = MaxRegHistory::from_records(d.history(), "write", "read");
+        let h = MaxRegHistory::from_records(d.history()).expect("typed maxreg history");
         check_maxreg(&h, 1).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
     }
 }
@@ -162,10 +166,10 @@ fn kmult_maxreg_seed_matrix() {
             for i in 1..=40u64 {
                 let reg = Arc::clone(&reg);
                 if i % 4 == 0 {
-                    d.submit(pid, "read", 0, move |ctx| reg.read(ctx));
+                    d.submit(pid, OpSpec::read(), move |ctx| reg.read(ctx));
                 } else {
                     let v = rng.random_range(1..m);
-                    d.submit(pid, "write", u128::from(v), move |ctx| {
+                    d.submit(pid, OpSpec::write(v), move |ctx| {
                         reg.write(ctx, v);
                         0
                     });
@@ -173,7 +177,7 @@ fn kmult_maxreg_seed_matrix() {
             }
         }
         d.run_schedule(&mut SeededRandom::new(seed));
-        let h = MaxRegHistory::from_records(d.history(), "write", "read");
+        let h = MaxRegHistory::from_records(d.history()).expect("typed maxreg history");
         check_maxreg(&h, k).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
     }
 }

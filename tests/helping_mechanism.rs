@@ -5,7 +5,7 @@
 
 use approx_objects::{KmultCounter, KmultCounterHandle};
 use parking_lot::Mutex;
-use smr::{Driver, Runtime, StepOutcome};
+use smr::{Driver, OpKind, OpSpec, Runtime, StepOutcome};
 use std::sync::Arc;
 
 /// The precise Lemma III.3 scenario: the reader takes its helping
@@ -32,7 +32,7 @@ fn starved_reader_completes_via_helping() {
     // switches 0..=9 for k = 2), so the reader's cursor has material.
     {
         let handles = Arc::clone(&handles);
-        d.submit(0, "incs", 0, move |ctx| {
+        d.submit(0, OpSpec::inc_by(100), move |ctx| {
             let mut h = handles[0].lock();
             for _ in 0..100 {
                 h.increment(ctx);
@@ -46,7 +46,7 @@ fn starved_reader_completes_via_helping() {
     // reads, then the 3-step helping snapshot of H[0..3] — and parks.
     {
         let handles = Arc::clone(&handles);
-        d.submit(2, "read", 0, move |ctx| {
+        d.submit(2, OpSpec::read(), move |ctx| {
             let outcome = handles[2].lock().read_detailed(ctx);
             u128::from(outcome.helped) << 120 | outcome.value
         });
@@ -61,7 +61,7 @@ fn starved_reader_completes_via_helping() {
     // inside the reader's window.
     {
         let handles = Arc::clone(&handles);
-        d.submit(1, "incs", 0, move |ctx| {
+        d.submit(1, OpSpec::inc_by(100_000), move |ctx| {
             let mut h = handles[1].lock();
             for _ in 0..100_000u32 {
                 h.increment(ctx);
@@ -79,11 +79,11 @@ fn starved_reader_completes_via_helping() {
         .history()
         .ops()
         .iter()
-        .find(|r| r.label == "read")
+        .find(|r| matches!(r.kind, OpKind::Read { .. }))
         .expect("read recorded")
         .clone();
-    let helped = rec.ret >> 120 != 0;
-    let value = rec.ret & ((1u128 << 120) - 1);
+    let helped = rec.returned() >> 120 != 0;
+    let value = rec.returned() & ((1u128 << 120) - 1);
     assert!(
         helped,
         "the reader must have returned via the helping branch"
@@ -112,14 +112,14 @@ fn suspended_reader_resumes_consistently() {
 
     for _ in 0..200u64 {
         let handles = Arc::clone(&handles);
-        d.submit(0, "inc", 0, move |ctx| {
+        d.submit(0, OpSpec::inc(), move |ctx| {
             handles[0].lock().increment(ctx);
             0
         });
     }
     {
         let handles = Arc::clone(&handles);
-        d.submit(1, "read", 0, move |ctx| handles[1].lock().read(ctx));
+        d.submit(1, OpSpec::read(), move |ctx| handles[1].lock().read(ctx));
     }
 
     // Reader takes 2 steps, then the writer floods, then reader finishes.
@@ -132,9 +132,9 @@ fn suspended_reader_resumes_consistently() {
         .history()
         .ops()
         .iter()
-        .find(|r| r.label == "read")
+        .find(|r| matches!(r.kind, OpKind::Read { .. }))
         .expect("read recorded")
-        .ret;
+        .returned();
     // 200 increments completed before the read finished; the read ran
     // concurrently with all of them: any value in [0, 200·k] is sound,
     // and it must not exceed k × total.

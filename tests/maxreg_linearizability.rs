@@ -11,7 +11,7 @@ use maxreg::{
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use smr::sched::SeededRandom;
-use smr::{Driver, Runtime};
+use smr::{Driver, OpSpec, Runtime};
 use std::sync::Arc;
 
 /// Mixed write/read workload against an exact `MaxRegister`.
@@ -32,10 +32,10 @@ fn run_exact<M: MaxRegister + 'static>(
         for i in 1..=ops {
             let reg = Arc::clone(&reg);
             if i % 4 == 0 {
-                d.submit(pid, "read", 0, move |ctx| u128::from(reg.read(ctx)));
+                d.submit(pid, OpSpec::read(), move |ctx| u128::from(reg.read(ctx)));
             } else {
                 let v = rng.random_range(1..max_value);
-                d.submit(pid, "write", u128::from(v), move |ctx| {
+                d.submit(pid, OpSpec::write(v), move |ctx| {
                     reg.write(ctx, v);
                     0
                 });
@@ -48,7 +48,7 @@ fn run_exact<M: MaxRegister + 'static>(
             d.run_schedule(&mut SeededRandom::new(s));
         }
     }
-    MaxRegHistory::from_records(d.history(), "write", "read")
+    MaxRegHistory::from_records(d.history()).expect("typed maxreg history")
 }
 
 #[test]
@@ -118,10 +118,10 @@ fn run_kmult_bounded(n: usize, m: u64, k: u64, ops: u64, gated_seed: Option<u64>
         for i in 1..=ops {
             let reg = Arc::clone(&reg);
             if i % 4 == 0 {
-                d.submit(pid, "read", 0, move |ctx| reg.read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| reg.read(ctx));
             } else {
                 let v = rng.random_range(1..m);
-                d.submit(pid, "write", u128::from(v), move |ctx| {
+                d.submit(pid, OpSpec::write(v), move |ctx| {
                     reg.write(ctx, v);
                     0
                 });
@@ -134,7 +134,7 @@ fn run_kmult_bounded(n: usize, m: u64, k: u64, ops: u64, gated_seed: Option<u64>
             d.run_schedule(&mut SeededRandom::new(s));
         }
     }
-    MaxRegHistory::from_records(d.history(), "write", "read")
+    MaxRegHistory::from_records(d.history()).expect("typed maxreg history")
 }
 
 #[test]
@@ -174,10 +174,10 @@ fn kmult_unbounded_maxreg_is_k_accurate() {
         for i in 1..=100u64 {
             let reg = Arc::clone(&reg);
             if i % 4 == 0 {
-                d.submit(pid, "read", 0, move |ctx| reg.read(ctx));
+                d.submit(pid, OpSpec::read(), move |ctx| reg.read(ctx));
             } else {
                 let v = 1u64 << rng.random_range(0..55u32);
-                d.submit(pid, "write", u128::from(v), move |ctx| {
+                d.submit(pid, OpSpec::write(v), move |ctx| {
                     reg.write(ctx, v);
                     0
                 });
@@ -185,6 +185,6 @@ fn kmult_unbounded_maxreg_is_k_accurate() {
         }
     }
     d.wait_all();
-    let h = MaxRegHistory::from_records(d.history(), "write", "read");
+    let h = MaxRegHistory::from_records(d.history()).expect("typed maxreg history");
     check_maxreg(&h, k).unwrap_or_else(|v| panic!("kmult unbounded: {v}"));
 }

@@ -35,13 +35,13 @@ fn paper_objects_are_reachable() {
 
 #[test]
 fn runtime_and_driver_are_reachable() {
-    use dao::smr::{Driver, Register, Runtime, StepOutcome};
+    use dao::smr::{Driver, OpSpec, Register, Runtime, StepOutcome};
 
     let rt = Runtime::gated(1);
     let reg = std::sync::Arc::new(Register::new(0));
     let mut d = Driver::new(rt);
     let r2 = std::sync::Arc::clone(&reg);
-    d.submit(0, "write", 7, move |ctx| {
+    d.submit(0, OpSpec::write(7), move |ctx| {
         r2.write(ctx, 7);
         0
     });
@@ -53,10 +53,10 @@ fn runtime_and_driver_are_reachable() {
 #[test]
 fn lincheck_entry_points_are_reachable() {
     use dao::lincheck::monotone::{check_counter, check_maxreg};
-    use dao::lincheck::{CounterHistory, Interval, MaxRegHistory, TimedRead, TimedWrite};
+    use dao::lincheck::{CounterHistory, Interval, MaxRegHistory, TimedInc, TimedRead, TimedWrite};
 
     let h = CounterHistory {
-        incs: vec![Interval::done(0, 1)],
+        incs: vec![TimedInc::unit(Interval::done(0, 1))],
         reads: vec![TimedRead {
             inv: 2,
             resp: 3,
@@ -64,6 +64,7 @@ fn lincheck_entry_points_are_reachable() {
         }],
     };
     check_counter(&h, 1).expect("sequential exact counter history");
+    dao::lincheck::naive::check_counter(&h, 1).expect("reference engine reachable");
 
     let h = MaxRegHistory {
         writes: vec![TimedWrite {
