@@ -84,96 +84,192 @@ impl KmultCounterHandle {
     }
 
     /// `CounterIncrement()` — paper lines 10–29.
+    ///
+    /// Implemented by driving [`IncMachine`] to completion, so the
+    /// closure form and the resumable task form
+    /// ([`KmultIncTask`](super::tasks::KmultIncTask)) share one
+    /// transcription of the pseudocode and apply identical primitive
+    /// sequences.
     pub fn increment(&mut self, ctx: &ProcCtx) {
-        assert_eq!(ctx.pid(), self.pid, "handle used with foreign ProcCtx");
-        let k = self.counter.k();
-        self.lcounter += 1;
-        if self.lcounter != self.limit {
-            return;
-        }
-        let j = u64::from(log_k_exact(self.lcounter, k));
-        if j > 0 {
-            // Attempt the remainder of interval j: indices
-            // (j−1)·k + l0 ..= j·k (lines 15–23).
-            let end = j * k;
-            for l in ((j - 1) * k + self.l0)..=end {
-                if !self.counter.switch(l).test_and_set(ctx) {
-                    // Successfully announced k^j increments (lines 17–23).
-                    self.sn += 1;
-                    self.counter.help_write(ctx, self.pid, l, self.sn);
-                    self.lcounter = 0;
-                    if l == end {
-                        self.limit *= u128::from(k); // line 21
-                    }
-                    self.l0 = 1 + l % k; // line 22
-                    return;
-                }
-            }
-            // Whole interval already set by others (lines 24, 28): give
-            // up announcing at this granularity.
-            self.l0 = 1;
-            self.limit *= u128::from(k);
-        } else {
-            // First announcement: switch_0 (lines 25–28).
-            if !self.counter.switch(0).test_and_set(ctx) {
-                self.lcounter = 0;
-            }
-            self.limit *= u128::from(k);
-        }
+        let mut m = IncMachine::new();
+        while m.step(self, ctx).is_pending() {}
     }
 
     /// `CounterRead()` — paper lines 35–58 — returning the full outcome.
+    ///
+    /// Like [`increment`](Self::increment), this drives the shared
+    /// [`ReadMachine`] transcription to completion.
     pub fn read_detailed(&mut self, ctx: &ProcCtx) -> KmultReadOutcome {
-        assert_eq!(ctx.pid(), self.pid, "handle used with foreign ProcCtx");
-        let k = self.counter.k();
-        let n = self.counter.n() as u64;
-        let mut c: u64 = 0;
-        let mut help_snap: Vec<u64> = Vec::new();
-        let (mut p, mut q) = (self.prev_p, self.prev_q);
-
-        while self.counter.switch(self.last).read(ctx) {
-            (p, q) = decompose(self.last, k);
-            // Advance to the first switch of the next interval from an
-            // interval's last switch, or jump to the interval's last
-            // switch from its first (lines 40–43).
-            if self.last.is_multiple_of(k) {
-                self.last += 1;
-            } else {
-                self.last += k - 1;
-            }
-            c += 1;
-            if c.is_multiple_of(n) {
-                if c == n {
-                    // First helping scan: record sequence numbers
-                    // (lines 46–48).
-                    help_snap = (0..self.counter.n())
-                        .map(|i| self.counter.help_read(ctx, i).1)
-                        .collect();
-                } else {
-                    // Subsequent scans: a process whose sn advanced by ≥ 2
-                    // set a switch entirely within our execution interval
-                    // (lines 50–55, soundness by Lemma III.3).
-                    #[allow(clippy::needless_range_loop)] // mirrors paper line 50
-                    for i in 0..self.counter.n() {
-                        let (val, sn) = self.counter.help_read(ctx, i);
-                        if sn >= help_snap[i] + 2 {
-                            let (hp, hq) = decompose(val, k);
-                            self.prev_p = p;
-                            self.prev_q = q;
-                            return KmultReadOutcome {
-                                value: return_value(hp, hq, k),
-                                p: hp,
-                                q: hq,
-                                helped: true,
-                            };
-                        }
-                    }
-                }
+        let mut m = ReadMachine::new();
+        loop {
+            if let std::task::Poll::Ready(out) = m.step(self, ctx) {
+                return out;
             }
         }
-        self.prev_p = p;
-        self.prev_q = q;
-        if self.last == 0 {
+    }
+
+    /// `CounterRead()` — the approximate number of increments.
+    pub fn read(&mut self, ctx: &ProcCtx) -> u128 {
+        self.read_detailed(ctx).value
+    }
+}
+
+/// Resume point of a `CounterIncrement` (paper lines 10–29) as a
+/// one-primitive-per-step state machine — the single transcription both
+/// the blocking closure form and the coop backend's
+/// [`OpTask`](smr::OpTask) form execute.
+///
+/// The first [`step`](IncMachine::step) call *primes*: it runs the local
+/// bookkeeping (lines 11–14) and applies no primitive, completing
+/// immediately when the increment stays below its announcement
+/// threshold. Every later call applies exactly one primitive — matching
+/// [`OpTask`](smr::OpTask)'s poll contract.
+#[derive(Debug)]
+pub struct IncMachine {
+    phase: IncPhase,
+}
+
+#[derive(Debug)]
+enum IncPhase {
+    /// Local bookkeeping not yet done (priming step).
+    Start,
+    /// About to `test&set` `switch_l`; attempts continue through `end`.
+    Tas { l: u64, end: u64 },
+    /// About to `test&set` `switch_0` (the `j = 0` announcement).
+    Tas0,
+    /// Won `switch_l`; about to publish `(l, sn)` in the helping array.
+    Help { l: u64, end: u64 },
+}
+
+impl Default for IncMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncMachine {
+    /// A machine for one increment.
+    pub fn new() -> Self {
+        IncMachine {
+            phase: IncPhase::Start,
+        }
+    }
+
+    /// Advance the increment by at most one primitive. See the type
+    /// docs for the priming/granted-step contract.
+    pub fn step(&mut self, h: &mut KmultCounterHandle, ctx: &ProcCtx) -> std::task::Poll<()> {
+        use std::task::Poll;
+        assert_eq!(ctx.pid(), h.pid, "handle used with foreign ProcCtx");
+        let k = h.counter.k();
+        match self.phase {
+            IncPhase::Start => {
+                // Lines 11–14: pure local computation, no primitive.
+                h.lcounter += 1;
+                if h.lcounter != h.limit {
+                    return Poll::Ready(());
+                }
+                let j = u64::from(log_k_exact(h.lcounter, k));
+                if j > 0 {
+                    // Attempt the remainder of interval j: indices
+                    // (j−1)·k + l0 ..= j·k (lines 15–23).
+                    self.phase = IncPhase::Tas {
+                        l: (j - 1) * k + h.l0,
+                        end: j * k,
+                    };
+                } else {
+                    // First announcement: switch_0 (lines 25–28).
+                    self.phase = IncPhase::Tas0;
+                }
+                Poll::Pending
+            }
+            IncPhase::Tas { l, end } => {
+                if !h.counter.switch(l).test_and_set(ctx) {
+                    // Successfully announced k^j increments (lines 17–23);
+                    // the helping-array publish is the next primitive.
+                    h.sn += 1;
+                    self.phase = IncPhase::Help { l, end };
+                    Poll::Pending
+                } else if l < end {
+                    self.phase = IncPhase::Tas { l: l + 1, end };
+                    Poll::Pending
+                } else {
+                    // Whole interval already set by others (lines 24, 28):
+                    // give up announcing at this granularity.
+                    h.l0 = 1;
+                    h.limit *= u128::from(k);
+                    Poll::Ready(())
+                }
+            }
+            IncPhase::Help { l, end } => {
+                h.counter.help_write(ctx, h.pid, l, h.sn);
+                h.lcounter = 0;
+                if l == end {
+                    h.limit *= u128::from(k); // line 21
+                }
+                h.l0 = 1 + l % k; // line 22
+                Poll::Ready(())
+            }
+            IncPhase::Tas0 => {
+                if !h.counter.switch(0).test_and_set(ctx) {
+                    h.lcounter = 0;
+                }
+                h.limit *= u128::from(k);
+                Poll::Ready(())
+            }
+        }
+    }
+}
+
+/// Resume point of a `CounterRead` (paper lines 35–58); the counterpart
+/// of [`IncMachine`] — one primitive per granted step, priming step
+/// free. A read always applies at least one primitive (the `while`
+/// condition of line 38 reads `switch_last`), so the priming step never
+/// completes the operation.
+#[derive(Debug)]
+pub struct ReadMachine {
+    phase: ReadPhase,
+    /// Switches observed set so far (paper's `c`).
+    c: u64,
+    /// Loop-carried `(p, q)` of the last set switch passed.
+    p: u64,
+    q: u64,
+    /// First helping scan's sequence numbers (lines 46–48).
+    help_snap: Vec<u64>,
+}
+
+#[derive(Debug)]
+enum ReadPhase {
+    /// Loop-carried state not yet initialized (priming step).
+    Start,
+    /// About to read `switch_last` (line 38).
+    Switch,
+    /// About to read `H[i]` in a helping scan; `first` is the
+    /// snapshot-collecting scan at `c = n`.
+    Scan { i: usize, first: bool },
+}
+
+impl Default for ReadMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadMachine {
+    /// A machine for one read.
+    pub fn new() -> Self {
+        ReadMachine {
+            phase: ReadPhase::Start,
+            c: 0,
+            p: 0,
+            q: 0,
+            help_snap: Vec::new(),
+        }
+    }
+
+    fn finish(&self, h: &mut KmultCounterHandle, k: u64) -> KmultReadOutcome {
+        h.prev_p = self.p;
+        h.prev_q = self.q;
+        if h.last == 0 {
             // No increment was ever announced — and since every first
             // increment attempts switch_0, no increment completed at all
             // before this read (lines 56–57).
@@ -185,16 +281,79 @@ impl KmultCounterHandle {
             };
         }
         KmultReadOutcome {
-            value: return_value(p, q, k),
-            p,
-            q,
+            value: return_value(self.p, self.q, k),
+            p: self.p,
+            q: self.q,
             helped: false,
         }
     }
 
-    /// `CounterRead()` — the approximate number of increments.
-    pub fn read(&mut self, ctx: &ProcCtx) -> u128 {
-        self.read_detailed(ctx).value
+    /// Advance the read by at most one primitive.
+    pub fn step(
+        &mut self,
+        h: &mut KmultCounterHandle,
+        ctx: &ProcCtx,
+    ) -> std::task::Poll<KmultReadOutcome> {
+        use std::task::Poll;
+        assert_eq!(ctx.pid(), h.pid, "handle used with foreign ProcCtx");
+        let k = h.counter.k();
+        let n = h.counter.n() as u64;
+        match self.phase {
+            ReadPhase::Start => {
+                (self.p, self.q) = (h.prev_p, h.prev_q);
+                self.phase = ReadPhase::Switch;
+                Poll::Pending
+            }
+            ReadPhase::Switch => {
+                if !h.counter.switch(h.last).read(ctx) {
+                    return Poll::Ready(self.finish(h, k));
+                }
+                (self.p, self.q) = decompose(h.last, k);
+                // Advance to the first switch of the next interval from an
+                // interval's last switch, or jump to the interval's last
+                // switch from its first (lines 40–43).
+                if h.last.is_multiple_of(k) {
+                    h.last += 1;
+                } else {
+                    h.last += k - 1;
+                }
+                self.c += 1;
+                if self.c.is_multiple_of(n) {
+                    self.phase = ReadPhase::Scan {
+                        i: 0,
+                        first: self.c == n,
+                    };
+                }
+                Poll::Pending
+            }
+            ReadPhase::Scan { i, first } => {
+                let (val, sn) = h.counter.help_read(ctx, i);
+                if first {
+                    // First helping scan: record sequence numbers
+                    // (lines 46–48).
+                    self.help_snap.push(sn);
+                } else if sn >= self.help_snap[i] + 2 {
+                    // A process whose sn advanced by ≥ 2 set a switch
+                    // entirely within our execution interval (lines
+                    // 50–55, soundness by Lemma III.3).
+                    let (hp, hq) = decompose(val, k);
+                    h.prev_p = self.p;
+                    h.prev_q = self.q;
+                    return Poll::Ready(KmultReadOutcome {
+                        value: return_value(hp, hq, k),
+                        p: hp,
+                        q: hq,
+                        helped: true,
+                    });
+                }
+                self.phase = if i + 1 == h.counter.n() {
+                    ReadPhase::Switch
+                } else {
+                    ReadPhase::Scan { i: i + 1, first }
+                };
+                Poll::Pending
+            }
+        }
     }
 }
 

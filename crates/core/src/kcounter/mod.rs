@@ -27,8 +27,10 @@
 
 pub mod arith;
 mod handle;
+pub mod tasks;
 
-pub use handle::{KmultCounterHandle, KmultReadOutcome};
+pub use handle::{IncMachine, KmultCounterHandle, KmultReadOutcome, ReadMachine};
+pub use tasks::{KmultIncTask, KmultReadTask, SharedKmultHandle};
 
 use smr::{ProcCtx, Register, SegArray, TasBit};
 use std::sync::Arc;

@@ -56,6 +56,9 @@ mod kmaxreg;
 mod kmaxreg_unbounded;
 
 pub use kadd::{KaddCounter, KaddCounterHandle};
-pub use kcounter::{arith, KmultCounter, KmultCounterHandle, KmultReadOutcome};
+pub use kcounter::{
+    arith, KmultCounter, KmultCounterHandle, KmultIncTask, KmultReadOutcome, KmultReadTask,
+    SharedKmultHandle,
+};
 pub use kmaxreg::KmultBoundedMaxRegister;
 pub use kmaxreg_unbounded::KmultUnboundedMaxRegister;

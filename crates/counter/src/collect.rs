@@ -32,6 +32,12 @@ impl CollectCounter {
     pub fn n(&self) -> usize {
         self.cells.len()
     }
+
+    /// Cell `i` — for the task forms in [`tasks`](crate::tasks), which
+    /// walk the cells one primitive per poll.
+    pub(crate) fn cell(&self, i: usize) -> &Register {
+        &self.cells[i]
+    }
 }
 
 impl Counter for CollectCounter {

@@ -37,6 +37,7 @@ mod fetch_add;
 mod reference;
 mod snapshot;
 mod spec;
+pub mod tasks;
 mod unbounded_tree;
 
 pub use aach::AachCounter;
@@ -45,4 +46,5 @@ pub use fetch_add::FaaCounter;
 pub use reference::LockCounter;
 pub use snapshot::{AtomicSnapshot, SnapshotCounter};
 pub use spec::Counter;
+pub use tasks::{CollectIncTask, CollectReadTask};
 pub use unbounded_tree::UnboundedTreeCounter;

@@ -1,0 +1,148 @@
+//! [`OpTask`] forms of the baseline counters' operations, for the coop
+//! execution backend (they run unchanged on the thread backend).
+//!
+//! [`CollectCounter`]'s operations are rewritten as one-primitive-per-
+//! poll state machines; the lock-based [`LockCounter`] oracle applies no
+//! primitives at all, so its task forms are
+//! [`ImmediateOp`](smr::ImmediateOp) adapters completing on the priming
+//! poll.
+
+use crate::collect::CollectCounter;
+use crate::reference::LockCounter;
+use crate::spec::Counter;
+use smr::{ImmediateOp, OpTask, Poll, ProcCtx};
+use std::sync::Arc;
+
+/// `CollectCounter::increment` as a resumable task: read the invoking
+/// process's cell, then write it back incremented — two primitives.
+pub struct CollectIncTask {
+    counter: Arc<CollectCounter>,
+    /// `None` until primed; then the value read from the own cell.
+    read: Option<u64>,
+    primed: bool,
+}
+
+impl CollectIncTask {
+    /// An increment against `counter`.
+    pub fn new(counter: Arc<CollectCounter>) -> Self {
+        CollectIncTask {
+            counter,
+            read: None,
+            primed: false,
+        }
+    }
+}
+
+impl OpTask for CollectIncTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending;
+        }
+        let cell = self.counter.cell(ctx.pid());
+        match self.read {
+            None => {
+                self.read = Some(cell.read(ctx));
+                Poll::Pending
+            }
+            Some(v) => {
+                cell.write(ctx, v + 1);
+                Poll::Ready(0)
+            }
+        }
+    }
+}
+
+/// `CollectCounter::read` as a resumable task: collect the `n` cells,
+/// one primitive per poll, resolving to their sum.
+pub struct CollectReadTask {
+    counter: Arc<CollectCounter>,
+    next: usize,
+    sum: u128,
+    primed: bool,
+}
+
+impl CollectReadTask {
+    /// A read against `counter`.
+    pub fn new(counter: Arc<CollectCounter>) -> Self {
+        CollectReadTask {
+            counter,
+            next: 0,
+            sum: 0,
+            primed: false,
+        }
+    }
+}
+
+impl OpTask for CollectReadTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending;
+        }
+        self.sum += u128::from(self.counter.cell(self.next).read(ctx));
+        self.next += 1;
+        if self.next == self.counter.n() {
+            Poll::Ready(self.sum)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// `LockCounter::increment` as a task (zero primitives: completes on the
+/// priming poll, like the closure form completes without grants).
+pub fn lock_inc_task(oracle: Arc<LockCounter>) -> impl OpTask {
+    ImmediateOp::new(move |ctx| {
+        oracle.increment(ctx);
+        0
+    })
+}
+
+/// `LockCounter::read` as a task (zero primitives).
+pub fn lock_read_task(oracle: Arc<LockCounter>) -> impl OpTask {
+    ImmediateOp::new(move |ctx| oracle.read(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::Runtime;
+
+    fn run<T: OpTask>(mut t: T, ctx: &ProcCtx) -> u128 {
+        loop {
+            if let Poll::Ready(v) = t.poll(ctx) {
+                return v;
+            }
+        }
+    }
+
+    #[test]
+    fn collect_tasks_match_blocking_costs_and_values() {
+        let n = 5;
+        let rt = Runtime::free_running(n);
+        let c = Arc::new(CollectCounter::new(n));
+        for pid in 0..n {
+            let ctx = rt.ctx(pid);
+            let s0 = ctx.steps_taken();
+            let _ = run(CollectIncTask::new(c.clone()), &ctx);
+            assert_eq!(ctx.steps_taken() - s0, 2, "increment: 2 primitives");
+        }
+        let ctx = rt.ctx(0);
+        let s0 = ctx.steps_taken();
+        let sum = run(CollectReadTask::new(c.clone()), &ctx);
+        assert_eq!(ctx.steps_taken() - s0, n as u64, "read: n primitives");
+        assert_eq!(sum, n as u128);
+        assert_eq!(c.read(&ctx), n as u128, "blocking read agrees");
+    }
+
+    #[test]
+    fn oracle_tasks_apply_no_primitives() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let oracle = Arc::new(LockCounter::new());
+        let _ = run(lock_inc_task(oracle.clone()), &ctx);
+        assert_eq!(run(lock_read_task(oracle), &ctx), 1);
+        assert_eq!(ctx.steps_taken(), 0);
+    }
+}

@@ -36,6 +36,7 @@ mod adaptive;
 mod collect;
 mod reference;
 mod spec;
+pub mod tasks;
 mod tree;
 mod unbounded;
 
@@ -43,5 +44,6 @@ pub use adaptive::AdaptiveMaxRegister;
 pub use collect::CollectMaxRegister;
 pub use reference::LockMaxRegister;
 pub use spec::MaxRegister;
+pub use tasks::{TreeMaxReadTask, TreeMaxWriteTask};
 pub use tree::TreeMaxRegister;
 pub use unbounded::UnboundedMaxRegister;

@@ -1,0 +1,95 @@
+//! [`OpTask`](smr::OpTask) forms of max-register operations, for the
+//! coop execution backend (they run unchanged on the thread backend).
+//!
+//! The tree register's machines live next to the tree itself
+//! ([`TreeMaxWriteTask`]/[`TreeMaxReadTask`] in [`tree`](crate::tree));
+//! the lock-based oracle applies no primitives, so its task forms are
+//! [`ImmediateOp`](smr::ImmediateOp) adapters completing on the priming
+//! poll.
+
+use crate::reference::LockMaxRegister;
+use crate::spec::MaxRegister;
+use smr::{ImmediateOp, OpTask};
+use std::sync::Arc;
+
+pub use crate::tree::{TreeMaxReadTask, TreeMaxWriteTask};
+
+/// `LockMaxRegister::write` as a task (zero primitives).
+pub fn lock_write_task(oracle: Arc<LockMaxRegister>, v: u64) -> impl OpTask {
+    ImmediateOp::new(move |ctx| {
+        oracle.write(ctx, v);
+        0
+    })
+}
+
+/// `LockMaxRegister::read` as a task (zero primitives).
+pub fn lock_read_task(oracle: Arc<LockMaxRegister>) -> impl OpTask {
+    ImmediateOp::new(move |ctx| u128::from(oracle.read(ctx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeMaxRegister;
+    use smr::{Poll, ProcCtx, Runtime};
+
+    fn run<T: OpTask>(mut t: T, ctx: &ProcCtx) -> u128 {
+        loop {
+            if let Poll::Ready(v) = t.poll(ctx) {
+                return v;
+            }
+        }
+    }
+
+    #[test]
+    fn tree_tasks_match_blocking_forms() {
+        // Same write/read sequence through both forms; primitive counts
+        // and results must agree exactly.
+        let seq = [5u64, 900, 3, 999, 42, 0, 998, 512, 997];
+        let m = 1000;
+
+        let rt_a = Runtime::free_running(1);
+        let ctx_a = rt_a.ctx(0);
+        let reg_a = TreeMaxRegister::new(m);
+
+        let rt_b = Runtime::free_running(1);
+        let ctx_b = rt_b.ctx(0);
+        let reg_b = Arc::new(TreeMaxRegister::new(m));
+
+        for &v in &seq {
+            reg_a.write(&ctx_a, v);
+            let _ = run(TreeMaxWriteTask::new(reg_b.clone(), v), &ctx_b);
+            let ra = u128::from(reg_a.read(&ctx_a));
+            let rb = run(TreeMaxReadTask::new(reg_b.clone()), &ctx_b);
+            assert_eq!(ra, rb, "after write {v}");
+            assert_eq!(
+                rt_a.steps_of(0),
+                rt_b.steps_of(0),
+                "primitive counts diverged after write {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_tasks_handle_degenerate_bounds() {
+        for m in [1u64, 2, 3] {
+            let rt = Runtime::free_running(1);
+            let ctx = rt.ctx(0);
+            let reg = Arc::new(TreeMaxRegister::new(m));
+            for v in 0..m {
+                let _ = run(TreeMaxWriteTask::new(reg.clone(), v), &ctx);
+                assert_eq!(run(TreeMaxReadTask::new(reg.clone()), &ctx), u128::from(v));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_tasks_apply_no_primitives() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let oracle = Arc::new(LockMaxRegister::new());
+        let _ = run(lock_write_task(oracle.clone(), 7), &ctx);
+        assert_eq!(run(lock_read_task(oracle), &ctx), 7);
+        assert_eq!(ctx.steps_taken(), 0);
+    }
+}

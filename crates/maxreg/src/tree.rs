@@ -22,8 +22,9 @@
 //! to `m` — essential for the `m = 2⁶⁰` sweeps in EXP-T4.2.
 
 use crate::spec::MaxRegister;
-use smr::{ProcCtx, Register};
+use smr::{OpTask, Poll, ProcCtx, Register};
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
 struct Node {
     switch: Register,
@@ -173,6 +174,188 @@ impl MaxRegister for TreeMaxRegister {
 
     fn bound(&self) -> Option<u64> {
         Some(self.bound)
+    }
+}
+
+/// `TreeMaxRegister::write` as a resumable [`OpTask`]: the recursive
+/// descent of [`write_rec`](TreeMaxRegister::write_rec) unrolled into a
+/// cursor (descending, one switch *read* per left turn) plus an unwind
+/// stack (ascending, one switch *write* per right turn, deepest first) —
+/// the same primitives in the same order, one per granted poll.
+///
+/// The cursor holds raw `Node` pointers because the nodes live inside
+/// the `Arc<TreeMaxRegister>` the task also owns: nodes are
+/// heap-published, have stable addresses, and are freed only when the
+/// register drops, which the `Arc` prevents for the task's lifetime.
+pub struct TreeMaxWriteTask {
+    /// Never read, but load-bearing: keeps every pointed-to node alive.
+    _keepalive: Arc<TreeMaxRegister>,
+    node: *const Node,
+    v: u64,
+    span: u64,
+    /// Right-turn ancestors whose switches remain to be set (deepest
+    /// last; written in pop order).
+    unwind: Vec<*const Node>,
+    phase: TreeWritePhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TreeWritePhase {
+    /// Not yet primed.
+    Start,
+    /// About to read the cursor node's switch (a left turn).
+    ReadSwitch,
+    /// Descent finished or abandoned; about to set the next stacked
+    /// switch.
+    WriteSwitch,
+}
+
+// SAFETY: the raw pointers reference nodes owned by `reg`; the task
+// carries the Arc, every pointed-to node outlives it, and all access
+// goes through `&Node` whose interior (`Register`, `AtomicPtr`) is Sync.
+unsafe impl Send for TreeMaxWriteTask {}
+
+impl TreeMaxWriteTask {
+    /// A write of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range, like the blocking write.
+    pub fn new(reg: Arc<TreeMaxRegister>, v: u64) -> Self {
+        assert!(v < reg.bound, "value {v} out of range (m = {})", reg.bound);
+        let node: *const Node = &reg.root;
+        let span = reg.bound;
+        TreeMaxWriteTask {
+            _keepalive: reg,
+            node,
+            v,
+            span,
+            unwind: Vec::new(),
+            phase: TreeWritePhase::Start,
+        }
+    }
+
+    /// Walk right turns (no primitives) until the next primitive or the
+    /// leaf, setting `phase` to the next pending primitive kind; a
+    /// `WriteSwitch` phase with an empty `unwind` stack means the write
+    /// is complete.
+    fn descend(&mut self) {
+        while self.span > 1 {
+            let half = self.span.div_ceil(2);
+            if self.v < half {
+                self.span = half;
+                self.phase = TreeWritePhase::ReadSwitch;
+                return;
+            }
+            self.unwind.push(self.node);
+            // SAFETY: see the Send impl — nodes outlive the task.
+            self.node = Node::child(unsafe { &(*self.node).right });
+            self.v -= half;
+            self.span -= half;
+        }
+        self.phase = TreeWritePhase::WriteSwitch;
+    }
+}
+
+impl OpTask for TreeMaxWriteTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        match self.phase {
+            TreeWritePhase::Start => {
+                self.descend();
+                if self.phase == TreeWritePhase::WriteSwitch && self.unwind.is_empty() {
+                    return Poll::Ready(0); // m = 1: no primitives at all
+                }
+                Poll::Pending
+            }
+            TreeWritePhase::ReadSwitch => {
+                // SAFETY: see the Send impl.
+                let node = unsafe { &*self.node };
+                if node.switch.read(ctx) == 0 {
+                    self.node = Node::child(&node.left);
+                    self.descend();
+                    if self.phase == TreeWritePhase::WriteSwitch && self.unwind.is_empty() {
+                        return Poll::Ready(0);
+                    }
+                } else {
+                    // Dominated: abandon the descent, unwind what's
+                    // stacked (ancestors' right-subtree writes are
+                    // complete by construction).
+                    self.phase = TreeWritePhase::WriteSwitch;
+                    if self.unwind.is_empty() {
+                        return Poll::Ready(0);
+                    }
+                }
+                Poll::Pending
+            }
+            TreeWritePhase::WriteSwitch => {
+                let node = self.unwind.pop().expect("non-empty unwind stack");
+                // SAFETY: see the Send impl.
+                unsafe { &*node }.switch.write(ctx, 1);
+                if self.unwind.is_empty() {
+                    Poll::Ready(0)
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// `TreeMaxRegister::read` as a resumable [`OpTask`]: descend following
+/// switches, one switch read per granted poll, resolving to the
+/// accumulated maximum. Pointer safety as in [`TreeMaxWriteTask`].
+pub struct TreeMaxReadTask {
+    /// Never read, but load-bearing: keeps every pointed-to node alive.
+    _keepalive: Arc<TreeMaxRegister>,
+    node: *const Node,
+    span: u64,
+    acc: u64,
+    primed: bool,
+}
+
+// SAFETY: as for TreeMaxWriteTask.
+unsafe impl Send for TreeMaxReadTask {}
+
+impl TreeMaxReadTask {
+    /// A read.
+    pub fn new(reg: Arc<TreeMaxRegister>) -> Self {
+        let node: *const Node = &reg.root;
+        let span = reg.bound;
+        TreeMaxReadTask {
+            _keepalive: reg,
+            node,
+            span,
+            acc: 0,
+            primed: false,
+        }
+    }
+}
+
+impl OpTask for TreeMaxReadTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return if self.span <= 1 {
+                Poll::Ready(u128::from(self.acc)) // m = 1: no primitives
+            } else {
+                Poll::Pending
+            };
+        }
+        let half = self.span.div_ceil(2);
+        // SAFETY: see TreeMaxWriteTask's Send impl.
+        let node = unsafe { &*self.node };
+        if node.switch.read(ctx) == 1 {
+            self.acc += half;
+            self.span -= half;
+            self.node = Node::child(&node.right);
+        } else {
+            self.span = half;
+            self.node = Node::child(&node.left);
+        }
+        if self.span <= 1 {
+            Poll::Ready(u128::from(self.acc))
+        } else {
+            Poll::Pending
+        }
     }
 }
 

@@ -1,0 +1,290 @@
+//! [`ActiveSet`]: the incrementally-maintained set of runnable processes.
+//!
+//! `Driver::run_schedule` used to rebuild a sorted `Vec<usize>` of active
+//! pids on every step — an `O(n)` scan per primitive that capped gated
+//! executions at a few thousand processes. The driver now maintains this
+//! set incrementally (insert on submit, remove on completion/crash), and
+//! schedulers query it through operations that stay cheap at 10⁵–10⁶
+//! pids:
+//!
+//! * `contains` / `len` — O(1) (dense index),
+//! * `pick(i)` — O(1) uniform access for randomized policies,
+//! * `min` / `next_after` — O(log₆₄ n) via a hierarchical bitmap, giving
+//!   round-robin its sorted cyclic order without a scan,
+//! * `insert` / `remove` — O(log₆₄ n).
+//!
+//! The structure is a classic sparse-set (unordered dense vector plus a
+//! position index) fused with a 64-ary summary-bitmap tree over pid
+//! space; the dense half serves O(1) sampling, the bitmap half serves
+//! ordered queries.
+
+/// Sentinel in the position index: pid not present.
+const ABSENT: u32 = u32::MAX;
+
+/// A set of pids from `0..capacity`, supporting O(1) membership and
+/// sampling plus O(log₆₄ n) ordered queries. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    capacity: usize,
+    /// Members in insertion-churn order (swap-remove on deletion).
+    dense: Vec<u32>,
+    /// pid → index into `dense`, or [`ABSENT`].
+    pos: Vec<u32>,
+    /// `levels[0]` is the membership bitmap over pid space; bit `i` of
+    /// `levels[l]` (flat indexing) is set iff word `i` of `levels[l-1]`
+    /// is non-zero. The top level is a single word.
+    levels: Vec<Vec<u64>>,
+}
+
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64).max(1)
+}
+
+impl ActiveSet {
+    /// An empty set over pids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity as u64 <= u64::from(u32::MAX), "capacity too large");
+        let mut levels = Vec::new();
+        let mut words = words_for(capacity);
+        loop {
+            levels.push(vec![0u64; words]);
+            if words == 1 {
+                break;
+            }
+            words = words_for(words);
+        }
+        ActiveSet {
+            capacity,
+            dense: Vec::new(),
+            pos: vec![ABSENT; capacity],
+            levels,
+        }
+    }
+
+    /// Largest pid the set can hold, plus one.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// `true` if no members.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, pid: usize) -> bool {
+        pid < self.capacity && self.pos[pid] != ABSENT
+    }
+
+    /// The `i`-th member in the set's internal (unordered but
+    /// deterministic) enumeration, for uniform sampling.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn pick(&self, i: usize) -> usize {
+        self.dense[i] as usize
+    }
+
+    /// Insert `pid`; no-op if already present.
+    pub fn insert(&mut self, pid: usize) {
+        assert!(pid < self.capacity, "pid {pid} out of range");
+        if self.pos[pid] != ABSENT {
+            return;
+        }
+        self.pos[pid] = self.dense.len() as u32;
+        self.dense.push(pid as u32);
+        let mut idx = pid;
+        for level in &mut self.levels {
+            let word = &mut level[idx / 64];
+            let was = *word;
+            *word |= 1 << (idx % 64);
+            if was != 0 {
+                break; // summaries above are already set
+            }
+            idx /= 64;
+        }
+    }
+
+    /// Remove `pid`; no-op if absent.
+    pub fn remove(&mut self, pid: usize) {
+        if pid >= self.capacity || self.pos[pid] == ABSENT {
+            return;
+        }
+        let at = self.pos[pid] as usize;
+        let last = self.dense.pop().expect("non-empty");
+        if last as usize != pid {
+            self.dense[at] = last;
+            self.pos[last as usize] = at as u32;
+        }
+        self.pos[pid] = ABSENT;
+        let mut idx = pid;
+        for level in &mut self.levels {
+            let word = &mut level[idx / 64];
+            *word &= !(1 << (idx % 64));
+            if *word != 0 {
+                break; // word still summarized as non-empty above
+            }
+            idx /= 64;
+        }
+    }
+
+    /// Smallest member, if any.
+    pub fn min(&self) -> Option<usize> {
+        let top = self.levels.len() - 1;
+        if self.levels[top][0] == 0 {
+            return None;
+        }
+        let mut idx = 0usize;
+        for level in self.levels.iter().rev() {
+            let w = level[idx];
+            debug_assert!(w != 0, "summary bit set over an empty word");
+            idx = idx * 64 + w.trailing_zeros() as usize;
+        }
+        Some(idx)
+    }
+
+    /// Smallest member strictly greater than `after`, if any. `after`
+    /// need not be a member.
+    pub fn next_after(&self, after: usize) -> Option<usize> {
+        let idx = self.succ(0, after)?;
+        Some(idx)
+    }
+
+    /// Smallest flat bit index strictly greater than `x` set at `level`.
+    fn succ(&self, level: usize, x: usize) -> Option<usize> {
+        let bits = &self.levels[level];
+        let word_idx = x / 64;
+        if word_idx < bits.len() {
+            let b = x % 64;
+            let rem = if b == 63 {
+                0
+            } else {
+                bits[word_idx] >> (b + 1) << (b + 1)
+            };
+            if rem != 0 {
+                return Some(word_idx * 64 + rem.trailing_zeros() as usize);
+            }
+        }
+        if level + 1 == self.levels.len() {
+            return None;
+        }
+        // Next non-empty word of this level, strictly after `word_idx`.
+        let w = self.succ(level + 1, word_idx)?;
+        Some(w * 64 + self.levels[level][w].trailing_zeros() as usize)
+    }
+
+    /// Members in ascending order (walks the membership bitmap; O(n/64 +
+    /// len) — for observability APIs, not the scheduling hot path).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = usize> + '_ {
+        self.levels[0].iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for ActiveSet {
+    /// Build a set sized to the largest pid — a convenience for tests.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let pids: Vec<usize> = iter.into_iter().collect();
+        let cap = pids.iter().max().map_or(1, |&m| m + 1);
+        let mut set = ActiveSet::new(cap);
+        for pid in pids {
+            set.insert(pid);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ActiveSet::new(200);
+        assert!(s.is_empty());
+        for pid in [0, 5, 64, 65, 130, 199] {
+            s.insert(pid);
+        }
+        s.insert(5); // idempotent
+        assert_eq!(s.len(), 6);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        s.remove(64);
+        s.remove(64); // idempotent
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn ordered_queries() {
+        let s: ActiveSet = [3usize, 70, 140, 141].into_iter().collect();
+        assert_eq!(s.min(), Some(3));
+        assert_eq!(s.next_after(0), Some(3));
+        assert_eq!(s.next_after(3), Some(70));
+        assert_eq!(s.next_after(70), Some(140));
+        assert_eq!(s.next_after(140), Some(141));
+        assert_eq!(s.next_after(141), None);
+        assert_eq!(s.iter_sorted().collect::<Vec<_>>(), vec![3, 70, 140, 141]);
+    }
+
+    #[test]
+    fn empty_set_queries() {
+        let s = ActiveSet::new(1_000);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.next_after(0), None);
+        assert_eq!(s.iter_sorted().count(), 0);
+    }
+
+    #[test]
+    fn large_sparse_set_round_trips() {
+        // Three bitmap levels (10⁵ pids) with scattered members.
+        let n = 100_000;
+        let mut s = ActiveSet::new(n);
+        let members: Vec<usize> = (0..n).step_by(997).collect();
+        for &pid in &members {
+            s.insert(pid);
+        }
+        assert_eq!(s.iter_sorted().collect::<Vec<_>>(), members);
+        // Successor chain visits every member in order.
+        let mut walked = vec![s.min().unwrap()];
+        while let Some(next) = s.next_after(*walked.last().unwrap()) {
+            walked.push(next);
+        }
+        assert_eq!(walked, members);
+        // Remove every other member; queries stay consistent.
+        for &pid in members.iter().step_by(2) {
+            s.remove(pid);
+        }
+        let expect: Vec<usize> = members.iter().copied().skip(1).step_by(2).collect();
+        assert_eq!(s.iter_sorted().collect::<Vec<_>>(), expect);
+        assert_eq!(s.len(), expect.len());
+    }
+
+    #[test]
+    fn dense_pick_enumerates_members() {
+        let mut s = ActiveSet::new(50);
+        for pid in 0..50 {
+            s.insert(pid);
+        }
+        s.remove(10);
+        s.remove(49);
+        let mut seen: Vec<usize> = (0..s.len()).map(|i| s.pick(i)).collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..50).filter(|&p| p != 10 && p != 49).collect();
+        assert_eq!(seen, expect);
+    }
+}

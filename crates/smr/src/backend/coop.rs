@@ -1,0 +1,220 @@
+//! [`CoopBackend`]: cooperative execution of virtual processes.
+//!
+//! Drives N processes as [`OpTask`] state machines on the controller
+//! thread. There are no worker threads and no gate: granting a step *is*
+//! polling the parked task once, so the per-step cost drops from a
+//! cross-thread condvar handshake to one indirect call — which is what
+//! lets gated executions scale from ~10³ OS threads to 10⁵–10⁶ virtual
+//! processes (see `exp_scale`).
+//!
+//! ## Stable-point invariant
+//!
+//! The backend keeps every process at a quiesced stable point *between*
+//! controller calls: either parked (a primed task waiting before its
+//! next primitive) or idle with an empty queue. It does so by advancing
+//! eagerly — on submit and after each completion it dequeues the next
+//! operation, announces its invocation, and runs its priming poll;
+//! zero-primitive operations complete immediately, exactly like a
+//! zero-step closure running ahead of the gate on a worker thread. This
+//! makes [`quiesce`](ExecBackend::quiesce) a no-op and crash/suspend
+//! cuts deterministic by construction.
+//!
+//! ## Contract enforcement
+//!
+//! The worker-thread backend *physically* serializes primitives through
+//! the gate; here nothing stops a buggy task from applying two
+//! primitives in one poll, so the backend watches the process's step
+//! counter around every poll and panics on a violation (a primitive
+//! applied while priming, ≠ 1 primitive on a granted step). Violations
+//! are bugs in the task, not schedule-dependent behavior.
+
+use super::{ExecBackend, StepOutcome};
+use crate::history::{OpRecord, OpSpec};
+use crate::runtime::Runtime;
+use crate::task::{Op, OpTask, Poll};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A primed task parked immediately before its next primitive.
+struct Parked {
+    spec: OpSpec,
+    task: Box<dyn OpTask>,
+    inv: u64,
+    /// Process's cumulative step count at invocation.
+    steps_at_inv: u64,
+}
+
+#[derive(Default)]
+struct Slot {
+    /// Operations submitted but not yet started.
+    queue: VecDeque<(OpSpec, Box<dyn OpTask>)>,
+    /// The in-flight operation, if any.
+    parked: Option<Parked>,
+}
+
+/// The cooperative (virtual-process) execution backend. See the [module
+/// docs](self).
+pub struct CoopBackend {
+    runtime: Arc<Runtime>,
+    slots: Vec<Slot>,
+    /// Produced events awaiting a drain.
+    events: Vec<OpRecord>,
+}
+
+impl CoopBackend {
+    /// A backend for the virtual processes of a coop runtime.
+    ///
+    /// # Panics
+    /// Panics unless `runtime` was built by [`Runtime::coop`].
+    pub fn new(runtime: Arc<Runtime>) -> Self {
+        assert!(
+            runtime.is_coop(),
+            "CoopBackend requires a coop runtime (Runtime::coop)"
+        );
+        let n = runtime.n();
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, Slot::default);
+        CoopBackend {
+            runtime,
+            slots,
+            events: Vec::new(),
+        }
+    }
+
+    /// Start queued operations until one parks at a primitive or the
+    /// queue runs dry: announce the invocation, run the priming poll,
+    /// and complete zero-primitive operations on the spot.
+    fn advance(&mut self, pid: usize) {
+        debug_assert!(self.slots[pid].parked.is_none());
+        while let Some((spec, mut task)) = self.slots[pid].queue.pop_front() {
+            let inv = self.runtime.ticket();
+            let steps_at_inv = self.runtime.steps_of(pid);
+            self.events.push(OpRecord {
+                pid,
+                kind: spec.kind(0),
+                inv,
+                resp: None,
+                steps: steps_at_inv,
+            });
+            let ctx = self.runtime.ctx(pid);
+            let polled = task.poll(&ctx);
+            assert_eq!(
+                self.runtime.steps_of(pid),
+                steps_at_inv,
+                "OpTask contract violation (pid {pid}, op {:?}): the priming poll \
+                 applied a primitive before any step was granted",
+                spec.kind(0).label(),
+            );
+            match polled {
+                Poll::Ready(ret) => {
+                    self.events.push(OpRecord {
+                        pid,
+                        kind: spec.kind(ret),
+                        inv,
+                        resp: Some(self.runtime.ticket()),
+                        steps: 0,
+                    });
+                }
+                Poll::Pending => {
+                    self.slots[pid].parked = Some(Parked {
+                        spec,
+                        task,
+                        inv,
+                        steps_at_inv,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl ExecBackend for CoopBackend {
+    fn submit(&mut self, pid: usize, spec: OpSpec, op: Op) {
+        let task = match op {
+            Op::Task(task) => task,
+            Op::Call(_) => panic!(
+                "closure ops cannot be suspended cooperatively; \
+                 submit an OpTask (Driver::submit_task) or use the thread backend"
+            ),
+        };
+        self.slots[pid].queue.push_back((spec, task));
+        if self.slots[pid].parked.is_none() {
+            self.advance(pid);
+        }
+    }
+
+    fn step(&mut self, pid: usize, expected_ops: u64) -> StepOutcome {
+        let Some(parked) = self.slots[pid].parked.as_mut() else {
+            debug_assert!(self.slots[pid].queue.is_empty());
+            let _ = expected_ops; // completion is structural here
+            return StepOutcome::Completed;
+        };
+        let before = self.runtime.steps_of(pid);
+        let ctx = self.runtime.ctx(pid);
+        let polled = parked.task.poll(&ctx);
+        let applied = self.runtime.steps_of(pid) - before;
+        assert_eq!(
+            applied,
+            1,
+            "OpTask contract violation (pid {pid}, op {:?}): a granted step must \
+             apply exactly one primitive, got {applied}",
+            parked.spec.kind(0).label(),
+        );
+        if let Poll::Ready(ret) = polled {
+            let parked = self.slots[pid].parked.take().expect("just polled");
+            self.events.push(OpRecord {
+                pid,
+                kind: parked.spec.kind(ret),
+                inv: parked.inv,
+                resp: Some(self.runtime.ticket()),
+                steps: self.runtime.steps_of(pid) - parked.steps_at_inv,
+            });
+            self.advance(pid);
+        }
+        StepOutcome::Stepped
+    }
+
+    fn quiesce(&mut self, _pid: usize, _expected_ops: u64) {
+        // Always at a stable point: `advance` runs eagerly on submit and
+        // after every completion, so parked/idle state and the event
+        // buffer are already the deterministic cut a quiesce produces.
+    }
+
+    fn drain(&mut self, sink: &mut dyn FnMut(OpRecord)) {
+        for rec in self.events.drain(..) {
+            sink(rec);
+        }
+    }
+
+    fn wait_event(&mut self) -> OpRecord {
+        unreachable!("coop runtimes are gated; free-running wait is a thread-backend operation");
+    }
+
+    fn shutdown(&mut self) {
+        // Mirror the thread backend's teardown: parked operations and
+        // everything queued behind them (crashed processes included) run
+        // to completion ungated, so shared memory ends as if every
+        // submitted operation finished. Records are discarded.
+        for pid in 0..self.slots.len() {
+            let ctx = self.runtime.ctx(pid);
+            let slot = &mut self.slots[pid];
+            let parked = slot.parked.take().map(|p| p.task);
+            let rest = std::mem::take(&mut slot.queue);
+            for mut task in parked.into_iter().chain(rest.into_iter().map(|(_, t)| t)) {
+                while task.poll(&ctx).is_pending() {}
+            }
+        }
+    }
+}
+
+impl Drop for CoopBackend {
+    fn drop(&mut self) {
+        // During a panic unwind (e.g. a contract violation) the tasks
+        // are suspect; re-polling them could panic again and abort.
+        // Leaking their remaining effects is fine then.
+        if !std::thread::panicking() {
+            self.shutdown();
+        }
+    }
+}

@@ -1,50 +1,45 @@
-//! The [`Driver`]: one worker thread per process, controller-side
-//! scheduling, and operation-history recording.
+//! The [`Driver`]: controller-side scheduling and operation-history
+//! recording, generic over an execution backend.
 //!
-//! In **gated** mode the driver is the controller of the gate: it submits
-//! operations to per-process workers and advances the execution one
-//! primitive at a time ([`Driver::step`]), under any [`Scheduler`] policy
-//! or under direct, fully scripted control (what the lower-bound
-//! adversaries need — including suspending a process mid-operation
-//! indefinitely by simply never scheduling it again).
+//! In **gated** mode the driver is the controller: it submits operations
+//! to per-process executors and advances the execution one primitive at
+//! a time ([`Driver::step`]), under any [`Scheduler`] policy or under
+//! direct, fully scripted control (what the lower-bound adversaries
+//! need — including suspending a process mid-operation indefinitely by
+//! simply never scheduling it again).
 //!
-//! In **free-running** mode workers execute operations as soon as they are
-//! submitted; [`Driver::wait_all`] collects the resulting history.
+//! In **free-running** mode (thread backend only) workers execute
+//! operations as soon as they are submitted; [`Driver::wait_all`]
+//! collects the resulting history.
+//!
+//! How operations execute is the backend's business
+//! ([`ExecBackend`](crate::backend::ExecBackend)):
+//! [`Driver::new`] gives the classic one-worker-thread-per-process
+//! [`ThreadBackend`]; [`Driver::coop`] drives *virtual* processes as
+//! [`OpTask`] state machines on the controller thread ([`CoopBackend`]),
+//! scaling gated executions to 10⁵–10⁶ processes. All controller-side
+//! bookkeeping — histories, crash semantics, snapshots, the active set —
+//! is shared and behaves identically on either backend.
 //!
 //! Determinism: gated executions serialize primitives completely, and the
 //! implementations under test are deterministic, so replaying the same
 //! submissions under the same schedule reproduces the same shared-memory
 //! execution — the property the perturbation builder relies on.
 
-use crate::gate::GrantOutcome;
+use crate::active::ActiveSet;
+use crate::backend::{CoopBackend, ExecBackend, ThreadBackend};
 use crate::history::{History, OpRecord, OpSpec};
 use crate::runtime::{Mode, Runtime};
 use crate::sched::Scheduler;
+use crate::task::{Op, OpTask};
 use crate::ProcCtx;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-type OpFn = Box<dyn FnOnce(&ProcCtx) -> u128 + Send + 'static>;
+pub use crate::backend::StepOutcome;
 
-enum Cmd {
-    Op { spec: OpSpec, f: OpFn },
-    Stop,
-}
-
-/// Result of advancing one process by one step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StepOutcome {
-    /// One primitive was executed to completion.
-    Stepped,
-    /// All operations submitted to this process have completed; no step
-    /// was taken.
-    Completed,
-}
-
-/// Controller for a set of worker threads, one per process.
+/// Controller for a set of per-process executors.
 ///
-/// See the [module docs](self) for the execution modes.
+/// See the [module docs](self) for the execution modes and backends.
 ///
 /// ```
 /// use smr::{Driver, OpSpec, Register, Runtime};
@@ -66,52 +61,80 @@ pub enum StepOutcome {
 /// driver.run_schedule(&mut RoundRobin::new());
 /// assert_eq!(reg.peek(), 1);
 /// ```
-pub struct Driver {
+pub struct Driver<B: ExecBackend = ThreadBackend> {
     runtime: Arc<Runtime>,
-    cmd_tx: Vec<Sender<Cmd>>,
-    evt_rx: Receiver<OpRecord>,
-    workers: Vec<JoinHandle<()>>,
+    backend: B,
     submitted: Vec<u64>,
     completed: Vec<u64>,
     crashed: Vec<bool>,
     /// Invocation records of ops that have started but not yet completed
-    /// (at most one per worker). Surfaced as pending history records when
-    /// the process crashes mid-operation, and by [`history_snapshot`] for
-    /// processes that are merely suspended.
+    /// (at most one per process). Surfaced as pending history records
+    /// when the process crashes mid-operation, and by
+    /// [`history_snapshot`] for processes that are merely suspended.
     ///
     /// [`history_snapshot`]: Driver::history_snapshot
     in_flight: Vec<Option<OpRecord>>,
+    /// Uncrashed pids with unfinished submitted operations, maintained
+    /// incrementally (no per-step rebuild).
+    active: ActiveSet,
     history: History,
 }
 
-impl Driver {
-    /// Spawn one worker per process of `runtime`.
+impl Driver<ThreadBackend> {
+    /// A driver over the thread backend: one worker thread per process
+    /// of `runtime` (gated or free-running).
     pub fn new(runtime: Arc<Runtime>) -> Self {
+        let backend = ThreadBackend::new(runtime.clone());
+        Driver::with_backend(runtime, backend)
+    }
+
+    /// Queue a closure operation for process `pid`. `spec` is the typed
+    /// description of what the closure does ([`OpSpec::inc`],
+    /// [`OpSpec::read`], …); the closure's return value completes the
+    /// recorded [`OpKind`](crate::OpKind). In gated mode the operation
+    /// will not take effect until scheduled; in free-running mode it
+    /// starts immediately.
+    ///
+    /// Closures run start-to-finish on a worker thread, so they exist
+    /// only on the thread backend; the coop backend takes resumable
+    /// tasks ([`Driver::submit_task`], which works on both).
+    ///
+    /// # Panics
+    /// Panics if `pid` has been [crashed](Driver::crash).
+    pub fn submit<F>(&mut self, pid: usize, spec: OpSpec, f: F)
+    where
+        F: FnOnce(&ProcCtx) -> u128 + Send + 'static,
+    {
+        self.submit_op(pid, spec, Op::Call(Box::new(f)));
+    }
+}
+
+impl Driver<CoopBackend> {
+    /// A driver whose processes are *virtual*: no worker threads, no
+    /// gate — `runtime` must come from [`Runtime::coop`], operations are
+    /// submitted as [`OpTask`]s ([`Driver::submit_task`]), and each
+    /// granted step polls the scheduled process's task once on the
+    /// controller thread. Gated semantics (crash, suspension,
+    /// snapshots, determinism) are identical to the thread backend's;
+    /// the scaling ceiling moves from ~10³ OS threads to 10⁵–10⁶
+    /// virtual processes.
+    pub fn coop(runtime: Arc<Runtime>) -> Self {
+        let backend = CoopBackend::new(runtime.clone());
+        Driver::with_backend(runtime, backend)
+    }
+}
+
+impl<B: ExecBackend> Driver<B> {
+    fn with_backend(runtime: Arc<Runtime>, backend: B) -> Self {
         let n = runtime.n();
-        let (evt_tx, evt_rx) = unbounded();
-        let mut cmd_tx = Vec::with_capacity(n);
-        let mut workers = Vec::with_capacity(n);
-        for pid in 0..n {
-            let (tx, rx) = unbounded::<Cmd>();
-            cmd_tx.push(tx);
-            let rt = runtime.clone();
-            let etx = evt_tx.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("smr-worker-{pid}"))
-                    .spawn(move || worker_loop(rt, pid, rx, etx))
-                    .expect("spawn worker"),
-            );
-        }
         Driver {
             runtime,
-            cmd_tx,
-            evt_rx,
-            workers,
+            backend,
             submitted: vec![0; n],
             completed: vec![0; n],
             crashed: vec![false; n],
             in_flight: vec![None; n],
+            active: ActiveSet::new(n),
             history: History::new(),
         }
     }
@@ -121,23 +144,32 @@ impl Driver {
         &self.runtime
     }
 
-    /// Queue an operation for process `pid`. `spec` is the typed
-    /// description of what the closure does ([`OpSpec::inc`],
-    /// [`OpSpec::read`], …); the closure's return value completes the
-    /// recorded [`OpKind`](crate::OpKind). In gated mode the operation
-    /// will not take effect until scheduled; in free-running mode it
-    /// starts immediately.
-    pub fn submit<F>(&mut self, pid: usize, spec: OpSpec, f: F)
+    /// Queue a resumable [`OpTask`] operation for process `pid` — the
+    /// submission form that runs on every backend (on the thread
+    /// backend the task is polled to completion on the worker, each of
+    /// its primitives parking at the gate individually).
+    ///
+    /// # Panics
+    /// Panics if `pid` has been [crashed](Driver::crash).
+    pub fn submit_task<T>(&mut self, pid: usize, spec: OpSpec, task: T)
     where
-        F: FnOnce(&ProcCtx) -> u128 + Send + 'static,
+        T: OpTask + 'static,
     {
+        self.submit_op(pid, spec, Op::Task(Box::new(task)));
+    }
+
+    fn submit_op(&mut self, pid: usize, spec: OpSpec, op: Op) {
+        // A crashed process never runs again, so work queued to it could
+        // never execute — accepting it would silently skew the
+        // submitted/active accounting (the pid would look runnable
+        // forever to `run_schedule`). Refuse loudly instead.
+        assert!(
+            !self.crashed[pid],
+            "submit to crashed process {pid}: a crashed process cannot run operations"
+        );
         self.submitted[pid] += 1;
-        self.cmd_tx[pid]
-            .send(Cmd::Op {
-                spec,
-                f: Box::new(f),
-            })
-            .expect("worker alive");
+        self.active.insert(pid);
+        self.backend.submit(pid, spec, op);
     }
 
     /// Operations submitted so far to `pid`.
@@ -150,12 +182,17 @@ impl Driver {
         self.completed[pid]
     }
 
-    /// Process ids that still have unfinished submitted operations and
-    /// have not been crashed.
+    /// The incrementally-maintained set of process ids that still have
+    /// unfinished submitted operations and have not been crashed — what
+    /// [`run_schedule`](Driver::run_schedule) hands the [`Scheduler`].
+    pub fn active_set(&self) -> &ActiveSet {
+        &self.active
+    }
+
+    /// Process ids with unfinished operations, ascending (a sorted copy;
+    /// prefer [`active_set`](Driver::active_set) in hot paths).
     pub fn active_pids(&self) -> Vec<usize> {
-        (0..self.runtime.n())
-            .filter(|&p| !self.crashed[p] && self.submitted[p] > self.completed[p])
-            .collect()
+        self.active.iter_sorted().collect()
     }
 
     /// Crash process `pid`: it is never scheduled again in this driver's
@@ -165,29 +202,31 @@ impl Driver {
     /// observable through shared memory), while the operation parked at
     /// a primitive, if any, stays suspended forever and is surfaced as a
     /// pending history record (`resp = None`) so linearizability
-    /// checkers can account for its optional effects. The worker thread
-    /// itself is reclaimed on drop.
+    /// checkers can account for its optional effects. Executor resources
+    /// (worker threads / task state) are reclaimed on drop.
     ///
     /// Gated mode only — in free-running mode processes cannot be
     /// stopped once submitted to.
     pub fn crash(&mut self, pid: usize) {
-        let gate = self
-            .runtime
-            .gate
-            .as_ref()
-            .expect("crash() requires a gated runtime");
-        // Synchronize with the worker before deciding what is pending:
-        // wait until it is parked at a primitive or out of work. This
-        // guarantees every announcement/completion it will ever emit
-        // without further grants is in the channel, so the drain below
-        // observes a deterministic cut regardless of thread timing.
-        gate.quiesce(pid, self.submitted[pid]);
+        assert_eq!(
+            self.runtime.mode(),
+            Mode::Gated,
+            "crash() requires a gated runtime"
+        );
+        // Synchronize with the executor before deciding what is pending:
+        // wait until the process is parked at a primitive or out of
+        // work. This guarantees every announcement/completion it will
+        // ever emit without further grants is drainable, so the drain
+        // below observes a deterministic cut regardless of thread
+        // timing.
+        self.backend.quiesce(pid, self.submitted[pid]);
         self.crashed[pid] = true;
+        self.active.remove(pid);
         self.drain_events();
         if let Some(mut rec) = self.in_flight[pid].take() {
             // The announcement's `steps` field holds the process's
-            // cumulative step count at invocation (see `worker_loop`);
-            // convert it to the steps the suspended op itself performed.
+            // cumulative step count at invocation; convert it to the
+            // steps the suspended op itself performed.
             rec.steps = self.runtime.steps_of(pid) - rec.steps;
             self.history.push(rec);
         }
@@ -202,18 +241,10 @@ impl Driver {
     /// learn that all of its submitted operations completed).
     ///
     /// # Panics
-    /// Panics in free-running mode.
+    /// Panics in free-running mode, and if `pid` has crashed.
     pub fn step(&mut self, pid: usize) -> StepOutcome {
         assert!(!self.crashed[pid], "process {pid} has crashed");
-        let gate = self
-            .runtime
-            .gate
-            .as_ref()
-            .expect("step() requires a gated runtime");
-        let out = match gate.grant(pid, self.submitted[pid]) {
-            GrantOutcome::Stepped => StepOutcome::Stepped,
-            GrantOutcome::Completed => StepOutcome::Completed,
-        };
+        let out = self.backend.step(pid, self.submitted[pid]);
         self.drain_events();
         out
     }
@@ -233,11 +264,11 @@ impl Driver {
     pub fn run_schedule<S: Scheduler + ?Sized>(&mut self, sched: &mut S) -> u64 {
         let mut steps = 0;
         loop {
-            let active = self.active_pids();
-            if active.is_empty() {
+            if self.active.is_empty() {
                 return steps;
             }
-            let pid = sched.next(&active);
+            let pid = sched.next(&self.active);
+            debug_assert!(self.active.contains(pid), "scheduler picked inactive pid");
             if self.step(pid) == StepOutcome::Stepped {
                 steps += 1;
             }
@@ -253,7 +284,7 @@ impl Driver {
             "wait_all() requires a free-running runtime"
         );
         while self.total_pending() > 0 {
-            let rec = self.evt_rx.recv().expect("workers alive");
+            let rec = self.backend.wait_event();
             self.record(rec);
         }
     }
@@ -265,21 +296,54 @@ impl Driver {
     }
 
     fn drain_events(&mut self) {
-        while let Ok(rec) = self.evt_rx.try_recv() {
-            self.record(rec);
-        }
+        // Destructure so the closure borrows fields, not `self` (the
+        // backend is borrowed mutably for the duration of the drain).
+        let Driver {
+            backend,
+            submitted,
+            completed,
+            in_flight,
+            active,
+            history,
+            ..
+        } = self;
+        backend.drain(&mut |rec| {
+            Self::record_fields(submitted, completed, in_flight, active, history, rec)
+        });
     }
 
-    /// Process one worker event: an invocation announcement (pending
+    /// Process one executor event: an invocation announcement (pending
     /// record, `resp = None`) or a completion.
     fn record(&mut self, rec: OpRecord) {
+        Self::record_fields(
+            &self.submitted,
+            &mut self.completed,
+            &mut self.in_flight,
+            &mut self.active,
+            &mut self.history,
+            rec,
+        );
+    }
+
+    fn record_fields(
+        submitted: &[u64],
+        completed: &mut [u64],
+        in_flight: &mut [Option<OpRecord>],
+        active: &mut ActiveSet,
+        history: &mut History,
+        rec: OpRecord,
+    ) {
         if rec.resp.is_some() {
-            self.in_flight[rec.pid] = None;
-            self.completed[rec.pid] += 1;
-            self.history.push(rec);
+            let pid = rec.pid;
+            in_flight[pid] = None;
+            completed[pid] += 1;
+            if completed[pid] == submitted[pid] {
+                active.remove(pid);
+            }
+            history.push(rec);
         } else {
             let pid = rec.pid;
-            self.in_flight[pid] = Some(rec);
+            in_flight[pid] = Some(rec);
         }
     }
 
@@ -301,14 +365,15 @@ impl Driver {
     /// mid-operation and may or may not ever run again.
     ///
     /// Gated mode: every uncrashed process is first quiesced at a stable
-    /// point (parked at a primitive or idle) via the gate — the same
-    /// synchronization [`crash`] uses — so the snapshot is a
-    /// deterministic cut of the execution, and it is what a
-    /// linearizability checker should consume when the execution has not
-    /// quiesced: a suspended operation's effects are optional, exactly
-    /// like a crashed one's. The suspended operations remain in flight:
-    /// if the schedule later resumes them, the final history records
-    /// their completions as usual.
+    /// point (parked at a primitive or idle) — the same synchronization
+    /// [`crash`] uses (a no-op on the coop backend, which maintains that
+    /// stable point continuously) — so the snapshot is a deterministic
+    /// cut of the execution, and it is what a linearizability checker
+    /// should consume when the execution has not quiesced: a suspended
+    /// operation's effects are optional, exactly like a crashed one's.
+    /// The suspended operations remain in flight: if the schedule later
+    /// resumes them, the final history records their completions as
+    /// usual.
     ///
     /// Free-running mode: workers send no invocation announcements, so
     /// an operation that is mid-execution has **no** pending record here
@@ -322,10 +387,10 @@ impl Driver {
     /// [`history`]: Driver::history
     /// [`crash`]: Driver::crash
     pub fn history_snapshot(&mut self) -> History {
-        if let Some(gate) = self.runtime.gate.as_ref() {
+        if self.runtime.mode() == Mode::Gated {
             for pid in 0..self.runtime.n() {
                 if !self.crashed[pid] {
-                    gate.quiesce(pid, self.submitted[pid]);
+                    self.backend.quiesce(pid, self.submitted[pid]);
                 }
             }
         }
@@ -350,78 +415,17 @@ impl Driver {
     }
 }
 
-impl Drop for Driver {
-    fn drop(&mut self) {
-        for tx in &self.cmd_tx {
-            let _ = tx.send(Cmd::Stop);
-        }
-        // Unblock any worker parked at the gate mid-operation; it will
-        // finish its operation free-running, then see Stop.
-        self.runtime.release_gate();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
-fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<OpRecord>) {
-    let ctx = runtime.ctx(pid);
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Cmd::Stop => break,
-            Cmd::Op { spec, f } => {
-                if let Some(gate) = &runtime.gate {
-                    gate.op_started(pid);
-                }
-                let inv = runtime.ticket();
-                let steps_before = ctx.steps_taken();
-                // Gated mode only: announce the invocation before
-                // executing, so if this process crashes or is suspended
-                // mid-operation the controller still learns the op
-                // started (its effects are optional for linearization).
-                // The announcement's kind carries the spec's
-                // invocation-time payload with a zero result, and its
-                // `steps` field the process's cumulative step count at
-                // invocation; `Driver::crash`/`history_snapshot` rewrite
-                // the latter to the steps the op itself performed before
-                // surfacing the record. Free-running runtimes cannot
-                // suspend processes, so the announcement would be pure
-                // channel overhead there.
-                if runtime.gate.is_some() {
-                    let _ = tx.send(OpRecord {
-                        pid,
-                        kind: spec.kind(0),
-                        inv,
-                        resp: None,
-                        steps: steps_before,
-                    });
-                }
-                let ret = f(&ctx);
-                let steps = ctx.steps_taken() - steps_before;
-                let resp = runtime.ticket();
-                // The event must be in the channel before `op_finished` is
-                // signalled, so a controller that observes completion can
-                // always drain the corresponding record.
-                let _ = tx.send(OpRecord {
-                    pid,
-                    kind: spec.kind(ret),
-                    inv,
-                    resp: Some(resp),
-                    steps,
-                });
-                if let Some(gate) = &runtime.gate {
-                    gate.op_finished(pid);
-                }
-            }
-        }
-    }
-}
+// Teardown is the backend's job (`ExecBackend::shutdown`, invoked from
+// each backend's own `Drop`): workers are unblocked and every in-flight
+// or queued operation finishes free-running, so dropping a `Driver`
+// leaves shared memory as if all submitted operations completed.
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::history::OpKind;
     use crate::sched::{RoundRobin, Scripted, SeededRandom};
+    use crate::task::Poll;
     use crate::{Register, Runtime, TasBit};
 
     #[test]
@@ -562,6 +566,15 @@ mod tests {
             assert_eq!(rec.kind, OpKind::Inc { amount: 1 });
             assert_eq!(reg.peek(), 0, "no primitive was granted");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "submit to crashed process 0")]
+    fn submit_to_crashed_process_panics() {
+        let rt = Runtime::gated(2);
+        let mut d = Driver::new(rt);
+        d.crash(0);
+        d.submit(0, OpSpec::inc(), |_ctx| 0);
     }
 
     #[test]
@@ -710,5 +723,166 @@ mod tests {
         let mut s = Scripted::new([0, 0, 1, 1]);
         d.run_schedule(&mut s);
         assert_eq!(reg.peek(), 20);
+    }
+
+    /// Minimal task: read a register, then write `v + delta`, returning
+    /// the read value — two primitives, written to the poll contract.
+    struct RmwTask {
+        reg: Arc<Register>,
+        delta: u64,
+        read: Option<u64>,
+        primed: bool,
+    }
+
+    impl RmwTask {
+        fn new(reg: Arc<Register>, delta: u64) -> Self {
+            RmwTask {
+                reg,
+                delta,
+                read: None,
+                primed: false,
+            }
+        }
+    }
+
+    impl OpTask for RmwTask {
+        fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+            if !self.primed {
+                self.primed = true;
+                return Poll::Pending;
+            }
+            match self.read {
+                None => {
+                    self.read = Some(self.reg.read(ctx));
+                    Poll::Pending
+                }
+                Some(v) => {
+                    self.reg.write(ctx, v + self.delta);
+                    Poll::Ready(u128::from(v))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coop_round_robin_matches_thread_semantics() {
+        let rt = Runtime::coop(3);
+        let mut d = Driver::coop(rt.clone());
+        let reg = Arc::new(Register::new(0));
+        for pid in 0..3 {
+            d.submit_task(pid, OpSpec::custom("rmw", 0), RmwTask::new(reg.clone(), 1));
+        }
+        let steps = d.run_schedule(&mut RoundRobin::new());
+        assert_eq!(steps, 6, "3 processes x 2 primitives");
+        assert_eq!(reg.peek(), 1, "round-robin loses updates identically");
+        assert_eq!(rt.total_steps(), 6);
+        for rec in d.history().ops() {
+            assert_eq!(rec.returned(), 0);
+            assert_eq!(rec.steps, 2);
+            assert!(rec.resp.is_some());
+        }
+    }
+
+    #[test]
+    fn coop_crash_and_snapshot_semantics() {
+        let rt = Runtime::coop(2);
+        let mut d = Driver::coop(rt);
+        let reg = Arc::new(Register::new(0));
+        d.submit_task(0, OpSpec::inc(), RmwTask::new(reg.clone(), 1));
+        d.submit_task(1, OpSpec::read(), RmwTask::new(reg.clone(), 0));
+
+        assert_eq!(d.step(0), StepOutcome::Stepped); // read applied, parked at write
+                                                     // Both in-flight ops surface as pending records: pid 0 one step
+                                                     // in, pid 1 announced but never granted a step.
+        let snap = d.history_snapshot();
+        assert_eq!(snap.len(), 2);
+        let by_pid = |p: usize| snap.ops().iter().find(|r| r.pid == p).unwrap().clone();
+        assert_eq!(by_pid(0).resp, None);
+        assert_eq!(by_pid(0).steps, 1);
+        assert_eq!(by_pid(1).resp, None);
+        assert_eq!(by_pid(1).steps, 0);
+
+        d.crash(0);
+        assert_eq!(d.history().len(), 1, "pending record surfaced by crash");
+        assert_eq!(d.history().ops()[0].kind, OpKind::Inc { amount: 1 });
+        assert!(!d.active_pids().contains(&0));
+
+        d.run_solo(1);
+        assert_eq!(d.completed_of(1), 1, "survivor unaffected");
+    }
+
+    #[test]
+    fn coop_drop_finishes_suspended_ops() {
+        let rt = Runtime::coop(1);
+        let mut d = Driver::coop(rt);
+        let reg = Arc::new(Register::new(10));
+        d.submit_task(
+            0,
+            OpSpec::custom("two-steps", 0),
+            RmwTask::new(reg.clone(), 1),
+        );
+        assert_eq!(d.step(0), StepOutcome::Stepped); // read 10, parked at write
+        drop(d);
+        assert_eq!(reg.peek(), 11, "suspended op completed at teardown");
+    }
+
+    #[test]
+    fn coop_zero_step_tasks_complete_without_grants() {
+        let rt = Runtime::coop(2);
+        let mut d = Driver::coop(rt);
+        d.submit_task(
+            0,
+            OpSpec::custom("noop", 0),
+            crate::task::ImmediateOp::new(|_| 42),
+        );
+        d.crash(0);
+        assert_eq!(d.completed_of(0), 1, "zero-primitive op completes");
+        assert_eq!(d.history().len(), 1);
+        assert!(d.history().ops()[0].resp.is_some());
+        assert_eq!(d.history().ops()[0].returned(), 42);
+    }
+
+    #[test]
+    fn tasks_run_on_the_thread_backend_too() {
+        let rt = Runtime::gated(2);
+        let mut d = Driver::new(rt);
+        let reg = Arc::new(Register::new(0));
+        for pid in 0..2 {
+            d.submit_task(pid, OpSpec::custom("rmw", 0), RmwTask::new(reg.clone(), 10));
+        }
+        let mut s = Scripted::new([0, 0, 1, 1]);
+        d.run_schedule(&mut s);
+        assert_eq!(reg.peek(), 20, "sequential task schedule loses nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one primitive")]
+    fn coop_detects_multi_primitive_polls() {
+        struct Greedy {
+            reg: Arc<Register>,
+            primed: bool,
+        }
+        impl OpTask for Greedy {
+            fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+                if !self.primed {
+                    self.primed = true;
+                    return Poll::Pending;
+                }
+                let v = self.reg.read(ctx);
+                self.reg.write(ctx, v + 1); // second primitive: contract violation
+                Poll::Ready(0)
+            }
+        }
+        let rt = Runtime::coop(1);
+        let mut d = Driver::coop(rt);
+        d.submit_task(
+            0,
+            OpSpec::custom("greedy", 0),
+            Greedy {
+                reg: Arc::new(Register::new(0)),
+                primed: false,
+            },
+        );
+        let _ = d.step(0);
     }
 }

@@ -22,11 +22,17 @@
 //!     controller grants it one step, giving fully deterministic,
 //!     scriptable interleavings at primitive granularity (what the
 //!     adversary constructions in the paper's lower-bound proofs need).
-//! * **A driver harness** ([`driver::Driver`]) that runs one worker thread
-//!   per process, lets a controller submit operations and schedule steps,
-//!   and records a timestamped operation history for linearizability
-//!   checking.
-//! * **Schedulers** ([`sched`]) — round-robin, seeded-random and scripted.
+//! * **A driver harness** ([`driver::Driver`]) generic over an
+//!   *execution backend* ([`backend`]): the [`ThreadBackend`] runs one
+//!   worker thread per process (closures or tasks, free-running or
+//!   gated), while the [`CoopBackend`] drives 10⁵–10⁶ *virtual*
+//!   processes as resumable [`OpTask`] state machines on the controller
+//!   thread. Either way the controller submits operations, schedules
+//!   steps and records a timestamped operation history for
+//!   linearizability checking.
+//! * **Schedulers** ([`sched`]) — round-robin, seeded-random and
+//!   scripted, picking from an incrementally-maintained [`ActiveSet`] so
+//!   policies stay cheap at 10⁵–10⁶ pids.
 //! * **A lock-free growable segment array** ([`SegArray`]) used to hold the
 //!   unbounded `switch` sequence of the paper's Algorithm 1.
 //!
@@ -43,6 +49,8 @@
 //! assert_eq!(rt.steps_of(0), 2); // two primitive applications
 //! ```
 
+mod active;
+pub mod backend;
 mod ctx;
 pub mod driver;
 mod gate;
@@ -52,9 +60,12 @@ mod runtime;
 pub mod sched;
 mod segarray;
 mod step;
+pub mod task;
 mod trace;
 mod wide;
 
+pub use active::ActiveSet;
+pub use backend::{CoopBackend, ExecBackend, ThreadBackend};
 pub use ctx::ProcCtx;
 pub use driver::{Driver, StepOutcome};
 pub use history::{History, OpKind, OpRecord, OpSpec};
@@ -62,5 +73,6 @@ pub use primitives::{FaaRegister, Register, TasBit};
 pub use runtime::{Mode, Runtime};
 pub use segarray::SegArray;
 pub use step::StepStats;
+pub use task::{ImmediateOp, Op, OpTask, Poll};
 pub use trace::{AccessKind, TraceEvent};
 pub use wide::WideRegister;

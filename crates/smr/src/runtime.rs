@@ -12,8 +12,51 @@ use std::sync::Arc;
 pub enum Mode {
     /// Primitives run at native speed; only step counters are maintained.
     FreeRunning,
-    /// Every primitive parks at the gate until a controller grants it.
+    /// Every primitive is granted individually by a controller, giving
+    /// fully deterministic interleavings — either through the gate (the
+    /// thread backend parks workers at it) or by cooperative polling
+    /// (the coop backend grants a step by polling a task once).
     Gated,
+}
+
+/// Per-process step counters. Worker threads hammer these concurrently,
+/// so the thread-backed runtimes pad each counter to its own cache line;
+/// a coop runtime is driven by a single controller thread over up to
+/// 10⁶ virtual processes, where 64-byte padding would multiply resident
+/// memory eightfold for no contention benefit — it stores them densely.
+enum StepCounters {
+    Padded(Vec<pad::CachePadded<AtomicU64>>),
+    Dense(Vec<AtomicU64>),
+}
+
+impl StepCounters {
+    fn at(&self, pid: usize) -> &AtomicU64 {
+        match self {
+            StepCounters::Padded(v) => &v[pid],
+            StepCounters::Dense(v) => &v[pid],
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        match self {
+            StepCounters::Padded(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            StepCounters::Dense(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        match self {
+            StepCounters::Padded(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
+            StepCounters::Dense(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
+        }
+    }
+
+    fn reset(&self) {
+        match self {
+            StepCounters::Padded(v) => v.iter().for_each(|c| c.store(0, Ordering::Relaxed)),
+            StepCounters::Dense(v) => v.iter().for_each(|c| c.store(0, Ordering::Relaxed)),
+        }
+    }
 }
 
 /// The shared-memory machine: `n` process slots, each with a step counter,
@@ -25,7 +68,10 @@ pub enum Mode {
 pub struct Runtime {
     n: usize,
     mode: Mode,
-    steps: Vec<pad::CachePadded<AtomicU64>>,
+    /// Gated runtime with no gate: processes are *virtual*, driven
+    /// cooperatively on the controller thread (`Driver::coop`).
+    coop: bool,
+    steps: StepCounters,
     ticket: AtomicU64,
     tracer: Tracer,
     pub(crate) gate: Option<Gate>,
@@ -36,6 +82,7 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("n", &self.n)
             .field("mode", &self.mode)
+            .field("coop", &self.coop)
             .field("total_steps", &self.total_steps())
             .finish()
     }
@@ -44,27 +91,46 @@ impl std::fmt::Debug for Runtime {
 impl Runtime {
     /// A free-running runtime for `n` processes.
     pub fn free_running(n: usize) -> Arc<Runtime> {
-        Arc::new(Runtime::with_mode(n, Mode::FreeRunning))
+        Arc::new(Runtime::build(n, Mode::FreeRunning, false))
     }
 
-    /// A gated runtime for `n` processes (deterministic scheduling).
+    /// A gated runtime for `n` processes (deterministic scheduling),
+    /// backed by one worker thread per process.
     pub fn gated(n: usize) -> Arc<Runtime> {
-        Arc::new(Runtime::with_mode(n, Mode::Gated))
+        Arc::new(Runtime::build(n, Mode::Gated, false))
     }
 
-    fn with_mode(n: usize, mode: Mode) -> Runtime {
+    /// A gated runtime whose `n` processes are *virtual*: no worker
+    /// threads, no gate — operations must be submitted as
+    /// [`OpTask`](crate::OpTask)s and are interleaved cooperatively on
+    /// the controller thread (`Driver::coop`). Scales to 10⁵–10⁶
+    /// processes where [`gated`](Runtime::gated) tops out around 10³ OS
+    /// threads.
+    pub fn coop(n: usize) -> Arc<Runtime> {
+        Arc::new(Runtime::build(n, Mode::Gated, true))
+    }
+
+    fn build(n: usize, mode: Mode, coop: bool) -> Runtime {
         assert!(n > 0, "a runtime needs at least one process");
         Runtime {
             n,
             mode,
-            steps: (0..n)
-                .map(|_| pad::CachePadded::new(AtomicU64::new(0)))
-                .collect(),
+            coop,
+            steps: if coop {
+                StepCounters::Dense((0..n).map(|_| AtomicU64::new(0)).collect())
+            } else {
+                StepCounters::Padded(
+                    (0..n)
+                        .map(|_| pad::CachePadded::new(AtomicU64::new(0)))
+                        .collect(),
+                )
+            },
             ticket: AtomicU64::new(0),
             tracer: Tracer::default(),
-            gate: match mode {
-                Mode::FreeRunning => None,
-                Mode::Gated => Some(Gate::new(n)),
+            gate: if mode == Mode::Gated && !coop {
+                Some(Gate::new(n))
+            } else {
+                None
             },
         }
     }
@@ -77,6 +143,12 @@ impl Runtime {
     /// The execution mode.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// `true` for runtimes built by [`Runtime::coop`]: gated semantics,
+    /// virtual processes, no worker threads.
+    pub fn is_coop(&self) -> bool {
+        self.coop
     }
 
     /// The per-process capability used to apply primitives.
@@ -95,29 +167,22 @@ impl Runtime {
 
     /// Steps (primitive applications) performed so far by process `pid`.
     pub fn steps_of(&self, pid: usize) -> u64 {
-        self.steps[pid].load(Ordering::Relaxed)
+        self.steps.at(pid).load(Ordering::Relaxed)
     }
 
     /// Total steps performed by all processes.
     pub fn total_steps(&self) -> u64 {
-        self.steps.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.steps.total()
     }
 
     /// A snapshot of all per-process counters.
     pub fn step_stats(&self) -> StepStats {
-        StepStats::new(
-            self.steps
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-        )
+        StepStats::new(self.steps.snapshot())
     }
 
     /// Reset all step counters to zero (counters only; memory untouched).
     pub fn reset_steps(&self) {
-        for c in &self.steps {
-            c.store(0, Ordering::Relaxed);
-        }
+        self.steps.reset();
     }
 
     /// A fresh logical timestamp; strictly increasing across the runtime.
@@ -126,7 +191,7 @@ impl Runtime {
     }
 
     pub(crate) fn count_step(&self, pid: usize) {
-        self.steps[pid].fetch_add(1, Ordering::Relaxed);
+        self.steps.at(pid).fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn trace(&self, pid: usize, obj: usize, kind: AccessKind) {
@@ -155,7 +220,8 @@ impl Runtime {
 
     /// Permanently release the gate; parked processes run free afterwards.
     ///
-    /// Used on teardown so worker threads never deadlock.
+    /// Used on teardown so worker threads never deadlock. No-op on
+    /// free-running and coop runtimes (neither parks anything).
     pub fn release_gate(&self) {
         if let Some(gate) = &self.gate {
             gate.shutdown();
@@ -200,5 +266,24 @@ mod tests {
     fn ctx_rejects_bad_pid() {
         let rt = Runtime::free_running(2);
         let _ = rt.ctx(2);
+    }
+
+    #[test]
+    fn coop_runtime_is_gated_without_a_gate() {
+        let rt = Runtime::coop(4);
+        assert_eq!(rt.mode(), Mode::Gated);
+        assert!(rt.is_coop());
+        assert!(rt.gate.is_none());
+        // Primitives on a coop runtime never park; they just count.
+        let ctx = rt.ctx(3);
+        let reg = crate::Register::new(0);
+        reg.write(&ctx, 9);
+        assert_eq!(rt.steps_of(3), 1);
+    }
+
+    #[test]
+    fn thread_runtimes_are_not_coop() {
+        assert!(!Runtime::gated(2).is_coop());
+        assert!(!Runtime::free_running(2).is_coop());
     }
 }

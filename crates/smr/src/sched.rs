@@ -5,18 +5,26 @@
 //! these schedulers span the space the experiments need: fair round-robin,
 //! seeded pseudo-random (reproducible "chaotic" interleavings), and fully
 //! scripted (the lower-bound constructions and the Figure 1 scenarios).
+//!
+//! Policies pick from the driver's incrementally-maintained
+//! [`ActiveSet`] rather than a per-step pid slice, so every decision
+//! stays O(1)–O(log n) and schedules remain practical at 10⁵–10⁶
+//! virtual processes (the coop backend's territory): round-robin uses
+//! the set's ordered successor query, the seeded-random policy its O(1)
+//! dense sampling, and scripted replay its O(1) membership test.
 
+use crate::active::ActiveSet;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
 
 /// A policy choosing the next process to step among those with work.
 pub trait Scheduler {
-    /// Pick one pid from `active` (non-empty, sorted ascending).
-    fn next(&mut self, active: &[usize]) -> usize;
+    /// Pick one member of `active` (non-empty).
+    fn next(&mut self, active: &ActiveSet) -> usize;
 }
 
-/// Fair cyclic scheduling.
+/// Fair cyclic scheduling in ascending pid order.
 #[derive(Debug, Default)]
 pub struct RoundRobin {
     last: Option<usize>,
@@ -30,11 +38,12 @@ impl RoundRobin {
 }
 
 impl Scheduler for RoundRobin {
-    fn next(&mut self, active: &[usize]) -> usize {
+    fn next(&mut self, active: &ActiveSet) -> usize {
         assert!(!active.is_empty());
+        let first = || active.min().expect("non-empty");
         let pick = match self.last {
-            None => active[0],
-            Some(prev) => *active.iter().find(|&&p| p > prev).unwrap_or(&active[0]),
+            None => first(),
+            Some(prev) => active.next_after(prev).unwrap_or_else(first),
         };
         self.last = Some(pick);
         pick
@@ -58,9 +67,9 @@ impl SeededRandom {
 }
 
 impl Scheduler for SeededRandom {
-    fn next(&mut self, active: &[usize]) -> usize {
+    fn next(&mut self, active: &ActiveSet) -> usize {
         assert!(!active.is_empty());
-        active[self.rng.random_range(0..active.len())]
+        active.pick(self.rng.random_range(0..active.len()))
     }
 }
 
@@ -90,9 +99,9 @@ impl Scripted {
 }
 
 impl Scheduler for Scripted {
-    fn next(&mut self, active: &[usize]) -> usize {
+    fn next(&mut self, active: &ActiveSet) -> usize {
         while let Some(pid) = self.script.pop_front() {
-            if active.contains(&pid) {
+            if active.contains(pid) {
                 return pid;
             }
         }
@@ -100,14 +109,15 @@ impl Scheduler for Scripted {
     }
 }
 
-/// Run `pid` exclusively until it finishes, then move on — a "one at a
-/// time" sequential schedule useful for sanity checks.
+/// Run the lowest-pid active process exclusively until it finishes, then
+/// move on — a "one at a time" sequential schedule useful for sanity
+/// checks.
 #[derive(Debug, Default)]
 pub struct Sequential;
 
 impl Scheduler for Sequential {
-    fn next(&mut self, active: &[usize]) -> usize {
-        active[0]
+    fn next(&mut self, active: &ActiveSet) -> usize {
+        active.min().expect("non-empty active set")
     }
 }
 
@@ -115,10 +125,14 @@ impl Scheduler for Sequential {
 mod tests {
     use super::*;
 
+    fn set(pids: &[usize]) -> ActiveSet {
+        pids.iter().copied().collect()
+    }
+
     #[test]
     fn round_robin_cycles() {
         let mut rr = RoundRobin::new();
-        let active = [0, 2, 5];
+        let active = set(&[0, 2, 5]);
         assert_eq!(rr.next(&active), 0);
         assert_eq!(rr.next(&active), 2);
         assert_eq!(rr.next(&active), 5);
@@ -128,14 +142,26 @@ mod tests {
     #[test]
     fn round_robin_skips_inactive() {
         let mut rr = RoundRobin::new();
-        assert_eq!(rr.next(&[0, 1, 2]), 0);
-        assert_eq!(rr.next(&[0, 2]), 2);
-        assert_eq!(rr.next(&[0, 2]), 0);
+        assert_eq!(rr.next(&set(&[0, 1, 2])), 0);
+        assert_eq!(rr.next(&set(&[0, 2])), 2);
+        assert_eq!(rr.next(&set(&[0, 2])), 0);
+    }
+
+    #[test]
+    fn round_robin_stays_cheap_at_scale() {
+        // 10⁵ pids: each pick is a successor query, not a scan.
+        let n = 100_000;
+        let active: ActiveSet = (0..n).collect();
+        let mut rr = RoundRobin::new();
+        for expect in 0..n {
+            assert_eq!(rr.next(&active), expect);
+        }
+        assert_eq!(rr.next(&active), 0, "wraps around");
     }
 
     #[test]
     fn seeded_random_is_reproducible() {
-        let active = [0, 1, 2, 3];
+        let active = set(&[0, 1, 2, 3]);
         let picks1: Vec<_> = {
             let mut s = SeededRandom::new(42);
             (0..50).map(|_| s.next(&active)).collect()
@@ -150,7 +176,7 @@ mod tests {
     #[test]
     fn scripted_replays_then_falls_back() {
         let mut s = Scripted::new([1, 1, 0]);
-        let active = [0, 1];
+        let active = set(&[0, 1]);
         assert_eq!(s.next(&active), 1);
         assert_eq!(s.next(&active), 1);
         assert_eq!(s.next(&active), 0);
@@ -162,7 +188,13 @@ mod tests {
     #[test]
     fn scripted_skips_finished_processes() {
         let mut s = Scripted::new([3, 0]);
-        let active = [0, 1];
+        let active = set(&[0, 1]);
         assert_eq!(s.next(&active), 0); // 3 not active, skipped
+    }
+
+    #[test]
+    fn sequential_picks_minimum() {
+        let mut s = Sequential;
+        assert_eq!(s.next(&set(&[4, 9])), 4);
     }
 }

@@ -1,0 +1,375 @@
+//! Cross-backend equivalence: the same submissions under the same
+//! scripted schedule — including crashes, suspensions and mid-run
+//! snapshots — must produce identical executions on the thread backend
+//! (`Driver::new`, worker threads parked at the gate) and the coop
+//! backend (`Driver::coop`, virtual processes polled on the controller
+//! thread).
+//!
+//! "Identical" means: the same history records (per-pid operation
+//! sequences with kinds, completion status and per-op step counts, and
+//! the same global completion serialization), the same pending records
+//! in crash cuts and `history_snapshot()` cuts, the same per-process
+//! step counters, and the same final shared memory. Absolute logical
+//! timestamps are *not* compared: the thread backend's workers draw
+//! invocation tickets concurrently, so only their order is meaningful.
+//!
+//! Operations are random straight-line programs over a shared pool of
+//! registers and test&set bits, submitted as [`OpTask`]s (the form both
+//! backends accept). A separate test pins closure-form vs task-form
+//! equivalence on the thread backend, so the chain
+//! closure/thread ≡ task/thread ≡ task/coop is closed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smr::backend::ExecBackend;
+use smr::{Driver, History, OpSpec, OpTask, Poll, ProcCtx, Register, Runtime, TasBit};
+use std::sync::Arc;
+
+/// Shared memory the generated programs operate on.
+struct Pool {
+    regs: Vec<Register>,
+    bits: Vec<TasBit>,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Pool {
+            regs: (0..4).map(|_| Register::new(0)).collect(),
+            bits: (0..2).map(|_| TasBit::new()).collect(),
+        }
+    }
+
+    fn fingerprint(&self) -> Vec<u64> {
+        self.regs
+            .iter()
+            .map(|r| r.peek())
+            .chain(self.bits.iter().map(|b| u64::from(b.peek())))
+            .collect()
+    }
+}
+
+/// One primitive of a generated program: `(kind, object index, value)`.
+type Micro = (u8, usize, u64);
+
+/// A straight-line program over the pool as a resumable task: one
+/// micro-op per granted poll, folding read results into `acc`.
+struct ProgTask {
+    pool: Arc<Pool>,
+    prog: Vec<Micro>,
+    next: usize,
+    acc: u128,
+    primed: bool,
+}
+
+impl ProgTask {
+    fn new(pool: Arc<Pool>, prog: Vec<Micro>) -> Self {
+        ProgTask {
+            pool,
+            prog,
+            next: 0,
+            acc: 0,
+            primed: false,
+        }
+    }
+
+    fn apply(pool: &Pool, op: Micro, acc: u128, ctx: &ProcCtx) -> u128 {
+        let (kind, idx, val) = op;
+        match kind {
+            0 => acc * 31 + u128::from(pool.regs[idx % pool.regs.len()].read(ctx)),
+            1 => {
+                // Data-dependent write so interleavings propagate.
+                pool.regs[idx % pool.regs.len()].write(ctx, val ^ (acc as u64 & 0x7));
+                acc
+            }
+            _ => acc * 2 + u128::from(pool.bits[idx % pool.bits.len()].test_and_set(ctx)),
+        }
+    }
+
+    /// The blocking closure form of the same program.
+    fn run_blocking(pool: &Pool, prog: &[Micro], ctx: &ProcCtx) -> u128 {
+        prog.iter()
+            .fold(0, |acc, &op| Self::apply(pool, op, acc, ctx))
+    }
+}
+
+impl OpTask for ProgTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return if self.prog.is_empty() {
+                Poll::Ready(self.acc)
+            } else {
+                Poll::Pending
+            };
+        }
+        self.acc = Self::apply(&self.pool, self.prog[self.next], self.acc, ctx);
+        self.next += 1;
+        if self.next == self.prog.len() {
+            Poll::Ready(self.acc)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Backend-independent projection of a history: per-pid operation
+/// sequences (kinds, completion, step counts) ordered by invocation,
+/// plus the global completion order.
+#[derive(Debug, PartialEq, Eq)]
+struct NormHistory {
+    per_pid: Vec<(usize, String, bool, u64)>,
+    completion_order: Vec<(usize, String)>,
+}
+
+fn normalize(h: &History) -> NormHistory {
+    let mut with_inv: Vec<_> = h
+        .ops()
+        .iter()
+        .map(|r| (r.pid, r.inv, format!("{:?}", r.kind), r.resp, r.steps))
+        .collect();
+    with_inv.sort_by_key(|&(pid, inv, ..)| (pid, inv));
+    let per_pid = with_inv
+        .iter()
+        .map(|(pid, _, kind, resp, steps)| (*pid, kind.clone(), resp.is_some(), *steps))
+        .collect();
+    let mut completed: Vec<_> = h.ops().iter().filter(|r| r.resp.is_some()).collect();
+    completed.sort_by_key(|r| r.resp);
+    let completion_order = completed
+        .iter()
+        .map(|r| (r.pid, format!("{:?}", r.kind)))
+        .collect();
+    NormHistory {
+        per_pid,
+        completion_order,
+    }
+}
+
+/// Everything an execution leaves behind that must match across
+/// backends.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    history: NormHistory,
+    snapshots: Vec<NormHistory>,
+    per_pid_steps: Vec<u64>,
+    completed: Vec<u64>,
+    memory: Vec<u64>,
+}
+
+/// The generated scenario, shared verbatim by both backends.
+struct Scenario {
+    progs: Vec<Vec<Vec<Micro>>>,
+    crashes: Vec<(usize, usize)>,
+    snap_at: usize,
+    seed: u64,
+}
+
+fn drive<B: ExecBackend>(mut d: Driver<B>, pool: &Arc<Pool>, sc: &Scenario) -> Outcome {
+    let n = sc.progs.len();
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let mut snapshots = Vec::new();
+    let mut it = 0usize;
+    loop {
+        for &(at, pid) in &sc.crashes {
+            let pid = pid % n;
+            if at == it && !d.is_crashed(pid) {
+                d.crash(pid);
+            }
+        }
+        if sc.snap_at == it {
+            snapshots.push(normalize(&d.history_snapshot()));
+        }
+        let active = d.active_set();
+        if active.is_empty() {
+            break;
+        }
+        let pid = active.pick(rng.random_range(0..active.len()));
+        let _ = d.step(pid);
+        it += 1;
+        if it > 100_000 {
+            panic!("schedule failed to terminate");
+        }
+    }
+    snapshots.push(normalize(&d.history_snapshot()));
+    Outcome {
+        history: normalize(d.history()),
+        snapshots,
+        per_pid_steps: (0..n).map(|p| d.runtime().steps_of(p)).collect(),
+        completed: (0..n).map(|p| d.completed_of(p)).collect(),
+        memory: pool.fingerprint(),
+    }
+}
+
+fn submit_tasks<B: ExecBackend>(d: &mut Driver<B>, pool: &Arc<Pool>, sc: &Scenario) {
+    for (pid, ops) in sc.progs.iter().enumerate() {
+        for (i, prog) in ops.iter().enumerate() {
+            d.submit_task(
+                pid,
+                OpSpec::custom("prog", i as u128),
+                ProgTask::new(pool.clone(), prog.clone()),
+            );
+        }
+    }
+}
+
+fn run_thread(sc: &Scenario) -> Outcome {
+    let n = sc.progs.len();
+    let pool = Arc::new(Pool::new());
+    let mut d = Driver::new(Runtime::gated(n));
+    submit_tasks(&mut d, &pool, sc);
+    drive(d, &pool, sc)
+}
+
+fn run_coop(sc: &Scenario) -> Outcome {
+    let n = sc.progs.len();
+    let pool = Arc::new(Pool::new());
+    let mut d = Driver::coop(Runtime::coop(n));
+    submit_tasks(&mut d, &pool, sc);
+    drive(d, &pool, sc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn thread_and_coop_backends_are_equivalent(
+        progs in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec((0u8..3, 0usize..4, 0u64..100), 1..5),
+                1..4,
+            ),
+            2..5,
+        ),
+        crashes in prop::collection::vec((0usize..40, 0usize..4), 0..3),
+        snap_at in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let sc = Scenario { progs, crashes, snap_at, seed };
+        let thread = run_thread(&sc);
+        let coop = run_coop(&sc);
+        prop_assert_eq!(
+            &thread, &coop,
+            "backends diverged (seed {}, crashes {:?}, snap_at {})",
+            sc.seed, sc.crashes, sc.snap_at
+        );
+    }
+
+    #[test]
+    fn closure_and_task_forms_are_equivalent_on_the_thread_backend(
+        progs in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec((0u8..3, 0usize..4, 0u64..100), 1..5),
+                1..4,
+            ),
+            2..4,
+        ),
+        seed in 0u64..1_000_000,
+    ) {
+        let sc = Scenario { progs, crashes: vec![], snap_at: usize::MAX, seed };
+        let n = sc.progs.len();
+
+        let task_outcome = run_thread(&sc);
+
+        let pool = Arc::new(Pool::new());
+        let mut d = Driver::new(Runtime::gated(n));
+        for (pid, ops) in sc.progs.iter().enumerate() {
+            for (i, prog) in ops.iter().enumerate() {
+                let pool2 = pool.clone();
+                let prog = prog.clone();
+                d.submit(pid, OpSpec::custom("prog", i as u128), move |ctx| {
+                    ProgTask::run_blocking(&pool2, &prog, ctx)
+                });
+            }
+        }
+        let closure_outcome = drive(d, &pool, &sc);
+
+        prop_assert_eq!(&task_outcome, &closure_outcome, "forms diverged (seed {})", sc.seed);
+    }
+}
+
+/// The ported object tasks (Algorithm 1 counter, collect counter, tree
+/// max register) run identically on both backends under a deterministic
+/// schedule — the "real algorithms" counterpart of the random-program
+/// property above.
+#[test]
+fn ported_object_tasks_are_backend_equivalent() {
+    use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
+    use counter::{CollectCounter, CollectIncTask, CollectReadTask};
+    use maxreg::{TreeMaxReadTask, TreeMaxRegister, TreeMaxWriteTask};
+    use parking_lot::Mutex;
+
+    let n = 4;
+    let build = |d: &mut dyn FnMut(usize, OpSpec, Box<dyn OpTask>)| {
+        let kc = KmultCounter::new(n, 4);
+        let handles: Vec<SharedKmultHandle> =
+            (0..n).map(|p| Arc::new(Mutex::new(kc.handle(p)))).collect();
+        let cc = Arc::new(CollectCounter::new(n));
+        let mr = Arc::new(TreeMaxRegister::new(1 << 12));
+        #[allow(clippy::needless_range_loop)] // pid-indexed handles read clearest
+        for pid in 0..n {
+            for i in 1..=12u64 {
+                match i % 6 {
+                    0 => d(
+                        pid,
+                        OpSpec::read(),
+                        Box::new(KmultReadTask::new(handles[pid].clone())),
+                    ),
+                    1 => d(
+                        pid,
+                        OpSpec::inc(),
+                        Box::new(KmultIncTask::new(handles[pid].clone())),
+                    ),
+                    2 => d(
+                        pid,
+                        OpSpec::inc(),
+                        Box::new(CollectIncTask::new(cc.clone())),
+                    ),
+                    3 => d(
+                        pid,
+                        OpSpec::read(),
+                        Box::new(CollectReadTask::new(cc.clone())),
+                    ),
+                    4 => d(
+                        pid,
+                        OpSpec::write(pid as u64 * 100 + i),
+                        Box::new(TreeMaxWriteTask::new(mr.clone(), pid as u64 * 100 + i)),
+                    ),
+                    _ => d(
+                        pid,
+                        OpSpec::read(),
+                        Box::new(TreeMaxReadTask::new(mr.clone())),
+                    ),
+                }
+            }
+        }
+    };
+
+    let run = |coop: bool| -> (NormHistory, u64) {
+        let mut sched = smr::sched::SeededRandom::new(0xBEEF);
+        if coop {
+            let mut d = Driver::coop(Runtime::coop(n));
+            build(&mut |pid, spec, task| d.submit_task(pid, spec, BoxedTask(task)));
+            let steps = d.run_schedule(&mut sched);
+            (normalize(d.history()), steps)
+        } else {
+            let mut d = Driver::new(Runtime::gated(n));
+            build(&mut |pid, spec, task| d.submit_task(pid, spec, BoxedTask(task)));
+            let steps = d.run_schedule(&mut sched);
+            (normalize(d.history()), steps)
+        }
+    };
+
+    let (h_thread, steps_thread) = run(false);
+    let (h_coop, steps_coop) = run(true);
+    assert_eq!(steps_thread, steps_coop, "total granted steps diverged");
+    assert_eq!(h_thread, h_coop, "histories diverged");
+}
+
+/// Adapter: a boxed task as an `OpTask` (the driver takes `impl OpTask`).
+struct BoxedTask(Box<dyn OpTask>);
+
+impl OpTask for BoxedTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.0.poll(ctx)
+    }
+}
