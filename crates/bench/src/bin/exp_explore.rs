@@ -1,0 +1,315 @@
+//! EXP-EXPLORE — exhaustive schedule exploration throughput and
+//! coverage over the coop backend.
+//!
+//! The paper's correctness claims are schedule-quantified; `smr::explore`
+//! turns them into finite checks by enumerating *every* interleaving of
+//! small configurations and feeding each history cut to the `lincheck`
+//! monotone checkers. This experiment measures that harness and pins its
+//! correctness on every run:
+//!
+//! * **count assertions** — for programs with schedule-independent
+//!   per-process step counts, the enumerated interleavings must equal
+//!   the multinomial closed form `(Σsᵢ)!/Πsᵢ!`;
+//! * **zero violations** — every real-object configuration must pass
+//!   its checker on every cut (the bin exits non-zero otherwise);
+//! * **throughput** — interleavings/second enumerated, with and without
+//!   commuting-step pruning, and under crash injection.
+//!
+//! Results land in `BENCH_explore.json` (cwd) for regression tracking.
+//!
+//! Run: `cargo run --release -p bench --bin exp_explore`
+//! CI:  `cargo run --release -p bench --bin exp_explore -- --smoke`
+//! (`--smoke` runs the two closed-form configs and the pruned variant —
+//! the acceptance bar: exhaustive enumeration, count exact, no
+//! violations.)
+
+use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
+use bench::multinomial;
+use bench::tables::{f2, Table};
+use counter::{CollectCounter, CollectIncTask, CollectReadTask};
+use lincheck::{check_counter_records, check_maxreg_records};
+use maxreg::{TreeMaxReadTask, TreeMaxRegister, TreeMaxWriteTask};
+use parking_lot::Mutex;
+use smr::explore::{explore, ExploreConfig};
+use smr::{CoopBackend, Driver, History, OpSpec, Runtime};
+use std::sync::Arc;
+use std::time::Instant;
+
+type Factory = Box<dyn Fn() -> Driver<CoopBackend>>;
+type Checker = Box<dyn FnMut(&History) -> Result<(), String>>;
+
+struct Config {
+    name: &'static str,
+    cfg: ExploreConfig,
+    /// Closed-form interleaving count, where per-process step counts
+    /// are schedule-independent (exhaustive, unpruned configs only).
+    expected: Option<u128>,
+    factory: Factory,
+    checker: Checker,
+}
+
+struct Sample {
+    name: &'static str,
+    prune: bool,
+    crashes: usize,
+    interleavings: u64,
+    pruned: u64,
+    steps_replayed: u64,
+    millis: f64,
+    violations: usize,
+}
+
+impl Sample {
+    fn per_sec(&self) -> f64 {
+        self.interleavings as f64 / (self.millis / 1e3).max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"config\": \"{}\", \"prune\": {}, \"max_crashes\": {}, \
+             \"interleavings\": {}, \"pruned_subtrees\": {}, \"steps_replayed\": {}, \
+             \"millis\": {:.3}, \"interleavings_per_sec\": {:.0}, \"violations\": {}}}",
+            self.name,
+            self.prune,
+            self.crashes,
+            self.interleavings,
+            self.pruned,
+            self.steps_replayed,
+            self.millis,
+            self.per_sec(),
+            self.violations,
+        )
+    }
+}
+
+/// 3 processes × 2 collect-counter increments each: 4 schedule-
+/// independent primitives per process.
+fn collect_incs() -> Factory {
+    Box::new(|| {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let c = Arc::new(CollectCounter::new(3));
+        for pid in 0..3 {
+            for _ in 0..2 {
+                d.submit_task(pid, OpSpec::inc(), CollectIncTask::new(c.clone()));
+            }
+        }
+        d
+    })
+}
+
+/// 2 incrementers + 1 reader over the collect counter.
+fn collect_with_reader() -> Factory {
+    Box::new(|| {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let c = Arc::new(CollectCounter::new(3));
+        d.submit_task(0, OpSpec::inc(), CollectIncTask::new(c.clone()));
+        d.submit_task(1, OpSpec::inc(), CollectIncTask::new(c.clone()));
+        d.submit_task(2, OpSpec::read(), CollectReadTask::new(c.clone()));
+        d
+    })
+}
+
+/// The acceptance configuration: 3 processes × 2 Algorithm 1 increments
+/// at k = 3 (first announces via switch_0 — one primitive win or lose —
+/// the second stays below threshold: zero primitives).
+fn kmult_3x2() -> Factory {
+    Box::new(|| {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let c = KmultCounter::new(3, 3);
+        for pid in 0..3 {
+            let h: SharedKmultHandle = Arc::new(Mutex::new(c.handle(pid)));
+            for _ in 0..2 {
+                d.submit_task(pid, OpSpec::inc(), KmultIncTask::new(h.clone()));
+            }
+        }
+        d
+    })
+}
+
+/// Algorithm 1 with reads mixed in (schedule-dependent read costs).
+fn kmult_mixed() -> Factory {
+    Box::new(|| {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let c = KmultCounter::new(3, 2);
+        let hs: Vec<SharedKmultHandle> =
+            (0..3).map(|p| Arc::new(Mutex::new(c.handle(p)))).collect();
+        for (pid, h) in hs.iter().enumerate() {
+            d.submit_task(pid, OpSpec::inc(), KmultIncTask::new(h.clone()));
+            d.submit_task(pid, OpSpec::read(), KmultReadTask::new(h.clone()));
+        }
+        d
+    })
+}
+
+/// Two writers + one reader over an 8-bounded AACH tree max register.
+fn tree_maxreg() -> Factory {
+    Box::new(|| {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let r = Arc::new(TreeMaxRegister::new(8));
+        d.submit_task(0, OpSpec::write(5), TreeMaxWriteTask::new(r.clone(), 5));
+        d.submit_task(1, OpSpec::write(3), TreeMaxWriteTask::new(r.clone(), 3));
+        d.submit_task(2, OpSpec::read(), TreeMaxReadTask::new(r.clone()));
+        d
+    })
+}
+
+fn counter_checker(k: u64) -> Checker {
+    Box::new(move |h| check_counter_records(h, k))
+}
+
+fn maxreg_checker(k: u64) -> Checker {
+    Box::new(move |h| check_maxreg_records(h, k))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let mut configs = vec![
+        Config {
+            name: "collect-3x2-exhaustive",
+            cfg: ExploreConfig::exhaustive(100),
+            expected: Some(multinomial(&[4, 4, 4])),
+            factory: collect_incs(),
+            checker: counter_checker(1),
+        },
+        Config {
+            name: "collect-3x2-pruned",
+            cfg: ExploreConfig::default(),
+            expected: None,
+            factory: collect_incs(),
+            checker: counter_checker(1),
+        },
+        Config {
+            name: "kmult-3x2-exhaustive",
+            cfg: ExploreConfig::exhaustive(100),
+            expected: Some(multinomial(&[1, 1, 1])),
+            factory: kmult_3x2(),
+            checker: counter_checker(3),
+        },
+    ];
+    if !smoke {
+        configs.push(Config {
+            name: "collect-reader-crashes",
+            cfg: ExploreConfig {
+                max_crashes: 2,
+                ..ExploreConfig::default()
+            },
+            expected: None,
+            factory: collect_with_reader(),
+            checker: counter_checker(1),
+        });
+        configs.push(Config {
+            name: "kmult-mixed-pruned",
+            cfg: ExploreConfig::default(),
+            expected: None,
+            factory: kmult_mixed(),
+            checker: counter_checker(2),
+        });
+        configs.push(Config {
+            name: "tree-maxreg-exhaustive",
+            cfg: ExploreConfig::exhaustive(100),
+            expected: None,
+            factory: tree_maxreg(),
+            checker: maxreg_checker(1),
+        });
+        configs.push(Config {
+            name: "tree-maxreg-pruned",
+            cfg: ExploreConfig::default(),
+            expected: None,
+            factory: tree_maxreg(),
+            checker: maxreg_checker(1),
+        });
+    }
+
+    let mut samples = Vec::new();
+    for c in &mut configs {
+        let start = Instant::now();
+        let stats = explore(&c.cfg, &c.factory, &mut c.checker);
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+
+        // The correctness bars: exact counts where a closed form
+        // exists, zero violations everywhere.
+        if let Some(expected) = c.expected {
+            assert_eq!(
+                u128::from(stats.interleavings),
+                expected,
+                "{}: enumerated interleavings diverge from the closed form",
+                c.name
+            );
+        }
+        assert!(
+            stats.all_ok(),
+            "{}: explorer found violations on a real object: {:?}",
+            c.name,
+            stats.violations
+        );
+        assert!(!stats.capped, "{}: unexpected cap", c.name);
+
+        eprintln!(
+            "done: {}: {} interleavings ({} pruned subtrees) in {millis:.0} ms",
+            c.name, stats.interleavings, stats.pruned
+        );
+        samples.push(Sample {
+            name: c.name,
+            prune: c.cfg.prune,
+            crashes: c.cfg.max_crashes,
+            interleavings: stats.interleavings,
+            pruned: stats.pruned,
+            steps_replayed: stats.steps_replayed,
+            millis,
+            violations: stats.violations.len(),
+        });
+    }
+
+    let mut table = Table::new([
+        "config",
+        "prune",
+        "crashes",
+        "interleavings",
+        "pruned",
+        "steps",
+        "ms",
+        "ileav/s",
+    ]);
+    for s in &samples {
+        table.row([
+            s.name.to_string(),
+            s.prune.to_string(),
+            s.crashes.to_string(),
+            s.interleavings.to_string(),
+            s.pruned.to_string(),
+            s.steps_replayed.to_string(),
+            f2(s.millis),
+            format!("{:.0}", s.per_sec()),
+        ]);
+    }
+
+    println!("EXP-EXPLORE — exhaustive schedule exploration (coop backend)");
+    println!("every interleaving of each configuration checked against lincheck;");
+    println!("count-asserted configs must match the multinomial closed form.");
+    table.print(if smoke {
+        "schedule exploration (--smoke configs)"
+    } else {
+        "schedule exploration"
+    });
+
+    let mut json = String::from("{\n  \"bench\": \"schedule_exploration\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {}{}\n",
+            s.to_json(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_explore.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

@@ -21,6 +21,21 @@ pub fn scale() -> u64 {
         .max(1)
 }
 
+/// `(s₁ + … + sₙ)! / (s₁! · … · sₙ!)` — the number of interleavings of
+/// `n` sequences with fixed lengths. The closed form `exp_explore` and
+/// the explorer acceptance tests assert exhaustive enumeration against.
+pub fn multinomial(counts: &[u64]) -> u128 {
+    let mut result: u128 = 1;
+    let mut placed: u128 = 0;
+    for &c in counts {
+        for i in 1..=u128::from(c) {
+            placed += 1;
+            result = result * placed / i; // binomial prefix: always divides
+        }
+    }
+    result
+}
+
 /// `⌈√n⌉` — the accuracy threshold of Theorem III.9.
 pub fn ceil_sqrt(n: u64) -> u64 {
     let mut k = (n as f64).sqrt() as u64;
@@ -61,5 +76,15 @@ mod tests {
     #[test]
     fn scale_defaults_to_one() {
         assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn multinomial_values() {
+        assert_eq!(multinomial(&[]), 1);
+        assert_eq!(multinomial(&[0, 3]), 1);
+        assert_eq!(multinomial(&[1, 1, 1]), 6);
+        assert_eq!(multinomial(&[2, 2]), 6);
+        assert_eq!(multinomial(&[4, 4, 4]), 34650);
+        assert_eq!(multinomial(&[2, 2, 3]), 210);
     }
 }

@@ -15,7 +15,8 @@
 //! (Algorithm 1), where *both* sides amortize to `O(1)` for `k ≥ √n` —
 //! the asymmetry EXP-TRADEOFF measures.
 
-use smr::{ProcCtx, Register};
+use parking_lot::Mutex;
+use smr::{OpTask, Poll, ProcCtx, Register};
 use std::sync::Arc;
 
 /// Shared state of the k-additive counter: one single-writer cell per
@@ -105,14 +106,13 @@ impl KaddCounterHandle {
 
     /// One increment; publishes the batch when the threshold is reached
     /// (one `write` step), otherwise free.
+    ///
+    /// Implemented by driving [`KaddIncMachine`] to completion, so the
+    /// blocking form and the resumable task form ([`KaddIncTask`])
+    /// share one transcription and apply identical primitive sequences.
     pub fn increment(&mut self, ctx: &ProcCtx) {
-        assert_eq!(ctx.pid(), self.pid, "handle used with foreign ProcCtx");
-        self.pending += 1;
-        if self.pending >= self.counter.threshold() {
-            self.published += self.pending;
-            self.pending = 0;
-            self.counter.cells[self.pid].write(ctx, self.published);
-        }
+        let mut m = KaddIncMachine::new();
+        while m.step(self, ctx).is_pending() {}
     }
 
     /// Flush any pending increments immediately (one step if non-empty).
@@ -128,12 +128,140 @@ impl KaddCounterHandle {
 
     /// Read: collect and sum all cells (`n` steps). The result is within
     /// `±k` of the exact count at some instant in the read's window.
+    ///
+    /// Like [`increment`](Self::increment), drives the shared
+    /// [`KaddReadMachine`] transcription to completion.
     pub fn read(&self, ctx: &ProcCtx) -> u128 {
-        self.counter
-            .cells
-            .iter()
-            .map(|c| u128::from(c.read(ctx)))
-            .sum()
+        let mut m = KaddReadMachine::new(&self.counter);
+        loop {
+            if let Poll::Ready(v) = m.step(&self.counter, ctx) {
+                return v;
+            }
+        }
+    }
+}
+
+/// Resume point of a `KaddCounterHandle::increment` — one primitive per
+/// [`step`](KaddIncMachine::step), priming step free (the machine
+/// convention of `maxreg::tree`'s module docs). The priming step does
+/// the local batching (line of the natural batching counter): below the
+/// threshold the increment completes without ever being granted a step,
+/// exactly like the blocking form applies no primitive.
+#[derive(Debug, Default)]
+pub struct KaddIncMachine {
+    /// `true` once the local bookkeeping ran and a publish is due.
+    publish_due: bool,
+}
+
+impl KaddIncMachine {
+    /// A machine for one increment.
+    pub fn new() -> Self {
+        KaddIncMachine::default()
+    }
+
+    /// Advance the increment by at most one primitive.
+    pub fn step(&mut self, h: &mut KaddCounterHandle, ctx: &ProcCtx) -> Poll<()> {
+        assert_eq!(ctx.pid(), h.pid, "handle used with foreign ProcCtx");
+        if !self.publish_due {
+            // Priming step: pure local computation.
+            h.pending += 1;
+            if h.pending < h.counter.threshold() {
+                return Poll::Ready(());
+            }
+            self.publish_due = true;
+            return Poll::Pending;
+        }
+        h.published += h.pending;
+        h.pending = 0;
+        h.counter.cells[h.pid].write(ctx, h.published);
+        Poll::Ready(())
+    }
+}
+
+/// Resume point of a `KaddCounterHandle::read`: collect the `n` cells,
+/// one primitive per [`step`](KaddReadMachine::step), resolving to
+/// their sum.
+#[derive(Debug)]
+pub struct KaddReadMachine {
+    next: usize,
+    sum: u128,
+    primed: bool,
+}
+
+impl KaddReadMachine {
+    /// A machine reading `counter`.
+    pub fn new(_counter: &KaddCounter) -> Self {
+        KaddReadMachine {
+            next: 0,
+            sum: 0,
+            primed: false,
+        }
+    }
+
+    /// Advance the read by at most one primitive against `counter` —
+    /// which must be the counter the machine was created for.
+    pub fn step(&mut self, counter: &KaddCounter, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending;
+        }
+        self.sum += u128::from(counter.cells[self.next].read(ctx));
+        self.next += 1;
+        if self.next == counter.n {
+            Poll::Ready(self.sum)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// A shareable handle, as tasks need it. One per process; the lock is
+/// uncontended by construction — a process runs one operation at a
+/// time.
+pub type SharedKaddHandle = Arc<Mutex<KaddCounterHandle>>;
+
+/// `KaddCounterHandle::increment` as a resumable [`OpTask`] for the
+/// coop backend. Submit with [`OpSpec::inc`](smr::OpSpec::inc).
+pub struct KaddIncTask {
+    handle: SharedKaddHandle,
+    machine: KaddIncMachine,
+}
+
+impl KaddIncTask {
+    /// A single increment through `handle`.
+    pub fn new(handle: SharedKaddHandle) -> Self {
+        KaddIncTask {
+            handle,
+            machine: KaddIncMachine::new(),
+        }
+    }
+}
+
+impl OpTask for KaddIncTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx).map(|()| 0)
+    }
+}
+
+/// `KaddCounterHandle::read` as a resumable [`OpTask`] for the coop
+/// backend. Submit with [`OpSpec::read`](smr::OpSpec::read).
+pub struct KaddReadTask {
+    counter: Arc<KaddCounter>,
+    machine: KaddReadMachine,
+}
+
+impl KaddReadTask {
+    /// A read against `counter`.
+    pub fn new(counter: Arc<KaddCounter>) -> Self {
+        let machine = KaddReadMachine::new(&counter);
+        KaddReadTask { counter, machine }
+    }
+}
+
+impl OpTask for KaddReadTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.counter, ctx)
     }
 }
 
@@ -244,5 +372,58 @@ mod tests {
         let c = KaddCounter::new(2, 4);
         let mut h = c.handle(0);
         h.increment(&rt.ctx(1));
+    }
+
+    #[test]
+    fn task_forms_match_blocking_forms() {
+        use smr::OpTask;
+        fn run_task<T: OpTask>(mut t: T, ctx: &ProcCtx) -> u128 {
+            loop {
+                if let std::task::Poll::Ready(v) = t.poll(ctx) {
+                    return v;
+                }
+            }
+        }
+        for (n, k) in [(1usize, 0u64), (2, 5), (4, 17)] {
+            // Blocking reference run.
+            let rt_a = Runtime::free_running(n);
+            let c_a = KaddCounter::new(n, k);
+            let mut hs_a: Vec<_> = (0..n).map(|p| c_a.handle(p)).collect();
+            // Task run.
+            let rt_b = Runtime::free_running(n);
+            let c_b = KaddCounter::new(n, k);
+            let hs_b: Vec<SharedKaddHandle> = (0..n)
+                .map(|p| Arc::new(Mutex::new(c_b.handle(p))))
+                .collect();
+
+            for round in 0..120u64 {
+                let pid = (round % n as u64) as usize;
+                let (ctx_a, ctx_b) = (rt_a.ctx(pid), rt_b.ctx(pid));
+                hs_a[pid].increment(&ctx_a);
+                let _ = run_task(KaddIncTask::new(hs_b[pid].clone()), &ctx_b);
+                if round % 5 == 0 {
+                    let va = hs_a[0].read(&rt_a.ctx(0));
+                    let vb = run_task(KaddReadTask::new(c_b.clone()), &rt_b.ctx(0));
+                    assert_eq!(va, vb, "n={n} k={k} round={round}");
+                }
+                assert_eq!(
+                    rt_a.steps_of(pid),
+                    rt_b.steps_of(pid),
+                    "n={n} k={k} round={round}: primitive counts diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_primitive_increments_complete_on_the_priming_poll() {
+        use smr::OpTask;
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KaddCounter::new(1, 100); // threshold 101: no publish soon
+        let h: SharedKaddHandle = Arc::new(Mutex::new(c.handle(0)));
+        let mut t = KaddIncTask::new(h);
+        assert!(t.poll(&ctx).is_ready(), "below threshold: zero primitives");
+        assert_eq!(ctx.steps_taken(), 0);
     }
 }

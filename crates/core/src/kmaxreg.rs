@@ -17,8 +17,9 @@
 //! `Θ(min(log₂ m, n))`).
 
 use crate::accuracy::log_k_floor;
-use maxreg::{AdaptiveMaxRegister, MaxRegister};
-use smr::ProcCtx;
+use maxreg::{AdaptiveMaxRegister, AdaptiveReadMachine, AdaptiveWriteMachine};
+use smr::{OpTask, Poll, ProcCtx};
+use std::sync::Arc;
 
 /// A k-multiplicative-accurate `m`-bounded max register
 /// (wait-free, linearizable, `O(min(log₂ log_k m, n))` per operation).
@@ -75,24 +76,137 @@ impl KmultBoundedMaxRegister {
     }
 
     /// `Write(v)` — paper lines 7–9.
+    ///
+    /// Implemented by driving [`KmultMaxWriteMachine`] to completion, so
+    /// the blocking form and the resumable task form
+    /// ([`KmultMaxWriteTask`]) share one transcription.
     pub fn write(&self, ctx: &ProcCtx, v: u64) {
-        assert!(v < self.m, "value {v} out of range (m = {})", self.m);
-        if v == 0 {
-            return; // max registers ignore writes of the initial value
-        }
-        let p = u64::from(log_k_floor(v, self.k)) + 1;
-        self.magnitude.write(ctx, p);
+        let mut m = KmultMaxWriteMachine::new(self, v);
+        while m.step(self, ctx).is_pending() {}
     }
 
     /// `Read()` — paper lines 2–5: `k^p` for the largest magnitude index
     /// written, 0 if none.
+    ///
+    /// Like [`write`](Self::write), drives the shared
+    /// [`KmultMaxReadMachine`] transcription.
     pub fn read(&self, ctx: &ProcCtx) -> u128 {
-        let p = self.magnitude.read(ctx);
-        if p == 0 {
-            0
-        } else {
-            u128::from(self.k).pow(u32::try_from(p).expect("magnitude fits u32"))
+        let mut m = KmultMaxReadMachine::new(self);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
+            }
         }
+    }
+}
+
+/// Resume point of a `KmultBoundedMaxRegister::write`: the base-k
+/// magnitude index is computed locally (paper line 8) and written into
+/// the exact magnitude register through its arm-selected machine. One
+/// primitive per [`step`](KmultMaxWriteMachine::step), priming step
+/// free; a write of 0 is a no-op and completes on the priming step.
+#[derive(Debug)]
+pub struct KmultMaxWriteMachine {
+    /// `None` for a write of 0 (ignored, like any max register).
+    inner: Option<AdaptiveWriteMachine>,
+}
+
+impl KmultMaxWriteMachine {
+    /// A machine writing `v` into `reg`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range, like the blocking write.
+    pub fn new(reg: &KmultBoundedMaxRegister, v: u64) -> Self {
+        assert!(v < reg.m, "value {v} out of range (m = {})", reg.m);
+        KmultMaxWriteMachine {
+            inner: (v > 0).then(|| {
+                let p = u64::from(log_k_floor(v, reg.k)) + 1;
+                AdaptiveWriteMachine::new(&reg.magnitude, p)
+            }),
+        }
+    }
+
+    /// Advance the write by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &KmultBoundedMaxRegister, ctx: &ProcCtx) -> Poll<()> {
+        match &mut self.inner {
+            None => Poll::Ready(()), // write of 0: zero primitives
+            Some(m) => m.step(&reg.magnitude, ctx),
+        }
+    }
+}
+
+/// Resume point of a `KmultBoundedMaxRegister::read`: read the
+/// magnitude register, then expand `k^p` locally on the completing
+/// step.
+#[derive(Debug)]
+pub struct KmultMaxReadMachine {
+    inner: AdaptiveReadMachine,
+}
+
+impl KmultMaxReadMachine {
+    /// A machine reading `reg`.
+    pub fn new(reg: &KmultBoundedMaxRegister) -> Self {
+        KmultMaxReadMachine {
+            inner: AdaptiveReadMachine::new(&reg.magnitude),
+        }
+    }
+
+    /// Advance the read by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &KmultBoundedMaxRegister, ctx: &ProcCtx) -> Poll<u128> {
+        self.inner.step(&reg.magnitude, ctx).map(|p| {
+            if p == 0 {
+                0
+            } else {
+                u128::from(reg.k).pow(u32::try_from(p).expect("magnitude fits u32"))
+            }
+        })
+    }
+}
+
+/// `KmultBoundedMaxRegister::write` as a resumable [`OpTask`] for the
+/// coop backend. Submit with [`OpSpec::write`](smr::OpSpec::write).
+pub struct KmultMaxWriteTask {
+    reg: Arc<KmultBoundedMaxRegister>,
+    machine: KmultMaxWriteMachine,
+}
+
+impl KmultMaxWriteTask {
+    /// A write of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range, like the blocking write.
+    pub fn new(reg: Arc<KmultBoundedMaxRegister>, v: u64) -> Self {
+        let machine = KmultMaxWriteMachine::new(&reg, v);
+        KmultMaxWriteTask { reg, machine }
+    }
+}
+
+impl OpTask for KmultMaxWriteTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.reg, ctx).map(|()| 0)
+    }
+}
+
+/// `KmultBoundedMaxRegister::read` as a resumable [`OpTask`] for the
+/// coop backend. Submit with [`OpSpec::read`](smr::OpSpec::read).
+pub struct KmultMaxReadTask {
+    reg: Arc<KmultBoundedMaxRegister>,
+    machine: KmultMaxReadMachine,
+}
+
+impl KmultMaxReadTask {
+    /// A read.
+    pub fn new(reg: Arc<KmultBoundedMaxRegister>) -> Self {
+        let machine = KmultMaxReadMachine::new(&reg);
+        KmultMaxReadTask { reg, machine }
+    }
+}
+
+impl OpTask for KmultMaxReadTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.reg, ctx)
     }
 }
 
@@ -208,6 +322,57 @@ mod tests {
         let ctx = rt.ctx(0);
         let r = KmultBoundedMaxRegister::new(1, 64, 2);
         r.write(&ctx, 64);
+    }
+
+    #[test]
+    fn task_forms_match_blocking_forms() {
+        fn run_task<T: OpTask>(mut t: T, ctx: &ProcCtx) -> u128 {
+            loop {
+                if let Poll::Ready(v) = t.poll(ctx) {
+                    return v;
+                }
+            }
+        }
+        // Both arms of the inner adaptive register: many processes with
+        // a huge bound (collect), few values (tree).
+        for (n, m, k) in [
+            (1usize, 1u64 << 30, 2u64),
+            (64, 1 << 20, 3),
+            (2, 1 << 48, 2),
+        ] {
+            let seq = [1u64, 77, 0, 9_999, 12, 80_000, 5];
+
+            let rt_a = Runtime::free_running(n);
+            let ctx_a = rt_a.ctx(0);
+            let reg_a = KmultBoundedMaxRegister::new(n, m, k);
+
+            let rt_b = Runtime::free_running(n);
+            let ctx_b = rt_b.ctx(0);
+            let reg_b = Arc::new(KmultBoundedMaxRegister::new(n, m, k));
+
+            for &v in &seq {
+                reg_a.write(&ctx_a, v);
+                let _ = run_task(KmultMaxWriteTask::new(reg_b.clone(), v), &ctx_b);
+                let ra = reg_a.read(&ctx_a);
+                let rb = run_task(KmultMaxReadTask::new(reg_b.clone()), &ctx_b);
+                assert_eq!(ra, rb, "n={n} m={m} k={k}: after write {v}");
+                assert_eq!(
+                    rt_a.steps_of(0),
+                    rt_b.steps_of(0),
+                    "n={n} m={m} k={k}: primitive counts diverged after write {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_of_zero_task_completes_on_the_priming_poll() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let reg = Arc::new(KmultBoundedMaxRegister::new(1, 64, 2));
+        let mut t = KmultMaxWriteTask::new(reg, 0);
+        assert!(t.poll(&ctx).is_ready(), "write(0) is a no-op");
+        assert_eq!(ctx.steps_taken(), 0);
     }
 
     #[test]

@@ -55,10 +55,16 @@ pub mod kcounter;
 mod kmaxreg;
 mod kmaxreg_unbounded;
 
-pub use kadd::{KaddCounter, KaddCounterHandle};
+pub use kadd::{
+    KaddCounter, KaddCounterHandle, KaddIncMachine, KaddIncTask, KaddReadMachine, KaddReadTask,
+    SharedKaddHandle,
+};
 pub use kcounter::{
     arith, KmultCounter, KmultCounterHandle, KmultIncTask, KmultReadOutcome, KmultReadTask,
     SharedKmultHandle,
 };
-pub use kmaxreg::KmultBoundedMaxRegister;
+pub use kmaxreg::{
+    KmultBoundedMaxRegister, KmultMaxReadMachine, KmultMaxReadTask, KmultMaxWriteMachine,
+    KmultMaxWriteTask,
+};
 pub use kmaxreg_unbounded::KmultUnboundedMaxRegister;

@@ -18,8 +18,8 @@
 //! are unboundedly long (the paper's §I-A discussion).
 
 use crate::spec::Counter;
-use maxreg::{MaxRegister, TreeMaxRegister};
-use smr::{ProcCtx, Register};
+use maxreg::{TreeMaxRegister, TreeReadMachine, TreeWriteMachine};
+use smr::{Poll, ProcCtx, Register};
 
 /// An `m`-bounded exact counter for `n` processes with
 /// `O(log n · log m)` increments and `O(log m)` reads.
@@ -54,58 +54,216 @@ impl AachCounter {
     pub fn m(&self) -> u64 {
         self.bound
     }
+}
 
-    /// Value of heap slot `idx` (`1 ≤ idx < 2p`): an internal max
-    /// register, a live leaf, or 0 for a padding leaf.
-    fn slot_value(&self, ctx: &ProcCtx, idx: usize) -> u64 {
-        if idx < self.p {
-            self.inner[idx].read(ctx)
-        } else {
-            let leaf = idx - self.p;
-            if leaf < self.n {
-                self.leaves[leaf].read(ctx)
-            } else {
-                0
+impl Counter for AachCounter {
+    fn increment(&self, ctx: &ProcCtx) {
+        let mut m = AachIncMachine::new(self, ctx.pid());
+        while m.step(self, ctx).is_pending() {}
+    }
+
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        let mut m = AachReadMachine::new(self);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
             }
         }
     }
 }
 
-impl Counter for AachCounter {
-    fn increment(&self, ctx: &ProcCtx) {
-        let pid = ctx.pid();
-        let leaf = &self.leaves[pid];
-        let mine = leaf.read(ctx) + 1;
-        assert!(
-            mine < self.bound,
-            "counter capacity (m = {}) exceeded",
-            self.bound
-        );
-        leaf.write(ctx, mine);
-        if self.p == 1 {
-            return; // single process: the leaf is the whole tree
+/// Reading one heap slot: an embedded tree-register read for internal
+/// nodes, a single register read for live leaves, and nothing at all
+/// for padding leaves (their value is 0 by construction).
+#[derive(Debug)]
+enum SlotRead {
+    Inner(TreeReadMachine),
+    Leaf,
+    Padding,
+}
+
+impl SlotRead {
+    fn new(c: &AachCounter, idx: usize) -> Self {
+        if idx < c.p {
+            SlotRead::Inner(TreeReadMachine::new(&c.inner[idx]))
+        } else if idx - c.p < c.n {
+            SlotRead::Leaf
+        } else {
+            SlotRead::Padding
         }
-        let mut node = (self.p + pid) / 2;
-        while node >= 1 {
-            let sum = self.slot_value(ctx, 2 * node) + self.slot_value(ctx, 2 * node + 1);
-            assert!(
-                sum < self.bound,
-                "counter capacity (m = {}) exceeded",
-                self.bound
-            );
-            self.inner[node].write(ctx, sum);
-            if node == 1 {
-                break;
-            }
-            node /= 2;
+    }
+}
+
+/// Resume point of an `AachCounter::increment`: bump the own leaf (one
+/// read, one write), then for every ancestor read both child slots and
+/// max-write the sum — each slot access an embedded [`TreeReadMachine`]
+/// / [`TreeWriteMachine`]. One primitive per
+/// [`step`](AachIncMachine::step), priming step free (the machine
+/// convention of `maxreg::tree`'s module docs); padding-leaf slots and
+/// sub-machine priming are absorbed into the surrounding step.
+#[derive(Debug)]
+pub struct AachIncMachine {
+    pid: usize,
+    phase: AachIncPhase,
+}
+
+#[derive(Debug)]
+enum AachIncPhase {
+    Start,
+    ReadLeaf,
+    WriteLeaf {
+        mine: u64,
+    },
+    ReadSlot {
+        node: usize,
+        /// `false` while reading child `2·node`, `true` for `2·node+1`.
+        right: bool,
+        left_val: u64,
+        sub: SlotRead,
+    },
+    WriteNode {
+        node: usize,
+        sub: TreeWriteMachine,
+    },
+}
+
+impl AachIncMachine {
+    /// A machine incrementing `counter` on behalf of process `pid`.
+    pub fn new(_counter: &AachCounter, pid: usize) -> Self {
+        AachIncMachine {
+            pid,
+            phase: AachIncPhase::Start,
         }
     }
 
-    fn read(&self, ctx: &ProcCtx) -> u128 {
-        if self.p == 1 {
-            u128::from(self.leaves[0].read(ctx))
-        } else {
-            u128::from(self.inner[1].read(ctx))
+    /// Advance the increment by at most one primitive against `counter`
+    /// — which must be the counter the machine was created for.
+    pub fn step(&mut self, c: &AachCounter, ctx: &ProcCtx) -> Poll<()> {
+        loop {
+            let before = ctx.steps_taken();
+            match &mut self.phase {
+                AachIncPhase::Start => {
+                    self.phase = AachIncPhase::ReadLeaf;
+                    return Poll::Pending; // priming step: no primitive
+                }
+                AachIncPhase::ReadLeaf => {
+                    let mine = c.leaves[self.pid].read(ctx) + 1;
+                    assert!(
+                        mine < c.bound,
+                        "counter capacity (m = {}) exceeded",
+                        c.bound
+                    );
+                    self.phase = AachIncPhase::WriteLeaf { mine };
+                }
+                AachIncPhase::WriteLeaf { mine } => {
+                    c.leaves[self.pid].write(ctx, *mine);
+                    if c.p == 1 {
+                        return Poll::Ready(()); // the leaf is the whole tree
+                    }
+                    let node = (c.p + self.pid) / 2;
+                    self.phase = AachIncPhase::ReadSlot {
+                        node,
+                        right: false,
+                        left_val: 0,
+                        sub: SlotRead::new(c, 2 * node),
+                    };
+                }
+                AachIncPhase::ReadSlot {
+                    node,
+                    right,
+                    left_val,
+                    sub,
+                } => {
+                    let idx = 2 * *node + usize::from(*right);
+                    let val = match sub {
+                        SlotRead::Inner(m) => match m.step(&c.inner[idx], ctx) {
+                            Poll::Pending => None,
+                            Poll::Ready(v) => Some(v),
+                        },
+                        SlotRead::Leaf => Some(c.leaves[idx - c.p].read(ctx)),
+                        SlotRead::Padding => Some(0),
+                    };
+                    if let Some(val) = val {
+                        if !*right {
+                            self.phase = AachIncPhase::ReadSlot {
+                                node: *node,
+                                right: true,
+                                left_val: val,
+                                sub: SlotRead::new(c, 2 * *node + 1),
+                            };
+                        } else {
+                            let sum = *left_val + val;
+                            assert!(sum < c.bound, "counter capacity (m = {}) exceeded", c.bound);
+                            self.phase = AachIncPhase::WriteNode {
+                                node: *node,
+                                sub: TreeWriteMachine::new(&c.inner[*node], sum),
+                            };
+                        }
+                    }
+                }
+                AachIncPhase::WriteNode { node, sub } => {
+                    if sub.step(&c.inner[*node], ctx).is_ready() {
+                        if *node == 1 {
+                            return Poll::Ready(());
+                        }
+                        let parent = *node / 2;
+                        self.phase = AachIncPhase::ReadSlot {
+                            node: parent,
+                            right: false,
+                            left_val: 0,
+                            sub: SlotRead::new(c, 2 * parent),
+                        };
+                    }
+                }
+            }
+            if ctx.steps_taken() != before {
+                return Poll::Pending;
+            }
+        }
+    }
+}
+
+/// Resume point of an `AachCounter::read`: the root max register (or
+/// the single leaf when `n = 1`). Machine convention as in
+/// [`AachIncMachine`].
+#[derive(Debug)]
+pub struct AachReadMachine {
+    /// `n = 1`: the single leaf is the whole tree (one register read).
+    leaf: bool,
+    root: Option<TreeReadMachine>,
+    primed: bool,
+}
+
+impl AachReadMachine {
+    /// A machine reading `counter`.
+    pub fn new(counter: &AachCounter) -> Self {
+        let leaf = counter.p == 1;
+        AachReadMachine {
+            leaf,
+            root: (!leaf).then(|| TreeReadMachine::new(&counter.inner[1])),
+            primed: false,
+        }
+    }
+
+    /// Advance the read by at most one primitive against `counter` —
+    /// which must be the counter the machine was created for.
+    pub fn step(&mut self, c: &AachCounter, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending; // a read always applies a primitive
+        }
+        if self.leaf {
+            return Poll::Ready(u128::from(c.leaves[0].read(ctx)));
+        }
+        let m = self.root.as_mut().expect("root machine for p > 1");
+        loop {
+            let before = ctx.steps_taken();
+            if let Poll::Ready(v) = m.step(&c.inner[1], ctx) {
+                return Poll::Ready(u128::from(v));
+            }
+            if ctx.steps_taken() != before {
+                return Poll::Pending;
+            }
         }
     }
 }

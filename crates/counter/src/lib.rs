@@ -40,11 +40,17 @@ mod spec;
 pub mod tasks;
 mod unbounded_tree;
 
-pub use aach::AachCounter;
+pub use aach::{AachCounter, AachIncMachine, AachReadMachine};
 pub use collect::CollectCounter;
 pub use fetch_add::FaaCounter;
 pub use reference::LockCounter;
-pub use snapshot::{AtomicSnapshot, SnapshotCounter};
+pub use snapshot::{
+    AtomicSnapshot, ScanMachine, SnapshotCounter, SnapshotIncMachine, SnapshotReadMachine,
+    UpdateMachine,
+};
 pub use spec::Counter;
-pub use tasks::{CollectIncTask, CollectReadTask};
-pub use unbounded_tree::UnboundedTreeCounter;
+pub use tasks::{
+    AachIncTask, AachReadTask, CollectIncTask, CollectReadTask, SnapshotIncTask, SnapshotReadTask,
+    UnboundedTreeIncTask, UnboundedTreeReadTask,
+};
+pub use unbounded_tree::{UnboundedTreeCounter, UnboundedTreeIncMachine, UnboundedTreeReadMachine};

@@ -14,7 +14,7 @@
 //! exact counter from atomic snapshot" of the paper's introduction.
 
 use crate::spec::Counter;
-use smr::{ProcCtx, WideRegister};
+use smr::{Poll, ProcCtx, WideRegister};
 
 /// One snapshot segment: the process's value, its update count and the
 /// view it embedded at its last update.
@@ -44,54 +44,161 @@ impl AtomicSnapshot {
         self.segments.len()
     }
 
-    fn collect(&self, ctx: &ProcCtx) -> Vec<Segment> {
-        self.segments.iter().map(|s| s.read(ctx)).collect()
-    }
-
     /// Wait-free atomic scan: a vector of all components that was
     /// simultaneously present at some instant within this call.
     pub fn scan(&self, ctx: &ProcCtx) -> Vec<u64> {
-        let n = self.segments.len();
-        let mut moved = vec![0u32; n];
-        let mut a = self.collect(ctx);
+        let mut m = ScanMachine::new(self);
         loop {
-            let b = self.collect(ctx);
-            if a.iter().zip(&b).all(|(x, y)| x.seq == y.seq) {
-                return b.into_iter().map(|s| s.value).collect();
+            if let Poll::Ready(view) = m.step(self, ctx) {
+                return view;
             }
-            for j in 0..n {
-                if a[j].seq != b[j].seq {
-                    moved[j] += 1;
-                    if moved[j] >= 2 {
-                        // j completed an update that started after our
-                        // scan began; its embedded view is linearizable
-                        // within our window.
-                        return b[j].view.clone();
-                    }
-                }
-            }
-            a = b;
         }
     }
 
     /// Wait-free update of the invoking process's component.
     pub fn update(&self, ctx: &ProcCtx, value: u64) {
-        let view = self.scan(ctx);
-        let own = &self.segments[ctx.pid()];
-        let old = own.read(ctx);
-        own.write(
-            ctx,
-            Segment {
-                value,
-                seq: old.seq + 1,
-                view,
-            },
-        );
+        let mut m = UpdateMachine::new(self, value);
+        while m.step(self, ctx).is_pending() {}
     }
 
     /// Current value of the invoking process's own component (one step).
     pub fn my_value(&self, ctx: &ProcCtx) -> u64 {
         self.segments[ctx.pid()].read(ctx).value
+    }
+}
+
+/// Resume point of an [`AtomicSnapshot::scan`]: repeated collects, one
+/// segment read per [`step`](ScanMachine::step), priming step free —
+/// the machine convention of `maxreg::tree`'s module docs. The single
+/// transcription driven by the blocking method and embedded by the
+/// [`SnapshotCounter`] machines.
+#[derive(Debug)]
+pub struct ScanMachine {
+    /// Previous collect, once one completed.
+    prev: Option<Vec<Segment>>,
+    /// The collect in progress.
+    cur: Vec<Segment>,
+    /// Per-process observed movement counts.
+    moved: Vec<u32>,
+    primed: bool,
+}
+
+impl ScanMachine {
+    /// A machine scanning `snap`.
+    pub fn new(snap: &AtomicSnapshot) -> Self {
+        ScanMachine {
+            prev: None,
+            cur: Vec::with_capacity(snap.n()),
+            moved: vec![0; snap.n()],
+            primed: false,
+        }
+    }
+
+    /// Advance the scan by at most one primitive against `snap` — which
+    /// must be the snapshot the machine was created for.
+    pub fn step(&mut self, snap: &AtomicSnapshot, ctx: &ProcCtx) -> Poll<Vec<u64>> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending; // a scan always reads at least 2n segments
+        }
+        self.cur.push(snap.segments[self.cur.len()].read(ctx));
+        if self.cur.len() < snap.n() {
+            return Poll::Pending;
+        }
+        // A collect just completed.
+        let b = std::mem::take(&mut self.cur);
+        let Some(a) = self.prev.take() else {
+            self.prev = Some(b);
+            return Poll::Pending;
+        };
+        if a.iter().zip(&b).all(|(x, y)| x.seq == y.seq) {
+            return Poll::Ready(b.into_iter().map(|s| s.value).collect());
+        }
+        for j in 0..snap.n() {
+            if a[j].seq != b[j].seq {
+                self.moved[j] += 1;
+                if self.moved[j] >= 2 {
+                    // j completed an update that started after our scan
+                    // began; its embedded view is linearizable within
+                    // our window.
+                    return Poll::Ready(b[j].view.clone());
+                }
+            }
+        }
+        self.prev = Some(b);
+        Poll::Pending
+    }
+}
+
+/// Resume point of an [`AtomicSnapshot::update`]: an embedded scan,
+/// then the own segment's read and write. Same machine convention as
+/// [`ScanMachine`].
+#[derive(Debug)]
+pub struct UpdateMachine {
+    value: u64,
+    phase: UpdatePhase,
+    primed: bool,
+}
+
+#[derive(Debug)]
+enum UpdatePhase {
+    Scan(ScanMachine),
+    ReadOwn { view: Vec<u64> },
+    WriteOwn { view: Vec<u64>, seq: u64 },
+}
+
+impl UpdateMachine {
+    /// A machine updating the invoking process's component of `snap` to
+    /// `value`.
+    pub fn new(snap: &AtomicSnapshot, value: u64) -> Self {
+        UpdateMachine {
+            value,
+            phase: UpdatePhase::Scan(ScanMachine::new(snap)),
+            primed: false,
+        }
+    }
+
+    /// Advance the update by at most one primitive against `snap` —
+    /// which must be the snapshot the machine was created for.
+    pub fn step(&mut self, snap: &AtomicSnapshot, ctx: &ProcCtx) -> Poll<()> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending; // the embedded scan applies primitives
+        }
+        // Each iteration applies at most one primitive; iterations that
+        // applied none (a sub-machine's free priming step, a local phase
+        // change) continue within the current step.
+        loop {
+            let before = ctx.steps_taken();
+            match &mut self.phase {
+                UpdatePhase::Scan(m) => {
+                    if let Poll::Ready(view) = m.step(snap, ctx) {
+                        self.phase = UpdatePhase::ReadOwn { view };
+                    }
+                }
+                UpdatePhase::ReadOwn { view } => {
+                    let old = snap.segments[ctx.pid()].read(ctx);
+                    self.phase = UpdatePhase::WriteOwn {
+                        view: std::mem::take(view),
+                        seq: old.seq + 1,
+                    };
+                }
+                UpdatePhase::WriteOwn { view, seq } => {
+                    snap.segments[ctx.pid()].write(
+                        ctx,
+                        Segment {
+                            value: self.value,
+                            seq: *seq,
+                            view: std::mem::take(view),
+                        },
+                    );
+                    return Poll::Ready(());
+                }
+            }
+            if ctx.steps_taken() != before {
+                return Poll::Pending;
+            }
+        }
     }
 }
 
@@ -112,12 +219,103 @@ impl SnapshotCounter {
 
 impl Counter for SnapshotCounter {
     fn increment(&self, ctx: &ProcCtx) {
-        let mine = self.snap.my_value(ctx);
-        self.snap.update(ctx, mine + 1);
+        let mut m = SnapshotIncMachine::new(self);
+        while m.step(self, ctx).is_pending() {}
     }
 
     fn read(&self, ctx: &ProcCtx) -> u128 {
-        self.snap.scan(ctx).iter().map(|&v| u128::from(v)).sum()
+        let mut m = SnapshotReadMachine::new(self);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
+            }
+        }
+    }
+}
+
+/// Resume point of a `SnapshotCounter::increment`: read the own
+/// component, then run the embedded [`UpdateMachine`] with the bumped
+/// value. Machine convention as in [`ScanMachine`].
+#[derive(Debug)]
+pub struct SnapshotIncMachine {
+    phase: SnapIncPhase,
+}
+
+#[derive(Debug)]
+enum SnapIncPhase {
+    Start,
+    ReadMine,
+    Update(UpdateMachine),
+}
+
+impl SnapshotIncMachine {
+    /// A machine incrementing `counter`.
+    pub fn new(_counter: &SnapshotCounter) -> Self {
+        SnapshotIncMachine {
+            phase: SnapIncPhase::Start,
+        }
+    }
+
+    /// Advance the increment by at most one primitive against `counter`
+    /// — which must be the counter the machine was created for.
+    pub fn step(&mut self, counter: &SnapshotCounter, ctx: &ProcCtx) -> Poll<()> {
+        loop {
+            let before = ctx.steps_taken();
+            match &mut self.phase {
+                SnapIncPhase::Start => {
+                    self.phase = SnapIncPhase::ReadMine;
+                    return Poll::Pending; // priming step: no primitive
+                }
+                SnapIncPhase::ReadMine => {
+                    let mine = counter.snap.my_value(ctx);
+                    self.phase = SnapIncPhase::Update(UpdateMachine::new(&counter.snap, mine + 1));
+                }
+                SnapIncPhase::Update(m) => {
+                    if m.step(&counter.snap, ctx).is_ready() {
+                        return Poll::Ready(());
+                    }
+                }
+            }
+            if ctx.steps_taken() != before {
+                return Poll::Pending;
+            }
+        }
+    }
+}
+
+/// Resume point of a `SnapshotCounter::read`: an embedded scan, summed.
+/// Machine convention as in [`ScanMachine`].
+#[derive(Debug)]
+pub struct SnapshotReadMachine {
+    scan: ScanMachine,
+    primed: bool,
+}
+
+impl SnapshotReadMachine {
+    /// A machine reading `counter`.
+    pub fn new(counter: &SnapshotCounter) -> Self {
+        SnapshotReadMachine {
+            scan: ScanMachine::new(&counter.snap),
+            primed: false,
+        }
+    }
+
+    /// Advance the read by at most one primitive against `counter` —
+    /// which must be the counter the machine was created for.
+    pub fn step(&mut self, counter: &SnapshotCounter, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending; // the scan applies primitives
+        }
+        loop {
+            let before = ctx.steps_taken();
+            if let Poll::Ready(view) = self.scan.step(&counter.snap, ctx) {
+                return Poll::Ready(view.iter().map(|&v| u128::from(v)).sum());
+            }
+            if ctx.steps_taken() != before {
+                return Poll::Pending;
+            }
+        }
     }
 }
 

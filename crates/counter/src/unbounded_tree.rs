@@ -18,8 +18,8 @@
 //! factor above the relaxed counter's `O(1)` (EXP-T3.9 / EXP-LENGTH).
 
 use crate::spec::Counter;
-use maxreg::{MaxRegister, UnboundedMaxRegister};
-use smr::{ProcCtx, Register};
+use maxreg::{UnboundedMaxRegister, UnboundedReadMachine, UnboundedWriteMachine};
+use smr::{Poll, ProcCtx, Register};
 
 /// An unbounded exact counter for `n` processes with polylog steps.
 pub struct UnboundedTreeCounter {
@@ -44,46 +44,209 @@ impl UnboundedTreeCounter {
             leaves: (0..n).map(|_| Register::new(0)).collect(),
         }
     }
+}
 
-    fn slot_value(&self, ctx: &ProcCtx, idx: usize) -> u64 {
-        if idx < self.p {
-            self.inner[idx].read(ctx)
-        } else {
-            let leaf = idx - self.p;
-            if leaf < self.n {
-                self.leaves[leaf].read(ctx)
-            } else {
-                0
+impl Counter for UnboundedTreeCounter {
+    fn increment(&self, ctx: &ProcCtx) {
+        let mut m = UnboundedTreeIncMachine::new(self, ctx.pid());
+        while m.step(self, ctx).is_pending() {}
+    }
+
+    fn read(&self, ctx: &ProcCtx) -> u128 {
+        let mut m = UnboundedTreeReadMachine::new(self);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
             }
         }
     }
 }
 
-impl Counter for UnboundedTreeCounter {
-    fn increment(&self, ctx: &ProcCtx) {
-        let pid = ctx.pid();
-        let leaf = &self.leaves[pid];
-        let mine = leaf.read(ctx) + 1;
-        leaf.write(ctx, mine);
-        if self.p == 1 {
-            return;
+/// Reading one heap slot: an embedded unbounded-register read for
+/// internal nodes, a single register read for live leaves, nothing for
+/// padding leaves.
+#[derive(Debug)]
+enum SlotRead {
+    Inner(UnboundedReadMachine),
+    Leaf,
+    Padding,
+}
+
+impl SlotRead {
+    fn new(c: &UnboundedTreeCounter, idx: usize) -> Self {
+        if idx < c.p {
+            SlotRead::Inner(UnboundedReadMachine::new(&c.inner[idx]))
+        } else if idx - c.p < c.n {
+            SlotRead::Leaf
+        } else {
+            SlotRead::Padding
         }
-        let mut node = (self.p + pid) / 2;
-        while node >= 1 {
-            let sum = self.slot_value(ctx, 2 * node) + self.slot_value(ctx, 2 * node + 1);
-            self.inner[node].write(ctx, sum);
-            if node == 1 {
-                break;
-            }
-            node /= 2;
+    }
+}
+
+/// Resume point of an `UnboundedTreeCounter::increment` — the AACH
+/// ascent with every internal cache an unbounded max register. One
+/// primitive per [`step`](UnboundedTreeIncMachine::step), priming step
+/// free (the machine convention of `maxreg::tree`'s module docs);
+/// padding-leaf slots and sub-machine priming are absorbed into the
+/// surrounding step.
+#[derive(Debug)]
+pub struct UnboundedTreeIncMachine {
+    pid: usize,
+    phase: IncPhase,
+}
+
+#[derive(Debug)]
+enum IncPhase {
+    Start,
+    ReadLeaf,
+    WriteLeaf {
+        mine: u64,
+    },
+    ReadSlot {
+        node: usize,
+        /// `false` while reading child `2·node`, `true` for `2·node+1`.
+        right: bool,
+        left_val: u64,
+        sub: SlotRead,
+    },
+    WriteNode {
+        node: usize,
+        sub: UnboundedWriteMachine,
+    },
+}
+
+impl UnboundedTreeIncMachine {
+    /// A machine incrementing `counter` on behalf of process `pid`.
+    pub fn new(_counter: &UnboundedTreeCounter, pid: usize) -> Self {
+        UnboundedTreeIncMachine {
+            pid,
+            phase: IncPhase::Start,
         }
     }
 
-    fn read(&self, ctx: &ProcCtx) -> u128 {
-        if self.p == 1 {
-            u128::from(self.leaves[0].read(ctx))
-        } else {
-            u128::from(self.inner[1].read(ctx))
+    /// Advance the increment by at most one primitive against `counter`
+    /// — which must be the counter the machine was created for.
+    pub fn step(&mut self, c: &UnboundedTreeCounter, ctx: &ProcCtx) -> Poll<()> {
+        loop {
+            let before = ctx.steps_taken();
+            match &mut self.phase {
+                IncPhase::Start => {
+                    self.phase = IncPhase::ReadLeaf;
+                    return Poll::Pending; // priming step: no primitive
+                }
+                IncPhase::ReadLeaf => {
+                    let mine = c.leaves[self.pid].read(ctx) + 1;
+                    self.phase = IncPhase::WriteLeaf { mine };
+                }
+                IncPhase::WriteLeaf { mine } => {
+                    c.leaves[self.pid].write(ctx, *mine);
+                    if c.p == 1 {
+                        return Poll::Ready(());
+                    }
+                    let node = (c.p + self.pid) / 2;
+                    self.phase = IncPhase::ReadSlot {
+                        node,
+                        right: false,
+                        left_val: 0,
+                        sub: SlotRead::new(c, 2 * node),
+                    };
+                }
+                IncPhase::ReadSlot {
+                    node,
+                    right,
+                    left_val,
+                    sub,
+                } => {
+                    let idx = 2 * *node + usize::from(*right);
+                    let val = match sub {
+                        SlotRead::Inner(m) => match m.step(&c.inner[idx], ctx) {
+                            Poll::Pending => None,
+                            Poll::Ready(v) => Some(v),
+                        },
+                        SlotRead::Leaf => Some(c.leaves[idx - c.p].read(ctx)),
+                        SlotRead::Padding => Some(0),
+                    };
+                    if let Some(val) = val {
+                        if !*right {
+                            self.phase = IncPhase::ReadSlot {
+                                node: *node,
+                                right: true,
+                                left_val: val,
+                                sub: SlotRead::new(c, 2 * *node + 1),
+                            };
+                        } else {
+                            let sum = *left_val + val;
+                            self.phase = IncPhase::WriteNode {
+                                node: *node,
+                                sub: UnboundedWriteMachine::new(&c.inner[*node], sum),
+                            };
+                        }
+                    }
+                }
+                IncPhase::WriteNode { node, sub } => {
+                    if sub.step(&c.inner[*node], ctx).is_ready() {
+                        if *node == 1 {
+                            return Poll::Ready(());
+                        }
+                        let parent = *node / 2;
+                        self.phase = IncPhase::ReadSlot {
+                            node: parent,
+                            right: false,
+                            left_val: 0,
+                            sub: SlotRead::new(c, 2 * parent),
+                        };
+                    }
+                }
+            }
+            if ctx.steps_taken() != before {
+                return Poll::Pending;
+            }
+        }
+    }
+}
+
+/// Resume point of an `UnboundedTreeCounter::read`: the root unbounded
+/// max register (or the single leaf when `n = 1`). Machine convention
+/// as in [`UnboundedTreeIncMachine`].
+#[derive(Debug)]
+pub struct UnboundedTreeReadMachine {
+    /// `n = 1`: the single leaf is the whole tree (one register read).
+    leaf: bool,
+    root: Option<UnboundedReadMachine>,
+    primed: bool,
+}
+
+impl UnboundedTreeReadMachine {
+    /// A machine reading `counter`.
+    pub fn new(counter: &UnboundedTreeCounter) -> Self {
+        let leaf = counter.p == 1;
+        UnboundedTreeReadMachine {
+            leaf,
+            root: (!leaf).then(|| UnboundedReadMachine::new(&counter.inner[1])),
+            primed: false,
+        }
+    }
+
+    /// Advance the read by at most one primitive against `counter` —
+    /// which must be the counter the machine was created for.
+    pub fn step(&mut self, c: &UnboundedTreeCounter, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending; // a read always applies a primitive
+        }
+        if self.leaf {
+            return Poll::Ready(u128::from(c.leaves[0].read(ctx)));
+        }
+        let m = self.root.as_mut().expect("root machine for p > 1");
+        loop {
+            let before = ctx.steps_taken();
+            if let Poll::Ready(v) = m.step(&c.inner[1], ctx) {
+                return Poll::Ready(u128::from(v));
+            }
+            if ctx.steps_taken() != before {
+                return Poll::Pending;
+            }
         }
     }
 }

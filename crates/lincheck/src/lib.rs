@@ -28,14 +28,18 @@
 //! [`CounterHistory::from_records`] / [`MaxRegHistory::from_records`]
 //! (pattern-matching on [`smr::OpKind`] — no label strings, and records
 //! outside the object vocabulary are rejected with [`UnsupportedOp`],
-//! not a panic), or can be built by hand.
+//! not a panic), or can be built by hand. For `smr::explore`'s checker
+//! closures, [`records`] bundles extraction and checking into one call
+//! returning the explorer's `Result<(), String>` shape.
 
 mod history;
 pub mod monotone;
 pub mod naive;
+pub mod records;
 pub mod wg;
 
 pub use history::{
     CounterHistory, Interval, MaxRegHistory, TimedInc, TimedRead, TimedWrite, UnsupportedOp,
     Violation,
 };
+pub use records::{check_counter_records, check_maxreg_records};

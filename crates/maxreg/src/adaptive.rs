@@ -6,10 +6,11 @@
 //! choice once, at construction time, from the `(n, m)` parameters — the
 //! same convention the paper uses when quoting the bound in Theorem IV.2.
 
-use crate::collect::CollectMaxRegister;
+use crate::collect::{CollectMaxRegister, CollectReadMachine, CollectWriteMachine};
 use crate::spec::MaxRegister;
-use crate::tree::TreeMaxRegister;
-use smr::ProcCtx;
+use crate::tree::{TreeMaxRegister, TreeReadMachine, TreeWriteMachine};
+use smr::{OpTask, Poll, ProcCtx};
+use std::sync::Arc;
 
 enum Arm {
     Tree(TreeMaxRegister),
@@ -62,6 +63,116 @@ impl MaxRegister for AdaptiveMaxRegister {
             Arm::Tree(t) => t.bound(),
             Arm::Collect(c) => c.bound(),
         }
+    }
+}
+
+/// Resume point of an `AdaptiveMaxRegister::write`: the machine of
+/// whichever arm the register selected at construction. One primitive
+/// per [`step`](AdaptiveWriteMachine::step), priming step free — the
+/// convention of [`tree`](crate::tree)'s module docs.
+#[derive(Debug)]
+pub enum AdaptiveWriteMachine {
+    /// Write through the tree arm.
+    Tree(TreeWriteMachine),
+    /// Write through the collect arm.
+    Collect(CollectWriteMachine),
+}
+
+impl AdaptiveWriteMachine {
+    /// A machine writing `v` into `reg`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range, like the blocking write.
+    pub fn new(reg: &AdaptiveMaxRegister, v: u64) -> Self {
+        match &reg.arm {
+            Arm::Tree(t) => AdaptiveWriteMachine::Tree(TreeWriteMachine::new(t, v)),
+            Arm::Collect(c) => AdaptiveWriteMachine::Collect(CollectWriteMachine::new(c, v)),
+        }
+    }
+
+    /// Advance the write by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &AdaptiveMaxRegister, ctx: &ProcCtx) -> Poll<()> {
+        match (self, &reg.arm) {
+            (AdaptiveWriteMachine::Tree(m), Arm::Tree(t)) => m.step(t, ctx),
+            (AdaptiveWriteMachine::Collect(m), Arm::Collect(c)) => m.step(c, ctx),
+            _ => panic!("machine stepped against a different register"),
+        }
+    }
+}
+
+/// Resume point of an `AdaptiveMaxRegister::read`; counterpart of
+/// [`AdaptiveWriteMachine`].
+#[derive(Debug)]
+pub enum AdaptiveReadMachine {
+    /// Read through the tree arm.
+    Tree(TreeReadMachine),
+    /// Read through the collect arm.
+    Collect(CollectReadMachine),
+}
+
+impl AdaptiveReadMachine {
+    /// A machine reading `reg`.
+    pub fn new(reg: &AdaptiveMaxRegister) -> Self {
+        match &reg.arm {
+            Arm::Tree(t) => AdaptiveReadMachine::Tree(TreeReadMachine::new(t)),
+            Arm::Collect(c) => AdaptiveReadMachine::Collect(CollectReadMachine::new(c)),
+        }
+    }
+
+    /// Advance the read by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &AdaptiveMaxRegister, ctx: &ProcCtx) -> Poll<u64> {
+        match (self, &reg.arm) {
+            (AdaptiveReadMachine::Tree(m), Arm::Tree(t)) => m.step(t, ctx),
+            (AdaptiveReadMachine::Collect(m), Arm::Collect(c)) => m.step(c, ctx),
+            _ => panic!("machine stepped against a different register"),
+        }
+    }
+}
+
+/// `AdaptiveMaxRegister::write` as a resumable [`OpTask`] for the coop
+/// backend.
+pub struct AdaptiveMaxWriteTask {
+    reg: Arc<AdaptiveMaxRegister>,
+    machine: AdaptiveWriteMachine,
+}
+
+impl AdaptiveMaxWriteTask {
+    /// A write of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range, like the blocking write.
+    pub fn new(reg: Arc<AdaptiveMaxRegister>, v: u64) -> Self {
+        let machine = AdaptiveWriteMachine::new(&reg, v);
+        AdaptiveMaxWriteTask { reg, machine }
+    }
+}
+
+impl OpTask for AdaptiveMaxWriteTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.reg, ctx).map(|()| 0)
+    }
+}
+
+/// `AdaptiveMaxRegister::read` as a resumable [`OpTask`] for the coop
+/// backend.
+pub struct AdaptiveMaxReadTask {
+    reg: Arc<AdaptiveMaxRegister>,
+    machine: AdaptiveReadMachine,
+}
+
+impl AdaptiveMaxReadTask {
+    /// A read.
+    pub fn new(reg: Arc<AdaptiveMaxRegister>) -> Self {
+        let machine = AdaptiveReadMachine::new(&reg);
+        AdaptiveMaxReadTask { reg, machine }
+    }
+}
+
+impl OpTask for AdaptiveMaxReadTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.reg, ctx).map(u128::from)
     }
 }
 

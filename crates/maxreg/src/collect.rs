@@ -11,7 +11,7 @@
 //! the tree whenever `n < log₂ m`.
 
 use crate::spec::MaxRegister;
-use smr::{ProcCtx, Register};
+use smr::{Poll, ProcCtx, Register};
 
 /// An unbounded (full `u64` domain) max register with `O(1)` writes and
 /// `O(n)` reads, built from `n` single-writer registers.
@@ -50,23 +50,119 @@ impl CollectMaxRegister {
 
 impl MaxRegister for CollectMaxRegister {
     fn write(&self, ctx: &ProcCtx, v: u64) {
-        if let Some(m) = self.bound {
-            assert!(v < m, "value {v} out of range (m = {m})");
-        }
-        let cell = &self.cells[ctx.pid()];
-        // Single-writer: only this process writes this cell, so the
-        // read-then-write pair cannot lose updates.
-        if cell.read(ctx) < v {
-            cell.write(ctx, v);
-        }
+        let mut m = CollectWriteMachine::new(self, v);
+        while m.step(self, ctx).is_pending() {}
     }
 
     fn read(&self, ctx: &ProcCtx) -> u64 {
-        self.cells.iter().map(|c| c.read(ctx)).max().unwrap_or(0)
+        let mut m = CollectReadMachine::new(self);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
+            }
+        }
     }
 
     fn bound(&self) -> Option<u64> {
         self.bound
+    }
+}
+
+/// Resume point of a `CollectMaxRegister::write`: read the own cell,
+/// then overwrite it if the new value is larger — one primitive per
+/// [`step`](CollectWriteMachine::step), priming step free; dominated
+/// writes complete on the read. The single transcription driven by the
+/// blocking method, the task wrappers and the composites (see
+/// [`tree`](crate::tree)'s module docs for the machine convention).
+#[derive(Debug)]
+pub struct CollectWriteMachine {
+    v: u64,
+    phase: CollectWritePhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollectWritePhase {
+    Start,
+    ReadOwn,
+    WriteOwn,
+}
+
+impl CollectWriteMachine {
+    /// A machine writing `v` into `reg`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of a bounded register's range, like the
+    /// blocking write.
+    pub fn new(reg: &CollectMaxRegister, v: u64) -> Self {
+        if let Some(m) = reg.bound {
+            assert!(v < m, "value {v} out of range (m = {m})");
+        }
+        CollectWriteMachine {
+            v,
+            phase: CollectWritePhase::Start,
+        }
+    }
+
+    /// Advance the write by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &CollectMaxRegister, ctx: &ProcCtx) -> Poll<()> {
+        match self.phase {
+            CollectWritePhase::Start => {
+                self.phase = CollectWritePhase::ReadOwn;
+                Poll::Pending
+            }
+            CollectWritePhase::ReadOwn => {
+                // Single-writer: only this process writes this cell, so
+                // the read-then-write pair cannot lose updates.
+                if reg.cells[ctx.pid()].read(ctx) < self.v {
+                    self.phase = CollectWritePhase::WriteOwn;
+                    Poll::Pending
+                } else {
+                    Poll::Ready(()) // dominated: skip the store
+                }
+            }
+            CollectWritePhase::WriteOwn => {
+                reg.cells[ctx.pid()].write(ctx, self.v);
+                Poll::Ready(())
+            }
+        }
+    }
+}
+
+/// Resume point of a `CollectMaxRegister::read`: collect the `n` cells,
+/// one primitive per [`step`](CollectReadMachine::step), resolving to
+/// their maximum.
+#[derive(Debug)]
+pub struct CollectReadMachine {
+    next: usize,
+    acc: u64,
+    primed: bool,
+}
+
+impl CollectReadMachine {
+    /// A machine reading `reg`.
+    pub fn new(_reg: &CollectMaxRegister) -> Self {
+        CollectReadMachine {
+            next: 0,
+            acc: 0,
+            primed: false,
+        }
+    }
+
+    /// Advance the read by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &CollectMaxRegister, ctx: &ProcCtx) -> Poll<u64> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending;
+        }
+        self.acc = self.acc.max(reg.cells[self.next].read(ctx));
+        self.next += 1;
+        if self.next == reg.cells.len() {
+            Poll::Ready(self.acc)
+        } else {
+            Poll::Pending
+        }
     }
 }
 

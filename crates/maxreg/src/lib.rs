@@ -40,10 +40,16 @@ pub mod tasks;
 mod tree;
 mod unbounded;
 
-pub use adaptive::AdaptiveMaxRegister;
-pub use collect::CollectMaxRegister;
+pub use adaptive::{
+    AdaptiveMaxReadTask, AdaptiveMaxRegister, AdaptiveMaxWriteTask, AdaptiveReadMachine,
+    AdaptiveWriteMachine,
+};
+pub use collect::{CollectMaxRegister, CollectReadMachine, CollectWriteMachine};
 pub use reference::LockMaxRegister;
 pub use spec::MaxRegister;
 pub use tasks::{TreeMaxReadTask, TreeMaxWriteTask};
-pub use tree::TreeMaxRegister;
-pub use unbounded::UnboundedMaxRegister;
+pub use tree::{TreeMaxRegister, TreeReadMachine, TreeWriteMachine};
+pub use unbounded::{
+    UnboundedMaxReadTask, UnboundedMaxRegister, UnboundedMaxWriteTask, UnboundedReadMachine,
+    UnboundedWriteMachine,
+};

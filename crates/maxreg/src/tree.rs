@@ -20,6 +20,32 @@
 //! Nodes are allocated lazily and published with a CAS, so the object's
 //! memory footprint is proportional to the *paths actually written*, not
 //! to `m` — essential for the `m = 2⁶⁰` sweeps in EXP-T4.2.
+//!
+//! ## One transcription, every form
+//!
+//! Both operations exist exactly once, as resumable *machines*
+//! ([`TreeWriteMachine`] / [`TreeReadMachine`]): the recursive descent
+//! unrolled into a turn path (descending, one switch *read* per left
+//! turn) plus an unwind walk (ascending, one switch *write* per right
+//! turn, deepest first) — one primitive per granted step, priming step
+//! free. The blocking [`write`](TreeMaxRegister::write) /
+//! [`read`](TreeMaxRegister::read) methods drive a machine to
+//! completion; the [`OpTask`] wrappers ([`TreeMaxWriteTask`] /
+//! [`TreeMaxReadTask`]) poll one step at a time; composite objects
+//! (`AachCounter`, `UnboundedMaxRegister`, Algorithm 2) embed machines
+//! directly. Zero drift between forms by construction.
+//!
+//! A machine holds no reference into the register — it records the turn
+//! path taken and re-walks it from the root on each step (pointer
+//! navigation only, no primitives) — so machines are plain safe values;
+//! each [`step`](TreeWriteMachine::step) borrows the register it
+//! operates on for the duration of the call. The O(depth) re-walk per
+//! step is a deliberate trade: a constant wall-clock factor on deep
+//! trees buys machines with no raw pointers to keep alive and ordinary
+//! struct-nesting composition (the AACH counters embed these directly).
+//! Step *counts* — the quantity the theorems bound and the experiments
+//! measure — are identical to the recursive forms', pinned by the
+//! task-vs-blocking determinism tests.
 
 use crate::spec::MaxRegister;
 use smr::{OpTask, Poll, ProcCtx, Register};
@@ -128,48 +154,34 @@ impl TreeMaxRegister {
         depth
     }
 
-    fn write_rec(node: &Node, ctx: &ProcCtx, v: u64, span: u64) {
-        if span <= 1 {
-            return; // single-value subrange: position itself encodes it
+    /// The node reached by following `path` from the root (allocating
+    /// lazily, as the recursive forms do). Pointer navigation only — no
+    /// primitives.
+    fn navigate(&self, path: &[Turn]) -> &Node {
+        let mut node = &self.root;
+        for &turn in path {
+            node = Node::child(match turn {
+                Turn::Left => &node.left,
+                Turn::Right => &node.right,
+            });
         }
-        let half = span.div_ceil(2);
-        if v < half {
-            if node.switch.read(ctx) == 0 {
-                Self::write_rec(Node::child(&node.left), ctx, v, half);
-            }
-        } else {
-            Self::write_rec(Node::child(&node.right), ctx, v - half, span - half);
-            node.switch.write(ctx, 1);
-        }
+        node
     }
 }
 
 impl MaxRegister for TreeMaxRegister {
     fn write(&self, ctx: &ProcCtx, v: u64) {
-        assert!(
-            v < self.bound,
-            "value {v} out of range (m = {})",
-            self.bound
-        );
-        Self::write_rec(&self.root, ctx, v, self.bound);
+        let mut m = TreeWriteMachine::new(self, v);
+        while m.step(self, ctx).is_pending() {}
     }
 
     fn read(&self, ctx: &ProcCtx) -> u64 {
-        let mut node = &self.root;
-        let mut span = self.bound;
-        let mut acc = 0;
-        while span > 1 {
-            let half = span.div_ceil(2);
-            if node.switch.read(ctx) == 1 {
-                acc += half;
-                span -= half;
-                node = Node::child(&node.right);
-            } else {
-                span = half;
-                node = Node::child(&node.left);
+        let mut m = TreeReadMachine::new(self);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
             }
         }
-        acc
     }
 
     fn bound(&self) -> Option<u64> {
@@ -177,121 +189,123 @@ impl MaxRegister for TreeMaxRegister {
     }
 }
 
-/// `TreeMaxRegister::write` as a resumable [`OpTask`]: the recursive
-/// descent of [`write_rec`](TreeMaxRegister::write_rec) unrolled into a
-/// cursor (descending, one switch *read* per left turn) plus an unwind
-/// stack (ascending, one switch *write* per right turn, deepest first) —
-/// the same primitives in the same order, one per granted poll.
-///
-/// The cursor holds raw `Node` pointers because the nodes live inside
-/// the `Arc<TreeMaxRegister>` the task also owns: nodes are
-/// heap-published, have stable addresses, and are freed only when the
-/// register drops, which the `Arc` prevents for the task's lifetime.
-pub struct TreeMaxWriteTask {
-    /// Never read, but load-bearing: keeps every pointed-to node alive.
-    _keepalive: Arc<TreeMaxRegister>,
-    node: *const Node,
+/// A turn of the descent path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Left,
+    Right,
+}
+
+/// Resume point of a `TreeMaxRegister::write` — one primitive per
+/// [`step`](TreeWriteMachine::step), priming step free, exactly the
+/// primitive sequence of the recursive transcription. See the [module
+/// docs](self) for the machine convention and how the forms share it.
+#[derive(Debug)]
+pub struct TreeWriteMachine {
+    /// Turns committed so far from the root. Right turns are the
+    /// ancestors whose switches remain to be set on the unwind.
+    path: Vec<Turn>,
+    /// Value and span relative to the current node's subrange.
     v: u64,
     span: u64,
-    /// Right-turn ancestors whose switches remain to be set (deepest
-    /// last; written in pop order).
-    unwind: Vec<*const Node>,
-    phase: TreeWritePhase,
+    phase: WritePhase,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TreeWritePhase {
+enum WritePhase {
     /// Not yet primed.
     Start,
-    /// About to read the cursor node's switch (a left turn).
+    /// About to read the current node's switch (a left turn).
     ReadSwitch,
-    /// Descent finished or abandoned; about to set the next stacked
-    /// switch.
-    WriteSwitch,
+    /// Descent finished or abandoned; about to set the switch of the
+    /// deepest right-turn ancestor strictly above `path[upto..]`.
+    Unwind {
+        /// Right turns at indices `< upto` are still pending.
+        upto: usize,
+    },
 }
 
-// SAFETY: the raw pointers reference nodes owned by `reg`; the task
-// carries the Arc, every pointed-to node outlives it, and all access
-// goes through `&Node` whose interior (`Register`, `AtomicPtr`) is Sync.
-unsafe impl Send for TreeMaxWriteTask {}
-
-impl TreeMaxWriteTask {
-    /// A write of `v`.
+impl TreeWriteMachine {
+    /// A machine writing `v` into `reg`.
     ///
     /// # Panics
     /// Panics if `v` is out of range, like the blocking write.
-    pub fn new(reg: Arc<TreeMaxRegister>, v: u64) -> Self {
+    pub fn new(reg: &TreeMaxRegister, v: u64) -> Self {
         assert!(v < reg.bound, "value {v} out of range (m = {})", reg.bound);
-        let node: *const Node = &reg.root;
-        let span = reg.bound;
-        TreeMaxWriteTask {
-            _keepalive: reg,
-            node,
+        TreeWriteMachine {
+            path: Vec::new(),
             v,
-            span,
-            unwind: Vec::new(),
-            phase: TreeWritePhase::Start,
+            span: reg.bound,
+            phase: WritePhase::Start,
         }
     }
 
-    /// Walk right turns (no primitives) until the next primitive or the
-    /// leaf, setting `phase` to the next pending primitive kind; a
-    /// `WriteSwitch` phase with an empty `unwind` stack means the write
-    /// is complete.
+    /// Take right turns (no primitives) until the next left turn (a
+    /// switch read) or the leaf (start unwinding).
     fn descend(&mut self) {
         while self.span > 1 {
             let half = self.span.div_ceil(2);
             if self.v < half {
                 self.span = half;
-                self.phase = TreeWritePhase::ReadSwitch;
+                self.phase = WritePhase::ReadSwitch;
                 return;
             }
-            self.unwind.push(self.node);
-            // SAFETY: see the Send impl — nodes outlive the task.
-            self.node = Node::child(unsafe { &(*self.node).right });
+            self.path.push(Turn::Right);
             self.v -= half;
             self.span -= half;
         }
-        self.phase = TreeWritePhase::WriteSwitch;
+        self.phase = WritePhase::Unwind {
+            upto: self.path.len(),
+        };
     }
-}
 
-impl OpTask for TreeMaxWriteTask {
-    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+    /// The deepest pending right turn strictly below `upto`, if any.
+    fn next_unwind(&self, upto: usize) -> Option<usize> {
+        self.path[..upto].iter().rposition(|&t| t == Turn::Right)
+    }
+
+    /// Advance the write by at most one primitive against `reg` — which
+    /// must be the register the machine was created for. The first call
+    /// primes (no primitive; zero-primitive writes — `m = 1` — complete
+    /// here); each later call applies exactly one primitive and returns
+    /// `Ready` with the one that finishes the write.
+    pub fn step(&mut self, reg: &TreeMaxRegister, ctx: &ProcCtx) -> Poll<()> {
         match self.phase {
-            TreeWritePhase::Start => {
+            WritePhase::Start => {
                 self.descend();
-                if self.phase == TreeWritePhase::WriteSwitch && self.unwind.is_empty() {
-                    return Poll::Ready(0); // m = 1: no primitives at all
+                if let WritePhase::Unwind { upto } = self.phase {
+                    if self.next_unwind(upto).is_none() {
+                        return Poll::Ready(()); // m = 1: no primitives at all
+                    }
                 }
                 Poll::Pending
             }
-            TreeWritePhase::ReadSwitch => {
-                // SAFETY: see the Send impl.
-                let node = unsafe { &*self.node };
+            WritePhase::ReadSwitch => {
+                let node = reg.navigate(&self.path);
                 if node.switch.read(ctx) == 0 {
-                    self.node = Node::child(&node.left);
+                    self.path.push(Turn::Left);
                     self.descend();
-                    if self.phase == TreeWritePhase::WriteSwitch && self.unwind.is_empty() {
-                        return Poll::Ready(0);
-                    }
                 } else {
-                    // Dominated: abandon the descent, unwind what's
+                    // Dominated: abandon the descent and unwind what is
                     // stacked (ancestors' right-subtree writes are
                     // complete by construction).
-                    self.phase = TreeWritePhase::WriteSwitch;
-                    if self.unwind.is_empty() {
-                        return Poll::Ready(0);
-                    }
+                    self.phase = WritePhase::Unwind {
+                        upto: self.path.len(),
+                    };
                 }
-                Poll::Pending
+                match self.phase {
+                    WritePhase::Unwind { upto } if self.next_unwind(upto).is_none() => {
+                        Poll::Ready(())
+                    }
+                    _ => Poll::Pending,
+                }
             }
-            TreeWritePhase::WriteSwitch => {
-                let node = self.unwind.pop().expect("non-empty unwind stack");
-                // SAFETY: see the Send impl.
-                unsafe { &*node }.switch.write(ctx, 1);
-                if self.unwind.is_empty() {
-                    Poll::Ready(0)
+            WritePhase::Unwind { upto } => {
+                let at = self.next_unwind(upto).expect("pending right turn");
+                reg.navigate(&self.path[..at]).switch.write(ctx, 1);
+                self.phase = WritePhase::Unwind { upto: at };
+                if self.next_unwind(at).is_none() {
+                    Poll::Ready(())
                 } else {
                     Poll::Pending
                 }
@@ -300,62 +314,99 @@ impl OpTask for TreeMaxWriteTask {
     }
 }
 
-/// `TreeMaxRegister::read` as a resumable [`OpTask`]: descend following
-/// switches, one switch read per granted poll, resolving to the
-/// accumulated maximum. Pointer safety as in [`TreeMaxWriteTask`].
-pub struct TreeMaxReadTask {
-    /// Never read, but load-bearing: keeps every pointed-to node alive.
-    _keepalive: Arc<TreeMaxRegister>,
-    node: *const Node,
+/// Resume point of a `TreeMaxRegister::read`: descend following
+/// switches, one switch read per granted step, resolving to the
+/// accumulated maximum. Same machine convention as
+/// [`TreeWriteMachine`].
+#[derive(Debug)]
+pub struct TreeReadMachine {
+    path: Vec<Turn>,
     span: u64,
     acc: u64,
     primed: bool,
 }
 
-// SAFETY: as for TreeMaxWriteTask.
-unsafe impl Send for TreeMaxReadTask {}
+impl TreeReadMachine {
+    /// A machine reading `reg`.
+    pub fn new(reg: &TreeMaxRegister) -> Self {
+        TreeReadMachine {
+            path: Vec::new(),
+            span: reg.bound,
+            acc: 0,
+            primed: false,
+        }
+    }
+
+    /// Advance the read by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &TreeMaxRegister, ctx: &ProcCtx) -> Poll<u64> {
+        if !self.primed {
+            self.primed = true;
+            if self.span <= 1 {
+                return Poll::Ready(self.acc); // m = 1: no primitives
+            }
+            return Poll::Pending;
+        }
+        let half = self.span.div_ceil(2);
+        let node = reg.navigate(&self.path);
+        if node.switch.read(ctx) == 1 {
+            self.acc += half;
+            self.span -= half;
+            self.path.push(Turn::Right);
+        } else {
+            self.span = half;
+            self.path.push(Turn::Left);
+        }
+        if self.span <= 1 {
+            Poll::Ready(self.acc)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// `TreeMaxRegister::write` as a resumable [`OpTask`] for the coop
+/// backend: an owning wrapper around [`TreeWriteMachine`].
+pub struct TreeMaxWriteTask {
+    reg: Arc<TreeMaxRegister>,
+    machine: TreeWriteMachine,
+}
+
+impl TreeMaxWriteTask {
+    /// A write of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range, like the blocking write.
+    pub fn new(reg: Arc<TreeMaxRegister>, v: u64) -> Self {
+        let machine = TreeWriteMachine::new(&reg, v);
+        TreeMaxWriteTask { reg, machine }
+    }
+}
+
+impl OpTask for TreeMaxWriteTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.reg, ctx).map(|()| 0)
+    }
+}
+
+/// `TreeMaxRegister::read` as a resumable [`OpTask`]: an owning wrapper
+/// around [`TreeReadMachine`].
+pub struct TreeMaxReadTask {
+    reg: Arc<TreeMaxRegister>,
+    machine: TreeReadMachine,
+}
 
 impl TreeMaxReadTask {
     /// A read.
     pub fn new(reg: Arc<TreeMaxRegister>) -> Self {
-        let node: *const Node = &reg.root;
-        let span = reg.bound;
-        TreeMaxReadTask {
-            _keepalive: reg,
-            node,
-            span,
-            acc: 0,
-            primed: false,
-        }
+        let machine = TreeReadMachine::new(&reg);
+        TreeMaxReadTask { reg, machine }
     }
 }
 
 impl OpTask for TreeMaxReadTask {
     fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
-        if !self.primed {
-            self.primed = true;
-            return if self.span <= 1 {
-                Poll::Ready(u128::from(self.acc)) // m = 1: no primitives
-            } else {
-                Poll::Pending
-            };
-        }
-        let half = self.span.div_ceil(2);
-        // SAFETY: see TreeMaxWriteTask's Send impl.
-        let node = unsafe { &*self.node };
-        if node.switch.read(ctx) == 1 {
-            self.acc += half;
-            self.span -= half;
-            self.node = Node::child(&node.right);
-        } else {
-            self.span = half;
-            self.node = Node::child(&node.left);
-        }
-        if self.span <= 1 {
-            Poll::Ready(u128::from(self.acc))
-        } else {
-            Poll::Pending
-        }
+        self.machine.step(&self.reg, ctx).map(u128::from)
     }
 }
 
@@ -480,5 +531,29 @@ mod tests {
         reg.write(&ctx, 0);
         assert_eq!(reg.read(&ctx), 0);
         assert_eq!(ctx.steps_taken(), 0, "m=1 register needs no primitives");
+    }
+
+    #[test]
+    fn machine_steps_apply_one_primitive_each() {
+        // The machine convention the composites rely on: priming step
+        // free, then exactly one primitive per step until Ready.
+        let m = 1 << 10;
+        let reg = TreeMaxRegister::new(m);
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        for v in [0u64, 1, 511, 512, 777, m - 1] {
+            let mut machine = TreeWriteMachine::new(&reg, v);
+            let s0 = ctx.steps_taken();
+            assert!(machine.step(&reg, &ctx).is_pending(), "prime");
+            assert_eq!(ctx.steps_taken(), s0, "priming step is free");
+            loop {
+                let before = ctx.steps_taken();
+                let done = machine.step(&reg, &ctx).is_ready();
+                assert_eq!(ctx.steps_taken() - before, 1, "one primitive per step");
+                if done {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -21,8 +21,9 @@
 //! `O(log₂ log_k v)` — the paper's sub-logarithmic extension.
 
 use crate::spec::MaxRegister;
-use crate::tree::TreeMaxRegister;
-use smr::ProcCtx;
+use crate::tree::{TreeMaxRegister, TreeReadMachine, TreeWriteMachine};
+use smr::{OpTask, Poll, ProcCtx};
+use std::sync::Arc;
 
 /// Number of doubling levels needed so the last level covers all of `u64`:
 /// bounds 2^1, 2^2, 2^4, 2^8, 2^16, 2^32, then the full domain.
@@ -77,23 +78,256 @@ impl UnboundedMaxRegister {
 
 impl MaxRegister for UnboundedMaxRegister {
     fn write(&self, ctx: &ProcCtx, v: u64) {
-        assert!(v < u64::MAX, "u64::MAX is reserved");
-        let level = Self::level_of(v);
-        self.levels[level].write(ctx, v);
-        self.pointer.write(ctx, level as u64);
-        self.written.write(ctx, 1);
+        let mut m = UnboundedWriteMachine::new(self, v);
+        while m.step(self, ctx).is_pending() {}
     }
 
     fn read(&self, ctx: &ProcCtx) -> u64 {
-        if self.written.read(ctx) == 0 {
-            return 0;
+        let mut m = UnboundedReadMachine::new(self);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
+            }
         }
-        let level = self.pointer.read(ctx) as usize;
-        self.levels[level].read(ctx)
     }
 
     fn bound(&self) -> Option<u64> {
         None
+    }
+}
+
+/// Resume point of an `UnboundedMaxRegister::write`: the value write
+/// into its level's tree, then the pointer raise, then the written flag
+/// — three [`TreeWriteMachine`]s run back to back, one primitive per
+/// [`step`](UnboundedWriteMachine::step), priming step free (the
+/// machine convention of [`tree`](crate::tree)'s module docs). A
+/// sub-machine's free priming is absorbed into the current step, so the
+/// stage boundaries are invisible to the scheduler.
+#[derive(Debug)]
+pub struct UnboundedWriteMachine {
+    level: usize,
+    stage: WriteStage,
+    sub: TreeWriteMachine,
+    primed: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteStage {
+    Level,
+    Pointer,
+    Written,
+}
+
+impl UnboundedWriteMachine {
+    /// A machine writing `v` into `reg`.
+    ///
+    /// # Panics
+    /// Panics if `v == u64::MAX` (reserved), like the blocking write.
+    pub fn new(reg: &UnboundedMaxRegister, v: u64) -> Self {
+        assert!(v < u64::MAX, "u64::MAX is reserved");
+        let level = UnboundedMaxRegister::level_of(v);
+        UnboundedWriteMachine {
+            level,
+            stage: WriteStage::Level,
+            sub: TreeWriteMachine::new(&reg.levels[level], v),
+            primed: false,
+        }
+    }
+
+    /// The tree the current stage operates on.
+    fn target<'r>(&self, reg: &'r UnboundedMaxRegister) -> &'r TreeMaxRegister {
+        match self.stage {
+            WriteStage::Level => &reg.levels[self.level],
+            WriteStage::Pointer => &reg.pointer,
+            WriteStage::Written => &reg.written,
+        }
+    }
+
+    /// Move to the next stage; `false` when all stages are done.
+    fn advance(&mut self, reg: &UnboundedMaxRegister) -> bool {
+        match self.stage {
+            WriteStage::Level => {
+                self.stage = WriteStage::Pointer;
+                self.sub = TreeWriteMachine::new(&reg.pointer, self.level as u64);
+                true
+            }
+            WriteStage::Pointer => {
+                self.stage = WriteStage::Written;
+                self.sub = TreeWriteMachine::new(&reg.written, 1);
+                true
+            }
+            WriteStage::Written => false,
+        }
+    }
+
+    /// Advance the write by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &UnboundedMaxRegister, ctx: &ProcCtx) -> Poll<()> {
+        if !self.primed {
+            self.primed = true;
+            // Prime sub-machines through zero-primitive progress only.
+            loop {
+                match self.sub.step(self.target(reg), ctx) {
+                    Poll::Pending => return Poll::Pending,
+                    Poll::Ready(()) => {
+                        if !self.advance(reg) {
+                            return Poll::Ready(());
+                        }
+                    }
+                }
+            }
+        }
+        loop {
+            let before = ctx.steps_taken();
+            let polled = self.sub.step(self.target(reg), ctx);
+            let applied = ctx.steps_taken() - before;
+            match polled {
+                Poll::Pending => {
+                    if applied == 1 {
+                        return Poll::Pending;
+                    }
+                    // A fresh sub-machine just primed; keep going within
+                    // this granted step.
+                }
+                Poll::Ready(()) => {
+                    if !self.advance(reg) {
+                        debug_assert_eq!(applied, 1, "the completing step applies a primitive");
+                        return Poll::Ready(());
+                    }
+                    if applied == 1 {
+                        return Poll::Pending;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Resume point of an `UnboundedMaxRegister::read`: the written flag,
+/// then the level pointer, then that level's tree — resolving to the
+/// stored maximum. Counterpart of [`UnboundedWriteMachine`].
+#[derive(Debug)]
+pub struct UnboundedReadMachine {
+    stage: ReadStage,
+    primed: bool,
+}
+
+#[derive(Debug)]
+enum ReadStage {
+    Written(TreeReadMachine),
+    Pointer(TreeReadMachine),
+    Level(usize, TreeReadMachine),
+}
+
+impl UnboundedReadMachine {
+    /// A machine reading `reg`.
+    pub fn new(reg: &UnboundedMaxRegister) -> Self {
+        UnboundedReadMachine {
+            stage: ReadStage::Written(TreeReadMachine::new(&reg.written)),
+            primed: false,
+        }
+    }
+
+    /// Advance the read by at most one primitive against `reg` — which
+    /// must be the register the machine was created for.
+    pub fn step(&mut self, reg: &UnboundedMaxRegister, ctx: &ProcCtx) -> Poll<u64> {
+        if !self.primed {
+            self.primed = true;
+            // A fresh machine is always at the written-flag stage, whose
+            // tree has depth 1 — the read applies a primitive, so the
+            // priming step never completes.
+            let ReadStage::Written(m) = &mut self.stage else {
+                unreachable!("fresh machine primes at the written-flag stage");
+            };
+            let polled = m.step(&reg.written, ctx);
+            debug_assert!(polled.is_pending(), "flag read needs a primitive");
+            return Poll::Pending;
+        }
+        loop {
+            let before = ctx.steps_taken();
+            let polled = match &mut self.stage {
+                ReadStage::Written(m) => m.step(&reg.written, ctx),
+                ReadStage::Pointer(m) => m.step(&reg.pointer, ctx),
+                ReadStage::Level(l, m) => m.step(&reg.levels[*l], ctx),
+            };
+            let applied = ctx.steps_taken() - before;
+            match polled {
+                Poll::Pending => {
+                    if applied == 1 {
+                        return Poll::Pending;
+                    }
+                }
+                Poll::Ready(v) => {
+                    match &self.stage {
+                        ReadStage::Written(_) => {
+                            if v == 0 {
+                                return Poll::Ready(0); // nothing written yet
+                            }
+                            let mut m = TreeReadMachine::new(&reg.pointer);
+                            let polled = m.step(&reg.pointer, ctx); // prime: free
+                            debug_assert!(polled.is_pending());
+                            self.stage = ReadStage::Pointer(m);
+                        }
+                        ReadStage::Pointer(_) => {
+                            let level = v as usize;
+                            let mut m = TreeReadMachine::new(&reg.levels[level]);
+                            let polled = m.step(&reg.levels[level], ctx); // prime: free
+                            debug_assert!(polled.is_pending());
+                            self.stage = ReadStage::Level(level, m);
+                        }
+                        ReadStage::Level(..) => return Poll::Ready(v),
+                    }
+                    if applied == 1 {
+                        return Poll::Pending;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `UnboundedMaxRegister::write` as a resumable [`OpTask`] for the coop
+/// backend.
+pub struct UnboundedMaxWriteTask {
+    reg: Arc<UnboundedMaxRegister>,
+    machine: UnboundedWriteMachine,
+}
+
+impl UnboundedMaxWriteTask {
+    /// A write of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v == u64::MAX` (reserved), like the blocking write.
+    pub fn new(reg: Arc<UnboundedMaxRegister>, v: u64) -> Self {
+        let machine = UnboundedWriteMachine::new(&reg, v);
+        UnboundedMaxWriteTask { reg, machine }
+    }
+}
+
+impl OpTask for UnboundedMaxWriteTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.reg, ctx).map(|()| 0)
+    }
+}
+
+/// `UnboundedMaxRegister::read` as a resumable [`OpTask`] for the coop
+/// backend.
+pub struct UnboundedMaxReadTask {
+    reg: Arc<UnboundedMaxRegister>,
+    machine: UnboundedReadMachine,
+}
+
+impl UnboundedMaxReadTask {
+    /// A read.
+    pub fn new(reg: Arc<UnboundedMaxRegister>) -> Self {
+        let machine = UnboundedReadMachine::new(&reg);
+        UnboundedMaxReadTask { reg, machine }
+    }
+}
+
+impl OpTask for UnboundedMaxReadTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        self.machine.step(&self.reg, ctx).map(u128::from)
     }
 }
 

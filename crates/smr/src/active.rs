@@ -275,6 +275,61 @@ mod tests {
     }
 
     #[test]
+    fn word_boundary_64_65() {
+        // The summary bitmap's word boundary: members straddling bits
+        // 63/64 must survive inserts, removes and ordered queries on
+        // both sides of the word edge.
+        let mut s = ActiveSet::new(130);
+        for pid in [63, 64, 65] {
+            s.insert(pid);
+        }
+        assert_eq!(s.iter_sorted().collect::<Vec<_>>(), vec![63, 64, 65]);
+        assert_eq!(s.next_after(63), Some(64), "crosses the word edge");
+        assert_eq!(s.next_after(64), Some(65), "within the second word");
+        s.remove(64);
+        assert_eq!(
+            s.next_after(63),
+            Some(65),
+            "successor skips the removed first bit of word 1"
+        );
+        s.remove(65);
+        // Word 1 is now empty: its summary bit must be cleared, or the
+        // successor query would descend into an empty word.
+        assert_eq!(s.next_after(63), None);
+        assert_eq!(s.min(), Some(63));
+        s.remove(63);
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn remove_then_readd_same_pid() {
+        // Re-adding a pid after removal must restore both halves of the
+        // structure: dense-index membership and the bitmap path.
+        let mut s = ActiveSet::new(200);
+        for pid in [7, 64, 130] {
+            s.insert(pid);
+        }
+        s.remove(64);
+        assert!(!s.contains(64));
+        s.insert(64);
+        assert!(s.contains(64));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter_sorted().collect::<Vec<_>>(), vec![7, 64, 130]);
+        assert_eq!(s.next_after(7), Some(64));
+        // The dense half still enumerates exactly the members.
+        let mut picks: Vec<usize> = (0..s.len()).map(|i| s.pick(i)).collect();
+        picks.sort_unstable();
+        assert_eq!(picks, vec![7, 64, 130]);
+        // Churn the same pid repeatedly: no duplicates, no leaks.
+        for _ in 0..10 {
+            s.remove(64);
+            s.insert(64);
+        }
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
     fn dense_pick_enumerates_members() {
         let mut s = ActiveSet::new(50);
         for pid in 0..50 {

@@ -578,6 +578,46 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "submit to crashed process 0")]
+    fn submit_to_crashed_process_panics_on_coop_backend_too() {
+        // The refusal lives in the shared controller path, so the panic
+        // (and its message) must be identical across backends.
+        let rt = Runtime::coop(2);
+        let mut d = Driver::coop(rt);
+        d.crash(0);
+        d.submit_task(0, OpSpec::inc(), crate::task::ImmediateOp::new(|_| 0));
+    }
+
+    #[test]
+    fn crashed_submit_panic_messages_match_across_backends() {
+        // Pin the parity beyond the attribute checks above: capture both
+        // panic payloads and compare them byte for byte. The process
+        // panic hook is left alone (it is global, and tests run in
+        // parallel threads); libtest captures a passing test's output,
+        // so the two expected panic printouts stay invisible anyway.
+        let catch = |f: Box<dyn FnOnce() + Send>| -> String {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let payload = result.expect_err("submit to crashed pid must panic");
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic payload is a formatted string")
+        };
+        let thread_msg = catch(Box::new(|| {
+            let mut d = Driver::new(Runtime::gated(2));
+            d.crash(1);
+            d.submit(1, OpSpec::inc(), |_ctx| 0);
+        }));
+        let coop_msg = catch(Box::new(|| {
+            let mut d = Driver::coop(Runtime::coop(2));
+            d.crash(1);
+            d.submit_task(1, OpSpec::inc(), crate::task::ImmediateOp::new(|_| 0));
+        }));
+        assert_eq!(thread_msg, coop_msg, "backends diverge on the refusal");
+        assert!(thread_msg.contains("submit to crashed process 1"));
+    }
+
+    #[test]
     fn crash_mid_op_then_later_ops_never_invoked() {
         // Ops queued behind the suspended one must not generate records.
         let rt = Runtime::gated(2);

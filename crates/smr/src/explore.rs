@@ -1,0 +1,901 @@
+//! Bounded exhaustive schedule exploration over the coop backend —
+//! stateless model checking for gated executions.
+//!
+//! Property tests sample schedules (`SeededRandom` over a few hundred
+//! seeds); this module *enumerates* them. [`explore`] replays a program
+//! over a fresh [`Driver<CoopBackend>`] once per interleaving, walking
+//! the tree of scheduling decisions depth-first: at every prefix each
+//! active process can be granted the next step, and (optionally) each
+//! active process can be crashed. Every maximal interleaving — or every
+//! prefix cut off by the step bound — is turned into a history cut via
+//! [`Driver::history_snapshot`] and handed to a caller-supplied checker,
+//! so a schedule-quantified claim ("for every gated schedule …") becomes
+//! a finite, checkable statement for small configurations.
+//!
+//! ## Why the coop backend
+//!
+//! Exploration replays the program once per interleaving, so the cost of
+//! creating and stepping an execution is the whole game. A coop driver
+//! is a plain in-process object: no worker threads to spawn or park, one
+//! indirect call per granted step, and `history_snapshot` is a clone (the
+//! backend keeps every process at a stable point continuously). That is
+//! what makes enumerating tens of thousands of interleavings per second
+//! practical — see `exp_explore`.
+//!
+//! ## Pruning
+//!
+//! With pruning enabled (the default), the explorer skips interleavings
+//! that provably cannot differ from one it already visits. Two adjacent
+//! granted steps commute when
+//!
+//! * they belong to different processes,
+//! * neither emitted a history event (no operation completed, so no
+//!   logical timestamps were drawn and no successor was announced), and
+//! * they touch different base objects, or both are trivial (`read`)
+//!   primitives on the same object.
+//!
+//! Swapping such a pair changes nothing observable: shared memory ends
+//! identical (the primitives commute), per-process step counters are
+//! per-process (unaffected by order), and the history is *byte-identical*
+//! (events are the only ticket draws). The explorer therefore keeps only
+//! the schedules with no such adjacent pair "inverted" (the lower pid
+//! second): every equivalence class contains at least one such canonical
+//! representative — its lexicographically least member, which by
+//! minimality has no swappable adjacent pair out of order — so no
+//! outcome is lost, only duplicates. Completion steps are never
+//! commuted, which keeps the real-time precedence structure of every
+//! visited history exactly as executed.
+//!
+//! The primitive each step applied is read off the runtime's access
+//! trace ([`Runtime::enable_tracing`](crate::Runtime::enable_tracing) —
+//! the explorer turns it on); event emission is read off the history
+//! length.
+//!
+//! ## Bounds
+//!
+//! [`ExploreConfig`] bounds the walk three ways: `max_steps` (granted
+//! steps per interleaving — prefixes at the bound are checked as cuts,
+//! exactly like a suspension), `max_preemptions` (CHESS-style: switching
+//! away from a process that is still runnable costs one preemption;
+//! switches forced by completion or crash are free), and `max_crashes`
+//! (crash-point injection: at every prefix, each active process may be
+//! crashed, surfacing its in-flight operation as a pending record). An
+//! optional `max_interleavings` cap stops runaway configurations and is
+//! reported via [`ExploreStats::capped`]. A preemption bound disables
+//! pruning: the commutation that justifies pruning does not preserve
+//! preemption counts, so under a budget every schedule is explored
+//! as-is.
+//!
+//! ## Replay and minimization
+//!
+//! Every decision sequence is a [`Replay`]: it can be re-run against a
+//! fresh driver ([`Replay::run`]) and, when crash-free, converted into a
+//! [`Scripted`] scheduler ([`Replay::to_scripted`]). When the checker
+//! rejects a cut, the explorer greedily deletes chunks of the decision
+//! sequence (ddmin-style, halving chunk sizes) while the violation
+//! persists, and reports the minimal failing schedule alongside the
+//! original in [`FoundViolation`].
+
+use crate::backend::CoopBackend;
+use crate::driver::Driver;
+use crate::history::History;
+use crate::sched::Scripted;
+use crate::trace::AccessKind;
+
+/// One decision of an explored schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Grant process `pid` one primitive step.
+    Step(usize),
+    /// Crash process `pid` (it is never scheduled again; its in-flight
+    /// operation surfaces as a pending record).
+    Crash(usize),
+}
+
+/// A replayable schedule: the exact decision sequence of one explored
+/// execution prefix. Gated coop executions are deterministic, so
+/// re-applying the sequence to a fresh driver built by the same factory
+/// reproduces the execution — including the violating cut the checker
+/// rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Replay {
+    /// The decision sequence, in execution order.
+    pub choices: Vec<Choice>,
+}
+
+impl Replay {
+    /// Number of decisions.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// `true` if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Granted steps (crash decisions excluded).
+    pub fn steps(&self) -> usize {
+        self.choices
+            .iter()
+            .filter(|c| matches!(c, Choice::Step(_)))
+            .count()
+    }
+
+    /// Crash decisions.
+    pub fn crashes(&self) -> usize {
+        self.choices.len() - self.steps()
+    }
+
+    /// Re-apply the schedule to a fresh driver (same program, same
+    /// submission order) and return the resulting history cut — the
+    /// exact cut the explorer checked. Decisions that no longer apply
+    /// (a pid that already finished or crashed) are skipped, so any
+    /// subsequence of a valid schedule is itself valid; minimization
+    /// relies on this.
+    pub fn run(&self, mut d: Driver<CoopBackend>) -> History {
+        for &c in &self.choices {
+            match c {
+                Choice::Step(pid) => {
+                    if !d.is_crashed(pid) && d.active_set().contains(pid) {
+                        let _ = d.step(pid);
+                    }
+                }
+                Choice::Crash(pid) => {
+                    if !d.is_crashed(pid) {
+                        d.crash(pid);
+                    }
+                }
+            }
+        }
+        d.history_snapshot()
+    }
+
+    /// The schedule as a [`Scripted`] scheduler, for crash-free
+    /// schedules (`None` if the replay contains a crash, which no
+    /// `Scheduler` can express). Note `Scripted` drives an execution to
+    /// *completion* (falling back to round-robin when the script runs
+    /// dry); to reproduce a bounded prefix cut exactly, use
+    /// [`Replay::run`].
+    pub fn to_scripted(&self) -> Option<Scripted> {
+        let mut pids = Vec::with_capacity(self.choices.len());
+        for &c in &self.choices {
+            match c {
+                Choice::Step(pid) => pids.push(pid),
+                Choice::Crash(_) => return None,
+            }
+        }
+        Some(Scripted::new(pids))
+    }
+}
+
+/// Bounds and options for one [`explore`] call.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Granted steps per interleaving; prefixes that hit the bound are
+    /// checked as suspension cuts.
+    pub max_steps: usize,
+    /// Crash decisions per interleaving (0 disables crash injection).
+    pub max_crashes: usize,
+    /// Preemptions per interleaving (`None` = unbounded). A switch away
+    /// from a process that could still run costs one; switches at
+    /// completions and crashes are free.
+    pub max_preemptions: Option<usize>,
+    /// Skip interleavings equivalent to an already-visited one by
+    /// commuting adjacent event-free independent steps (see the [module
+    /// docs](self)). Disable to count raw interleavings against a
+    /// closed form. Ignored when `max_preemptions` is set: a pruned
+    /// schedule's canonical representative can cost more preemptions
+    /// than the pruned one, so pruning under a preemption budget would
+    /// silently drop in-budget equivalence classes.
+    pub prune: bool,
+    /// Hard cap on checked interleavings (`None` = exhaust the space).
+    pub max_interleavings: Option<u64>,
+    /// Stop after this many violations have been found and minimized.
+    pub max_violations: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_steps: 10_000,
+            max_crashes: 0,
+            max_preemptions: None,
+            prune: true,
+            max_interleavings: None,
+            max_violations: 1,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Exhaustive enumeration (no pruning, no preemption bound) up to
+    /// `max_steps` granted steps — the configuration whose interleaving
+    /// count matches the multinomial closed form for programs with
+    /// schedule-independent per-process step counts.
+    pub fn exhaustive(max_steps: usize) -> Self {
+        ExploreConfig {
+            max_steps,
+            prune: false,
+            ..ExploreConfig::default()
+        }
+    }
+}
+
+/// A checker rejection, with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct FoundViolation {
+    /// The checker's diagnosis for the minimized schedule.
+    pub message: String,
+    /// The minimal failing schedule (ddmin over the original decision
+    /// sequence; every removal kept the checker failing).
+    pub minimized: Replay,
+    /// The schedule the violation was first observed on.
+    pub original: Replay,
+}
+
+/// What one [`explore`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// History cuts checked (maximal interleavings plus bound cuts).
+    pub interleavings: u64,
+    /// Subtrees skipped by pruning.
+    pub pruned: u64,
+    /// Total granted steps across all replays (the work metric).
+    pub steps_replayed: u64,
+    /// Deepest decision sequence reached.
+    pub max_depth: usize,
+    /// Checker rejections, minimized.
+    pub violations: Vec<FoundViolation>,
+    /// `true` if `max_interleavings` stopped the walk early.
+    pub capped: bool,
+}
+
+impl ExploreStats {
+    /// `true` if every checked cut passed.
+    pub fn all_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What one granted step did — the information the pruning rule needs.
+#[derive(Debug, Clone, Copy)]
+struct StepInfo {
+    pid: usize,
+    obj: usize,
+    kind: AccessKind,
+    /// `true` if the step emitted history events (an operation
+    /// completed; logical timestamps were drawn).
+    emitted: bool,
+}
+
+/// One node of the decision tree: the alternatives at this prefix and
+/// the index of the branch currently being explored.
+struct Frame {
+    alts: Vec<Choice>,
+    idx: usize,
+}
+
+/// Apply one decision to the driver, returning the step's [`StepInfo`]
+/// (for traced `Step` decisions). `traced` must match whether the
+/// runtime's tracing is currently on: the prune check only ever looks
+/// at the last two decisions, so prefix replays run untraced (no
+/// per-step mutex/alloc traffic on the explorer's hot path) and flip
+/// tracing on for the final two edges.
+fn apply(d: &mut Driver<CoopBackend>, choice: Choice, traced: bool) -> Option<StepInfo> {
+    match choice {
+        Choice::Step(pid) => {
+            let before_len = d.history().len();
+            let _ = d.step(pid);
+            if !traced {
+                return None;
+            }
+            let trace = d.runtime().take_trace();
+            debug_assert_eq!(trace.len(), 1, "one granted step, one primitive");
+            let ev = trace[0];
+            Some(StepInfo {
+                pid,
+                obj: ev.obj,
+                kind: ev.kind,
+                emitted: d.history().len() != before_len,
+            })
+        }
+        Choice::Crash(pid) => {
+            d.crash(pid);
+            if traced {
+                let _ = d.runtime().take_trace();
+            }
+            None
+        }
+    }
+}
+
+/// The pruning rule: `second` (just executed) commutes with `first`
+/// (executed immediately before it) and is out of canonical order.
+fn prunable(first: Option<StepInfo>, second: Option<StepInfo>) -> bool {
+    let (Some(a), Some(b)) = (first, second) else {
+        return false; // crash edges are never commuted
+    };
+    b.pid < a.pid
+        && !a.emitted
+        && !b.emitted
+        && (a.obj != b.obj || (a.kind == AccessKind::Read && b.kind == AccessKind::Read))
+}
+
+/// Mutable walk state threaded through one replay/extension pass.
+struct Walk {
+    steps: usize,
+    crashes: usize,
+    preemptions: usize,
+    prev: Option<StepInfo>,
+    /// Pid of the last granted step, and whether that process was still
+    /// active immediately after it (a switch away from it is then a
+    /// preemption).
+    last_runnable: Option<usize>,
+}
+
+impl Walk {
+    fn new() -> Self {
+        Walk {
+            steps: 0,
+            crashes: 0,
+            preemptions: 0,
+            prev: None,
+            last_runnable: None,
+        }
+    }
+
+    /// Update the counters for an applied decision.
+    fn account(&mut self, choice: Choice, info: Option<StepInfo>, d: &Driver<CoopBackend>) {
+        match choice {
+            Choice::Step(pid) => {
+                if let Some(last) = self.last_runnable {
+                    if last != pid {
+                        self.preemptions += 1;
+                    }
+                }
+                self.steps += 1;
+                self.prev = info;
+                self.last_runnable = d.active_set().contains(pid).then_some(pid);
+            }
+            Choice::Crash(pid) => {
+                self.crashes += 1;
+                self.prev = None;
+                if self.last_runnable == Some(pid) {
+                    self.last_runnable = None; // switching away is now free
+                }
+            }
+        }
+    }
+}
+
+/// The alternatives at the current prefix, in canonical order: step
+/// decisions for each active pid ascending, then crash decisions.
+fn alternatives(d: &Driver<CoopBackend>, cfg: &ExploreConfig, walk: &Walk) -> Vec<Choice> {
+    let active = d.active_set();
+    let preempt_exhausted = cfg
+        .max_preemptions
+        .is_some_and(|max| walk.preemptions >= max);
+    let mut alts: Vec<Choice> = Vec::new();
+    match walk.last_runnable {
+        // Out of preemption budget: the running process must continue
+        // (crashing it below stays allowed — a crash is not a step).
+        Some(last) if preempt_exhausted => alts.push(Choice::Step(last)),
+        _ => alts.extend(active.iter_sorted().map(Choice::Step)),
+    }
+    if walk.crashes < cfg.max_crashes {
+        alts.extend(active.iter_sorted().map(Choice::Crash));
+    }
+    alts
+}
+
+/// Greedy ddmin: delete ever-smaller chunks of the decision sequence
+/// while the checker still rejects the replayed cut.
+fn minimize<F, C>(factory: &F, check: &mut C, original: &Replay) -> (Replay, String)
+where
+    F: Fn() -> Driver<CoopBackend>,
+    C: FnMut(&History) -> Result<(), String>,
+{
+    let mut failure = |r: &Replay| -> Option<String> { check(&r.run(factory())).err() };
+    let mut best = original.clone();
+    let mut message = failure(&best).expect("the original schedule must reproduce the violation");
+    let mut chunk = (best.len() / 2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut at = 0;
+        while at < best.len() {
+            let mut candidate = best.clone();
+            candidate
+                .choices
+                .drain(at..(at + chunk).min(candidate.choices.len()));
+            if let Some(msg) = failure(&candidate) {
+                best = candidate;
+                message = msg;
+                shrunk = true;
+                // re-test the same position: the next chunk slid in
+            } else {
+                at += chunk;
+            }
+        }
+        if chunk == 1 && !shrunk {
+            return (best, message);
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// Enumerate every schedule of the program built by `factory` (within
+/// `cfg`'s bounds) and check the history cut of each with `check`.
+///
+/// `factory` must build a fresh, fully-submitted coop driver per call
+/// and be deterministic — every invocation must produce the same program
+/// (the explorer replays it once per interleaving). `check` receives the
+/// [`Driver::history_snapshot`] of each cut: completed operations plus
+/// pending records for operations still in flight at the cut (crashed or
+/// suspended by the bound).
+///
+/// See the [module docs](self) for the enumeration order, the pruning
+/// argument and the bounds.
+pub fn explore<F, C>(cfg: &ExploreConfig, factory: F, mut check: C) -> ExploreStats
+where
+    F: Fn() -> Driver<CoopBackend>,
+    C: FnMut(&History) -> Result<(), String>,
+{
+    let mut stats = ExploreStats::default();
+    let mut path: Vec<Frame> = Vec::new();
+    // Pruning keeps only the lexicographically-canonical member of each
+    // equivalence class, but a preemption budget is not invariant under
+    // the commutation (the canonical schedule may preempt more), so the
+    // two compose unsoundly — an in-budget class could lose its only
+    // in-budget representative. Exhaustiveness wins over reduction.
+    let prune = cfg.prune && cfg.max_preemptions.is_none();
+
+    /// Advance to the next unexplored branch; `false` when the tree is
+    /// exhausted.
+    fn backtrack(path: &mut Vec<Frame>) -> bool {
+        while let Some(top) = path.last_mut() {
+            top.idx += 1;
+            if top.idx < top.alts.len() {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    'outer: loop {
+        // Replay the current prefix on a fresh driver. The prune check
+        // only consults the last two decisions, so the replay runs
+        // untraced up to them (tracing costs a mutex + alloc per step,
+        // and replays are the explorer's entire work); tracing turns on
+        // for the final two edges and stays on for the extension.
+        let mut d = factory();
+        assert!(
+            d.runtime().is_coop(),
+            "explore requires a coop driver (Driver::coop over Runtime::coop)"
+        );
+        let mut walk = Walk::new();
+        let prefix: Vec<Choice> = path.iter().map(|f| f.alts[f.idx]).collect();
+        let traced_from = prefix.len().saturating_sub(2);
+        let mut replay_pruned = false;
+        for (i, &choice) in prefix.iter().enumerate() {
+            if i == traced_from {
+                d.runtime().enable_tracing();
+                let _ = d.runtime().take_trace(); // drop any factory-time noise
+            }
+            let prev = walk.prev;
+            let info = apply(&mut d, choice, i >= traced_from);
+            stats.steps_replayed += u64::from(matches!(choice, Choice::Step(_)));
+            walk.account(choice, info, &d);
+            // Only the deepest decision can be fresh; everything above
+            // it already passed this check when first taken.
+            if i + 1 == prefix.len() && prune && prunable(prev, info) {
+                replay_pruned = true;
+                break;
+            }
+        }
+        if prefix.is_empty() {
+            d.runtime().enable_tracing();
+            let _ = d.runtime().take_trace(); // drop any factory-time noise
+        }
+        if replay_pruned {
+            stats.pruned += 1;
+            if !backtrack(&mut path) {
+                break 'outer;
+            }
+            continue 'outer;
+        }
+
+        // Extend depth-first along each node's first alternative.
+        loop {
+            stats.max_depth = stats.max_depth.max(path.len());
+            let at_bound = walk.steps >= cfg.max_steps;
+            if d.active_set().is_empty() || at_bound {
+                stats.interleavings += 1;
+                if let Err(_message) = check(&d.history_snapshot()) {
+                    let original = Replay {
+                        choices: path.iter().map(|f| f.alts[f.idx]).collect(),
+                    };
+                    drop(d); // release the failing execution before re-running
+                    let (minimized, message) = minimize(&factory, &mut check, &original);
+                    stats.violations.push(FoundViolation {
+                        message,
+                        minimized,
+                        original,
+                    });
+                    if stats.violations.len() >= cfg.max_violations {
+                        return stats;
+                    }
+                }
+                if let Some(cap) = cfg.max_interleavings {
+                    if stats.interleavings >= cap {
+                        stats.capped = true;
+                        return stats;
+                    }
+                }
+                if !backtrack(&mut path) {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+            let alts = alternatives(&d, cfg, &walk);
+            debug_assert!(!alts.is_empty(), "active set non-empty but no alternatives");
+            let choice = alts[0];
+            path.push(Frame { alts, idx: 0 });
+            let prev = walk.prev;
+            let info = apply(&mut d, choice, true);
+            stats.steps_replayed += u64::from(matches!(choice, Choice::Step(_)));
+            walk.account(choice, info, &d);
+            if prune && prunable(prev, info) {
+                stats.pruned += 1;
+                if !backtrack(&mut path) {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{OpKind, OpSpec};
+    use crate::task::{OpTask, Poll};
+    use crate::{ProcCtx, Register, Runtime};
+    use std::sync::Arc;
+
+    /// `(s1 + … + sn)! / (s1! · … · sn!)` — interleavings of n sequences
+    /// with fixed lengths.
+    fn multinomial(counts: &[u64]) -> u128 {
+        let mut result: u128 = 1;
+        let mut placed: u128 = 0;
+        for &c in counts {
+            for i in 1..=u128::from(c) {
+                placed += 1;
+                result = result * placed / i; // binomial prefix: always divides
+            }
+        }
+        result
+    }
+
+    /// Read a register then write `read + delta` — two primitives.
+    struct Rmw {
+        reg: Arc<Register>,
+        delta: u64,
+        read: Option<u64>,
+        primed: bool,
+    }
+
+    impl Rmw {
+        fn new(reg: Arc<Register>, delta: u64) -> Self {
+            Rmw {
+                reg,
+                delta,
+                read: None,
+                primed: false,
+            }
+        }
+    }
+
+    impl OpTask for Rmw {
+        fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+            if !self.primed {
+                self.primed = true;
+                return Poll::Pending;
+            }
+            match self.read {
+                None => {
+                    self.read = Some(self.reg.read(ctx));
+                    Poll::Pending
+                }
+                Some(v) => {
+                    self.reg.write(ctx, v + self.delta);
+                    Poll::Ready(u128::from(v))
+                }
+            }
+        }
+    }
+
+    /// One `read` of a register.
+    struct ReadOnce {
+        reg: Arc<Register>,
+        primed: bool,
+    }
+
+    impl OpTask for ReadOnce {
+        fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+            if !self.primed {
+                self.primed = true;
+                return Poll::Pending;
+            }
+            Poll::Ready(u128::from(self.reg.read(ctx)))
+        }
+    }
+
+    #[test]
+    fn exhaustive_count_matches_multinomial() {
+        // 2 processes × one 2-primitive op on a shared register.
+        let count = |cfg: &ExploreConfig| {
+            explore(
+                cfg,
+                || {
+                    let mut d = Driver::coop(Runtime::coop(2));
+                    let reg = Arc::new(Register::new(0));
+                    for pid in 0..2 {
+                        d.submit_task(pid, OpSpec::custom("rmw", 0), Rmw::new(reg.clone(), 1));
+                    }
+                    d
+                },
+                |_h| Ok(()),
+            )
+        };
+        let stats = count(&ExploreConfig::exhaustive(100));
+        assert_eq!(u128::from(stats.interleavings), multinomial(&[2, 2]));
+        assert_eq!(stats.pruned, 0, "nothing to prune on one shared object");
+        assert!(stats.all_ok());
+    }
+
+    #[test]
+    fn pruning_collapses_independent_steps_without_losing_outcomes() {
+        // Each process works a private register: all intermediate steps
+        // commute, so pruning must collapse the 6 shuffles of the
+        // non-event steps while still checking at least one schedule.
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(2));
+            for pid in 0..2 {
+                let reg = Arc::new(Register::new(0));
+                d.submit_task(pid, OpSpec::custom("rmw", 0), Rmw::new(reg, 1));
+            }
+            d
+        };
+        let full = explore(&ExploreConfig::exhaustive(100), factory, |_h| Ok(()));
+        let pruned = explore(&ExploreConfig::default(), factory, |_h| Ok(()));
+        assert_eq!(u128::from(full.interleavings), multinomial(&[2, 2]));
+        assert!(pruned.interleavings < full.interleavings);
+        assert!(pruned.pruned > 0);
+        assert!(pruned.all_ok());
+    }
+
+    #[test]
+    fn finds_and_minimizes_a_lost_update() {
+        // Mutant counter: both processes increment through one shared
+        // register (read, then write read+1) — the single-writer-cell
+        // discipline of the collect counter deliberately dropped. A
+        // schedule that interleaves the two read-modify-writes loses an
+        // increment; a read that runs strictly afterwards then violates
+        // the exact counter spec. The explorer must find it.
+        // The reader queues *two* reads: the second is announced only
+        // when the first completes, so its invocation can land after
+        // the increments' responses and real-time precedence applies.
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(3));
+            let reg = Arc::new(Register::new(0));
+            d.submit_task(0, OpSpec::inc(), Rmw::new(reg.clone(), 1));
+            d.submit_task(1, OpSpec::inc(), Rmw::new(reg.clone(), 1));
+            for _ in 0..2 {
+                d.submit_task(
+                    2,
+                    OpSpec::read(),
+                    ReadOnce {
+                        reg: reg.clone(),
+                        primed: false,
+                    },
+                );
+            }
+            d
+        };
+        // Exact-counter check, transcribed locally (smr cannot depend on
+        // lincheck): a read that every completed increment precedes must
+        // return at least the number of those increments.
+        let check = |h: &History| -> Result<(), String> {
+            for r in h.ops() {
+                let OpKind::Read { returned } = r.kind else {
+                    continue;
+                };
+                if r.resp.is_none() {
+                    continue;
+                }
+                let forced: u128 = h
+                    .ops()
+                    .iter()
+                    .filter(|i| matches!(i.kind, OpKind::Inc { .. }) && i.precedes(r))
+                    .map(|i| u128::from(i.kind.multiplicity()))
+                    .sum();
+                if returned < forced {
+                    return Err(format!(
+                        "read returned {returned}, {forced} incs precede it"
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        let stats = explore(&ExploreConfig::default(), factory, check);
+        assert_eq!(stats.violations.len(), 1, "the mutant must be caught");
+        let v = &stats.violations[0];
+        assert!(v.minimized.len() <= v.original.len());
+        // The minimal violating schedule completes both increments (2×2
+        // steps) and both reads (the first unblocks the second read's
+        // announcement, the second returns the stale value): 6 steps.
+        assert_eq!(v.minimized.steps(), 6, "minimal: 2 rmw ops + 2 reads");
+        assert_eq!(v.minimized.crashes(), 0);
+        // The minimized schedule replays to a failing cut.
+        assert!(check(&v.minimized.run(factory())).is_err());
+        // And converts to a Scripted scheduler (crash-free).
+        assert!(v.minimized.to_scripted().is_some());
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree_on_the_mutant() {
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(2));
+            let reg = Arc::new(Register::new(0));
+            d.submit_task(0, OpSpec::inc(), Rmw::new(reg.clone(), 1));
+            d.submit_task(1, OpSpec::inc(), Rmw::new(reg.clone(), 1));
+            d
+        };
+        // Quiescent cut: once both increments completed, the register
+        // must hold 2 — detected through the returned pre-write values
+        // (both reading 0 means one update was lost).
+        let check = |h: &History| -> Result<(), String> {
+            let done: Vec<_> = h.ops().iter().filter(|r| r.resp.is_some()).collect();
+            if done.len() == 2 && done.iter().all(|r| r.returned() == 0) {
+                return Err("both increments read 0: lost update".into());
+            }
+            Ok(())
+        };
+        for prune in [false, true] {
+            let cfg = ExploreConfig {
+                prune,
+                max_violations: usize::MAX,
+                ..ExploreConfig::default()
+            };
+            let stats = explore(&cfg, factory, check);
+            assert!(
+                !stats.violations.is_empty(),
+                "prune={prune}: violation missed"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_injection_surfaces_pending_records_once() {
+        // One process, one 2-primitive op, up to one crash: the cuts are
+        // the crash-free run plus a crash at each prefix. Pending
+        // records must appear exactly once per crashed in-flight op.
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(1));
+            let reg = Arc::new(Register::new(0));
+            d.submit_task(0, OpSpec::inc(), Rmw::new(reg, 1));
+            d
+        };
+        let cfg = ExploreConfig {
+            max_crashes: 1,
+            prune: false,
+            ..ExploreConfig::default()
+        };
+        let mut cuts = 0;
+        let stats = explore(&cfg, factory, |h| {
+            cuts += 1;
+            let pending = h.ops().iter().filter(|r| r.resp.is_none()).count();
+            let completed = h.ops().iter().filter(|r| r.resp.is_some()).count();
+            if pending + completed != 1 {
+                return Err(format!(
+                    "expected exactly one record for the single op, got {pending} pending + \
+                     {completed} completed"
+                ));
+            }
+            Ok(())
+        });
+        // Schedules: ss (complete), c (crash at start), sc (crash after
+        // one step), ssc is impossible (op already done → pid inactive).
+        assert_eq!(stats.interleavings, 3);
+        assert_eq!(cuts, 3);
+        assert!(stats.all_ok());
+    }
+
+    #[test]
+    fn preemption_bound_restricts_schedules() {
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(2));
+            let reg = Arc::new(Register::new(0));
+            for pid in 0..2 {
+                d.submit_task(pid, OpSpec::custom("rmw", 0), Rmw::new(reg.clone(), 1));
+            }
+            d
+        };
+        let free = explore(&ExploreConfig::exhaustive(100), factory, |_| Ok(()));
+        let bounded = explore(
+            &ExploreConfig {
+                max_preemptions: Some(0),
+                prune: false,
+                ..ExploreConfig::default()
+            },
+            factory,
+            |_| Ok(()),
+        );
+        // Zero preemptions: each process runs to completion once
+        // scheduled — only the 2 serial orders remain.
+        assert_eq!(bounded.interleavings, 2);
+        assert!(u128::from(free.interleavings) > 2);
+
+        // Pruning is ignored under a preemption bound (the commutation
+        // does not preserve preemption counts): identical coverage with
+        // prune on or off.
+        let bounded_prune_requested = explore(
+            &ExploreConfig {
+                max_preemptions: Some(1),
+                prune: true,
+                ..ExploreConfig::default()
+            },
+            factory,
+            |_| Ok(()),
+        );
+        let bounded_no_prune = explore(
+            &ExploreConfig {
+                max_preemptions: Some(1),
+                prune: false,
+                ..ExploreConfig::default()
+            },
+            factory,
+            |_| Ok(()),
+        );
+        assert_eq!(
+            bounded_prune_requested.interleavings,
+            bounded_no_prune.interleavings
+        );
+        assert_eq!(bounded_prune_requested.pruned, 0);
+    }
+
+    #[test]
+    fn step_bound_checks_prefix_cuts() {
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(1));
+            let reg = Arc::new(Register::new(0));
+            d.submit_task(0, OpSpec::inc(), Rmw::new(reg, 1));
+            d
+        };
+        let cfg = ExploreConfig {
+            max_steps: 1,
+            prune: false,
+            ..ExploreConfig::default()
+        };
+        let mut pendings = 0;
+        let stats = explore(&cfg, factory, |h| {
+            pendings += h.ops().iter().filter(|r| r.resp.is_none()).count();
+            Ok(())
+        });
+        assert_eq!(stats.interleavings, 1, "one prefix of length 1");
+        assert_eq!(pendings, 1, "the suspended op surfaces as pending");
+    }
+
+    #[test]
+    fn multinomial_helper() {
+        assert_eq!(multinomial(&[2, 2]), 6);
+        assert_eq!(multinomial(&[1, 1, 1]), 6);
+        assert_eq!(multinomial(&[4, 4, 4]), 34650);
+        assert_eq!(multinomial(&[0, 3]), 1);
+    }
+}

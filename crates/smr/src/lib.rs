@@ -33,6 +33,12 @@
 //! * **Schedulers** ([`sched`]) — round-robin, seeded-random and
 //!   scripted, picking from an incrementally-maintained [`ActiveSet`] so
 //!   policies stay cheap at 10⁵–10⁶ pids.
+//! * **Exhaustive schedule exploration** ([`explore`]) — a bounded
+//!   depth-first enumerator over the coop backend that checks *every*
+//!   interleaving (with commuting-step pruning and optional crash
+//!   injection) and minimizes failing schedules into replayable scripts,
+//!   turning sampled schedule properties into proofs for small
+//!   configurations.
 //! * **A lock-free growable segment array** ([`SegArray`]) used to hold the
 //!   unbounded `switch` sequence of the paper's Algorithm 1.
 //!
@@ -53,6 +59,7 @@ mod active;
 pub mod backend;
 mod ctx;
 pub mod driver;
+pub mod explore;
 mod gate;
 pub mod history;
 mod primitives;
@@ -68,6 +75,7 @@ pub use active::ActiveSet;
 pub use backend::{CoopBackend, ExecBackend, ThreadBackend};
 pub use ctx::ProcCtx;
 pub use driver::{Driver, StepOutcome};
+pub use explore::{explore, Choice, ExploreConfig, ExploreStats, FoundViolation, Replay};
 pub use history::{History, OpKind, OpRecord, OpSpec};
 pub use primitives::{FaaRegister, Register, TasBit};
 pub use runtime::{Mode, Runtime};

@@ -160,6 +160,27 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_wraparound_with_sparse_members_at_word_edges() {
+        // Successor queries wrap around correctly when the members sit
+        // at summary-word boundaries (63/64/65) and when the previous
+        // pick was the largest member.
+        let mut rr = RoundRobin::new();
+        let active = set(&[63, 64, 65, 127]);
+        assert_eq!(rr.next(&active), 63);
+        assert_eq!(rr.next(&active), 64);
+        assert_eq!(rr.next(&active), 65);
+        assert_eq!(rr.next(&active), 127);
+        assert_eq!(rr.next(&active), 63, "wraps to the minimum");
+        // The remembered pick may vanish from the set entirely: the
+        // successor of a non-member must still be found, and the wrap
+        // from past-the-end still lands on the minimum.
+        let shrunk = set(&[64, 127]);
+        assert_eq!(rr.next(&shrunk), 64, "successor of absent 63");
+        assert_eq!(rr.next(&shrunk), 127);
+        assert_eq!(rr.next(&shrunk), 64, "wraps past absent members");
+    }
+
+    #[test]
     fn seeded_random_is_reproducible() {
         let active = set(&[0, 1, 2, 3]);
         let picks1: Vec<_> = {

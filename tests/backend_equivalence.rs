@@ -373,3 +373,145 @@ impl OpTask for BoxedTask {
         self.0.poll(ctx)
     }
 }
+
+/// Same property for the objects ported after PR 3: snapshot, AACH and
+/// unbounded-tree counters, the k-additive counter, Algorithm 2, and
+/// the adaptive/unbounded exact max registers.
+#[test]
+fn newly_ported_object_tasks_are_backend_equivalent() {
+    use approx_objects::{
+        KaddCounter, KaddIncTask, KaddReadTask, KmultBoundedMaxRegister, KmultMaxReadTask,
+        KmultMaxWriteTask, SharedKaddHandle,
+    };
+    use counter::{
+        AachCounter, AachIncTask, AachReadTask, SnapshotCounter, SnapshotIncTask, SnapshotReadTask,
+        UnboundedTreeCounter, UnboundedTreeIncTask, UnboundedTreeReadTask,
+    };
+    use maxreg::{
+        AdaptiveMaxReadTask, AdaptiveMaxRegister, AdaptiveMaxWriteTask, UnboundedMaxReadTask,
+        UnboundedMaxRegister, UnboundedMaxWriteTask,
+    };
+    use parking_lot::Mutex;
+
+    let n = 3;
+    let build = |d: &mut dyn FnMut(usize, OpSpec, Box<dyn OpTask>)| {
+        let snap = Arc::new(SnapshotCounter::new(n));
+        let aach = Arc::new(AachCounter::new(n, 1 << 12));
+        let utree = Arc::new(UnboundedTreeCounter::new(n));
+        let kadd = KaddCounter::new(n, 4);
+        let kadd_handles: Vec<SharedKaddHandle> = (0..n)
+            .map(|p| Arc::new(Mutex::new(kadd.handle(p))))
+            .collect();
+        let kmr = Arc::new(KmultBoundedMaxRegister::new(n, 1 << 16, 2));
+        let amr = Arc::new(AdaptiveMaxRegister::new(n, 1 << 10));
+        let umr = Arc::new(UnboundedMaxRegister::new());
+        #[allow(clippy::needless_range_loop)] // pid-indexed handles read clearest
+        for pid in 0..n {
+            for i in 1..=14u64 {
+                let v = pid as u64 * 97 + i * 13;
+                match i % 7 {
+                    0 => d(
+                        pid,
+                        OpSpec::inc(),
+                        Box::new(SnapshotIncTask::new(snap.clone())),
+                    ),
+                    1 => d(
+                        pid,
+                        OpSpec::read(),
+                        Box::new(SnapshotReadTask::new(snap.clone())),
+                    ),
+                    2 => {
+                        d(
+                            pid,
+                            OpSpec::inc(),
+                            Box::new(AachIncTask::new(aach.clone(), pid)),
+                        );
+                        d(
+                            pid,
+                            OpSpec::read(),
+                            Box::new(AachReadTask::new(aach.clone())),
+                        );
+                    }
+                    3 => {
+                        d(
+                            pid,
+                            OpSpec::inc(),
+                            Box::new(UnboundedTreeIncTask::new(utree.clone(), pid)),
+                        );
+                        d(
+                            pid,
+                            OpSpec::read(),
+                            Box::new(UnboundedTreeReadTask::new(utree.clone())),
+                        );
+                    }
+                    4 => {
+                        d(
+                            pid,
+                            OpSpec::inc(),
+                            Box::new(KaddIncTask::new(kadd_handles[pid].clone())),
+                        );
+                        d(
+                            pid,
+                            OpSpec::read(),
+                            Box::new(KaddReadTask::new(kadd.clone())),
+                        );
+                    }
+                    5 => {
+                        d(
+                            pid,
+                            OpSpec::write(v),
+                            Box::new(KmultMaxWriteTask::new(kmr.clone(), v)),
+                        );
+                        d(
+                            pid,
+                            OpSpec::read(),
+                            Box::new(KmultMaxReadTask::new(kmr.clone())),
+                        );
+                    }
+                    _ => {
+                        d(
+                            pid,
+                            OpSpec::write(v % 1024),
+                            Box::new(AdaptiveMaxWriteTask::new(amr.clone(), v % 1024)),
+                        );
+                        d(
+                            pid,
+                            OpSpec::read(),
+                            Box::new(AdaptiveMaxReadTask::new(amr.clone())),
+                        );
+                        d(
+                            pid,
+                            OpSpec::write(v * v),
+                            Box::new(UnboundedMaxWriteTask::new(umr.clone(), v * v)),
+                        );
+                        d(
+                            pid,
+                            OpSpec::read(),
+                            Box::new(UnboundedMaxReadTask::new(umr.clone())),
+                        );
+                    }
+                }
+            }
+        }
+    };
+
+    let run = |coop: bool| -> (NormHistory, u64) {
+        let mut sched = smr::sched::SeededRandom::new(0xD00D);
+        if coop {
+            let mut d = Driver::coop(Runtime::coop(n));
+            build(&mut |pid, spec, task| d.submit_task(pid, spec, BoxedTask(task)));
+            let steps = d.run_schedule(&mut sched);
+            (normalize(d.history()), steps)
+        } else {
+            let mut d = Driver::new(Runtime::gated(n));
+            build(&mut |pid, spec, task| d.submit_task(pid, spec, BoxedTask(task)));
+            let steps = d.run_schedule(&mut sched);
+            (normalize(d.history()), steps)
+        }
+    };
+
+    let (h_thread, steps_thread) = run(false);
+    let (h_coop, steps_coop) = run(true);
+    assert_eq!(steps_thread, steps_coop, "total granted steps diverged");
+    assert_eq!(h_thread, h_coop, "histories diverged");
+}

@@ -5,10 +5,24 @@
 //! `ProptestConfig::with_cases`, range and `Just` strategies,
 //! `prop_oneof!`, `.prop_map`, and `prop::collection::vec`.
 //!
-//! Semantics: each test runs `cases` iterations with inputs sampled from
-//! a deterministic per-test RNG (seeded from the test name), so failures
-//! reproduce across runs. There is no shrinking — a failing case panics
-//! with the assertion message directly.
+//! Semantics: each test runs `cases` iterations; every case gets its own
+//! deterministic seed (derived from the test name and the case index),
+//! so a failing case reproduces across runs in isolation.
+//!
+//! ## Shrinking
+//!
+//! Unlike real proptest there is no value tree; shrinking works through
+//! a **shrink factor** `f ∈ [0, 1]` threaded into sampling
+//! ([`Strategy::sample_shrunk`]): ranges scale their sampled offset
+//! toward the range start, collections scale their length (and shrink
+//! their elements), `prop_oneof!` biases toward its first (by
+//! convention simplest) option. `f = 1` reproduces the original case
+//! byte-for-byte; `f = 0` is the minimal input of that case's random
+//! stream. When a case fails, the runner **binary-searches the failing
+//! seed's factor** — the smallest `f` whose re-run (same seed) still
+//! fails — and reports that minimal counterexample, its factor and the
+//! case seed in the panic message. Re-running with the printed seed and
+//! factor reproduces it exactly.
 
 pub mod config {
     /// Subset of proptest's runner configuration.
@@ -34,22 +48,45 @@ pub mod test_runner {
     pub use super::config::ProptestConfig as Config;
     use rand::{rngs::StdRng, RngCore, SeedableRng};
 
-    /// Deterministic per-test RNG: seed is an FNV-1a hash of the test
-    /// name, so each test gets a stable, distinct stream.
+    /// Deterministic RNG handed to strategies.
     pub struct TestRng {
         inner: StdRng,
     }
 
     impl TestRng {
-        pub fn deterministic(test_name: &str) -> Self {
+        /// The stable per-test base seed: an FNV-1a hash of the test
+        /// name, so each test gets a distinct stream.
+        pub fn base_seed(test_name: &str) -> u64 {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in test_name.bytes() {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
+            h
+        }
+
+        /// The seed of one case: base seed mixed with the case index,
+        /// so each case reproduces independently of the ones before it.
+        /// This is the seed a failure report prints.
+        pub fn case_seed(test_name: &str, case: u64) -> u64 {
+            Self::base_seed(test_name) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// The RNG for one case (see [`case_seed`](Self::case_seed)).
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            Self::with_seed(Self::case_seed(test_name, case))
+        }
+
+        /// An RNG from an explicit seed (what a failure report prints).
+        pub fn with_seed(seed: u64) -> Self {
             TestRng {
-                inner: StdRng::seed_from_u64(h),
+                inner: StdRng::seed_from_u64(seed),
             }
+        }
+
+        /// Kept for code written against the old stand-in surface.
+        pub fn deterministic(test_name: &str) -> Self {
+            Self::with_seed(Self::base_seed(test_name))
         }
     }
 
@@ -65,11 +102,21 @@ pub mod strategy {
     use rand::{RngExt, SampleUniform, StepBack};
 
     /// A source of sampled values. Unlike real proptest there is no
-    /// value tree / shrinking; `sample` draws one case.
+    /// value tree; shrinking scales sampling itself (see the [crate
+    /// docs](crate)).
     pub trait Strategy {
         type Value;
 
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Sample with shrink factor `factor ∈ [0, 1]`: 1 must equal
+        /// [`sample`](Strategy::sample) on the same RNG state, 0 is the
+        /// strategy's minimal input for that state. The default ignores
+        /// the factor (right for strategies with no size, like `Just`).
+        fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> Self::Value {
+            let _ = factor;
+            self.sample(rng)
+        }
 
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
@@ -85,12 +132,18 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> T {
             rng.random_range(self.start..self.end)
         }
+        fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> T {
+            T::shrink_toward(self.start, self.sample(rng), factor)
+        }
     }
 
     impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             rng.random_range(*self.start()..=*self.end())
+        }
+        fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> T {
+            T::shrink_toward(*self.start(), self.sample(rng), factor)
         }
     }
 
@@ -100,6 +153,9 @@ pub mod strategy {
                 type Value = ($($s::Value,)+);
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.sample(rng),)+)
+                }
+                fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> Self::Value {
+                    ($(self.$idx.sample_shrunk(rng, factor),)+)
                 }
             }
         )*};
@@ -116,6 +172,9 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             (**self).sample(rng)
+        }
+        fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> T {
+            (**self).sample_shrunk(rng, factor)
         }
     }
 
@@ -145,6 +204,9 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> U {
             (self.f)(self.base.sample(rng))
         }
+        fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> U {
+            (self.f)(self.base.sample_shrunk(rng, factor))
+        }
     }
 
     /// Uniform choice among boxed strategies (`prop_oneof!`).
@@ -165,6 +227,12 @@ pub mod strategy {
             let i: usize = rng.random_range(0..self.opts.len());
             self.opts[i].sample(rng)
         }
+        fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> T {
+            // Bias toward the first option (simplest, by convention).
+            let i: usize = rng.random_range(0..self.opts.len());
+            let i = usize::shrink_toward(0, i, factor);
+            self.opts[i].sample_shrunk(rng, factor)
+        }
     }
 
     /// Helper used by `prop_oneof!` to erase strategy types without a
@@ -182,11 +250,18 @@ pub mod prop {
     pub mod collection {
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
-        use rand::RngExt;
+        use rand::{RngExt, SampleUniform};
 
         /// Length specifications accepted by [`vec`].
         pub trait IntoSizeRange {
             fn sample_len(&self, rng: &mut TestRng) -> usize;
+
+            /// Length under a shrink factor: scaled toward the minimum
+            /// the specification allows.
+            fn sample_len_shrunk(&self, rng: &mut TestRng, factor: f64) -> usize {
+                let _ = factor;
+                self.sample_len(rng)
+            }
         }
 
         impl IntoSizeRange for usize {
@@ -199,11 +274,17 @@ pub mod prop {
             fn sample_len(&self, rng: &mut TestRng) -> usize {
                 rng.random_range(self.start..self.end)
             }
+            fn sample_len_shrunk(&self, rng: &mut TestRng, factor: f64) -> usize {
+                usize::shrink_toward(self.start, self.sample_len(rng), factor)
+            }
         }
 
         impl IntoSizeRange for core::ops::RangeInclusive<usize> {
             fn sample_len(&self, rng: &mut TestRng) -> usize {
                 rng.random_range(*self.start()..=*self.end())
+            }
+            fn sample_len_shrunk(&self, rng: &mut TestRng, factor: f64) -> usize {
+                usize::shrink_toward(*self.start(), self.sample_len(rng), factor)
             }
         }
 
@@ -219,11 +300,81 @@ pub mod prop {
                 let n = self.len.sample_len(rng);
                 (0..n).map(|_| self.element.sample(rng)).collect()
             }
+            fn sample_shrunk(&self, rng: &mut TestRng, factor: f64) -> Vec<S::Value> {
+                let n = self.len.sample_len_shrunk(rng, factor);
+                (0..n)
+                    .map(|_| self.element.sample_shrunk(rng, factor))
+                    .collect()
+            }
         }
 
         pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
             VecStrategy { element, len }
         }
+    }
+}
+
+/// Machinery behind the `proptest!` macro's shrinking loop; public so
+/// the macro expansion can reach it, not part of the stand-in's API.
+#[doc(hidden)]
+pub mod runner {
+    /// Binary-search the smallest shrink factor whose re-run still
+    /// fails. `attempt(factor)` must re-run the case from its fixed
+    /// seed; `attempt(1.0)` is known to fail. Panics raised by
+    /// `attempt` are caught (and their output suppressed) while the
+    /// search runs.
+    pub fn shrink_factor(attempt: &mut dyn FnMut(f64) -> Result<(), String>) -> (f64, String) {
+        let mut hi = 1.0f64;
+        let mut message = attempt(1.0).expect_err("caller guarantees factor 1.0 fails");
+        if let Err(msg) = attempt(0.0) {
+            return (0.0, msg); // fully shrunk input already fails
+        }
+        let mut lo = 0.0f64;
+        for _ in 0..24 {
+            let mid = (lo + hi) / 2.0;
+            match attempt(mid) {
+                Err(msg) => {
+                    hi = mid;
+                    message = msg;
+                }
+                Ok(()) => lo = mid,
+            }
+        }
+        // The search may end on a passing attempt (at `lo`), leaving
+        // any caller-side state — the value report the macro builds —
+        // describing a non-failing input. Re-run the minimal failing
+        // factor so the last attempt is the one being reported.
+        if let Err(msg) = attempt(hi) {
+            message = msg;
+        }
+        (hi, message)
+    }
+
+    /// Run one case attempt, catching its panic into `Err(message)`.
+    pub fn catch(case: impl FnOnce()) -> Result<(), String> {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(case));
+        result.map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    }
+
+    /// Suppress the default panic hook's stderr spam for the duration
+    /// of `f` (the shrinking search re-runs a failing case dozens of
+    /// times). The hook is global, so a concurrent failing test's
+    /// backtrace may be swallowed too — accepted: this only runs while
+    /// a failure is already being reported.
+    pub fn quietly<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
     }
 }
 
@@ -234,9 +385,8 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
-/// Assert inside a property test. Without shrinking there is nothing to
-/// report beyond the failure itself, so this is `assert!` with the
-/// proptest spelling.
+/// Assert inside a property test; failures are caught by the runner and
+/// shrunk, so this is `assert!` with the proptest spelling.
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
@@ -256,7 +406,9 @@ macro_rules! prop_oneof {
 }
 
 /// Define property tests: each `fn name(arg in strategy, …) { body }`
-/// becomes a `#[test]` running `cases` sampled iterations.
+/// becomes a `#[test]` running `cases` sampled iterations; a failing
+/// case is re-run under binary-searched shrink factors and reported as
+/// a minimal counterexample (values require `Debug`).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -280,14 +432,51 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::config::ProptestConfig = $cfg;
-                let mut __rng =
-                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__cfg.cases {
-                    let _ = __case;
-                    $(
-                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
-                    )*
-                    $body
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..u64::from(__cfg.cases) {
+                    // One attempt at the given shrink factor; factor 1.0
+                    // is the plain sampled case.
+                    let __attempt = |__factor: f64, __report: &mut String| {
+                        let mut __rng =
+                            $crate::test_runner::TestRng::for_case(__test_name, __case);
+                        __report.clear();
+                        $(
+                            let __sampled = $crate::strategy::Strategy::sample_shrunk(
+                                &($strat),
+                                &mut __rng,
+                                __factor,
+                            );
+                            __report.push_str(&format!(
+                                "\n  {} = {:?}",
+                                stringify!($arg),
+                                __sampled,
+                            ));
+                            let $arg = __sampled;
+                        )*
+                        $body
+                    };
+                    let mut __report = String::new();
+                    if $crate::runner::catch(|| __attempt(1.0, &mut __report)).is_ok() {
+                        continue;
+                    }
+                    // The case failed: binary-search the smallest still-
+                    // failing shrink factor and report that input.
+                    let (__factor, __message) = $crate::runner::quietly(|| {
+                        $crate::runner::shrink_factor(&mut |__f| {
+                            $crate::runner::catch(|| __attempt(__f, &mut __report))
+                        })
+                    });
+                    panic!(
+                        "proptest case {} of {} failed; minimal counterexample \
+                         (seed {:#x}, shrink factor {:.6}):{}\n{}\nreproduce with \
+                         TestRng::with_seed(seed) and sample_shrunk(rng, factor)",
+                        __case,
+                        __test_name,
+                        $crate::test_runner::TestRng::case_seed(__test_name, __case),
+                        __factor,
+                        __report,
+                        __message,
+                    );
                 }
             }
         )*
@@ -318,5 +507,61 @@ mod tests {
             prop_assert_eq!(y % 2, 0);
             prop_assert!(y < 10);
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // Not a #[test]: invoked below to inspect the failure report.
+        fn fails_above_100(v in 0u64..100_000) {
+            prop_assert!(v <= 100, "v = {v} exceeds 100");
+        }
+    }
+
+    #[test]
+    fn shrinking_reports_minimal_counterexample() {
+        let msg = crate::runner::quietly(|| {
+            crate::runner::catch(fails_above_100).expect_err("property must fail")
+        });
+        assert!(
+            msg.contains("minimal counterexample"),
+            "report names the shrink: {msg}"
+        );
+        assert!(
+            msg.contains("seed 0x"),
+            "report embeds the reproduction seed: {msg}"
+        );
+        // The shrunk value must still fail (> 100) but be orders of
+        // magnitude below the raw sample range; the binary search lands
+        // within a factor-of-two of the 101 boundary.
+        let v: u64 = msg
+            .split("v = ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("report embeds the failing value");
+        assert!(v > 100, "still failing: {v}");
+        assert!(v <= 220, "shrunk near the boundary, got {v}");
+    }
+
+    #[test]
+    fn factor_one_reproduces_plain_sampling() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (0u64..1000, prop::collection::vec(0u32..7, 2..9));
+        let a = strat.sample(&mut TestRng::with_seed(99));
+        let b = strat.sample_shrunk(&mut TestRng::with_seed(99), 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn factor_zero_is_minimal() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (5u64..1000, prop::collection::vec(3u32..7, 2..9));
+        let (x, v) = strat.sample_shrunk(&mut TestRng::with_seed(4), 0.0);
+        assert_eq!(x, 5, "range shrinks to its start");
+        assert_eq!(v.len(), 2, "length shrinks to its minimum");
+        assert!(v.iter().all(|&e| e == 3), "elements shrink to their start");
     }
 }

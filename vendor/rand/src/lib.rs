@@ -44,6 +44,10 @@ pub use RngExt as Rng;
 /// Types samplable uniformly from an inclusive range.
 pub trait SampleUniform: Copy + PartialOrd {
     fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Scale `v` toward `lo` by `factor ∈ [0, 1]` (0 = `lo`, 1 = `v`) —
+    /// the primitive the vendored proptest's shrinking is built on.
+    fn shrink_toward(lo: Self, v: Self, factor: f64) -> Self;
 }
 
 macro_rules! impl_sample_uint {
@@ -66,6 +70,22 @@ macro_rules! impl_sample_uint {
                     }
                 }
             }
+
+            fn shrink_toward(lo: Self, v: Self, factor: f64) -> Self {
+                debug_assert!(lo <= v, "shrink target below range start");
+                // Exact at the endpoints: f64 rounding on offsets wider
+                // than 2^53 must not break "factor 1.0 reproduces the
+                // sample byte-for-byte" (the proptest contract).
+                if factor >= 1.0 {
+                    return v;
+                }
+                if factor <= 0.0 {
+                    return lo;
+                }
+                let offset = (v as u128).wrapping_sub(lo as u128);
+                let scaled = (offset as f64 * factor) as u128;
+                (lo as u128 + scaled.min(offset)) as $t
+            }
         }
     )*};
 }
@@ -82,6 +102,13 @@ macro_rules! impl_sample_int {
                 let v = <$u>::sample_inclusive(rng, ulo, uhi);
                 (v ^ (1 << (<$u>::BITS - 1))) as $t
             }
+
+            fn shrink_toward(lo: Self, v: Self, factor: f64) -> Self {
+                let ulo = (lo as $u) ^ (1 << (<$u>::BITS - 1));
+                let uv = (v as $u) ^ (1 << (<$u>::BITS - 1));
+                let shrunk = <$u>::shrink_toward(ulo, uv, factor);
+                (shrunk ^ (1 << (<$u>::BITS - 1))) as $t
+            }
         }
     )*};
 }
@@ -92,6 +119,13 @@ impl SampleUniform for f64 {
     fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
         let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         lo + unit * (hi - lo)
+    }
+
+    fn shrink_toward(lo: Self, v: Self, factor: f64) -> Self {
+        if factor >= 1.0 {
+            return v; // exact endpoint, like the integer impls
+        }
+        lo + (v - lo) * factor.clamp(0.0, 1.0)
     }
 }
 
@@ -185,6 +219,18 @@ mod tests {
             let s: i64 = rng.random_range(-5..5);
             assert!((-5..5).contains(&s));
         }
+    }
+
+    #[test]
+    fn shrink_toward_is_exact_at_the_endpoints() {
+        // Wider than 2^53: f64 cannot represent the offset exactly, so
+        // the endpoints must short-circuit.
+        let v = (1u64 << 54) + 1;
+        assert_eq!(u64::shrink_toward(0, v, 1.0), v);
+        assert_eq!(u64::shrink_toward(0, v, 0.0), 0);
+        assert_eq!(u64::shrink_toward(5, 5, 0.5), 5);
+        assert_eq!(i64::shrink_toward(-10, 10, 1.0), 10);
+        assert_eq!(i64::shrink_toward(-10, 10, 0.0), -10);
     }
 
     #[test]
