@@ -1,0 +1,89 @@
+//! BENCH-DIFF — warn when a fresh `BENCH_*.json` regresses a committed
+//! baseline's throughput by more than a factor (default 2×).
+//!
+//! Usage: `bench_diff BASELINE.json FRESH.json [--factor 2.0]`
+//!
+//! Rows are matched by their stable identity fields; every `_per_sec`
+//! metric present on both sides is compared (see `bench::regression`).
+//! The exit code is always 0 — CI machines vary too much to gate on
+//! wall-clock throughput — but regressions are printed loudly so a
+//! slowdown is visible in the log the moment it lands.
+//!
+//! CI: after an experiment rewrites its JSON in place, diff against the
+//! previously-committed copy:
+//!
+//! ```bash
+//! cp BENCH_sketch.json /tmp/baseline.json
+//! cargo run --release -p bench --bin exp_sketch -- --smoke
+//! cargo run --release -p bench --bin bench_diff -- /tmp/baseline.json BENCH_sketch.json
+//! ```
+
+use bench::regression::{diff, parse_bench_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_diff BASELINE.json FRESH.json [--factor F]");
+        std::process::exit(2);
+    }
+    let factor = match args.iter().position(|a| a == "--factor") {
+        None => 2.0,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+            Some(f) if f >= 1.0 => f,
+            _ => {
+                eprintln!(
+                    "bench_diff: --factor needs a number ≥ 1 (got {:?})",
+                    args.get(i + 1)
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let read = |path: &str| -> bench::regression::BenchFile {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_bench_json(&text).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&args[1]);
+    let fresh = read(&args[2]);
+    if baseline.bench != fresh.bench {
+        eprintln!(
+            "bench_diff: comparing different benches ({} vs {}) — nothing to do",
+            baseline.bench, fresh.bench
+        );
+        return;
+    }
+
+    let regressions = diff(&baseline, &fresh, factor);
+    println!(
+        "bench_diff: {} ({} baseline rows, {} fresh rows, factor {factor}x)",
+        fresh.bench,
+        baseline.results.len(),
+        fresh.results.len()
+    );
+    if regressions.is_empty() {
+        println!("bench_diff: no throughput regressions beyond {factor}x");
+        return;
+    }
+    for r in &regressions {
+        println!(
+            "WARNING: {}: {} regressed {:.1}x ({:.0} -> {:.0})",
+            r.row,
+            r.metric,
+            r.slowdown(),
+            r.baseline,
+            r.fresh
+        );
+    }
+    println!(
+        "bench_diff: {} regression(s) beyond {factor}x — investigate before trusting \
+         the committed numbers (exit 0: wall-clock noise is not a CI failure)",
+        regressions.len()
+    );
+}

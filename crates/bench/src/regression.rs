@@ -1,0 +1,403 @@
+//! Throughput-regression diffing for the committed `BENCH_*.json`
+//! artifacts — the first step toward the ROADMAP's benchmark job with
+//! regression tracking.
+//!
+//! Every experiment binary writes a flat JSON file of the shape
+//!
+//! ```json
+//! { "bench": "…", "mode": "…", "results": [ { flat row }, … ] }
+//! ```
+//!
+//! (our own format, written by hand — no serde in the tree). This module
+//! parses that shape, matches rows between a committed baseline and a
+//! fresh run by their **identity fields** (everything except metrics and
+//! volatile measurements), and reports every throughput metric (a field
+//! ending in `_per_sec`) that dropped by more than a caller-chosen
+//! factor. The `bench_diff` binary wraps this as a CI step that *warns*
+//! (CI machines vary too much to gate on wall-clock throughput).
+
+use std::collections::BTreeMap;
+
+/// A scalar cell of a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (all our numbers fit f64 exactly enough for
+    /// ratio checks).
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Num(x) => format!("{x}"),
+            Cell::Bool(b) => format!("{b}"),
+        }
+    }
+}
+
+/// One flat result row.
+pub type Row = BTreeMap<String, Cell>;
+
+/// A parsed `BENCH_*.json` file.
+#[derive(Debug, Clone)]
+pub struct BenchFile {
+    /// The top-level `bench` tag.
+    pub bench: String,
+    /// The top-level `mode` tag, when present (`full` / `smoke`).
+    pub mode: Option<String>,
+    /// The result rows.
+    pub results: Vec<Row>,
+}
+
+/// Measurement fields that never identify a row: throughput metrics
+/// (compared instead) and volatile readings.
+fn is_metric(name: &str) -> bool {
+    name.ends_with("_per_sec")
+}
+
+fn is_volatile(name: &str) -> bool {
+    const VOLATILE: &[&str] = &[
+        "millis",
+        "steps",
+        "ops",
+        "writes",
+        "reads",
+        "interleavings",
+        "pruned_subtrees",
+        "steps_replayed",
+        "violations",
+        "peak_rss_bytes",
+    ];
+    VOLATILE.contains(&name) || name.ends_with("_avg") || name.ends_with("_ms")
+}
+
+/// The identity key of a row: every stable field, rendered.
+pub fn identity(row: &Row) -> String {
+    row.iter()
+        .filter(|(k, _)| !is_metric(k) && !is_volatile(k))
+        .map(|(k, v)| format!("{k}={}", v.render()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One detected throughput regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Identity of the affected row.
+    pub row: String,
+    /// The metric that regressed.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// `baseline / fresh` — how many times slower the fresh run is.
+    pub fn slowdown(&self) -> f64 {
+        self.baseline / self.fresh.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Compare `fresh` against `baseline`: every `_per_sec` metric present
+/// in both versions of a row whose fresh value is more than `factor`
+/// times below the baseline is reported. Rows present on only one side
+/// are ignored (configs come and go).
+pub fn diff(baseline: &BenchFile, fresh: &BenchFile, factor: f64) -> Vec<Regression> {
+    assert!(factor >= 1.0, "a regression factor below 1 is meaningless");
+    let mut by_id: BTreeMap<String, &Row> = BTreeMap::new();
+    for row in &baseline.results {
+        by_id.insert(identity(row), row);
+    }
+    let mut out = Vec::new();
+    for row in &fresh.results {
+        let id = identity(row);
+        let Some(base) = by_id.get(&id) else {
+            continue;
+        };
+        for (name, cell) in row.iter() {
+            if !is_metric(name) {
+                continue;
+            }
+            let (Cell::Num(fresh_v), Some(Cell::Num(base_v))) = (cell, base.get(name)) else {
+                continue;
+            };
+            if *base_v > 0.0 && *fresh_v * factor < *base_v {
+                out.push(Regression {
+                    row: id.clone(),
+                    metric: name.clone(),
+                    baseline: *base_v,
+                    fresh: *fresh_v,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Parse a `BENCH_*.json` file (the flat shape our binaries write).
+pub fn parse_bench_json(text: &str) -> Result<BenchFile, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut bench = None;
+    let mut mode = None;
+    let mut results = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "results" => {
+                p.expect(b'[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    results.push(p.flat_object()?);
+                    p.skip_ws();
+                    p.eat(b',');
+                }
+            }
+            _ => {
+                let cell = p.cell()?;
+                match (key.as_str(), cell) {
+                    ("bench", Cell::Str(s)) => bench = Some(s),
+                    ("mode", Cell::Str(s)) => mode = Some(s),
+                    _ => {} // other top-level scalars: ignored
+                }
+            }
+        }
+        p.skip_ws();
+        p.eat(b',');
+    }
+    Ok(BenchFile {
+        bench: bench.ok_or("missing top-level \"bench\" tag")?,
+        mode,
+        results,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} (found {:?})",
+                b as char,
+                self.at,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.at;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.at += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return Err("escapes are not used in bench JSON".into());
+            }
+            self.at += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn cell(&mut self) -> Result<Cell, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Cell::Str(self.string()?)),
+            Some(b't') | Some(b'f') => {
+                let word = if self.peek() == Some(b't') {
+                    "true"
+                } else {
+                    "false"
+                };
+                if self.bytes[self.at..].starts_with(word.as_bytes()) {
+                    self.at += word.len();
+                    Ok(Cell::Bool(word == "true"))
+                } else {
+                    Err(format!("malformed literal at byte {}", self.at))
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.at;
+                while self
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+                {
+                    self.at += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Cell::Num)
+                    .ok_or_else(|| format!("malformed number at byte {start}"))
+            }
+            other => Err(format!(
+                "unexpected value start {other:?} at byte {}",
+                self.at
+            )),
+        }
+    }
+
+    fn flat_object(&mut self) -> Result<Row, String> {
+        self.expect(b'{')?;
+        let mut row = Row::new();
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(row);
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let cell = self.cell()?;
+            row.insert(key, cell);
+            self.skip_ws();
+            self.eat(b',');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+  "bench": "sketch_workloads",
+  "mode": "full",
+  "results": [
+    {"object": "topk", "backend": "coop", "n": 8, "shards": 4, "adds_per_sec": 1000000, "millis": 12.5, "violations": 0},
+    {"object": "topk", "backend": "thread", "n": 4, "shards": 1, "adds_per_sec": 500000, "millis": 9.0, "violations": 0}
+  ]
+}"#;
+
+    #[test]
+    fn parses_our_shape() {
+        let f = parse_bench_json(OLD).expect("parses");
+        assert_eq!(f.bench, "sketch_workloads");
+        assert_eq!(f.mode.as_deref(), Some("full"));
+        assert_eq!(f.results.len(), 2);
+        assert_eq!(f.results[0].get("backend"), Some(&Cell::Str("coop".into())));
+        assert_eq!(f.results[0].get("n"), Some(&Cell::Num(8.0)));
+    }
+
+    #[test]
+    fn identity_ignores_metrics_and_volatiles() {
+        let f = parse_bench_json(OLD).unwrap();
+        let id = identity(&f.results[0]);
+        assert!(id.contains("backend=coop") && id.contains("n=8"));
+        assert!(!id.contains("adds_per_sec") && !id.contains("millis"));
+        assert!(!id.contains("violations"));
+    }
+
+    #[test]
+    fn detects_a_regression_beyond_the_factor() {
+        let old = parse_bench_json(OLD).unwrap();
+        let new_text = OLD
+            .replace("\"adds_per_sec\": 1000000", "\"adds_per_sec\": 400000")
+            .replace("\"adds_per_sec\": 500000", "\"adds_per_sec\": 300000");
+        let new = parse_bench_json(&new_text).unwrap();
+        let regs = diff(&old, &new, 2.0);
+        // 1M → 400k is a 2.5× drop (reported); 500k → 300k is 1.67×
+        // (within tolerance).
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].row.contains("backend=coop"));
+        assert_eq!(regs[0].metric, "adds_per_sec");
+        assert!((regs[0].slowdown() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_rows_are_ignored() {
+        let old = parse_bench_json(OLD).unwrap();
+        let new_text = OLD.replace("\"n\": 8", "\"n\": 16");
+        let new = parse_bench_json(&new_text).unwrap();
+        let regs = diff(
+            &old,
+            &parse_bench_json(&new_text.replace("1000000", "1")).unwrap(),
+            2.0,
+        );
+        let _ = new;
+        assert!(regs.is_empty(), "different n: different identity");
+    }
+
+    #[test]
+    fn mode_mismatch_still_matches_rows() {
+        // Smoke runs produce a subset of rows with the same identities;
+        // the top-level mode tag does not enter row identity.
+        let old = parse_bench_json(OLD).unwrap();
+        let new_text = OLD.replace("\"mode\": \"full\"", "\"mode\": \"smoke\"");
+        let fresh = parse_bench_json(&new_text).unwrap();
+        assert!(diff(&old, &fresh, 2.0).is_empty());
+    }
+
+    #[test]
+    fn real_bench_artifacts_parse() {
+        // The committed artifacts in the repo root must stay parseable —
+        // this is what CI diffs against.
+        for name in [
+            "BENCH_checker.json",
+            "BENCH_scale.json",
+            "BENCH_explore.json",
+            "BENCH_sketch.json", // the artifact CI's bench_diff step consumes
+        ] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let f = parse_bench_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert!(!f.results.is_empty(), "{name} has rows");
+            }
+        }
+    }
+}

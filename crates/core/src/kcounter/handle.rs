@@ -49,6 +49,12 @@ pub struct KmultCounterHandle {
     /// immediately.
     prev_p: u64,
     prev_q: u64,
+    /// Increments buffered *above* the algorithm (not yet applied to it
+    /// at all — distinct from `lcounter`, which the algorithm itself
+    /// maintains). Filled by [`defer`](KmultCounterHandle::defer),
+    /// drained by [`flush`](KmultCounterHandle::flush) /
+    /// [`FlushMachine`].
+    deferred: u64,
 }
 
 impl KmultCounterHandle {
@@ -63,6 +69,7 @@ impl KmultCounterHandle {
             last: 0,
             prev_p: 0,
             prev_q: 0,
+            deferred: 0,
         }
     }
 
@@ -111,6 +118,109 @@ impl KmultCounterHandle {
     /// `CounterRead()` — the approximate number of increments.
     pub fn read(&mut self, ctx: &ProcCtx) -> u128 {
         self.read_detailed(ctx).value
+    }
+
+    /// Buffer `amount` unit increments locally without touching the
+    /// algorithm (zero primitives). Deferred increments are invisible to
+    /// every process — including this one's own reads — until
+    /// [`flush`](Self::flush) applies them; batching writers trade that
+    /// staleness (bounded by the caller's flush policy) for amortized
+    /// switch-array traffic.
+    pub fn defer(&mut self, amount: u64) {
+        self.deferred = self
+            .deferred
+            .checked_add(amount)
+            .expect("deferred increment buffer overflow");
+    }
+
+    /// Unit increments currently buffered by [`defer`](Self::defer) and
+    /// not yet flushed.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// Drain the deferred buffer in one batched attempt: apply every
+    /// buffered unit increment back-to-back, exactly as the same number
+    /// of [`increment`](Self::increment) calls would (pinned by a
+    /// determinism test on values *and* per-pid primitive counts).
+    ///
+    /// Implemented by driving [`FlushMachine`] to completion, so the
+    /// blocking form and the resumable forms share one transcription.
+    pub fn flush(&mut self, ctx: &ProcCtx) {
+        let mut m = FlushMachine::drain();
+        while m.step(self, ctx).is_pending() {}
+    }
+}
+
+/// Resume point of a batched increment run: `amount` consecutive
+/// `CounterIncrement()`s (each an [`IncMachine`]) executed back-to-back,
+/// one primitive per granted [`step`](FlushMachine::step), priming step
+/// free. Because most increments stay below the announcement threshold
+/// (zero primitives), whole runs of the batch collapse into single
+/// steps — this is the batching the sketch handles amortize switch
+/// traffic with.
+///
+/// Two flavors: [`FlushMachine::with_amount`] runs a fixed batch (the
+/// transcription [`KmultIncTask`](super::tasks::KmultIncTask) drives),
+/// and [`FlushMachine::drain`] takes the handle's
+/// [`deferred`](KmultCounterHandle::deferred) buffer on its priming step
+/// (the transcription [`KmultCounterHandle::flush`] drives). A batch of
+/// zero completes on the priming step with zero primitives.
+#[derive(Debug)]
+pub struct FlushMachine {
+    /// `None` until the priming step resolves the batch size (drain
+    /// flavor); then the increments still to run, including the one the
+    /// current [`IncMachine`] is executing.
+    remaining: Option<u64>,
+    machine: IncMachine,
+}
+
+impl FlushMachine {
+    /// A machine applying exactly `amount` unit increments.
+    pub fn with_amount(amount: u64) -> Self {
+        FlushMachine {
+            remaining: Some(amount),
+            machine: IncMachine::new(),
+        }
+    }
+
+    /// A machine that drains the handle's deferred buffer (sized on the
+    /// priming step, so increments deferred after construction but
+    /// before the first step are included).
+    pub fn drain() -> Self {
+        FlushMachine {
+            remaining: None,
+            machine: IncMachine::new(),
+        }
+    }
+
+    /// Advance the batch by at most one primitive.
+    pub fn step(&mut self, h: &mut KmultCounterHandle, ctx: &ProcCtx) -> std::task::Poll<()> {
+        use std::task::Poll;
+        let remaining = match self.remaining {
+            Some(r) => r,
+            None => {
+                let r = std::mem::take(&mut h.deferred);
+                self.remaining = Some(r);
+                r
+            }
+        };
+        if remaining == 0 {
+            return Poll::Ready(());
+        }
+        loop {
+            if self.machine.step(h, ctx).is_pending() {
+                return Poll::Pending;
+            }
+            let r = self.remaining.as_mut().expect("batch size resolved above");
+            *r -= 1;
+            if *r == 0 {
+                return Poll::Ready(());
+            }
+            // Next increment of the batch: its priming step is free (no
+            // primitive), so it runs within the current step.
+            self.machine = IncMachine::new();
+        }
     }
 }
 
@@ -496,5 +606,85 @@ mod tests {
         let c = KmultCounter::new(2, 2);
         let mut h = c.handle(0);
         h.increment(&ctx1);
+    }
+
+    #[test]
+    fn flush_equals_repeated_increments() {
+        // The determinism pin: defer+flush must equal the same number of
+        // plain increments on read values AND per-pid primitive counts,
+        // across batch sizes straddling announcement thresholds.
+        for k in [2u64, 3, 5] {
+            for batch in [1u64, 2, 3, 7, 20, 100] {
+                let rt_a = Runtime::free_running(1);
+                let ctx_a = rt_a.ctx(0);
+                let c_a = KmultCounter::new(1, k);
+                let mut h_a = c_a.handle(0);
+
+                let rt_b = Runtime::free_running(1);
+                let ctx_b = rt_b.ctx(0);
+                let c_b = KmultCounter::new(1, k);
+                let mut h_b = c_b.handle(0);
+
+                for round in 0..5 {
+                    for _ in 0..batch {
+                        h_a.increment(&ctx_a);
+                    }
+                    h_b.defer(batch);
+                    assert_eq!(h_b.deferred(), batch);
+                    h_b.flush(&ctx_b);
+                    assert_eq!(h_b.deferred(), 0, "flush drains the buffer");
+                    assert_eq!(
+                        h_a.read(&ctx_a),
+                        h_b.read(&ctx_b),
+                        "k={k} batch={batch} round={round}: values diverged"
+                    );
+                }
+                assert_eq!(
+                    rt_a.steps_of(0),
+                    rt_b.steps_of(0),
+                    "k={k} batch={batch}: primitive counts diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_increments_are_invisible_until_flushed() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        let mut h = c.handle(0);
+        h.defer(5);
+        assert_eq!(h.read(&ctx), 0, "deferred units not yet applied");
+        h.flush(&ctx);
+        assert!(h.read(&ctx) > 0);
+    }
+
+    #[test]
+    fn empty_flush_applies_no_primitive() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        let mut h = c.handle(0);
+        let mut m = FlushMachine::drain();
+        assert!(m.step(&mut h, &ctx).is_ready(), "nothing to drain");
+        assert_eq!(ctx.steps_taken(), 0);
+        h.flush(&ctx); // blocking form likewise
+        assert_eq!(ctx.steps_taken(), 0);
+    }
+
+    #[test]
+    fn drain_machine_sizes_on_the_priming_step() {
+        // Increments deferred after construction but before the first
+        // step are included — the machine reads the buffer at priming.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        let mut h = c.handle(0);
+        let mut m = FlushMachine::drain();
+        h.defer(3);
+        while m.step(&mut h, &ctx).is_pending() {}
+        assert_eq!(h.deferred(), 0);
+        assert_eq!(h.read(&ctx), 6, "same trace as 3 single increments at k=2");
     }
 }

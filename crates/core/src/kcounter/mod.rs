@@ -29,7 +29,7 @@ pub mod arith;
 mod handle;
 pub mod tasks;
 
-pub use handle::{IncMachine, KmultCounterHandle, KmultReadOutcome, ReadMachine};
+pub use handle::{FlushMachine, IncMachine, KmultCounterHandle, KmultReadOutcome, ReadMachine};
 pub use tasks::{KmultIncTask, KmultReadTask, SharedKmultHandle};
 
 use smr::{ProcCtx, Register, SegArray, TasBit};
@@ -116,6 +116,33 @@ impl KmultCounter {
             .get(usize::try_from(j).expect("switch index fits usize"))
             .peek()
     }
+
+    /// Test-and-inspection view of the counter's current return value:
+    /// walk the switch prefix exactly like `CounterRead`'s cursor (from
+    /// index 0, so no handle state is needed or touched) and expand the
+    /// leading exponent. **Not a primitive** — zero steps are charged;
+    /// for shadow checks in tests and experiments only, never inside an
+    /// operation.
+    pub fn peek_approx_value(&self) -> u128 {
+        let (mut p, mut q) = (0, 0);
+        let mut last = 0u64;
+        let mut seen = false;
+        while self.peek_switch(last) {
+            seen = true;
+            (p, q) = arith::decompose(last, self.k);
+            // The cursor geometry of CounterRead lines 40–43.
+            if last.is_multiple_of(self.k) {
+                last += 1;
+            } else {
+                last += self.k - 1;
+            }
+        }
+        if seen {
+            arith::return_value(p, q, self.k)
+        } else {
+            0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +180,29 @@ mod tests {
         let c = KmultCounter::new(1, 2);
         assert!(!c.peek_switch(0));
         assert!(!c.peek_switch(1000));
+    }
+
+    #[test]
+    fn peek_approx_value_matches_a_fresh_read() {
+        // The free peek must agree with what a fresh handle's CounterRead
+        // would return (both walk the whole switch prefix from 0), and
+        // charge no steps.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        for k in [2u64, 3] {
+            let c = KmultCounter::new(1, k);
+            assert_eq!(c.peek_approx_value(), 0);
+            let mut h = c.handle(0);
+            for i in 1..=200u32 {
+                h.increment(&ctx);
+                if i % 13 == 0 {
+                    let steps_before = ctx.steps_taken();
+                    let peeked = c.peek_approx_value();
+                    assert_eq!(ctx.steps_taken(), steps_before, "peek is free");
+                    let mut fresh = c.handle(0);
+                    assert_eq!(peeked, fresh.read(&ctx), "k={k} after {i} incs");
+                }
+            }
+        }
     }
 }

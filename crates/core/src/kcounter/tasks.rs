@@ -12,7 +12,7 @@
 //! same idiom the closure-based tests use). The lock is uncontended by
 //! construction — a process runs one operation at a time.
 
-use super::handle::{IncMachine, ReadMachine};
+use super::handle::{FlushMachine, ReadMachine};
 use super::KmultCounterHandle;
 use parking_lot::Mutex;
 use smr::{OpTask, Poll, ProcCtx};
@@ -26,10 +26,7 @@ pub type SharedKmultHandle = Arc<Mutex<KmultCounterHandle>>;
 /// the recorded multiplicity matches.
 pub struct KmultIncTask {
     handle: SharedKmultHandle,
-    machine: IncMachine,
-    /// Increments still to run after the current machine, plus one for
-    /// the current machine itself.
-    remaining: u64,
+    machine: FlushMachine,
 }
 
 impl KmultIncTask {
@@ -38,7 +35,9 @@ impl KmultIncTask {
         Self::batched(handle, 1)
     }
 
-    /// A batch of `amount` increments submitted as one operation.
+    /// A batch of `amount` increments submitted as one operation,
+    /// driving the same [`FlushMachine`] transcription the batching
+    /// handles use.
     ///
     /// # Panics
     /// Panics if `amount == 0`.
@@ -46,8 +45,7 @@ impl KmultIncTask {
         assert!(amount > 0, "a batch needs at least one increment");
         KmultIncTask {
             handle,
-            machine: IncMachine::new(),
-            remaining: amount,
+            machine: FlushMachine::with_amount(amount),
         }
     }
 }
@@ -55,18 +53,7 @@ impl KmultIncTask {
 impl OpTask for KmultIncTask {
     fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
         let mut h = self.handle.lock();
-        loop {
-            if self.machine.step(&mut h, ctx).is_pending() {
-                return Poll::Pending;
-            }
-            self.remaining -= 1;
-            if self.remaining == 0 {
-                return Poll::Ready(0);
-            }
-            // Next increment of the batch: its priming step is free (no
-            // primitive), so it runs within the current poll.
-            self.machine = IncMachine::new();
-        }
+        self.machine.step(&mut h, ctx).map(|()| 0)
     }
 }
 

@@ -60,8 +60,8 @@ pub use kadd::{
     SharedKaddHandle,
 };
 pub use kcounter::{
-    arith, KmultCounter, KmultCounterHandle, KmultIncTask, KmultReadOutcome, KmultReadTask,
-    SharedKmultHandle,
+    arith, FlushMachine, IncMachine, KmultCounter, KmultCounterHandle, KmultIncTask,
+    KmultReadOutcome, KmultReadTask, ReadMachine, SharedKmultHandle,
 };
 pub use kmaxreg::{
     KmultBoundedMaxRegister, KmultMaxReadMachine, KmultMaxReadTask, KmultMaxWriteMachine,

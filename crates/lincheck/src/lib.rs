@@ -24,6 +24,11 @@
 //!   exponential but spec-agnostic; used on small randomized histories to
 //!   cross-validate the polynomial engines (see this crate's tests).
 //!
+//! Beyond the per-object specs, [`sketchlog`] checks the `sketch`
+//! crate's *composed* aggregation reads (top-k digests, quantile/rank
+//! answers) against rank-error envelopes derived from the per-counter
+//! bounds — see its module docs and DESIGN.md §6.
+//!
 //! Histories come from the **typed** [`smr::History`] event log via
 //! [`CounterHistory::from_records`] / [`MaxRegHistory::from_records`]
 //! (pattern-matching on [`smr::OpKind`] — no label strings, and records
@@ -36,6 +41,7 @@ mod history;
 pub mod monotone;
 pub mod naive;
 pub mod records;
+pub mod sketchlog;
 pub mod wg;
 
 pub use history::{
@@ -43,3 +49,4 @@ pub use history::{
     Violation,
 };
 pub use records::{check_counter_records, check_maxreg_records};
+pub use sketchlog::{check_quantile_records, check_topk_records, SketchEnvelope};

@@ -1,0 +1,806 @@
+//! Typed event-log vocabulary and rank-envelope checkers for the
+//! `sketch` crate's approximate-aggregation objects.
+//!
+//! Sketch operations travel through the driver history as
+//! [`OpKind::Custom`] records; this module is the single source of truth
+//! for their labels and argument packing (the `sketch` crate submits
+//! with these helpers, the checkers below extract with them — no
+//! duplicated wire format).
+//!
+//! ## What the checkers assert
+//!
+//! The sketches are *compositions* of k-multiplicative primitives, so
+//! their reads do not satisfy the per-object `[v/k, v·k]` spec — they
+//! satisfy envelopes **derived** from the primitives' bounds. The
+//! derivation (DESIGN.md, "Approximate aggregation workloads") composes
+//! three facts, all sound on *every* interleaving:
+//!
+//! 1. **Counter upper bound** — a `KmultCounter` read `x` of a counter
+//!    whose exact visible count is `v` satisfies `x ≤ k·v` (Claim III.6:
+//!    `x = k·u_min ≤ k·v`).
+//! 2. **Counter lower bound** — `v ≤ (w+1)·x` where `w` is the number of
+//!    processes that ever increment that counter: Claim III.6's
+//!    `u_max(p, q, n)` term `n·(k^{q+1} − 1)` counts per-incrementer
+//!    unannounced `lcounter`s, and `k^{q+1} ≤ k·u_min` at every `(p, q)`,
+//!    so `u_max ≤ (w+1)·k·u_min = (w+1)·x`.
+//! 3. **Buffering slack** — a batching handle may hold up to
+//!    `buffer_slack` completed-but-unflushed unit increments per writer
+//!    (its flush threshold minus one); these are *invisible* to every
+//!    read, so each forced-count `F` below is discounted by
+//!    `w·buffer_slack` before it constrains anything.
+//!
+//! Real-time windows are the monotone checker's: an increment is
+//! *forced* before a read if it completed strictly before the read's
+//! invocation, and *possible* if it was invoked at or before the read's
+//! response. `F(·)` sums forced amounts matching a predicate, `G(·)`
+//! possible amounts.
+//!
+//! **Top-k** (reads record `(q, len, c)` where `len` entries were
+//! reported and `c` is the smallest reported approximate count, 0 when
+//! `len < q`):
+//!
+//! * *completeness* — the `(len+1)`-th largest per-key forced count is
+//!   at most `w·(w+1)·c + w·buffer_slack` (an unreported key was either
+//!   scanned — its count read lost to `c` — or pruned behind a shard max
+//!   register whose reads are one-sided above every completed flush's
+//!   counter read);
+//! * *soundness* — when `len > 0`, `c ≤ k·(len-th largest per-key
+//!   possible count)` (reported counts are genuine counter reads).
+//!
+//! **Quantile histogram** (base-`b` buckets; a `quantile(num/den)` read
+//! returns the upper edge `b^(j+1)` of the first bucket whose cumulative
+//! approximate population reaches the target rank):
+//!
+//! * *not too low* — `k·(w+1)·G(< v)·den ≥ num·(F_tot ⊖ w·slack)`: the
+//!   observations at or below the returned value must carry enough of
+//!   the total mass;
+//! * *not too high* — `(F(< v/b) ⊖ w·slack)·den < (w+1)·(num·k·G_tot +
+//!   den)`: the mass strictly below the returned bucket must not already
+//!   exceed the target;
+//! * a return of 0 forces `F_tot ≤ w·slack` (an empty-looking sketch).
+//!
+//! **Rank** (`rank(v)` returns the approximate number of observations in
+//! buckets entirely at or below `v`): `ret ≤ k·G(≤ v)` and
+//! `(w+1)·ret + w·slack ≥ F(≤ ⌊v/b⌋)` — the "(k·k')-multiplicative rank
+//! error" with the value-side slack `k' = b` explicit.
+
+use crate::history::{UnsupportedOp, Violation};
+use smr::{History, OpKind};
+
+/// Label of a top-k keyed increment (`arg` = [`pack_keyed`]`(key,
+/// amount)`).
+pub const TOPK_ADD: &str = "sk_add";
+/// Label of a top-k read (`arg` = requested `q`; `ret` =
+/// [`pack_topk_ret`]).
+pub const TOPK_READ: &str = "sk_topk";
+/// Label of a quantile observation (`arg` = [`pack_keyed`]`(value,
+/// amount)`).
+pub const QUANTILE_OBSERVE: &str = "sk_obs";
+/// Label of a quantile-value read (`arg` = [`pack_ratio`]; `ret` = the
+/// returned value).
+pub const QUANTILE_READ: &str = "sk_quant";
+/// Label of a rank read (`arg` = the queried value; `ret` = the
+/// approximate rank).
+pub const RANK_READ: &str = "sk_rank";
+/// Label of an explicit flush (no count semantics; `arg` = `ret` = 0).
+pub const FLUSH: &str = "sk_flush";
+
+/// Pack a `(key-or-value, amount)` pair into a custom-op argument.
+pub fn pack_keyed(key: u64, amount: u64) -> u128 {
+    (u128::from(key) << 64) | u128::from(amount)
+}
+
+/// Inverse of [`pack_keyed`].
+pub fn unpack_keyed(arg: u128) -> (u64, u64) {
+    ((arg >> 64) as u64, arg as u64)
+}
+
+/// Pack a top-k read result digest: number of reported entries and the
+/// smallest reported approximate count.
+///
+/// # Panics
+/// Panics if `kth` does not fit 64 bits (counts that large are outside
+/// the modelled range; saturating silently would weaken the envelope).
+pub fn pack_topk_ret(len: usize, kth: u128) -> u128 {
+    let kth64 = u64::try_from(kth).expect("top-k count digest exceeds 64 bits");
+    (u128::from(len as u64) << 64) | u128::from(kth64)
+}
+
+/// Inverse of [`pack_topk_ret`].
+pub fn unpack_topk_ret(ret: u128) -> (usize, u128) {
+    ((ret >> 64) as usize, ret & u128::from(u64::MAX))
+}
+
+/// Pack a quantile `num/den` rank ratio.
+///
+/// # Panics
+/// Panics unless `0 < num ≤ den`.
+pub fn pack_ratio(num: u32, den: u32) -> u128 {
+    assert!(
+        num > 0 && num <= den,
+        "rank ratio must satisfy 0 < num ≤ den"
+    );
+    (u128::from(num) << 32) | u128::from(den)
+}
+
+/// Inverse of [`pack_ratio`].
+pub fn unpack_ratio(arg: u128) -> (u32, u32) {
+    ((arg >> 32) as u32, arg as u32)
+}
+
+/// Envelope parameters shared by the sketch checkers.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchEnvelope {
+    /// Accuracy parameter of the underlying `KmultCounter`s.
+    pub k: u64,
+    /// Largest number of distinct processes that increment any one
+    /// counter (per-key writers for top-k, observers for quantile).
+    pub writers: u64,
+    /// Completed-but-unflushed unit increments a batching handle may
+    /// hold (its flush threshold minus one); 0 when every add flushes.
+    pub buffer_slack: u64,
+}
+
+impl SketchEnvelope {
+    /// An envelope with no batching slack.
+    pub fn new(k: u64, writers: u64) -> Self {
+        SketchEnvelope {
+            k,
+            writers,
+            buffer_slack: 0,
+        }
+    }
+
+    /// The same envelope with `buffer_slack` invisible units per writer.
+    pub fn with_buffer_slack(mut self, slack: u64) -> Self {
+        self.buffer_slack = slack;
+        self
+    }
+
+    /// Total invisible units across all writers: `w·buffer_slack`.
+    fn total_slack(&self) -> u128 {
+        u128::from(self.writers) * u128::from(self.buffer_slack)
+    }
+}
+
+/// One weighted increment/observation with its real-time window.
+#[derive(Debug, Clone, Copy)]
+struct KeyedInc {
+    /// Key (top-k) or observed value (quantile).
+    key: u64,
+    amount: u64,
+    inv: u64,
+    resp: Option<u64>,
+}
+
+impl KeyedInc {
+    fn forced_before(&self, inv: u64) -> bool {
+        matches!(self.resp, Some(r) if r < inv)
+    }
+
+    fn possible_before(&self, resp: u64) -> bool {
+        self.inv <= resp
+    }
+}
+
+/// A completed read with its window and decoded payload.
+#[derive(Debug, Clone, Copy)]
+struct TimedCustomRead {
+    arg: u128,
+    ret: u128,
+    inv: u64,
+    resp: u64,
+}
+
+/// A top-k history extracted from driver records.
+#[derive(Debug, Default)]
+pub struct TopKHistory {
+    adds: Vec<KeyedInc>,
+    reads: Vec<TimedCustomRead>,
+}
+
+/// A quantile history extracted from driver records.
+#[derive(Debug, Default)]
+pub struct QuantileHistory {
+    obs: Vec<KeyedInc>,
+    quantiles: Vec<TimedCustomRead>,
+    ranks: Vec<TimedCustomRead>,
+}
+
+/// Split one record into the caller-supplied buckets; shared by both
+/// extractors. Returns `Err` on labels outside `accept`.
+fn extract(
+    h: &History,
+    expected: &'static str,
+    mut on_inc: impl FnMut(KeyedInc),
+    mut on_read: impl FnMut(&'static str, TimedCustomRead),
+    inc_label: &'static str,
+    read_labels: &[&'static str],
+) -> Result<(), UnsupportedOp> {
+    for op in h.ops() {
+        let OpKind::Custom { label, arg, ret } = op.kind else {
+            return Err(UnsupportedOp {
+                pid: op.pid,
+                label: op.label(),
+                expected,
+            });
+        };
+        if label == inc_label {
+            let (key, amount) = unpack_keyed(arg);
+            on_inc(KeyedInc {
+                key,
+                amount,
+                inv: op.inv,
+                resp: op.resp,
+            });
+        } else if label == FLUSH {
+            // Flushes carry no count semantics: the units they apply
+            // were recorded by the adds that deferred them.
+        } else if read_labels.contains(&label) {
+            if let Some(resp) = op.resp {
+                on_read(
+                    label,
+                    TimedCustomRead {
+                        arg,
+                        ret,
+                        inv: op.inv,
+                        resp,
+                    },
+                );
+            }
+            // Pending reads returned nothing checkable.
+        } else {
+            return Err(UnsupportedOp {
+                pid: op.pid,
+                label,
+                expected,
+            });
+        }
+    }
+    Ok(())
+}
+
+impl TopKHistory {
+    /// Extract a top-k history; records outside the `sk_add` /
+    /// `sk_topk` / `sk_flush` vocabulary are rejected.
+    pub fn from_records(h: &History) -> Result<Self, UnsupportedOp> {
+        let mut out = TopKHistory::default();
+        extract(
+            h,
+            "top-k sketch",
+            |inc| out.adds.push(inc),
+            |_, r| out.reads.push(r),
+            TOPK_ADD,
+            &[TOPK_READ],
+        )?;
+        Ok(out)
+    }
+}
+
+impl QuantileHistory {
+    /// Extract a quantile history; records outside the `sk_obs` /
+    /// `sk_quant` / `sk_rank` / `sk_flush` vocabulary are rejected.
+    pub fn from_records(h: &History) -> Result<Self, UnsupportedOp> {
+        let mut out = QuantileHistory::default();
+        let (quantiles, ranks) = (&mut Vec::new(), &mut Vec::new());
+        extract(
+            h,
+            "quantile sketch",
+            |inc| out.obs.push(inc),
+            |label, r| {
+                if label == QUANTILE_READ {
+                    quantiles.push(r)
+                } else {
+                    ranks.push(r)
+                }
+            },
+            QUANTILE_OBSERVE,
+            &[QUANTILE_READ, RANK_READ],
+        )?;
+        out.quantiles = std::mem::take(quantiles);
+        out.ranks = std::mem::take(ranks);
+        Ok(out)
+    }
+}
+
+/// Check every completed top-k read of `h` against the composed
+/// envelope by deciding whether *some* set of reported keys is
+/// consistent with the `(q, len, c)` digest:
+///
+/// * keys whose forced count exceeds `w(w+1)·c + w·slack` **must** have
+///   been reported (`c` taken as 0 when `len < q`, where the read
+///   claims no further nonzero key exists) — at most `len` such keys;
+/// * every reported key's count read is at least `c` and at most
+///   `k`·its possible count, so at least `len` keys must support `c`;
+/// * the key realizing the minimum `c` satisfies `f ≤ (w+1)·c +
+///   w·slack`, and when the must-report set is already full it must
+///   come from there.
+pub fn check_topk(h: &TopKHistory, env: &SketchEnvelope) -> Result<(), Violation> {
+    let w = u128::from(env.writers);
+    let k = u128::from(env.k);
+    let slack = env.total_slack();
+    for (i, r) in h.reads.iter().enumerate() {
+        let q_req = r.arg as usize;
+        let (len, kth) = unpack_topk_ret(r.ret);
+        if len > q_req {
+            return Err(Violation {
+                message: format!("top-k read #{i} reported {len} entries for q = {q_req}"),
+            });
+        }
+        // Per-key (forced, possible) totals over this read's window.
+        let mut by_key: std::collections::BTreeMap<u64, (u128, u128)> =
+            std::collections::BTreeMap::new();
+        for a in &h.adds {
+            let e = by_key.entry(a.key).or_default();
+            if a.forced_before(r.inv) {
+                e.0 += u128::from(a.amount);
+            }
+            if a.possible_before(r.resp) {
+                e.1 += u128::from(a.amount);
+            }
+        }
+        // Completeness: keys too heavy to have gone unreported. With
+        // len < q the read claims no further nonzero key exists, so the
+        // unreported bound drops to the buffering slack alone.
+        let c_complete = if len == q_req { kth } else { 0 };
+        let unreported_limit = w * (w + 1) * c_complete + slack;
+        let must_report: Vec<u64> = by_key
+            .iter()
+            .filter(|(_, &(f, _))| f > unreported_limit)
+            .map(|(&key, _)| key)
+            .collect();
+        if must_report.len() > len {
+            return Err(Violation {
+                message: format!(
+                    "top-k read #{i} (window [{}, {}], q = {q_req}) reported {len} \
+                     entries with smallest count {kth}, but {} keys have forced \
+                     counts above {unreported_limit} — a heavy hitter was missed",
+                    r.inv,
+                    r.resp,
+                    must_report.len()
+                ),
+            });
+        }
+        if len == 0 {
+            continue;
+        }
+        // Soundness: len distinct keys must be able to carry a count
+        // read of at least kth (a read never exceeds k·possible)…
+        let eligible = |key: u64| -> bool {
+            let &(_, g) = by_key.get(&key).expect("key came from the map");
+            g >= 1 && kth <= k * g
+        };
+        let eligible_count = by_key.keys().filter(|&&u| eligible(u)).count();
+        if eligible_count < len || must_report.iter().any(|&u| !eligible(u)) {
+            return Err(Violation {
+                message: format!(
+                    "top-k read #{i} (window [{}, {}]) reported a smallest count of \
+                     {kth}, but only {eligible_count} keys have enough possible \
+                     increments to support it (k = {})",
+                    r.inv, r.resp, env.k
+                ),
+            });
+        }
+        // …and the key realizing the minimum must not itself be too
+        // heavy: its count read kth bounds its forced count from above.
+        let min_limit = (w + 1) * kth + slack;
+        let can_be_min =
+            |key: u64| -> bool { by_key.get(&key).expect("key came from the map").0 <= min_limit };
+        let witness = if must_report.len() == len {
+            must_report.iter().any(|&u| can_be_min(u))
+        } else {
+            by_key.keys().any(|&u| eligible(u) && can_be_min(u))
+        };
+        if !witness {
+            return Err(Violation {
+                message: format!(
+                    "top-k read #{i} (window [{}, {}]) reported a smallest count of \
+                     {kth}, but every reportable key has a forced count above \
+                     {min_limit} — the reported count is too small for any key",
+                    r.inv, r.resp
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check every completed quantile/rank read of `h` against the composed
+/// rank envelope (see the [module docs](self)). `base` is the sketch's
+/// bucket base `b` (the value-side accuracy `k'`).
+pub fn check_quantile(
+    h: &QuantileHistory,
+    env: &SketchEnvelope,
+    base: u64,
+) -> Result<(), Violation> {
+    assert!(base >= 2, "bucket base must be at least 2");
+    let k = u128::from(env.k);
+    let w = u128::from(env.writers);
+    let slack = env.total_slack();
+    let b = u128::from(base);
+
+    // Weighted obs totals matching `pred` over a read's window.
+    let windowed = |inv: u64, resp: u64, pred: &dyn Fn(u64) -> bool| -> (u128, u128) {
+        let mut f = 0u128;
+        let mut g = 0u128;
+        for o in &h.obs {
+            if !pred(o.key) {
+                continue;
+            }
+            if o.forced_before(inv) {
+                f += u128::from(o.amount);
+            }
+            if o.possible_before(resp) {
+                g += u128::from(o.amount);
+            }
+        }
+        (f, g)
+    };
+
+    for (i, r) in h.quantiles.iter().enumerate() {
+        let (num, den) = unpack_ratio(r.arg);
+        let (num, den) = (u128::from(num), u128::from(den));
+        let (f_tot, g_tot) = windowed(r.inv, r.resp, &|_| true);
+        let v = r.ret;
+        if v == 0 {
+            // An empty-looking sketch: every forced observation must be
+            // buffering slack.
+            if f_tot > slack {
+                return Err(Violation {
+                    message: format!(
+                        "quantile read #{i} (window [{}, {}]) returned 0 but {f_tot} \
+                         observations were forced before it (slack {slack})",
+                        r.inv, r.resp
+                    ),
+                });
+            }
+            continue;
+        }
+        // The returned value is a bucket upper edge b^(j+1).
+        if !is_power_of(v, b) || v < b {
+            return Err(Violation {
+                message: format!(
+                    "quantile read #{i} returned {v}, which is not a bucket edge \
+                     (power of {base})"
+                ),
+            });
+        }
+        let (_, g_below_v) = windowed(r.inv, r.resp, &|x| u128::from(x) < v);
+        // Not too low: k(w+1)·G(<v)·den ≥ num·(F_tot − w·slack).
+        if k * (w + 1) * g_below_v * den < num * f_tot.saturating_sub(slack) {
+            return Err(Violation {
+                message: format!(
+                    "quantile read #{i} (window [{}, {}], rank {num}/{den}) returned \
+                     {v}, but only {g_below_v} of {f_tot} forced observations can \
+                     lie below it — the returned value is too small",
+                    r.inv, r.resp
+                ),
+            });
+        }
+        // Not too high: (F(<v/b) − w·slack)·den < (w+1)(num·k·G_tot + den).
+        let edge_below = v / b; // b^j, exact by construction
+        let (f_strictly_below, _) = windowed(r.inv, r.resp, &|x| u128::from(x) < edge_below);
+        if f_strictly_below.saturating_sub(slack) * den >= (w + 1) * (num * k * g_tot + den) {
+            return Err(Violation {
+                message: format!(
+                    "quantile read #{i} (window [{}, {}], rank {num}/{den}) returned \
+                     {v}, but {f_strictly_below} forced observations already lie \
+                     strictly below its bucket — the returned value is too large",
+                    r.inv, r.resp
+                ),
+            });
+        }
+    }
+
+    for (i, r) in h.ranks.iter().enumerate() {
+        let v = r.arg;
+        let ret = r.ret;
+        let (_, g_le_v) = windowed(r.inv, r.resp, &|x| u128::from(x) <= v);
+        if ret > k * g_le_v {
+            return Err(Violation {
+                message: format!(
+                    "rank read #{i} (window [{}, {}]) returned {ret} for value {v}, \
+                     but only {g_le_v} observations ≤ {v} were possible (k = {})",
+                    r.inv, r.resp, env.k
+                ),
+            });
+        }
+        let (f_le_vb, _) = windowed(r.inv, r.resp, &|x| u128::from(x) <= v / b);
+        if (w + 1) * ret + slack < f_le_vb {
+            return Err(Violation {
+                message: format!(
+                    "rank read #{i} (window [{}, {}]) returned {ret} for value {v}, \
+                     but {f_le_vb} observations ≤ {} were forced before it",
+                    r.inv,
+                    r.resp,
+                    v / b
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn is_power_of(v: u128, b: u128) -> bool {
+    let mut x = v;
+    while x > 1 {
+        if !x.is_multiple_of(b) {
+            return false;
+        }
+        x /= b;
+    }
+    x == 1
+}
+
+/// One-call form of [`check_topk`] for `smr::explore` checker closures.
+pub fn check_topk_records(h: &History, env: &SketchEnvelope) -> Result<(), String> {
+    let th = TopKHistory::from_records(h).map_err(|e| e.to_string())?;
+    check_topk(&th, env).map_err(|v| v.to_string())
+}
+
+/// One-call form of [`check_quantile`] for `smr::explore` checker
+/// closures.
+pub fn check_quantile_records(h: &History, env: &SketchEnvelope, base: u64) -> Result<(), String> {
+    let qh = QuantileHistory::from_records(h).map_err(|e| e.to_string())?;
+    check_quantile(&qh, env, base).map_err(|v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::{OpRecord, OpSpec};
+
+    fn rec(
+        pid: usize,
+        label: &'static str,
+        arg: u128,
+        ret: u128,
+        inv: u64,
+        resp: Option<u64>,
+    ) -> OpRecord {
+        OpRecord {
+            pid,
+            kind: OpSpec::custom(label, arg).kind(ret),
+            inv,
+            resp,
+            steps: 1,
+        }
+    }
+
+    fn add(pid: usize, key: u64, amount: u64, inv: u64, resp: Option<u64>) -> OpRecord {
+        rec(pid, TOPK_ADD, pack_keyed(key, amount), 0, inv, resp)
+    }
+
+    fn topk_read(pid: usize, q: usize, len: usize, kth: u128, inv: u64, resp: u64) -> OpRecord {
+        rec(
+            pid,
+            TOPK_READ,
+            q as u128,
+            pack_topk_ret(len, kth),
+            inv,
+            Some(resp),
+        )
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        assert_eq!(unpack_keyed(pack_keyed(7, 300)), (7, 300));
+        assert_eq!(
+            unpack_keyed(pack_keyed(u64::MAX, u64::MAX)),
+            (u64::MAX, u64::MAX)
+        );
+        assert_eq!(unpack_topk_ret(pack_topk_ret(3, 99)), (3, 99));
+        assert_eq!(unpack_ratio(pack_ratio(95, 100)), (95, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < num ≤ den")]
+    fn zero_ratio_rejected() {
+        let _ = pack_ratio(0, 100);
+    }
+
+    #[test]
+    fn topk_accepts_a_faithful_read() {
+        let mut h = History::new();
+        h.push(add(0, 1, 10, 0, Some(1)));
+        h.push(add(1, 2, 3, 2, Some(3)));
+        // Reports both keys; smallest reported approx count 3 (exact).
+        h.push(topk_read(2, 2, 2, 3, 4, 5));
+        let env = SketchEnvelope::new(2, 1);
+        assert!(check_topk_records(&h, &env).is_ok());
+    }
+
+    #[test]
+    fn topk_catches_a_missed_heavy_hitter() {
+        let mut h = History::new();
+        // Key 1 has 100 forced units; the read reports one entry with a
+        // tiny count — key 1 (or an equally heavy key) was missed.
+        h.push(add(0, 1, 100, 0, Some(1)));
+        h.push(add(1, 2, 1, 2, Some(3)));
+        h.push(topk_read(2, 1, 1, 1, 4, 5));
+        let env = SketchEnvelope::new(2, 1);
+        let err = check_topk_records(&h, &env).expect_err("key 2's count cannot beat key 1");
+        // Key 1 is too heavy to go unreported, yet a count of 1 is too
+        // small to be key 1's — either way the read lied.
+        assert!(err.contains("too small for any key"), "diagnosis: {err}");
+    }
+
+    #[test]
+    fn topk_catches_an_inflated_kth_count() {
+        let mut h = History::new();
+        h.push(add(0, 1, 2, 0, Some(1)));
+        // Claims 2 reported entries with smallest count 50: no second key
+        // has anywhere near 50/k possible increments.
+        h.push(topk_read(2, 2, 2, 50, 2, 3));
+        let env = SketchEnvelope::new(2, 1);
+        let err = check_topk_records(&h, &env).expect_err("second key has no support");
+        assert!(err.contains("possible"), "diagnosis: {err}");
+    }
+
+    #[test]
+    fn topk_short_report_requires_emptiness() {
+        let mut h = History::new();
+        h.push(add(0, 1, 5, 0, Some(1)));
+        h.push(add(0, 2, 5, 2, Some(3)));
+        // q = 3 but only 1 entry reported: claims only one nonzero key.
+        h.push(topk_read(1, 3, 1, 5, 4, 5));
+        let env = SketchEnvelope::new(2, 1);
+        assert!(check_topk_records(&h, &env).is_err(), "key 2 was dropped");
+    }
+
+    #[test]
+    fn topk_pending_adds_are_optional() {
+        let mut h = History::new();
+        h.push(add(0, 1, 100, 0, None)); // pending: may or may not count
+        h.push(topk_read(1, 1, 0, 0, 1, 2));
+        let env = SketchEnvelope::new(2, 1);
+        assert!(check_topk_records(&h, &env).is_ok());
+    }
+
+    #[test]
+    fn topk_buffer_slack_excuses_small_misses() {
+        let mut h = History::new();
+        h.push(add(0, 1, 3, 0, Some(1)));
+        h.push(topk_read(1, 1, 0, 0, 2, 3));
+        let strict = SketchEnvelope::new(2, 1);
+        assert!(
+            check_topk_records(&h, &strict).is_err(),
+            "without slack, 3 forced units cannot vanish"
+        );
+        let slack = SketchEnvelope::new(2, 1).with_buffer_slack(3);
+        assert!(check_topk_records(&h, &slack).is_ok());
+    }
+
+    #[test]
+    fn topk_rejects_foreign_ops() {
+        let mut h = History::new();
+        h.push(OpRecord {
+            pid: 0,
+            kind: OpSpec::inc().kind(0),
+            inv: 0,
+            resp: Some(1),
+            steps: 1,
+        });
+        let env = SketchEnvelope::new(2, 1);
+        let err = check_topk_records(&h, &env).expect_err("inc is foreign here");
+        assert!(err.contains("top-k"), "diagnosis: {err}");
+    }
+
+    fn obs(pid: usize, value: u64, amount: u64, inv: u64, resp: Option<u64>) -> OpRecord {
+        rec(
+            pid,
+            QUANTILE_OBSERVE,
+            pack_keyed(value, amount),
+            0,
+            inv,
+            resp,
+        )
+    }
+
+    fn quant(pid: usize, num: u32, den: u32, ret: u128, inv: u64, resp: u64) -> OpRecord {
+        rec(
+            pid,
+            QUANTILE_READ,
+            pack_ratio(num, den),
+            ret,
+            inv,
+            Some(resp),
+        )
+    }
+
+    fn rank(pid: usize, v: u64, ret: u128, inv: u64, resp: u64) -> OpRecord {
+        rec(pid, RANK_READ, u128::from(v), ret, inv, Some(resp))
+    }
+
+    #[test]
+    fn quantile_accepts_a_faithful_read() {
+        let mut h = History::new();
+        // 10 observations of value 3 (bucket [2,4) at base 2), 1 of 100.
+        h.push(obs(0, 3, 10, 0, Some(1)));
+        h.push(obs(1, 100, 1, 2, Some(3)));
+        // Median: bucket [2,4) holds rank 6 of 11 → edge 4.
+        h.push(quant(2, 1, 2, 4, 4, 5));
+        let env = SketchEnvelope::new(2, 1);
+        assert!(check_quantile_records(&h, &env, 2).is_ok());
+    }
+
+    #[test]
+    fn quantile_catches_too_small_a_value() {
+        let mut h = History::new();
+        h.push(obs(0, 1000, 100, 0, Some(1)));
+        // p99 of 100 observations of 1000, yet the sketch answered 2:
+        // nothing can lie below 2.
+        h.push(quant(1, 99, 100, 2, 2, 3));
+        let env = SketchEnvelope::new(2, 1);
+        let err = check_quantile_records(&h, &env, 2).expect_err("mass is all at 1000");
+        assert!(err.contains("too small"), "diagnosis: {err}");
+    }
+
+    #[test]
+    fn quantile_catches_too_large_a_value() {
+        let mut h = History::new();
+        h.push(obs(0, 1, 1000, 0, Some(1)));
+        // p1 of 1000 observations of value 1, yet the sketch answered
+        // 4096: the mass strictly below bucket [2048, 4096) is overwhelming.
+        h.push(quant(1, 1, 100, 4096, 2, 3));
+        let env = SketchEnvelope::new(2, 1);
+        let err = check_quantile_records(&h, &env, 2).expect_err("mass is all at 1");
+        assert!(err.contains("too large"), "diagnosis: {err}");
+    }
+
+    #[test]
+    fn quantile_zero_requires_empty() {
+        let mut h = History::new();
+        h.push(obs(0, 5, 4, 0, Some(1)));
+        h.push(quant(1, 1, 2, 0, 2, 3));
+        let env = SketchEnvelope::new(2, 1);
+        assert!(check_quantile_records(&h, &env, 2).is_err());
+        let slack = SketchEnvelope::new(2, 1).with_buffer_slack(4);
+        assert!(check_quantile_records(&h, &slack, 2).is_ok());
+    }
+
+    #[test]
+    fn quantile_rejects_non_edge_values() {
+        let mut h = History::new();
+        h.push(obs(0, 5, 4, 0, Some(1)));
+        h.push(quant(1, 1, 2, 6, 2, 3)); // 6 is not a power of 2
+        let env = SketchEnvelope::new(2, 1);
+        let err = check_quantile_records(&h, &env, 2).expect_err("6 is not an edge");
+        assert!(err.contains("bucket edge"), "diagnosis: {err}");
+    }
+
+    #[test]
+    fn rank_envelope_two_sided() {
+        let mut h = History::new();
+        h.push(obs(0, 3, 10, 0, Some(1)));
+        h.push(obs(0, 100, 5, 2, Some(3)));
+        let env = SketchEnvelope::new(2, 1);
+        // rank(7): the 10 obs of 3 are ≤ 7; honest answer ~10.
+        let mut ok = h.clone();
+        ok.push(rank(1, 7, 10, 4, 5));
+        assert!(check_quantile_records(&ok, &env, 2).is_ok());
+        // Overcount: 40 > k·G(≤7) = 2·10.
+        let mut over = h.clone();
+        over.push(rank(1, 7, 40, 4, 5));
+        assert!(check_quantile_records(&over, &env, 2).is_err());
+        // Undercount: rank(100) must cover the obs ≤ 100/2 = 50, i.e.
+        // the 10 units at value 3: (w+1)·1 = 2 < 10.
+        let mut under = h;
+        under.push(rank(1, 100, 1, 4, 5));
+        assert!(check_quantile_records(&under, &env, 2).is_err());
+    }
+
+    #[test]
+    fn flush_records_are_ignored() {
+        let mut h = History::new();
+        h.push(add(0, 1, 2, 0, Some(1)));
+        h.push(rec(0, FLUSH, 0, 0, 2, Some(3)));
+        h.push(topk_read(1, 1, 1, 2, 4, 5));
+        let env = SketchEnvelope::new(2, 1);
+        assert!(check_topk_records(&h, &env).is_ok());
+        let mut q = History::new();
+        q.push(obs(0, 4, 1, 0, Some(1)));
+        q.push(rec(0, FLUSH, 0, 0, 2, Some(3)));
+        assert!(check_quantile_records(&q, &env, 2).is_ok());
+    }
+}

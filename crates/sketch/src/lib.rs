@@ -1,0 +1,85 @@
+//! # sketch — approximate-aggregation workloads over k-multiplicative
+//! primitives
+//!
+//! The paper's deterministic approximate objects are building blocks;
+//! this crate composes them into the serving-shaped aggregations a
+//! heavy-traffic deployment actually queries:
+//!
+//! * [`TopKSketch`] — a **sharded heavy-hitters sketch** over a fixed
+//!   key space. Every key owns a [`KmultCounter`]; keys are striped
+//!   across `S` shards (`shard = key mod S`), and each shard carries a
+//!   [`KmultBoundedMaxRegister`] tracking (one-sided, from below by at
+//!   most a `(w+1)` factor) the heaviest approximate count flushed into
+//!   the shard. A top-k read collects the `S` shard maxima, scans shards
+//!   in descending-maximum order and **stops as soon as the next shard's
+//!   maximum cannot beat the current k-th candidate** — on skewed
+//!   workloads it touches `O(q + S)` counters instead of all keys, while
+//!   the composed accuracy envelope stays checkable on *every*
+//!   interleaving (see `lincheck::sketchlog`).
+//! * [`QuantileSketch`] — a **multiplicative-bucket histogram**: bucket
+//!   `i` covers values `[b^i, b^(i+1))` and its population is a
+//!   [`KmultCounter`], so a `quantile(φ)` / [`rank`](QuantileHandle::rank)
+//!   read answers with `(k·b)`-multiplicative rank error derived from
+//!   the per-counter bounds (`k` from the counters, `b` from the bucket
+//!   width).
+//! * **Batched write handles** ([`TopKHandle`], [`QuantileHandle`]) —
+//!   per-process handles buffer increments locally
+//!   ([`KmultCounterHandle::defer`]) and flush when the buffer reaches a
+//!   threshold (or explicitly), amortizing switch-array traffic for hot
+//!   writers. Buffered units are invisible until flushed; the envelope
+//!   checkers discount forced counts by the flush threshold (the
+//!   `buffer_slack` of [`lincheck::SketchEnvelope`]).
+//!
+//! Every operation exists in two forms sharing **one transcription**:
+//! blocking handle methods drive the same one-primitive-per-step
+//! machines ([`machines`]) the [`OpTask`](smr::OpTask) forms
+//! ([`tasks`]) poll — so small configurations run under `smr::explore`
+//! (every interleaving checked) and large ones under both execution
+//! backends with byte-identical primitive sequences.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sketch::{TopKConfig, TopKSketch};
+//! use smr::Runtime;
+//!
+//! let rt = Runtime::free_running(2);
+//! let sk = TopKSketch::new(TopKConfig {
+//!     n: 2,
+//!     keys: 8,
+//!     shards: 2,
+//!     k: 2,
+//!     ..TopKConfig::default()
+//! });
+//! let mut writer = sk.handle(0, 1); // flush_every = 1: no batching
+//! let ctx0 = rt.ctx(0);
+//! for _ in 0..10 {
+//!     writer.add(&ctx0, 3, 1);
+//! }
+//! let mut reader = sk.handle(1, 1);
+//! let ctx1 = rt.ctx(1);
+//! let top = reader.top_k(&ctx1, 1);
+//! assert_eq!(top.entries[0].0, 3, "key 3 is the heavy hitter");
+//! let c = top.entries[0].1;
+//! assert!(c >= 10 / 2 && c <= 10 * 2, "within the k-envelope");
+//! ```
+
+pub mod machines;
+pub mod quantile;
+pub mod tasks;
+pub mod topk;
+
+pub use machines::{
+    QuantileFlushMachine, QuantileObserveMachine, QuantileValueMachine, RankMachine,
+    TopKAddMachine, TopKFlushMachine, TopKReadMachine,
+};
+pub use quantile::{QuantileConfig, QuantileHandle, QuantileSketch};
+pub use tasks::{
+    specs, QuantileFlushTask, QuantileObserveTask, QuantileValueTask, RankTask,
+    SharedQuantileHandle, SharedTopKHandle, TopKAddTask, TopKFlushTask, TopKReadTask,
+};
+pub use topk::{TopKConfig, TopKHandle, TopKResult, TopKSketch};
+
+// Re-exported so sketch users name the primitive types without an extra
+// dependency edge.
+pub use approx_objects::{KmultBoundedMaxRegister, KmultCounter, KmultCounterHandle};

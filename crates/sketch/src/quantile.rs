@@ -1,0 +1,323 @@
+//! The multiplicative-bucket quantile histogram.
+//!
+//! Bucket `i` covers values `[b^i, b^(i+1))`; its population is a
+//! [`KmultCounter`] (accuracy `k`). A [`quantile`](QuantileHandle::quantile)
+//! read sums the bucket populations (one counter read per bucket,
+//! ascending), computes the target rank `⌈φ·total⌉` from the *approximate*
+//! total, and returns the upper edge `b^(j+1)` of the first bucket whose
+//! cumulative population reaches it. A [`rank`](QuantileHandle::rank)
+//! read sums the populations of the buckets lying entirely at or below
+//! the queried value.
+//!
+//! Both answers carry **(k·b)-multiplicative rank error** composed from
+//! the per-counter bounds: the count side contributes the counters'
+//! `x ≤ k·v` / `v ≤ (w+1)·x` envelope (for `w` observers), the value
+//! side the bucket width `b` — the precise two-sided statements, sound
+//! on every interleaving, are derived in `lincheck::sketchlog` (which
+//! checks them against the typed event log) and argued in DESIGN.md.
+
+use crate::machines::{QuantileObserveMachine, QuantileValueMachine, RankMachine};
+use approx_objects::accuracy::log_k_floor;
+use approx_objects::{KmultCounter, KmultCounterHandle};
+use smr::{Poll, ProcCtx};
+use std::sync::Arc;
+
+/// Construction parameters of a [`QuantileSketch`].
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileConfig {
+    /// Number of processes sharing the sketch.
+    pub n: usize,
+    /// Accuracy parameter of the bucket counters.
+    pub k: u64,
+    /// Bucket base `b ≥ 2` (the value-side accuracy `k'`).
+    pub base: u64,
+    /// Largest observable value; observations are `1..=max_value`.
+    pub max_value: u64,
+}
+
+impl Default for QuantileConfig {
+    fn default() -> Self {
+        QuantileConfig {
+            n: 1,
+            k: 2,
+            base: 2,
+            max_value: 1 << 20,
+        }
+    }
+}
+
+/// The shared part of the quantile histogram. Create per-process
+/// [`QuantileHandle`]s with [`QuantileSketch::handle`].
+pub struct QuantileSketch {
+    cfg: QuantileConfig,
+    buckets: Vec<Arc<KmultCounter>>,
+}
+
+impl QuantileSketch {
+    /// A histogram for `cfg.n` processes over `⌊log_b max_value⌋ + 1`
+    /// buckets.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (`n == 0`, `base < 2`,
+    /// `max_value == 0`).
+    pub fn new(cfg: QuantileConfig) -> Arc<Self> {
+        assert!(cfg.n > 0, "need at least one process");
+        assert!(cfg.base >= 2, "bucket base must be at least 2");
+        assert!(cfg.max_value >= 1, "need a nonempty value domain");
+        let buckets = usize::try_from(log_k_floor(cfg.max_value, cfg.base) + 1)
+            .expect("bucket count fits usize");
+        Arc::new(QuantileSketch {
+            cfg,
+            buckets: (0..buckets)
+                .map(|_| KmultCounter::new(cfg.n, cfg.k))
+                .collect(),
+        })
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &QuantileConfig {
+        &self.cfg
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket holding value `v`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ v ≤ max_value`.
+    pub fn bucket_of(&self, v: u64) -> usize {
+        assert!(
+            v >= 1 && v <= self.cfg.max_value,
+            "value {v} outside 1..={}",
+            self.cfg.max_value
+        );
+        log_k_floor(v, self.cfg.base) as usize
+    }
+
+    /// The exclusive upper edge `b^(i+1)` of bucket `i`.
+    pub fn bucket_hi(&self, i: usize) -> u128 {
+        u128::from(self.cfg.base).pow(u32::try_from(i + 1).expect("bucket index fits u32"))
+    }
+
+    /// The counter of bucket `i` (for shadow checks and tests).
+    pub fn bucket(&self, i: usize) -> &Arc<KmultCounter> {
+        &self.buckets[i]
+    }
+
+    /// A handle for process `pid` that flushes once `flush_every` units
+    /// are buffered (`1` disables batching).
+    ///
+    /// # Panics
+    /// Panics if `pid` is out of range or `flush_every == 0`.
+    pub fn handle(self: &Arc<Self>, pid: usize, flush_every: u64) -> QuantileHandle {
+        assert!(pid < self.cfg.n, "pid {pid} out of range");
+        assert!(flush_every >= 1, "flush threshold must be at least 1");
+        QuantileHandle {
+            sketch: self.clone(),
+            pid,
+            flush_every,
+            handles: (0..self.buckets.len()).map(|_| None).collect(),
+            buffered_total: 0,
+        }
+    }
+}
+
+/// Per-process side of the histogram: one lazily-created
+/// [`KmultCounterHandle`] per bucket plus the batched-write buffer.
+pub struct QuantileHandle {
+    pub(crate) sketch: Arc<QuantileSketch>,
+    pub(crate) pid: usize,
+    pub(crate) flush_every: u64,
+    pub(crate) handles: Vec<Option<KmultCounterHandle>>,
+    pub(crate) buffered_total: u64,
+}
+
+impl QuantileHandle {
+    /// The sketch this handle operates on.
+    pub fn sketch(&self) -> &Arc<QuantileSketch> {
+        &self.sketch
+    }
+
+    /// Units buffered locally and not yet flushed (invisible to reads).
+    pub fn buffered(&self) -> u64 {
+        self.buffered_total
+    }
+
+    /// The flush threshold.
+    pub fn flush_every(&self) -> u64 {
+        self.flush_every
+    }
+
+    /// The per-bucket core handle, created on first touch.
+    pub(crate) fn bucket_mut(&mut self, i: usize) -> &mut KmultCounterHandle {
+        let pid = self.pid;
+        let sketch = &self.sketch;
+        self.handles[i].get_or_insert_with(|| sketch.buckets[i].handle(pid))
+    }
+
+    /// Buffer `amount` observations of value `v` (zero primitives).
+    pub(crate) fn defer_observe(&mut self, v: u64, amount: u64) {
+        assert!(amount > 0, "an observation needs at least one unit");
+        let bucket = self.sketch.bucket_of(v);
+        self.bucket_mut(bucket).defer(amount);
+        self.buffered_total = self
+            .buffered_total
+            .checked_add(amount)
+            .expect("buffered total overflow");
+    }
+
+    /// Smallest bucket at or after `from` with buffered units, if any.
+    pub(crate) fn next_buffered_bucket(&self, from: usize) -> Option<usize> {
+        (from..self.handles.len())
+            .find(|&i| self.handles[i].as_ref().is_some_and(|h| h.deferred() > 0))
+    }
+
+    /// Record `amount` observations of value `v`, flushing if the
+    /// buffer reaches the threshold. Drives [`QuantileObserveMachine`].
+    pub fn observe(&mut self, ctx: &ProcCtx, v: u64, amount: u64) {
+        let mut m = QuantileObserveMachine::new(v, amount);
+        while m.step(self, ctx).is_pending() {}
+    }
+
+    /// Flush every buffered observation (ascending bucket order).
+    pub fn flush(&mut self, ctx: &ProcCtx) {
+        let mut m = crate::machines::QuantileFlushMachine::new();
+        while m.step(self, ctx).is_pending() {}
+    }
+
+    /// The value at rank `⌈(num/den)·total⌉`: the upper edge of the
+    /// first bucket whose cumulative approximate population reaches the
+    /// target, or 0 when the sketch looks empty. Drives
+    /// [`QuantileValueMachine`].
+    ///
+    /// # Panics
+    /// Panics unless `0 < num ≤ den`.
+    pub fn quantile(&mut self, ctx: &ProcCtx, num: u32, den: u32) -> u128 {
+        let mut m = QuantileValueMachine::new(num, den);
+        loop {
+            if let Poll::Ready(v) = m.step(self, ctx) {
+                return v;
+            }
+        }
+    }
+
+    /// The approximate number of observations in buckets lying entirely
+    /// at or below `v`. Drives [`RankMachine`].
+    pub fn rank(&mut self, ctx: &ProcCtx, v: u64) -> u128 {
+        let mut m = RankMachine::new(self.sketch(), v);
+        loop {
+            if let Poll::Ready(r) = m.step(self, ctx) {
+                return r;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::Runtime;
+
+    fn sketch1(k: u64, base: u64, max: u64) -> Arc<QuantileSketch> {
+        QuantileSketch::new(QuantileConfig {
+            n: 1,
+            k,
+            base,
+            max_value: max,
+        })
+    }
+
+    #[test]
+    fn bucket_geometry() {
+        let s = sketch1(2, 2, 1 << 10);
+        assert_eq!(s.num_buckets(), 11);
+        assert_eq!(s.bucket_of(1), 0);
+        assert_eq!(s.bucket_of(2), 1);
+        assert_eq!(s.bucket_of(3), 1);
+        assert_eq!(s.bucket_of(4), 2);
+        assert_eq!(s.bucket_hi(0), 2);
+        assert_eq!(s.bucket_hi(2), 8);
+        let s3 = sketch1(2, 3, 100);
+        assert_eq!(s3.num_buckets(), 5, "3^4 = 81 ≤ 100 < 243");
+        assert_eq!(s3.bucket_of(81), 4);
+    }
+
+    #[test]
+    fn empty_sketch_answers_zero() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let s = sketch1(2, 2, 256);
+        let mut h = s.handle(0, 1);
+        assert_eq!(h.quantile(&ctx, 1, 2), 0);
+        assert_eq!(h.rank(&ctx, 100), 0);
+    }
+
+    #[test]
+    fn sequential_quantiles_land_in_the_envelope() {
+        // 90 observations of 3 and 10 of 200: the median must come from
+        // bucket [2,4), p99 from the high bucket.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let s = sketch1(2, 2, 1 << 10);
+        let mut h = s.handle(0, 1);
+        h.observe(&ctx, 3, 90);
+        h.observe(&ctx, 200, 10);
+        let median = h.quantile(&ctx, 1, 2);
+        assert_eq!(median, 4, "upper edge of [2, 4)");
+        let p99 = h.quantile(&ctx, 99, 100);
+        assert_eq!(p99, 256, "upper edge of [128, 256)");
+    }
+
+    #[test]
+    fn rank_counts_whole_buckets() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let s = sketch1(2, 2, 256);
+        let mut h = s.handle(0, 1);
+        h.observe(&ctx, 3, 8); // bucket [2,4)
+        h.observe(&ctx, 100, 4); // bucket [64,128)
+                                 // rank(7) covers buckets with upper edge ≤ 8: the 8 units at 3.
+        let r = h.rank(&ctx, 7);
+        assert!((4..=16).contains(&r), "k=2 envelope around 8, got {r}");
+        // rank(0) covers nothing.
+        assert_eq!(h.rank(&ctx, 0), 0);
+        // rank(max) covers everything.
+        let all = h.rank(&ctx, 256);
+        assert!((6..=24).contains(&all), "k=2 envelope around 12, got {all}");
+    }
+
+    #[test]
+    fn batched_observes_defer_until_flush() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let s = sketch1(2, 2, 64);
+        let mut h = s.handle(0, 100);
+        h.observe(&ctx, 5, 7);
+        assert_eq!(h.buffered(), 7);
+        assert_eq!(ctx.steps_taken(), 0);
+        assert_eq!(h.quantile(&ctx, 1, 2), 0, "buffered units invisible");
+        h.flush(&ctx);
+        assert_eq!(h.buffered(), 0);
+        assert_eq!(h.quantile(&ctx, 1, 2), 8, "upper edge of [4, 8)");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_phi() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let s = sketch1(2, 2, 1 << 12);
+        let mut h = s.handle(0, 1);
+        for (v, n) in [(2u64, 50u64), (30, 30), (500, 15), (4000, 5)] {
+            h.observe(&ctx, v, n);
+        }
+        let mut prev = 0;
+        for num in 1..=10 {
+            let x = h.quantile(&ctx, num, 10);
+            assert!(x >= prev, "quantile regressed at {num}/10");
+            prev = x;
+        }
+    }
+}

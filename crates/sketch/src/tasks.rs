@@ -1,0 +1,344 @@
+//! [`OpTask`] forms of the sketch operations, for submission to a
+//! [`Driver`](smr::Driver) on either execution backend.
+//!
+//! The tasks poll the same machines ([`machines`](crate::machines)) the
+//! blocking handle methods drive — one transcription, byte-identical
+//! primitive sequences. Successive operations of a process share its
+//! handle behind an `Arc<Mutex<_>>` (the uncontended-by-construction
+//! idiom of `core::kcounter::tasks`).
+//!
+//! Submit each task with the matching [`specs`] descriptor: the typed
+//! event log then carries exactly the payloads the
+//! `lincheck::sketchlog` checkers decode — key/amount for adds,
+//! value/amount for observations, the `(len, kth)` digest for top-k
+//! reads, the rank ratio for quantile reads.
+
+use crate::machines::{
+    QuantileFlushMachine, QuantileObserveMachine, QuantileValueMachine, RankMachine,
+    TopKAddMachine, TopKFlushMachine, TopKReadMachine,
+};
+use crate::quantile::QuantileHandle;
+use crate::topk::TopKHandle;
+use parking_lot::Mutex;
+use smr::{OpTask, Poll, ProcCtx};
+use std::sync::Arc;
+
+/// A shareable top-k handle, as tasks need it. One per process.
+pub type SharedTopKHandle = Arc<Mutex<TopKHandle>>;
+
+/// A shareable quantile handle, as tasks need it. One per process.
+pub type SharedQuantileHandle = Arc<Mutex<QuantileHandle>>;
+
+/// [`OpSpec`](smr::OpSpec) descriptors matching each task's event-log
+/// payload — the submission side of the `lincheck::sketchlog` wire
+/// format.
+pub mod specs {
+    use lincheck::sketchlog;
+    use smr::OpSpec;
+
+    /// Descriptor of a [`TopKAddTask`](super::TopKAddTask).
+    pub fn topk_add(key: usize, amount: u64) -> OpSpec {
+        OpSpec::custom(
+            sketchlog::TOPK_ADD,
+            sketchlog::pack_keyed(key as u64, amount),
+        )
+    }
+
+    /// Descriptor of a [`TopKReadTask`](super::TopKReadTask).
+    pub fn topk_read(q: usize) -> OpSpec {
+        OpSpec::custom(sketchlog::TOPK_READ, q as u128)
+    }
+
+    /// Descriptor of a [`QuantileObserveTask`](super::QuantileObserveTask).
+    pub fn quantile_observe(value: u64, amount: u64) -> OpSpec {
+        OpSpec::custom(
+            sketchlog::QUANTILE_OBSERVE,
+            sketchlog::pack_keyed(value, amount),
+        )
+    }
+
+    /// Descriptor of a [`QuantileValueTask`](super::QuantileValueTask).
+    pub fn quantile_read(num: u32, den: u32) -> OpSpec {
+        OpSpec::custom(sketchlog::QUANTILE_READ, sketchlog::pack_ratio(num, den))
+    }
+
+    /// Descriptor of a [`RankTask`](super::RankTask).
+    pub fn rank(v: u64) -> OpSpec {
+        OpSpec::custom(sketchlog::RANK_READ, u128::from(v))
+    }
+
+    /// Descriptor of an explicit flush
+    /// ([`TopKFlushTask`](super::TopKFlushTask) /
+    /// [`QuantileFlushTask`](super::QuantileFlushTask)).
+    pub fn flush() -> OpSpec {
+        OpSpec::custom(sketchlog::FLUSH, 0)
+    }
+}
+
+/// `TopKHandle::add` as a resumable task. Submit with
+/// [`specs::topk_add`].
+pub struct TopKAddTask {
+    handle: SharedTopKHandle,
+    machine: TopKAddMachine,
+}
+
+impl TopKAddTask {
+    /// An add of `amount` units to `key`.
+    pub fn new(handle: SharedTopKHandle, key: usize, amount: u64) -> Self {
+        TopKAddTask {
+            handle,
+            machine: TopKAddMachine::new(key, amount),
+        }
+    }
+}
+
+impl OpTask for TopKAddTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx).map(|()| 0)
+    }
+}
+
+/// `TopKHandle::flush` as a resumable task. Submit with
+/// [`specs::flush`].
+pub struct TopKFlushTask {
+    handle: SharedTopKHandle,
+    machine: TopKFlushMachine,
+}
+
+impl TopKFlushTask {
+    /// An explicit flush of every buffered unit.
+    pub fn new(handle: SharedTopKHandle) -> Self {
+        TopKFlushTask {
+            handle,
+            machine: TopKFlushMachine::new(),
+        }
+    }
+}
+
+impl OpTask for TopKFlushTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx).map(|()| 0)
+    }
+}
+
+/// `TopKHandle::top_k` as a resumable task; resolves to the
+/// [`TopKResult::digest`](crate::TopKResult::digest). Submit with
+/// [`specs::topk_read`] carrying the same `q`.
+pub struct TopKReadTask {
+    handle: SharedTopKHandle,
+    machine: TopKReadMachine,
+}
+
+impl TopKReadTask {
+    /// A top-`q` read.
+    pub fn new(handle: SharedTopKHandle, q: usize) -> Self {
+        TopKReadTask {
+            handle,
+            machine: TopKReadMachine::new(q),
+        }
+    }
+}
+
+impl OpTask for TopKReadTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx).map(|out| out.digest())
+    }
+}
+
+/// `QuantileHandle::observe` as a resumable task. Submit with
+/// [`specs::quantile_observe`].
+pub struct QuantileObserveTask {
+    handle: SharedQuantileHandle,
+    machine: QuantileObserveMachine,
+}
+
+impl QuantileObserveTask {
+    /// An observation of `value`, `amount` times.
+    pub fn new(handle: SharedQuantileHandle, value: u64, amount: u64) -> Self {
+        QuantileObserveTask {
+            handle,
+            machine: QuantileObserveMachine::new(value, amount),
+        }
+    }
+}
+
+impl OpTask for QuantileObserveTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx).map(|()| 0)
+    }
+}
+
+/// `QuantileHandle::flush` as a resumable task. Submit with
+/// [`specs::flush`].
+pub struct QuantileFlushTask {
+    handle: SharedQuantileHandle,
+    machine: QuantileFlushMachine,
+}
+
+impl QuantileFlushTask {
+    /// An explicit flush of every buffered observation.
+    pub fn new(handle: SharedQuantileHandle) -> Self {
+        QuantileFlushTask {
+            handle,
+            machine: QuantileFlushMachine::new(),
+        }
+    }
+}
+
+impl OpTask for QuantileFlushTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx).map(|()| 0)
+    }
+}
+
+/// `QuantileHandle::quantile` as a resumable task; resolves to the
+/// returned value. Submit with [`specs::quantile_read`] carrying the
+/// same ratio.
+pub struct QuantileValueTask {
+    handle: SharedQuantileHandle,
+    machine: QuantileValueMachine,
+}
+
+impl QuantileValueTask {
+    /// A `quantile(num/den)` read.
+    pub fn new(handle: SharedQuantileHandle, num: u32, den: u32) -> Self {
+        QuantileValueTask {
+            handle,
+            machine: QuantileValueMachine::new(num, den),
+        }
+    }
+}
+
+impl OpTask for QuantileValueTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx)
+    }
+}
+
+/// `QuantileHandle::rank` as a resumable task; resolves to the
+/// approximate rank. Submit with [`specs::rank`] carrying the same
+/// value.
+pub struct RankTask {
+    handle: SharedQuantileHandle,
+    machine: RankMachine,
+}
+
+impl RankTask {
+    /// A `rank(v)` read against `handle`'s sketch.
+    pub fn new(handle: SharedQuantileHandle, v: u64) -> Self {
+        let machine = RankMachine::new(handle.lock().sketch(), v);
+        RankTask { handle, machine }
+    }
+}
+
+impl OpTask for RankTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        let mut h = self.handle.lock();
+        self.machine.step(&mut h, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::{QuantileConfig, QuantileSketch};
+    use crate::topk::{TopKConfig, TopKSketch};
+    use lincheck::sketchlog;
+    use smr::Runtime;
+
+    fn run_task<T: OpTask>(mut t: T, ctx: &ProcCtx) -> u128 {
+        loop {
+            if let Poll::Ready(v) = t.poll(ctx) {
+                return v;
+            }
+        }
+    }
+
+    #[test]
+    fn topk_task_forms_match_blocking_forms() {
+        let rt_a = Runtime::free_running(1);
+        let ctx_a = rt_a.ctx(0);
+        let rt_b = Runtime::free_running(1);
+        let ctx_b = rt_b.ctx(0);
+        let cfg = TopKConfig {
+            n: 1,
+            keys: 8,
+            shards: 4,
+            ..TopKConfig::default()
+        };
+        let sk_a = TopKSketch::new(cfg);
+        let mut h_a = sk_a.handle(0, 2);
+        let sk_b = TopKSketch::new(cfg);
+        let h_b: SharedTopKHandle = Arc::new(Mutex::new(sk_b.handle(0, 2)));
+
+        for i in 0..30usize {
+            let (key, amount) = (i % 8, 1);
+            h_a.add(&ctx_a, key, amount);
+            let _ = run_task(TopKAddTask::new(h_b.clone(), key, amount), &ctx_b);
+        }
+        let top_a = h_a.top_k(&ctx_a, 3);
+        let digest_b = run_task(TopKReadTask::new(h_b.clone(), 3), &ctx_b);
+        assert_eq!(top_a.digest(), digest_b);
+        assert_eq!(
+            rt_a.steps_of(0),
+            rt_b.steps_of(0),
+            "primitive counts diverged between forms"
+        );
+    }
+
+    #[test]
+    fn quantile_task_forms_match_blocking_forms() {
+        let rt_a = Runtime::free_running(1);
+        let ctx_a = rt_a.ctx(0);
+        let rt_b = Runtime::free_running(1);
+        let ctx_b = rt_b.ctx(0);
+        let cfg = QuantileConfig {
+            n: 1,
+            k: 2,
+            base: 2,
+            max_value: 1 << 10,
+        };
+        let s_a = QuantileSketch::new(cfg);
+        let mut h_a = s_a.handle(0, 3);
+        let s_b = QuantileSketch::new(cfg);
+        let h_b: SharedQuantileHandle = Arc::new(Mutex::new(s_b.handle(0, 3)));
+
+        for (v, n) in [(3u64, 10u64), (50, 4), (900, 2)] {
+            h_a.observe(&ctx_a, v, n);
+            let _ = run_task(QuantileObserveTask::new(h_b.clone(), v, n), &ctx_b);
+        }
+        h_a.flush(&ctx_a);
+        let _ = run_task(QuantileFlushTask::new(h_b.clone()), &ctx_b);
+        for (num, den) in [(1u32, 2u32), (9, 10), (99, 100)] {
+            let qa = h_a.quantile(&ctx_a, num, den);
+            let qb = run_task(QuantileValueTask::new(h_b.clone(), num, den), &ctx_b);
+            assert_eq!(qa, qb, "quantile {num}/{den}");
+        }
+        for v in [0u64, 7, 63, 1 << 10] {
+            let ra = h_a.rank(&ctx_a, v);
+            let rb = run_task(RankTask::new(h_b.clone(), v), &ctx_b);
+            assert_eq!(ra, rb, "rank({v})");
+        }
+        assert_eq!(
+            rt_a.steps_of(0),
+            rt_b.steps_of(0),
+            "primitive counts diverged between forms"
+        );
+    }
+
+    #[test]
+    fn specs_round_trip_through_the_wire_format() {
+        let spec = specs::topk_add(5, 3);
+        let smr::OpKind::Custom { label, arg, .. } = spec.kind(0) else {
+            panic!("sketch specs are custom ops");
+        };
+        assert_eq!(label, sketchlog::TOPK_ADD);
+        assert_eq!(sketchlog::unpack_keyed(arg), (5, 3));
+    }
+}

@@ -1,0 +1,430 @@
+//! The sharded heavy-hitters / top-k sketch.
+//!
+//! ## Layout
+//!
+//! ```text
+//!            keys 0..K, striped by key mod S
+//!   shard 0:  [ctr 0] [ctr S] [ctr 2S] …     ──►  [shard max 0]
+//!   shard 1:  [ctr 1] [ctr S+1] …            ──►  [shard max 1]
+//!     ⋮                                              ⋮
+//!   shard S−1: …                             ──►  [shard max S−1]
+//! ```
+//!
+//! Every key owns a [`KmultCounter`] (accuracy `k`); every shard owns a
+//! [`KmultBoundedMaxRegister`] (accuracy `max_accuracy`) into which each
+//! flush writes the counter value it just read. The shard maximum is
+//! therefore a *one-sided-from-above* summary of the shard: a max
+//! register read returns at least every value ever written, and every
+//! completed flush wrote at least `visible/(w+1)` of the counts it
+//! covered — which is exactly the inequality the pruned read path and
+//! the `lincheck::sketchlog` envelope lean on.
+//!
+//! ## The read path
+//!
+//! [`TopKHandle::top_k`] reads the `S` shard maxima (`S` max-register
+//! reads), sorts shards by descending maximum, and scans shards in that
+//! order, keeping the `q` heaviest `(count, key)` candidates. Before
+//! scanning a shard it checks the **pruning bound**: once `q` candidates
+//! are held and the next shard's maximum is below the current `q`-th
+//! count, no remaining shard can contribute (maxima are sorted), and the
+//! read stops — touching `O(q + S)` counters on skewed key
+//! distributions instead of all `K`. With `S = 1` the bound never
+//! triggers before the only shard is scanned, so the read degenerates to
+//! the unsharded reference scan ([`TopKHandle::flat_top_k`]).
+
+use crate::machines::{TopKAddMachine, TopKFlushMachine, TopKReadMachine};
+use approx_objects::{KmultBoundedMaxRegister, KmultCounter, KmultCounterHandle};
+use lincheck::sketchlog;
+use smr::{Poll, ProcCtx};
+use std::sync::Arc;
+
+/// Construction parameters of a [`TopKSketch`].
+#[derive(Debug, Clone, Copy)]
+pub struct TopKConfig {
+    /// Number of processes sharing the sketch.
+    pub n: usize,
+    /// Fixed key space: keys are `0..keys`.
+    pub keys: usize,
+    /// Shard count `S` (keys striped by `key mod S`).
+    pub shards: usize,
+    /// Accuracy parameter of the per-key counters.
+    pub k: u64,
+    /// Accuracy parameter of the per-shard max registers.
+    pub max_accuracy: u64,
+    /// Bound `m` of the per-shard max registers. Flushed counter reads
+    /// must stay below it (asserted) — the envelope does not survive
+    /// clamping.
+    pub max_bound: u64,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            n: 1,
+            keys: 16,
+            shards: 4,
+            k: 2,
+            max_accuracy: 2,
+            max_bound: 1 << 48,
+        }
+    }
+}
+
+/// The shared part of the sharded top-k sketch. Create per-process
+/// [`TopKHandle`]s with [`TopKSketch::handle`].
+pub struct TopKSketch {
+    cfg: TopKConfig,
+    /// One k-multiplicative counter per key.
+    counters: Vec<Arc<KmultCounter>>,
+    /// One approximate max register per shard.
+    shard_max: Vec<KmultBoundedMaxRegister>,
+}
+
+impl TopKSketch {
+    /// A sketch for `cfg.n` processes over `cfg.keys` keys in
+    /// `cfg.shards` shards.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (`n == 0`, `keys == 0`,
+    /// `shards == 0` or `shards > keys`).
+    pub fn new(cfg: TopKConfig) -> Arc<Self> {
+        assert!(cfg.n > 0, "need at least one process");
+        assert!(cfg.keys > 0, "need at least one key");
+        assert!(
+            cfg.shards > 0 && cfg.shards <= cfg.keys,
+            "shard count must be in 1..=keys"
+        );
+        Arc::new(TopKSketch {
+            cfg,
+            counters: (0..cfg.keys)
+                .map(|_| KmultCounter::new(cfg.n, cfg.k))
+                .collect(),
+            shard_max: (0..cfg.shards)
+                .map(|_| KmultBoundedMaxRegister::new(cfg.n, cfg.max_bound, cfg.max_accuracy))
+                .collect(),
+        })
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &TopKConfig {
+        &self.cfg
+    }
+
+    /// The shard holding `key`.
+    pub fn shard_of(&self, key: usize) -> usize {
+        key % self.cfg.shards
+    }
+
+    /// The counter of `key` (for shadow checks and tests).
+    pub fn counter(&self, key: usize) -> &Arc<KmultCounter> {
+        &self.counters[key]
+    }
+
+    /// The max register of shard `s` (for shadow checks and tests).
+    pub fn shard_max(&self, s: usize) -> &KmultBoundedMaxRegister {
+        &self.shard_max[s]
+    }
+
+    /// A handle for process `pid` that flushes once `flush_every` units
+    /// are buffered (`1` disables batching: every add flushes).
+    ///
+    /// # Panics
+    /// Panics if `pid` is out of range or `flush_every == 0`.
+    pub fn handle(self: &Arc<Self>, pid: usize, flush_every: u64) -> TopKHandle {
+        assert!(pid < self.cfg.n, "pid {pid} out of range");
+        assert!(flush_every >= 1, "flush threshold must be at least 1");
+        TopKHandle {
+            sketch: self.clone(),
+            pid,
+            flush_every,
+            handles: (0..self.cfg.keys).map(|_| None).collect(),
+            buffered_total: 0,
+        }
+    }
+}
+
+/// The result of a top-k read: up to `q` `(key, approximate count)`
+/// entries, heaviest first (ties broken by ascending key). Only keys
+/// with nonzero approximate counts are reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKResult {
+    /// The requested `q`.
+    pub q: usize,
+    /// Reported entries, ordered by descending count then ascending key.
+    pub entries: Vec<(u64, u128)>,
+}
+
+impl TopKResult {
+    /// The smallest reported count (0 when nothing was reported).
+    pub fn kth(&self) -> u128 {
+        self.entries.last().map_or(0, |&(_, c)| c)
+    }
+
+    /// The `(len, kth)` digest recorded in the typed event log
+    /// ([`sketchlog::pack_topk_ret`]).
+    pub fn digest(&self) -> u128 {
+        sketchlog::pack_topk_ret(self.entries.len(), self.kth())
+    }
+}
+
+/// Per-process side of the sketch: one lazily-created
+/// [`KmultCounterHandle`] per key, plus the batched-write buffer (the
+/// deferred units live inside the per-key core handles; the handle
+/// tracks their total against `flush_every`).
+pub struct TopKHandle {
+    pub(crate) sketch: Arc<TopKSketch>,
+    pub(crate) pid: usize,
+    pub(crate) flush_every: u64,
+    pub(crate) handles: Vec<Option<KmultCounterHandle>>,
+    pub(crate) buffered_total: u64,
+}
+
+impl TopKHandle {
+    /// The sketch this handle operates on.
+    pub fn sketch(&self) -> &Arc<TopKSketch> {
+        &self.sketch
+    }
+
+    /// This handle's process id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The flush threshold.
+    pub fn flush_every(&self) -> u64 {
+        self.flush_every
+    }
+
+    /// Units buffered locally and not yet flushed (invisible to reads).
+    pub fn buffered(&self) -> u64 {
+        self.buffered_total
+    }
+
+    /// The per-key core handle, created on first touch.
+    pub(crate) fn counter_mut(&mut self, key: usize) -> &mut KmultCounterHandle {
+        let pid = self.pid;
+        let sketch = &self.sketch;
+        self.handles[key].get_or_insert_with(|| sketch.counters[key].handle(pid))
+    }
+
+    /// Buffer `amount` units for `key` (zero primitives).
+    pub(crate) fn defer_add(&mut self, key: usize, amount: u64) {
+        assert!(key < self.sketch.cfg.keys, "key {key} out of range");
+        assert!(amount > 0, "an add needs at least one unit");
+        self.counter_mut(key).defer(amount);
+        self.buffered_total = self
+            .buffered_total
+            .checked_add(amount)
+            .expect("buffered total overflow");
+    }
+
+    /// Smallest key at or after `from` with buffered units, if any.
+    pub(crate) fn next_buffered_key(&self, from: usize) -> Option<usize> {
+        (from..self.sketch.cfg.keys)
+            .find(|&key| self.handles[key].as_ref().is_some_and(|h| h.deferred() > 0))
+    }
+
+    /// Add `amount` units to `key`, flushing if the buffer reaches the
+    /// threshold. Drives [`TopKAddMachine`] — the one transcription the
+    /// task form polls too.
+    pub fn add(&mut self, ctx: &ProcCtx, key: usize, amount: u64) {
+        let mut m = TopKAddMachine::new(key, amount);
+        while m.step(self, ctx).is_pending() {}
+    }
+
+    /// Flush every buffered unit: per dirty key (ascending), batch the
+    /// deferred increments into the key's counter, read it back and
+    /// publish the reading to the key's shard maximum. Drives
+    /// [`TopKFlushMachine`].
+    pub fn flush(&mut self, ctx: &ProcCtx) {
+        let mut m = TopKFlushMachine::new();
+        while m.step(self, ctx).is_pending() {}
+    }
+
+    /// The `q` heaviest keys by approximate count, via the pruned
+    /// shard scan (see the [module docs](self)). Drives
+    /// [`TopKReadMachine`].
+    pub fn top_k(&mut self, ctx: &ProcCtx, q: usize) -> TopKResult {
+        let mut m = TopKReadMachine::new(q);
+        loop {
+            if let Poll::Ready(out) = m.step(self, ctx) {
+                return out;
+            }
+        }
+    }
+
+    /// The unsharded reference read: scan *every* key counter directly
+    /// (ascending key, no shard maxima) and select the `q` heaviest.
+    /// The `S = 1` read path must agree with this under quiescence —
+    /// pinned by the sharding tests.
+    pub fn flat_top_k(&mut self, ctx: &ProcCtx, q: usize) -> TopKResult {
+        assert!(q >= 1, "q must be at least 1");
+        let mut entries: Vec<(u64, u128)> = Vec::new();
+        for key in 0..self.sketch.cfg.keys {
+            let c = self.counter_mut(key).read(ctx);
+            if c > 0 {
+                entries.push((key as u64, c));
+                entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                entries.truncate(q);
+            }
+        }
+        TopKResult { q, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::Runtime;
+
+    #[test]
+    fn construction_validates() {
+        let sk = TopKSketch::new(TopKConfig {
+            n: 2,
+            keys: 8,
+            shards: 4,
+            ..TopKConfig::default()
+        });
+        assert_eq!(sk.shard_of(5), 1);
+        assert_eq!(sk.config().keys, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn more_shards_than_keys_rejected() {
+        let _ = TopKSketch::new(TopKConfig {
+            keys: 2,
+            shards: 4,
+            ..TopKConfig::default()
+        });
+    }
+
+    #[test]
+    fn single_process_top_k_finds_heavy_hitters() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let sk = TopKSketch::new(TopKConfig {
+            n: 1,
+            keys: 16,
+            shards: 4,
+            k: 2,
+            ..TopKConfig::default()
+        });
+        let mut h = sk.handle(0, 1);
+        // Key 3: 100 units; key 7: 40; key 12: 5; the rest: 1 each.
+        for (key, units) in [(3usize, 100u64), (7, 40), (12, 5), (0, 1), (9, 1)] {
+            for _ in 0..units {
+                h.add(&ctx, key, 1);
+            }
+        }
+        let top = h.top_k(&ctx, 2);
+        assert_eq!(top.entries.len(), 2);
+        assert_eq!(top.entries[0].0, 3);
+        assert_eq!(top.entries[1].0, 7);
+        // Counts within the per-counter envelope (single writer, k=2).
+        assert!(top.entries[0].1 >= 50 && top.entries[0].1 <= 200);
+        assert!(top.entries[1].1 >= 20 && top.entries[1].1 <= 80);
+        // The digest round-trips.
+        let (len, kth) = sketchlog::unpack_topk_ret(top.digest());
+        assert_eq!(len, 2);
+        assert_eq!(kth, top.entries[1].1);
+    }
+
+    #[test]
+    fn batched_adds_defer_until_threshold() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let sk = TopKSketch::new(TopKConfig {
+            n: 1,
+            keys: 4,
+            shards: 2,
+            ..TopKConfig::default()
+        });
+        let mut w = sk.handle(0, 10);
+        for _ in 0..9 {
+            w.add(&ctx, 1, 1);
+        }
+        assert_eq!(w.buffered(), 9, "below threshold: everything deferred");
+        assert_eq!(ctx.steps_taken(), 0, "deferring costs no primitives");
+        let mut r = sk.handle(0, 1);
+        assert!(r.top_k(&ctx, 1).entries.is_empty(), "nothing visible yet");
+        w.add(&ctx, 1, 1); // reaches 10: flush
+        assert_eq!(w.buffered(), 0);
+        let top = r.top_k(&ctx, 1);
+        assert_eq!(top.entries.len(), 1);
+        assert_eq!(top.entries[0].0, 1);
+        assert!(top.entries[0].1 >= 5 && top.entries[0].1 <= 20);
+    }
+
+    #[test]
+    fn explicit_flush_drains_every_key() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let sk = TopKSketch::new(TopKConfig {
+            n: 1,
+            keys: 6,
+            shards: 3,
+            ..TopKConfig::default()
+        });
+        let mut w = sk.handle(0, 1_000);
+        for key in 0..6 {
+            w.add(&ctx, key, 3);
+        }
+        assert_eq!(w.buffered(), 18);
+        w.flush(&ctx);
+        assert_eq!(w.buffered(), 0);
+        let top = w.flat_top_k(&ctx, 6);
+        assert_eq!(top.entries.len(), 6, "all keys visible after flush");
+    }
+
+    #[test]
+    fn pruned_read_touches_few_counters_on_skew() {
+        // One hot shard; a warm reader's repeat top-k must cost far
+        // fewer primitives than scanning all keys.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let keys = 256;
+        let sk = TopKSketch::new(TopKConfig {
+            n: 1,
+            keys,
+            shards: 16,
+            k: 2,
+            ..TopKConfig::default()
+        });
+        let mut w = sk.handle(0, 1);
+        for _ in 0..200 {
+            w.add(&ctx, 0, 1); // shard 0
+        }
+        for key in 1..keys {
+            if key % 16 != 0 {
+                w.add(&ctx, key, 1); // one unit everywhere else
+            }
+        }
+        let mut r = sk.handle(0, 1);
+        let _ = r.top_k(&ctx, 1); // warm the read cursors once
+        let s0 = ctx.steps_taken();
+        let top = r.top_k(&ctx, 1);
+        let cost = ctx.steps_taken() - s0;
+        assert_eq!(top.entries[0].0, 0);
+        // 16 max-register reads + the hot shard's 16 keys (1 step each
+        // re-read) + slack; far below the 256-key flat scan.
+        assert!(cost < 128, "warm pruned top-1 cost {cost} steps");
+    }
+
+    #[test]
+    fn zero_count_keys_are_never_reported() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let sk = TopKSketch::new(TopKConfig {
+            n: 1,
+            keys: 8,
+            shards: 2,
+            ..TopKConfig::default()
+        });
+        let mut h = sk.handle(0, 1);
+        h.add(&ctx, 2, 1);
+        let top = h.top_k(&ctx, 5);
+        assert_eq!(top.entries.len(), 1, "only key 2 has a nonzero count");
+        assert_eq!(top.kth(), top.entries[0].1);
+    }
+}

@@ -18,7 +18,12 @@
 //! * [`maxreg`] / [`counter`] — the exact substrates and baselines
 //!   (AACH tree max register, collect objects, atomic snapshot, …).
 //! * [`lincheck`] — linearizability checking against exact and
-//!   k-multiplicative specifications.
+//!   k-multiplicative specifications, plus the composed rank-error
+//!   envelopes of the sketch workloads.
+//! * [`sketch`] — approximate-aggregation workloads over the paper's
+//!   primitives: the sharded top-k / heavy-hitters sketch and the
+//!   multiplicative-bucket quantile histogram, with batched write
+//!   handles.
 //! * [`perturb`] — the lower-bound machinery: awareness sets and
 //!   perturbing executions.
 //!
@@ -37,4 +42,5 @@ pub use counter;
 pub use lincheck;
 pub use maxreg;
 pub use perturb;
+pub use sketch;
 pub use smr;

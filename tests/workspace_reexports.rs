@@ -87,6 +87,40 @@ fn lincheck_entry_points_are_reachable() {
 }
 
 #[test]
+fn sketch_workloads_are_reachable() {
+    use dao::sketch::{QuantileConfig, QuantileSketch, TopKConfig, TopKSketch};
+
+    let rt = dao::smr::Runtime::free_running(1);
+    let ctx = rt.ctx(0);
+
+    let sk = TopKSketch::new(TopKConfig {
+        n: 1,
+        keys: 8,
+        shards: 2,
+        ..TopKConfig::default()
+    });
+    let mut h = sk.handle(0, 1);
+    for _ in 0..10 {
+        h.add(&ctx, 5, 1);
+    }
+    let top = h.top_k(&ctx, 1);
+    assert_eq!(top.entries[0].0, 5);
+
+    let qs = QuantileSketch::new(QuantileConfig {
+        n: 1,
+        ..QuantileConfig::default()
+    });
+    let mut q = qs.handle(0, 1);
+    q.observe(&ctx, 100, 20);
+    assert_eq!(q.quantile(&ctx, 1, 2), 128, "upper edge of [64, 128)");
+
+    // The envelope checkers travel with the facade.
+    let env = dao::lincheck::SketchEnvelope::new(2, 1);
+    dao::lincheck::check_topk_records(&dao::smr::History::new(), &env)
+        .expect("empty history passes");
+}
+
+#[test]
 fn baselines_and_perturb_are_reachable() {
     use dao::counter::{CollectCounter, Counter};
     use dao::maxreg::{MaxRegister, TreeMaxRegister};
