@@ -1,13 +1,15 @@
 //! BENCH-DIFF — warn when a fresh `BENCH_*.json` regresses a committed
 //! baseline's throughput by more than a factor (default 2×).
 //!
-//! Usage: `bench_diff BASELINE.json FRESH.json [--factor 2.0]`
+//! Usage: `bench_diff BASELINE.json FRESH.json [--factor 2.0] [--strict]`
 //!
 //! Rows are matched by their stable identity fields; every `_per_sec`
 //! metric present on both sides is compared (see `bench::regression`).
-//! The exit code is always 0 — CI machines vary too much to gate on
+//! The exit code is 0 by default — CI machines vary too much to gate on
 //! wall-clock throughput — but regressions are printed loudly so a
-//! slowdown is visible in the log the moment it lands.
+//! slowdown is visible in the log the moment it lands. `--strict` turns
+//! regressions beyond the factor into exit 1, for local gating runs
+//! (pre-release sweeps on a quiet box); CI stays warn-only.
 //!
 //! CI: after an experiment rewrites its JSON in place, diff against the
 //! previously-committed copy:
@@ -23,9 +25,10 @@ use bench::regression::{diff, parse_bench_json};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
-        eprintln!("usage: bench_diff BASELINE.json FRESH.json [--factor F]");
+        eprintln!("usage: bench_diff BASELINE.json FRESH.json [--factor F] [--strict]");
         std::process::exit(2);
     }
+    let strict = args.iter().any(|a| a == "--strict");
     let factor = match args.iter().position(|a| a == "--factor") {
         None => 2.0,
         Some(i) => match args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
@@ -80,6 +83,13 @@ fn main() {
             r.baseline,
             r.fresh
         );
+    }
+    if strict {
+        println!(
+            "bench_diff: {} regression(s) beyond {factor}x — failing (--strict)",
+            regressions.len()
+        );
+        std::process::exit(1);
     }
     println!(
         "bench_diff: {} regression(s) beyond {factor}x — investigate before trusting \

@@ -1,0 +1,298 @@
+//! EXP-ANALYSIS — what the online trace-analysis passes cost.
+//!
+//! The `smr::analysis` bundle (poll-discipline, access-kind
+//! conformance, happens-before) consumes every trace event inline,
+//! during the run. Its price must be two-sided:
+//!
+//! * **zero when disabled** — with no analyzer attached the tracer's
+//!   fast path is one relaxed load per primitive, so a passes-off run
+//!   must match plain driver throughput, and
+//! * **bounded when enabled** — proportional to the workload's
+//!   *communication density*, the happens-before floor (see the
+//!   `smr::analysis::hb` module docs and DESIGN.md).
+//!
+//! Two workloads pin down both regimes on the coop backend, gated,
+//! round-robin, analysis off vs on over identical submissions:
+//!
+//! * **cluster** — read/write chains confined to 8-process clusters.
+//!   Communication (and thus vector-clock size) is bounded by
+//!   construction, so the passes must run O(1) amortized per event and
+//!   stay within a small constant factor all the way to 10⁵ virtual
+//!   processes. This is the regime the `--smoke` CI lane gates on.
+//! * **kmult** — Algorithm 1 increments/reads at `k = ⌈√n⌉`. Every
+//!   process funnels through the same `switch` bits, so every causal
+//!   past legitimately densifies to all `n` processes and each
+//!   happens-before join pays Θ(new information). No encoding beats
+//!   that floor; the configs stay at bounded `n` and the table shows
+//!   the density cost honestly instead of hiding it.
+//!
+//! The passes must also come back *clean* — a violation on either
+//! workload would be a runtime-contract bug, and the run fails loudly.
+//!
+//! Results land in `BENCH_analysis.json` (cwd); CI diffs it against the
+//! committed copy via `bench_diff`.
+//!
+//! Run: `cargo run --release -p bench --bin exp_analysis`
+//! CI:  `cargo run --release -p bench --bin exp_analysis -- --smoke`
+
+use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
+use bench::tables::{f2, Table};
+use parking_lot::Mutex;
+use smr::analysis::Analyzer;
+use smr::sched::RoundRobin;
+use smr::{Driver, OpSpec, OpTask, Poll, ProcCtx, Register, Runtime};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Processes per communication cluster in the `cluster` workload.
+const CLUSTER: usize = 8;
+
+/// Read own slot, write the ring-neighbour's slot within an 8-process
+/// cluster: 2 primitives per op, causality confined to the cluster, so
+/// happens-before clocks never exceed `CLUSTER` entries.
+struct ClusterChainTask {
+    pool: Arc<Vec<Register>>,
+    pid: usize,
+    read: Option<u64>,
+    primed: bool,
+}
+
+impl ClusterChainTask {
+    fn new(pool: Arc<Vec<Register>>, pid: usize) -> Self {
+        ClusterChainTask {
+            pool,
+            pid,
+            read: None,
+            primed: false,
+        }
+    }
+
+    fn neighbour(&self) -> usize {
+        let base = self.pid - (self.pid % CLUSTER);
+        let next = base + (self.pid + 1) % CLUSTER;
+        next.min(self.pool.len() - 1)
+    }
+}
+
+impl OpTask for ClusterChainTask {
+    fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        if !self.primed {
+            self.primed = true;
+            return Poll::Pending;
+        }
+        match self.read {
+            None => {
+                self.read = Some(self.pool[self.pid].read(ctx));
+                Poll::Pending
+            }
+            Some(v) => {
+                self.pool[self.neighbour()].write(ctx, v.wrapping_add(1));
+                Poll::Ready(u128::from(v))
+            }
+        }
+    }
+}
+
+struct Sample {
+    workload: &'static str,
+    analysis: &'static str,
+    n: usize,
+    ops: u64,
+    steps: u64,
+    millis: f64,
+}
+
+impl Sample {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.millis / 1e3).max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"backend\": \"coop\", \"analysis\": \"{}\", \
+             \"n\": {}, \"ops\": {}, \"steps\": {}, \"millis\": {:.3}, \
+             \"steps_per_sec\": {:.0}}}",
+            self.workload,
+            self.analysis,
+            self.n,
+            self.ops,
+            self.steps,
+            self.millis,
+            self.steps_per_sec(),
+        )
+    }
+}
+
+fn submit_cluster(d: &mut Driver<smr::backend::CoopBackend>, n: usize, ops_per_proc: u64) {
+    let pool: Arc<Vec<Register>> = Arc::new((0..n).map(|_| Register::new(0)).collect());
+    for pid in 0..n {
+        for j in 0..ops_per_proc {
+            d.submit_task(
+                pid,
+                OpSpec::custom("chain", j as u128),
+                ClusterChainTask::new(pool.clone(), pid),
+            );
+        }
+    }
+}
+
+fn submit_kmult(d: &mut Driver<smr::backend::CoopBackend>, n: usize, ops_per_proc: u64) {
+    let k = bench::ceil_sqrt(n as u64).max(2);
+    let counter = KmultCounter::new(n, k);
+    for pid in 0..n {
+        let handle: SharedKmultHandle = Arc::new(Mutex::new(counter.handle(pid)));
+        for j in 0..ops_per_proc {
+            if j % 2 == 0 {
+                d.submit_task(pid, OpSpec::inc(), KmultIncTask::new(handle.clone()));
+            } else {
+                d.submit_task(pid, OpSpec::read(), KmultReadTask::new(handle.clone()));
+            }
+        }
+    }
+}
+
+fn run_config(workload: &'static str, analysis: bool, n: usize, ops_per_proc: u64) -> Sample {
+    let rt = Runtime::coop(n);
+    if analysis {
+        rt.attach_analysis(Analyzer::standard());
+    }
+    let mut d = Driver::coop(rt.clone());
+    match workload {
+        "cluster" => submit_cluster(&mut d, n, ops_per_proc),
+        _ => submit_kmult(&mut d, n, ops_per_proc),
+    }
+    let start = Instant::now();
+    let steps = d.run_schedule(&mut RoundRobin::new());
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    drop(d);
+    if analysis {
+        let violations = rt.analysis().expect("analyzer attached").finish();
+        assert!(
+            violations.is_empty(),
+            "the standard passes flagged the {workload} workload (n = {n}) — \
+             a runtime-contract bug, not noise: {violations:?}"
+        );
+    }
+    Sample {
+        workload,
+        analysis: if analysis { "on" } else { "off" },
+        n,
+        ops: n as u64 * ops_per_proc,
+        steps,
+        millis,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    // (workload, n, ops_per_proc) — each measured off then on. The
+    // cluster workload scales to 10⁵ (bounded communication); kmult
+    // stays at bounded n (dense communication — the happens-before
+    // audit pays Θ(n) per join there, by design; see module docs).
+    let configs: Vec<(&'static str, usize, u64)> = if smoke {
+        vec![
+            ("cluster", 10_000, 2),
+            ("cluster", 100_000, 2),
+            ("kmult", 1_000, 2),
+            ("kmult", 3_000, 2),
+        ]
+    } else {
+        vec![
+            ("cluster", 10_000, 4),
+            ("cluster", 100_000, 4),
+            ("kmult", 1_000, 4),
+            ("kmult", 3_000, 4),
+        ]
+    };
+
+    let mut samples = Vec::new();
+    for &(workload, n, ops) in &configs {
+        for analysis in [false, true] {
+            let s = run_config(workload, analysis, n, ops);
+            eprintln!(
+                "done: {workload}/coop/n={n}/analysis={}: {:.0} steps/s",
+                s.analysis,
+                s.steps_per_sec()
+            );
+            // Runaway guard, both workloads: a config that takes minutes
+            // means a pass diverged, not that the box is busy.
+            assert!(
+                s.millis < 120_000.0,
+                "{workload} (n = {n}, analysis {}) took {:.0} ms — a pass diverged",
+                s.analysis,
+                s.millis
+            );
+            samples.push(s);
+        }
+    }
+
+    let mut table = Table::new([
+        "workload", "n", "analysis", "steps", "ms", "steps/s", "overhead",
+    ]);
+    for pair in samples.chunks(2) {
+        let [off, on] = pair else { unreachable!() };
+        for s in pair {
+            table.row([
+                s.workload.to_string(),
+                s.n.to_string(),
+                s.analysis.to_string(),
+                s.steps.to_string(),
+                f2(s.millis),
+                format!("{:.0}", s.steps_per_sec()),
+                if s.analysis == "on" {
+                    format!("{:.2}x", off.steps_per_sec() / on.steps_per_sec().max(1e-9))
+                } else {
+                    "—".to_string()
+                },
+            ]);
+        }
+        // The bounded-communication regime is the gated claim: wall
+        // clock on shared CI boxes is noisy, but a 10x blowup on the
+        // cluster workload means a pass stopped being O(1) amortized —
+        // fail rather than commit the number. (kmult's overhead grows
+        // with n by design — the density floor — so only the runaway
+        // guard above applies there.)
+        if off.workload == "cluster" {
+            let overhead = off.steps_per_sec() / on.steps_per_sec().max(1e-9);
+            assert!(
+                overhead < 10.0,
+                "analysis overhead {overhead:.1}x on the cluster workload \
+                 (n = {}) — a pass has regressed",
+                off.n
+            );
+        }
+    }
+
+    println!("EXP-ANALYSIS — online trace-analysis overhead (coop backend)");
+    println!("off = no analyzer attached (tracer fast path: one relaxed load per step);");
+    println!("on  = poll-discipline + conformance + happens-before, inline.");
+    println!("cluster = communication bounded by construction (the O(1)-amortized regime);");
+    println!("kmult   = one global counter: causal pasts densify to all n (the Θ(n) floor).");
+    table.print(if smoke {
+        "analysis passes on/off (--smoke sizes)"
+    } else {
+        "analysis passes on/off"
+    });
+
+    let mut json = String::from("{\n  \"bench\": \"analysis_overhead\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {}{}\n",
+            s.to_json(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_analysis.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

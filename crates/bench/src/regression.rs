@@ -391,7 +391,8 @@ mod tests {
             "BENCH_checker.json",
             "BENCH_scale.json",
             "BENCH_explore.json",
-            "BENCH_sketch.json", // the artifact CI's bench_diff step consumes
+            "BENCH_sketch.json",   // consumed by CI's sketch bench_diff step
+            "BENCH_analysis.json", // consumed by CI's analysis bench_diff step
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             if let Ok(text) = std::fs::read_to_string(&path) {

@@ -99,6 +99,7 @@ impl Node {
         // SAFETY: called only from `Drop` with exclusive access.
         unsafe {
             let node = Box::from_raw(ptr);
+            // relaxed-ok: exclusive teardown; no concurrent accessors.
             Node::free(node.left.load(Ordering::Relaxed));
             Node::free(node.right.load(Ordering::Relaxed));
         }
@@ -412,13 +413,16 @@ impl OpTask for TreeMaxReadTask {
 
 impl Drop for TreeMaxRegister {
     fn drop(&mut self) {
+        // relaxed-ok: exclusive teardown; no concurrent accessors.
         Node::free(self.root.left.load(Ordering::Relaxed));
         Node::free(self.root.right.load(Ordering::Relaxed));
         self.root
             .left
+            // relaxed-ok: same exclusive teardown.
             .store(std::ptr::null_mut(), Ordering::Relaxed);
         self.root
             .right
+            // relaxed-ok: same exclusive teardown.
             .store(std::ptr::null_mut(), Ordering::Relaxed);
     }
 }

@@ -50,11 +50,14 @@ impl AwarenessReport {
 }
 
 /// Compute awareness sets from a trace over `n` processes.
+///
+/// Only primitive applications ([`TraceEvent::Access`]) matter here;
+/// controller-side edges (grants, invocations, crashes) are skipped.
 pub fn compute(n: usize, trace: &[TraceEvent]) -> AwarenessReport {
     let mut aw: Vec<BitSet> = (0..n).map(|p| BitSet::singleton(n, p)).collect();
     let mut influence: HashMap<usize, BitSet> = HashMap::new();
 
-    for ev in trace {
+    for ev in trace.iter().filter_map(|e| e.access()) {
         debug_assert!(ev.pid < n, "trace pid out of range");
         if ev.kind.is_reading() {
             if let Some(v) = influence.get(&ev.obj) {
@@ -74,15 +77,17 @@ pub fn compute(n: usize, trace: &[TraceEvent]) -> AwarenessReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smr::AccessKind;
+    use smr::{Access, AccessKind};
 
     fn ev(seq: u64, pid: usize, obj: usize, kind: AccessKind) -> TraceEvent {
-        TraceEvent {
+        TraceEvent::Access(Access {
             seq,
             pid,
             obj,
             kind,
-        }
+            before: 0,
+            after: 0,
+        })
     }
 
     #[test]

@@ -175,8 +175,9 @@ pub fn perturb_counter<T: CounterTarget>(
         let trace = rt.take_trace();
         let distinct_objects: usize = trace
             .iter()
-            .filter(|e| e.pid == reader_pid)
-            .map(|e| e.obj)
+            .filter_map(|e| e.access())
+            .filter(|a| a.pid == reader_pid)
+            .map(|a| a.obj)
             .collect::<HashSet<_>>()
             .len();
 

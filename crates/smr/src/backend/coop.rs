@@ -59,6 +59,9 @@ pub struct CoopBackend {
     slots: Vec<Slot>,
     /// Produced events awaiting a drain.
     events: Vec<OpRecord>,
+    /// Contract asserts off: violations run on, to be diagnosed by the
+    /// poll-discipline analysis pass instead of a panic.
+    lenient: bool,
 }
 
 impl CoopBackend {
@@ -67,6 +70,19 @@ impl CoopBackend {
     /// # Panics
     /// Panics unless `runtime` was built by [`Runtime::coop`].
     pub fn new(runtime: Arc<Runtime>) -> Self {
+        CoopBackend::build(runtime, false)
+    }
+
+    /// Like [`new`](CoopBackend::new), but with the poll-contract
+    /// asserts disabled: a task applying the wrong number of primitives
+    /// per poll executes anyway, so an attached
+    /// [`Analyzer`](crate::analysis::Analyzer) can observe and report
+    /// the violation with full context instead of dying on the assert.
+    pub fn new_lenient(runtime: Arc<Runtime>) -> Self {
+        CoopBackend::build(runtime, true)
+    }
+
+    fn build(runtime: Arc<Runtime>, lenient: bool) -> Self {
         assert!(
             runtime.is_coop(),
             "CoopBackend requires a coop runtime (Runtime::coop)"
@@ -78,6 +94,7 @@ impl CoopBackend {
             runtime,
             slots,
             events: Vec::new(),
+            lenient,
         }
     }
 
@@ -89,6 +106,7 @@ impl CoopBackend {
         while let Some((spec, mut task)) = self.slots[pid].queue.pop_front() {
             let inv = self.runtime.ticket();
             let steps_at_inv = self.runtime.steps_of(pid);
+            self.runtime.trace_invoke(pid, spec.kind(0).label(), inv);
             self.events.push(OpRecord {
                 pid,
                 kind: spec.kind(0),
@@ -98,21 +116,22 @@ impl CoopBackend {
             });
             let ctx = self.runtime.ctx(pid);
             let polled = task.poll(&ctx);
-            assert_eq!(
-                self.runtime.steps_of(pid),
-                steps_at_inv,
+            assert!(
+                self.lenient || self.runtime.steps_of(pid) == steps_at_inv,
                 "OpTask contract violation (pid {pid}, op {:?}): the priming poll \
                  applied a primitive before any step was granted",
                 spec.kind(0).label(),
             );
             match polled {
                 Poll::Ready(ret) => {
+                    let resp = self.runtime.ticket();
+                    self.runtime.trace_complete(pid, spec.kind(0).label(), resp);
                     self.events.push(OpRecord {
                         pid,
                         kind: spec.kind(ret),
                         inv,
-                        resp: Some(self.runtime.ticket()),
-                        steps: 0,
+                        resp: Some(resp),
+                        steps: self.runtime.steps_of(pid) - steps_at_inv,
                     });
                 }
                 Poll::Pending => {
@@ -151,23 +170,26 @@ impl ExecBackend for CoopBackend {
             return StepOutcome::Completed;
         };
         let before = self.runtime.steps_of(pid);
+        self.runtime.trace_grant(pid);
         let ctx = self.runtime.ctx(pid);
         let polled = parked.task.poll(&ctx);
         let applied = self.runtime.steps_of(pid) - before;
-        assert_eq!(
-            applied,
-            1,
+        assert!(
+            self.lenient || applied == 1,
             "OpTask contract violation (pid {pid}, op {:?}): a granted step must \
              apply exactly one primitive, got {applied}",
             parked.spec.kind(0).label(),
         );
         if let Poll::Ready(ret) = polled {
             let parked = self.slots[pid].parked.take().expect("just polled");
+            let resp = self.runtime.ticket();
+            self.runtime
+                .trace_complete(pid, parked.spec.kind(0).label(), resp);
             self.events.push(OpRecord {
                 pid,
                 kind: parked.spec.kind(ret),
                 inv: parked.inv,
-                resp: Some(self.runtime.ticket()),
+                resp: Some(resp),
                 steps: self.runtime.steps_of(pid) - parked.steps_at_inv,
             });
             self.advance(pid);
@@ -195,7 +217,10 @@ impl ExecBackend for CoopBackend {
         // Mirror the thread backend's teardown: parked operations and
         // everything queued behind them (crashed processes included) run
         // to completion ungated, so shared memory ends as if every
-        // submitted operation finished. Records are discarded.
+        // submitted operation finished. Records are discarded — and so is
+        // the analysis stream: teardown polls happen outside the modelled
+        // execution, so the sink is sealed before the first one.
+        self.runtime.seal_analysis();
         for pid in 0..self.slots.len() {
             let ctx = self.runtime.ctx(pid);
             let slot = &mut self.slots[pid];

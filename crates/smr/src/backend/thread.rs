@@ -111,6 +111,9 @@ impl ExecBackend for ThreadBackend {
     }
 
     fn shutdown(&mut self) {
+        // Whatever still runs after this point is teardown, not the
+        // modelled execution: cut the analysis stream first.
+        self.runtime.seal_analysis();
         for tx in &self.cmd_tx {
             let _ = tx.send(Cmd::Stop);
         }
@@ -155,6 +158,7 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
                 // suspend processes, so the announcement would be pure
                 // channel overhead there.
                 if runtime.gate.is_some() {
+                    runtime.trace_invoke(pid, spec.kind(0).label(), inv);
                     let _ = tx.send(OpRecord {
                         pid,
                         kind: spec.kind(0),
@@ -175,6 +179,9 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
                 };
                 let steps = ctx.steps_taken() - steps_before;
                 let resp = runtime.ticket();
+                if runtime.gate.is_some() {
+                    runtime.trace_complete(pid, spec.kind(0).label(), resp);
+                }
                 // The event must be in the channel before `op_finished` is
                 // signalled, so a controller that observes completion can
                 // always drain the corresponding record.

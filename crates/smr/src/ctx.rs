@@ -53,35 +53,64 @@ impl ProcCtx {
     ///
     /// In gated mode the step is counted and traced only *after* the
     /// grant, so counters and traces reflect execution order (which the
-    /// gate serializes), not the racy order in which workers arrive.
+    /// gate serializes), not the racy order in which workers arrive. On
+    /// the thread backend the grant edge is recorded here (the gate *is*
+    /// the grant); the coop backend records it controller-side.
+    ///
+    /// The primitive reports its observed effect through
+    /// [`StepPermit::record`]; when no trace consumer is active
+    /// ([`StepPermit::traced`] is `false`) the recording — and any state
+    /// digesting done to feed it — must be skipped, keeping untraced
+    /// runs at native cost.
     #[inline]
     pub(crate) fn step(&self, obj: usize, kind: AccessKind) -> StepPermit<'_> {
-        match &self.runtime.gate {
-            None => {
-                self.runtime.count_step(self.pid);
-                self.runtime.trace(self.pid, obj, kind);
-                StepPermit {
-                    gate: None,
-                    pid: self.pid,
-                }
-            }
+        let gate = match &self.runtime.gate {
+            None => None,
             Some(gate) => {
                 let granted = gate.acquire(self.pid);
-                self.runtime.count_step(self.pid);
-                self.runtime.trace(self.pid, obj, kind);
-                StepPermit {
-                    gate: if granted { Some(gate) } else { None },
-                    pid: self.pid,
+                if granted {
+                    self.runtime.trace_grant(self.pid);
                 }
+                granted.then_some(gate)
             }
+        };
+        self.runtime.count_step(self.pid);
+        StepPermit {
+            runtime: &self.runtime,
+            gate,
+            pid: self.pid,
+            obj,
+            kind,
         }
     }
 }
 
 /// Held for the duration of one primitive application.
 pub(crate) struct StepPermit<'a> {
+    runtime: &'a Runtime,
     gate: Option<&'a Gate>,
     pid: usize,
+    obj: usize,
+    kind: AccessKind,
+}
+
+impl StepPermit<'_> {
+    /// `true` if a trace consumer (log or analysis sink) is active and
+    /// the primitive should digest its before/after states for
+    /// [`record`](StepPermit::record).
+    #[inline]
+    pub(crate) fn traced(&self) -> bool {
+        self.runtime.trace_active()
+    }
+
+    /// Record the primitive's observed effect: the object's state digest
+    /// immediately before and after the application. Must be called
+    /// while the permit is held (the gate then serializes the trace).
+    #[inline]
+    pub(crate) fn record(&self, before: u64, after: u64) {
+        self.runtime
+            .trace_access(self.pid, self.obj, self.kind, before, after);
+    }
 }
 
 impl Drop for StepPermit<'_> {

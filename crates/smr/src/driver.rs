@@ -122,6 +122,17 @@ impl Driver<CoopBackend> {
         let backend = CoopBackend::new(runtime.clone());
         Driver::with_backend(runtime, backend)
     }
+
+    /// Like [`coop`](Driver::coop), but the backend's poll-contract
+    /// asserts are disabled ([`CoopBackend::new_lenient`]): a task that
+    /// applies the wrong number of primitives per poll keeps running, so
+    /// an attached [`Analyzer`](crate::analysis::Analyzer) can diagnose
+    /// the violation instead of the backend panicking. For analysis and
+    /// test harnesses; production runs should keep the asserts.
+    pub fn coop_lenient(runtime: Arc<Runtime>) -> Self {
+        let backend = CoopBackend::new_lenient(runtime.clone());
+        Driver::with_backend(runtime, backend)
+    }
 }
 
 impl<B: ExecBackend> Driver<B> {
@@ -221,6 +232,7 @@ impl<B: ExecBackend> Driver<B> {
         // timing.
         self.backend.quiesce(pid, self.submitted[pid]);
         self.crashed[pid] = true;
+        self.runtime.trace_crash(pid);
         self.active.remove(pid);
         self.drain_events();
         if let Some(mut rec) = self.in_flight[pid].take() {

@@ -80,7 +80,7 @@ use crate::backend::CoopBackend;
 use crate::driver::Driver;
 use crate::history::History;
 use crate::sched::Scripted;
-use crate::trace::AccessKind;
+use crate::trace::{AccessKind, TraceEvent};
 
 /// One decision of an explored schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,9 +290,21 @@ fn apply(d: &mut Driver<CoopBackend>, choice: Choice, traced: bool) -> Option<St
             if !traced {
                 return None;
             }
+            // The trace carries controller edges (Grant, and the
+            // Invoke/Complete of zero-primitive follow-up ops) around the
+            // step's single primitive application; only that one matters
+            // for the commutation rule. A lenient backend can let a
+            // poll-contract mutant apply zero or several primitives in one
+            // grant — the analysis passes diagnose that; here the step just
+            // loses its pruning metadata (None never commutes, so the walk
+            // stays exhaustive around it).
             let trace = d.runtime().take_trace();
-            debug_assert_eq!(trace.len(), 1, "one granted step, one primitive");
-            let ev = trace[0];
+            let mut acc = trace.iter().filter_map(|e| e.access());
+            let first = acc.next().copied();
+            let ev = match (first, acc.next()) {
+                (Some(ev), None) => ev,
+                _ => return None,
+            };
             Some(StepInfo {
                 pid,
                 obj: ev.obj,
@@ -303,7 +315,11 @@ fn apply(d: &mut Driver<CoopBackend>, choice: Choice, traced: bool) -> Option<St
         Choice::Crash(pid) => {
             d.crash(pid);
             if traced {
-                let _ = d.runtime().take_trace();
+                let trace = d.runtime().take_trace();
+                debug_assert!(
+                    trace.iter().any(|e| matches!(e, TraceEvent::Crash { .. })),
+                    "a crash decision records a Crash edge"
+                );
             }
             None
         }
@@ -389,6 +405,21 @@ fn alternatives(d: &Driver<CoopBackend>, cfg: &ExploreConfig, walk: &Walk) -> Ve
     alts
 }
 
+/// The analysis passes' verdict over a finished replay, when the
+/// factory attached an [`Analyzer`](crate::analysis::Analyzer) to the
+/// runtime: `Some(message)` if any pass reported a violation. Explored
+/// cuts are checked against the analyses exactly like against the
+/// caller's history checker, so a poll-contract or conformance bug is
+/// found, minimized and reported through the same [`FoundViolation`]
+/// machinery as a linearizability bug.
+fn analysis_failure(rt: &std::sync::Arc<crate::Runtime>) -> Option<String> {
+    let analyzer = rt.analysis()?;
+    let violations = analyzer.finish();
+    violations
+        .first()
+        .map(|v| format!("analysis ({} violation(s)): {v}", violations.len()))
+}
+
 /// Greedy ddmin: delete ever-smaller chunks of the decision sequence
 /// while the checker still rejects the replayed cut.
 fn minimize<F, C>(factory: &F, check: &mut C, original: &Replay) -> (Replay, String)
@@ -396,7 +427,11 @@ where
     F: Fn() -> Driver<CoopBackend>,
     C: FnMut(&History) -> Result<(), String>,
 {
-    let mut failure = |r: &Replay| -> Option<String> { check(&r.run(factory())).err() };
+    let mut failure = |r: &Replay| -> Option<String> {
+        let d = factory();
+        let rt = d.runtime().clone();
+        check(&r.run(d)).err().or_else(|| analysis_failure(&rt))
+    };
     let mut best = original.clone();
     let mut message = failure(&best).expect("the original schedule must reproduce the violation");
     let mut chunk = (best.len() / 2).max(1);
@@ -512,7 +547,10 @@ where
             let at_bound = walk.steps >= cfg.max_steps;
             if d.active_set().is_empty() || at_bound {
                 stats.interleavings += 1;
-                if let Err(_message) = check(&d.history_snapshot()) {
+                let rejected = check(&d.history_snapshot())
+                    .err()
+                    .or_else(|| analysis_failure(d.runtime()));
+                if rejected.is_some() {
                     let original = Replay {
                         choices: path.iter().map(|f| f.alts[f.idx]).collect(),
                     };

@@ -39,6 +39,11 @@
 //!   injection) and minimizes failing schedules into replayable scripts,
 //!   turning sampled schedule properties into proofs for small
 //!   configurations.
+//! * **Online trace analysis** ([`analysis`]) — pluggable passes fed the
+//!   live trace-event stream of any gated run: poll-discipline checking,
+//!   access-kind conformance against recorded state digests, and a
+//!   vector-clock happens-before audit, plus a replay-based commutation
+//!   audit backing the explorer's pruning rule.
 //! * **A lock-free growable segment array** ([`SegArray`]) used to hold the
 //!   unbounded `switch` sequence of the paper's Algorithm 1.
 //!
@@ -56,6 +61,7 @@
 //! ```
 
 mod active;
+pub mod analysis;
 pub mod backend;
 mod ctx;
 pub mod driver;
@@ -72,6 +78,7 @@ mod trace;
 mod wide;
 
 pub use active::ActiveSet;
+pub use analysis::{AnalysisPass, Analyzer, Violation};
 pub use backend::{CoopBackend, ExecBackend, ThreadBackend};
 pub use ctx::ProcCtx;
 pub use driver::{Driver, StepOutcome};
@@ -82,5 +89,5 @@ pub use runtime::{Mode, Runtime};
 pub use segarray::SegArray;
 pub use step::StepStats;
 pub use task::{ImmediateOp, Op, OpTask, Poll};
-pub use trace::{AccessKind, TraceEvent};
+pub use trace::{accesses, Access, AccessKind, TraceEvent};
 pub use wide::WideRegister;

@@ -37,15 +37,24 @@ impl Register {
     /// Apply a `read` primitive: one step.
     #[inline]
     pub fn read(&self, ctx: &ProcCtx) -> u64 {
-        let _permit = ctx.step(self.obj_id(), AccessKind::Read);
-        self.cell.load(Ordering::SeqCst)
+        let permit = ctx.step(self.obj_id(), AccessKind::Read);
+        let v = self.cell.load(Ordering::SeqCst);
+        if permit.traced() {
+            permit.record(v, v);
+        }
+        v
     }
 
     /// Apply a `write` primitive: one step.
     #[inline]
     pub fn write(&self, ctx: &ProcCtx, v: u64) {
-        let _permit = ctx.step(self.obj_id(), AccessKind::Write);
-        self.cell.store(v, Ordering::SeqCst);
+        let permit = ctx.step(self.obj_id(), AccessKind::Write);
+        if permit.traced() {
+            let before = self.cell.swap(v, Ordering::SeqCst);
+            permit.record(before, v);
+        } else {
+            self.cell.store(v, Ordering::SeqCst);
+        }
     }
 
     /// This object's identity in traces (its address).
@@ -87,16 +96,24 @@ impl TasBit {
     /// Apply a `read` primitive: one step.
     #[inline]
     pub fn read(&self, ctx: &ProcCtx) -> bool {
-        let _permit = ctx.step(self.obj_id(), AccessKind::Read);
-        self.bit.load(Ordering::SeqCst)
+        let permit = ctx.step(self.obj_id(), AccessKind::Read);
+        let v = self.bit.load(Ordering::SeqCst);
+        if permit.traced() {
+            permit.record(u64::from(v), u64::from(v));
+        }
+        v
     }
 
     /// Apply a `test&set` primitive: one step. Returns the *previous*
     /// value (`false` means this call set the bit).
     #[inline]
     pub fn test_and_set(&self, ctx: &ProcCtx) -> bool {
-        let _permit = ctx.step(self.obj_id(), AccessKind::TestAndSet);
-        self.bit.swap(true, Ordering::SeqCst)
+        let permit = ctx.step(self.obj_id(), AccessKind::TestAndSet);
+        let prev = self.bit.swap(true, Ordering::SeqCst);
+        if permit.traced() {
+            permit.record(u64::from(prev), 1);
+        }
+        prev
     }
 
     /// This object's identity in traces (its address).
@@ -129,15 +146,23 @@ impl FaaRegister {
     /// Apply a `fetch&add` primitive: one step. Returns the previous value.
     #[inline]
     pub fn fetch_add(&self, ctx: &ProcCtx, delta: u64) -> u64 {
-        let _permit = ctx.step(self.obj_id(), AccessKind::FetchAdd);
-        self.cell.fetch_add(delta, Ordering::SeqCst)
+        let permit = ctx.step(self.obj_id(), AccessKind::FetchAdd);
+        let prev = self.cell.fetch_add(delta, Ordering::SeqCst);
+        if permit.traced() {
+            permit.record(prev, prev.wrapping_add(delta));
+        }
+        prev
     }
 
     /// Apply a `read` primitive: one step.
     #[inline]
     pub fn read(&self, ctx: &ProcCtx) -> u64 {
-        let _permit = ctx.step(self.obj_id(), AccessKind::Read);
-        self.cell.load(Ordering::SeqCst)
+        let permit = ctx.step(self.obj_id(), AccessKind::Read);
+        let v = self.cell.load(Ordering::SeqCst);
+        if permit.traced() {
+            permit.record(v, v);
+        }
+        v
     }
 
     /// This object's identity in traces (its address).

@@ -1,9 +1,10 @@
 //! The [`Runtime`]: per-process step accounting plus the optional gate.
 
+use crate::analysis::{Analyzer, RunMeta};
 use crate::ctx::ProcCtx;
 use crate::gate::Gate;
 use crate::step::{pad, StepStats};
-use crate::trace::{AccessKind, TraceEvent, Tracer};
+use crate::trace::{Access, AccessKind, TraceEvent, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -38,6 +39,7 @@ impl StepCounters {
     }
 
     fn snapshot(&self) -> Vec<u64> {
+        // relaxed-ok: statistical reads; exact at gate stable points.
         match self {
             StepCounters::Padded(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             StepCounters::Dense(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
@@ -45,6 +47,7 @@ impl StepCounters {
     }
 
     fn total(&self) -> u64 {
+        // relaxed-ok: statistical sum; see `snapshot`.
         match self {
             StepCounters::Padded(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
             StepCounters::Dense(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
@@ -52,6 +55,7 @@ impl StepCounters {
     }
 
     fn reset(&self) {
+        // relaxed-ok: callers reset only while the runtime is quiesced.
         match self {
             StepCounters::Padded(v) => v.iter().for_each(|c| c.store(0, Ordering::Relaxed)),
             StepCounters::Dense(v) => v.iter().for_each(|c| c.store(0, Ordering::Relaxed)),
@@ -167,6 +171,7 @@ impl Runtime {
 
     /// Steps (primitive applications) performed so far by process `pid`.
     pub fn steps_of(&self, pid: usize) -> u64 {
+        // relaxed-ok: monotonic counter; exact at gate stable points.
         self.steps.at(pid).load(Ordering::Relaxed)
     }
 
@@ -191,11 +196,91 @@ impl Runtime {
     }
 
     pub(crate) fn count_step(&self, pid: usize) {
+        // relaxed-ok: a per-process monotonic counter; cross-thread reads
+        // happen only at controller stable points (gate/quiesce provide
+        // the ordering) or as statistical snapshots.
         self.steps.at(pid).fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn trace(&self, pid: usize, obj: usize, kind: AccessKind) {
-        self.tracer.record(pid, obj, kind);
+    /// `true` while any trace consumer (log or analysis sink) is active
+    /// — the flag primitives consult before digesting object states.
+    #[inline]
+    pub(crate) fn trace_active(&self) -> bool {
+        self.tracer.is_active()
+    }
+
+    pub(crate) fn trace_access(
+        &self,
+        pid: usize,
+        obj: usize,
+        kind: AccessKind,
+        before: u64,
+        after: u64,
+    ) {
+        self.tracer.emit(|seq| {
+            TraceEvent::Access(Access {
+                seq,
+                pid,
+                obj,
+                kind,
+                before,
+                after,
+            })
+        });
+    }
+
+    pub(crate) fn trace_invoke(&self, pid: usize, label: &'static str, inv: u64) {
+        self.tracer.emit(|seq| TraceEvent::Invoke {
+            seq,
+            pid,
+            label,
+            inv,
+        });
+    }
+
+    pub(crate) fn trace_complete(&self, pid: usize, label: &'static str, resp: u64) {
+        self.tracer.emit(|seq| TraceEvent::Complete {
+            seq,
+            pid,
+            label,
+            resp,
+        });
+    }
+
+    pub(crate) fn trace_grant(&self, pid: usize) {
+        self.tracer.emit(|seq| TraceEvent::Grant { seq, pid });
+    }
+
+    pub(crate) fn trace_crash(&self, pid: usize) {
+        self.tracer.emit(|seq| TraceEvent::Crash { seq, pid });
+    }
+
+    /// Attach an [`Analyzer`]: from now on every trace event is pushed
+    /// into its passes online, whether or not the trace *log* is
+    /// enabled. At most one analyzer per runtime, ever.
+    ///
+    /// # Panics
+    /// Panics if an analyzer is already attached.
+    pub fn attach_analysis(&self, analyzer: Arc<Analyzer>) {
+        analyzer.attach_meta(RunMeta {
+            n: self.n,
+            gated: self.mode == Mode::Gated,
+            coop: self.coop,
+        });
+        self.tracer.attach(analyzer);
+    }
+
+    /// The attached analyzer, if any.
+    pub fn analysis(&self) -> Option<&Arc<Analyzer>> {
+        self.tracer.sink()
+    }
+
+    /// Stop feeding the analysis sink permanently. Called by backend
+    /// teardown (suspended operations are polled to completion outside
+    /// the modelled execution; that noise must not reach the passes) —
+    /// call it earlier to cut analysis off at a chosen point.
+    pub fn seal_analysis(&self) {
+        self.tracer.seal();
     }
 
     /// Start recording every primitive application into the trace log.

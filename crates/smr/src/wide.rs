@@ -17,29 +17,44 @@ use crate::trace::AccessKind;
 use parking_lot::Mutex;
 
 /// An atomic register holding any `Clone` value; one step per primitive.
+///
+/// The domain is unconstrained, so the state digest reported to traces
+/// (`before`/`after` of [`Access`](crate::TraceEvent)) is a *write
+/// version*: reads leave it unchanged, every write bumps it — exactly
+/// the trivial/nontrivial distinction the conformance pass verifies.
 #[derive(Debug)]
 pub struct WideRegister<T: Clone + Send> {
-    cell: Mutex<T>,
+    /// The value plus its write version.
+    cell: Mutex<(T, u64)>,
 }
 
 impl<T: Clone + Send> WideRegister<T> {
     /// A register with the given initial value.
     pub fn new(init: T) -> Self {
         WideRegister {
-            cell: Mutex::new(init),
+            cell: Mutex::new((init, 0)),
         }
     }
 
     /// Apply a `read` primitive: one step.
     pub fn read(&self, ctx: &ProcCtx) -> T {
-        let _permit = ctx.step(self.obj_id(), AccessKind::Read);
-        self.cell.lock().clone()
+        let permit = ctx.step(self.obj_id(), AccessKind::Read);
+        let guard = self.cell.lock();
+        if permit.traced() {
+            permit.record(guard.1, guard.1);
+        }
+        guard.0.clone()
     }
 
     /// Apply a `write` primitive: one step.
     pub fn write(&self, ctx: &ProcCtx, v: T) {
-        let _permit = ctx.step(self.obj_id(), AccessKind::Write);
-        *self.cell.lock() = v;
+        let permit = ctx.step(self.obj_id(), AccessKind::Write);
+        let mut guard = self.cell.lock();
+        let before = guard.1;
+        *guard = (v, before + 1);
+        if permit.traced() {
+            permit.record(before, before + 1);
+        }
     }
 
     /// This object's identity in traces (its address).
@@ -49,7 +64,7 @@ impl<T: Clone + Send> WideRegister<T> {
 
     /// Peek without charging a step. **Not a primitive.**
     pub fn peek(&self) -> T {
-        self.cell.lock().clone()
+        self.cell.lock().0.clone()
     }
 }
 

@@ -47,6 +47,8 @@ fn main() {
                 let mut offset: u64 = 1 + pid as u64;
                 for _ in 0..BATCHES {
                     offset = (offset.saturating_mul(3) / 2 + 7).min(m - 1);
+                    // relaxed-ok: a monotonic max the coordinator samples
+                    // only for a lag ratio; no ordering is relied on.
                     frontier.fetch_max(offset, Ordering::Relaxed);
                     watermark.write(&ctx, offset);
                     exact.write(&ctx, offset);
@@ -61,6 +63,7 @@ fn main() {
     let mut worst_ratio = 1.0f64;
     while workers.iter().any(|w| !w.is_finished()) {
         let approx = watermark.read(&coord_ctx);
+        // relaxed-ok: sampling the same statistical max as above.
         let frontier = true_frontier.load(Ordering::Relaxed);
         if frontier > 0 && approx > 0 {
             // approx may lag (concurrent writes) but must never exceed

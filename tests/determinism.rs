@@ -11,8 +11,11 @@ use smr::{AccessKind, Driver, OpKind, OpSpec, Runtime};
 use std::sync::Arc;
 
 /// A run signature: (per-op return values in submission order, per-pid
-/// step counts, trace as (pid, kind) pairs — object addresses vary run
-/// to run, so they are excluded).
+/// step counts, primitive applications as (pid, kind) pairs — object
+/// addresses vary run to run, so they are excluded, and so are the
+/// controller-side trace edges (worker-side Invoke/Complete events
+/// interleave nondeterministically with other workers' steps; the
+/// primitives themselves are serialized by the gate).
 type Signature = (Vec<u128>, Vec<u64>, Vec<(usize, AccessKind)>);
 
 fn kmult_run(seed: u64) -> Signature {
@@ -50,10 +53,9 @@ fn kmult_run(seed: u64) -> Signature {
     rets.sort();
     let values = rets.into_iter().map(|(_, _, v)| v).collect();
     let steps = (0..n).map(|p| rt.steps_of(p)).collect();
-    let trace = rt
-        .take_trace()
+    let trace = smr::accesses(&rt.take_trace())
         .into_iter()
-        .map(|e| (e.pid, e.kind))
+        .map(|a| (a.pid, a.kind))
         .collect();
     (values, steps, trace)
 }
