@@ -1,10 +1,11 @@
 //! BENCH-DIFF — warn when a fresh `BENCH_*.json` regresses a committed
-//! baseline's throughput by more than a factor (default 2×).
+//! baseline by more than a factor (default 2×): throughput (`_per_sec`)
+//! dropping, or memory (`_bytes`, e.g. `peak_rss_bytes`) growing.
 //!
 //! Usage: `bench_diff BASELINE.json FRESH.json [--factor 2.0] [--strict]`
 //!
-//! Rows are matched by their stable identity fields; every `_per_sec`
-//! metric present on both sides is compared (see `bench::regression`).
+//! Rows are matched by their stable identity fields; every compared
+//! metric present on both sides is checked (see `bench::regression`).
 //! The exit code is 0 by default — CI machines vary too much to gate on
 //! wall-clock throughput — but regressions are printed loudly so a
 //! slowdown is visible in the log the moment it lands. `--strict` turns
@@ -71,15 +72,19 @@ fn main() {
         fresh.results.len()
     );
     if regressions.is_empty() {
-        println!("bench_diff: no throughput regressions beyond {factor}x");
+        println!("bench_diff: no regressions beyond {factor}x");
         return;
     }
     for r in &regressions {
+        let verb = match r.kind {
+            bench::regression::MetricKind::Throughput => "slowed down",
+            bench::regression::MetricKind::Memory => "grew",
+        };
         println!(
-            "WARNING: {}: {} regressed {:.1}x ({:.0} -> {:.0})",
+            "WARNING: {}: {} {verb} {:.1}x ({:.0} -> {:.0})",
             r.row,
             r.metric,
-            r.slowdown(),
+            r.severity(),
             r.baseline,
             r.fresh
         );

@@ -1,5 +1,5 @@
-//! EXP-SCALE — gated execution throughput and memory vs process count,
-//! across execution backends.
+//! EXP-SCALE — execution throughput and memory vs process count,
+//! across execution backends and scheduling modes.
 //!
 //! The paper's bounds are parameterized by the process count `n`, but a
 //! thread-per-process gated driver pays one OS thread and a cross-thread
@@ -7,8 +7,10 @@
 //! The coop backend drives *virtual* processes as resumable `OpTask`
 //! state machines on the controller thread, which is what opens the
 //! 10⁵–10⁶ range the `O(log log n)`-flavored results are about. This
-//! experiment measures gated `run_schedule` steps/s and peak RSS as `n`
-//! grows on both backends:
+//! experiment measures steps/s and peak RSS as `n` grows, in two modes:
+//! `gated` (one controller grant per primitive, `run_schedule`) and
+//! `free` (the ungated batch-polling `Driver::coop_free` loop — the
+//! coop backend's throughput ceiling with scheduling costs removed):
 //!
 //! * `reg` workload — each process runs read-then-write chains over a
 //!   striped register pool (2 primitives per op): pure harness overhead.
@@ -78,13 +80,33 @@ impl OpTask for RegChainTask {
 #[derive(Clone, Copy, PartialEq)]
 enum Backend {
     Coop,
+    CoopFree,
     Thread,
 }
 
 impl Backend {
     fn name(self) -> &'static str {
         match self {
+            Backend::Coop | Backend::CoopFree => "coop",
+            Backend::Thread => "thread",
+        }
+    }
+
+    /// Scheduling mode: `gated` runs grant one primitive at a time
+    /// through the controller's gate; `free` batch-polls runnable tasks
+    /// with no gate ([`Driver::coop_free`]).
+    fn mode(self) -> &'static str {
+        match self {
+            Backend::Coop | Backend::Thread => "gated",
+            Backend::CoopFree => "free",
+        }
+    }
+
+    /// Unambiguous CLI token for `--child` re-execution.
+    fn token(self) -> &'static str {
+        match self {
             Backend::Coop => "coop",
+            Backend::CoopFree => "coop_free",
             Backend::Thread => "thread",
         }
     }
@@ -93,6 +115,7 @@ impl Backend {
 struct Sample {
     workload: &'static str,
     backend: &'static str,
+    mode: &'static str,
     n: usize,
     ops: u64,
     steps: u64,
@@ -107,11 +130,12 @@ impl Sample {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"workload\": \"{}\", \"backend\": \"{}\", \"n\": {}, \"ops\": {}, \
-             \"steps\": {}, \"millis\": {:.3}, \"steps_per_sec\": {:.0}, \
+            "{{\"workload\": \"{}\", \"backend\": \"{}\", \"mode\": \"{}\", \"n\": {}, \
+             \"ops\": {}, \"steps\": {}, \"millis\": {:.3}, \"steps_per_sec\": {:.0}, \
              \"peak_rss_bytes\": {}}}",
             self.workload,
             self.backend,
+            self.mode,
             self.n,
             self.ops,
             self.steps,
@@ -184,6 +208,18 @@ fn run_config(workload: &'static str, backend: Backend, n: usize, ops_per_proc: 
             let start = Instant::now();
             drive(d.run_schedule(&mut RoundRobin::new()), start)
         }
+        Backend::CoopFree => {
+            // No gate: tasks are batch-polled until every submitted op
+            // completes; steps come off the runtime's counters.
+            let mut d = Driver::coop_free(Runtime::coop_free(n));
+            match workload {
+                "reg" => submit_reg(&mut d, n, ops_per_proc),
+                _ => submit_kmult(&mut d, n, ops_per_proc),
+            }
+            let start = Instant::now();
+            d.wait_all();
+            drive(d.runtime().total_steps(), start)
+        }
         Backend::Thread => {
             let mut d = Driver::new(Runtime::gated(n));
             match workload {
@@ -197,6 +233,7 @@ fn run_config(workload: &'static str, backend: Backend, n: usize, ops_per_proc: 
     Sample {
         workload,
         backend: backend.name(),
+        mode: backend.mode(),
         n,
         ops: n as u64 * ops_per_proc,
         steps,
@@ -213,7 +250,7 @@ fn run_isolated(workload: &'static str, backend: Backend, n: usize, ops_per_proc
             .args([
                 "--child",
                 workload,
-                backend.name(),
+                backend.token(),
                 &n.to_string(),
                 &ops_per_proc.to_string(),
             ])
@@ -230,7 +267,7 @@ fn run_isolated(workload: &'static str, backend: Backend, n: usize, ops_per_proc
         eprintln!(
             "child for {}/{}/n={n} failed; measuring in-process",
             workload,
-            backend.name()
+            backend.token()
         );
     }
     run_config(workload, backend, n, ops_per_proc)
@@ -251,6 +288,7 @@ fn parse_child_line(line: &str, workload: &'static str, backend: Backend) -> Sam
     Sample {
         workload,
         backend: backend.name(),
+        mode: backend.mode(),
         n: field("n") as usize,
         ops: field("ops") as u64,
         steps: field("steps") as u64,
@@ -265,10 +303,10 @@ fn main() {
     // Child mode: run exactly one config, print one machine line.
     if args.get(1).map(String::as_str) == Some("--child") {
         let workload: &'static str = if args[2] == "reg" { "reg" } else { "kmult" };
-        let backend = if args[3] == "coop" {
-            Backend::Coop
-        } else {
-            Backend::Thread
+        let backend = match args[3].as_str() {
+            "coop" => Backend::Coop,
+            "coop_free" => Backend::CoopFree,
+            _ => Backend::Thread,
         };
         let n: usize = args[4].parse().expect("n");
         let ops: u64 = args[5].parse().expect("ops_per_proc");
@@ -288,7 +326,9 @@ fn main() {
             ("reg", Backend::Coop, 10_000, 2),
             // The acceptance bar: ≥ 10⁵ virtual processes, gated, seconds.
             ("reg", Backend::Coop, 100_000, 2),
+            ("reg", Backend::CoopFree, 100_000, 2),
             ("kmult", Backend::Coop, 10_000, 2),
+            ("kmult", Backend::CoopFree, 10_000, 2),
         ]
     } else {
         vec![
@@ -300,8 +340,12 @@ fn main() {
             ("reg", Backend::Coop, 10_000, 4),
             ("reg", Backend::Coop, 100_000, 4),
             ("reg", Backend::Coop, 1_000_000 * scale, 1),
+            ("reg", Backend::CoopFree, 10_000, 4),
+            ("reg", Backend::CoopFree, 100_000, 4),
+            ("reg", Backend::CoopFree, 1_000_000 * scale, 1),
             ("kmult", Backend::Coop, 10_000, 4),
             ("kmult", Backend::Coop, 100_000 * scale, 2),
+            ("kmult", Backend::CoopFree, 100_000 * scale, 2),
         ]
     };
 
@@ -310,7 +354,7 @@ fn main() {
         let s = run_isolated(workload, backend, n, ops);
         eprintln!(
             "done: {workload}/{}/n={n}: {:.0} steps/s",
-            backend.name(),
+            backend.token(),
             s.steps_per_sec()
         );
         samples.push(s);
@@ -319,7 +363,7 @@ fn main() {
     // The point of the exercise: huge-n gated runs finish in seconds.
     if let Some(big) = samples
         .iter()
-        .find(|s| s.backend == "coop" && s.n >= 100_000)
+        .find(|s| s.backend == "coop" && s.mode == "gated" && s.n >= 100_000)
     {
         assert!(
             big.millis < 60_000.0,
@@ -330,12 +374,13 @@ fn main() {
     }
 
     let mut table = Table::new([
-        "workload", "backend", "n", "steps", "ms", "steps/s", "peak MB",
+        "workload", "backend", "mode", "n", "steps", "ms", "steps/s", "peak MB",
     ]);
     for s in &samples {
         table.row([
             s.workload.to_string(),
             s.backend.to_string(),
+            s.mode.to_string(),
             s.n.to_string(),
             s.steps.to_string(),
             f2(s.millis),
@@ -344,9 +389,10 @@ fn main() {
         ]);
     }
 
-    println!("EXP-SCALE — gated steps/s and peak RSS vs process count");
+    println!("EXP-SCALE — steps/s and peak RSS vs process count");
     println!("thread = one worker thread per process (gate handshake per step);");
-    println!("coop   = virtual processes polled on the controller thread.");
+    println!("coop   = virtual processes polled on the controller thread");
+    println!("         (mode gated = one grant per primitive; free = ungated batch polling).");
     table.print(if smoke {
         "execution-backend scaling (--smoke sizes)"
     } else {

@@ -11,10 +11,18 @@
 //! (our own format, written by hand — no serde in the tree). This module
 //! parses that shape, matches rows between a committed baseline and a
 //! fresh run by their **identity fields** (everything except metrics and
-//! volatile measurements), and reports every throughput metric (a field
-//! ending in `_per_sec`) that dropped by more than a caller-chosen
-//! factor. The `bench_diff` binary wraps this as a CI step that *warns*
-//! (CI machines vary too much to gate on wall-clock throughput).
+//! volatile measurements), and reports every metric that regressed by
+//! more than a caller-chosen factor:
+//!
+//! * **throughput** metrics (fields ending in `_per_sec`) regress by
+//!   *dropping* below `baseline / factor`;
+//! * **memory** metrics (fields ending in `_bytes`, e.g.
+//!   `peak_rss_bytes`) regress by *growing* beyond
+//!   `baseline × factor` — peak RSS is far less noisy than wall-clock,
+//!   so a 2× growth is a real layout or leak problem, not jitter.
+//!
+//! The `bench_diff` binary wraps this as a CI step that *warns* (CI
+//! machines vary too much to gate on wall-clock throughput).
 
 use std::collections::BTreeMap;
 
@@ -54,10 +62,24 @@ pub struct BenchFile {
     pub results: Vec<Row>,
 }
 
-/// Measurement fields that never identify a row: throughput metrics
-/// (compared instead) and volatile readings.
-fn is_metric(name: &str) -> bool {
-    name.ends_with("_per_sec")
+/// The direction a metric is good in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Higher is better (`_per_sec`): a regression *drops*.
+    Throughput,
+    /// Lower is better (`_bytes`): a regression *grows*.
+    Memory,
+}
+
+/// Compared-metric classification; `None` for identity/volatile fields.
+fn metric_kind(name: &str) -> Option<MetricKind> {
+    if name.ends_with("_per_sec") {
+        Some(MetricKind::Throughput)
+    } else if name.ends_with("_bytes") {
+        Some(MetricKind::Memory)
+    } else {
+        None
+    }
 }
 
 fn is_volatile(name: &str) -> bool {
@@ -71,7 +93,6 @@ fn is_volatile(name: &str) -> bool {
         "pruned_subtrees",
         "steps_replayed",
         "violations",
-        "peak_rss_bytes",
     ];
     VOLATILE.contains(&name) || name.ends_with("_avg") || name.ends_with("_ms")
 }
@@ -79,19 +100,21 @@ fn is_volatile(name: &str) -> bool {
 /// The identity key of a row: every stable field, rendered.
 pub fn identity(row: &Row) -> String {
     row.iter()
-        .filter(|(k, _)| !is_metric(k) && !is_volatile(k))
+        .filter(|(k, _)| metric_kind(k).is_none() && !is_volatile(k))
         .map(|(k, v)| format!("{k}={}", v.render()))
         .collect::<Vec<_>>()
         .join(" ")
 }
 
-/// One detected throughput regression.
+/// One detected metric regression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
     /// Identity of the affected row.
     pub row: String,
     /// The metric that regressed.
     pub metric: String,
+    /// Which way "worse" points for this metric.
+    pub kind: MetricKind,
     /// Baseline value.
     pub baseline: f64,
     /// Fresh value.
@@ -99,16 +122,29 @@ pub struct Regression {
 }
 
 impl Regression {
+    /// How many times worse the fresh run is: `baseline / fresh` for
+    /// throughput (slowdown), `fresh / baseline` for memory (growth).
+    /// Always > 1 for a reported regression.
+    pub fn severity(&self) -> f64 {
+        match self.kind {
+            MetricKind::Throughput => self.baseline / self.fresh.max(f64::MIN_POSITIVE),
+            MetricKind::Memory => self.fresh / self.baseline.max(f64::MIN_POSITIVE),
+        }
+    }
+
     /// `baseline / fresh` — how many times slower the fresh run is.
+    /// Meaningful for throughput metrics only; see
+    /// [`severity`](Regression::severity) for the direction-aware ratio.
     pub fn slowdown(&self) -> f64 {
         self.baseline / self.fresh.max(f64::MIN_POSITIVE)
     }
 }
 
-/// Compare `fresh` against `baseline`: every `_per_sec` metric present
-/// in both versions of a row whose fresh value is more than `factor`
-/// times below the baseline is reported. Rows present on only one side
-/// are ignored (configs come and go).
+/// Compare `fresh` against `baseline`: every compared metric present in
+/// both versions of a row that got more than `factor` times worse —
+/// throughput below `baseline / factor`, memory above
+/// `baseline × factor` — is reported. Rows present on only one side are
+/// ignored (configs come and go).
 pub fn diff(baseline: &BenchFile, fresh: &BenchFile, factor: f64) -> Vec<Regression> {
     assert!(factor >= 1.0, "a regression factor below 1 is meaningless");
     let mut by_id: BTreeMap<String, &Row> = BTreeMap::new();
@@ -122,16 +158,21 @@ pub fn diff(baseline: &BenchFile, fresh: &BenchFile, factor: f64) -> Vec<Regress
             continue;
         };
         for (name, cell) in row.iter() {
-            if !is_metric(name) {
+            let Some(kind) = metric_kind(name) else {
                 continue;
-            }
+            };
             let (Cell::Num(fresh_v), Some(Cell::Num(base_v))) = (cell, base.get(name)) else {
                 continue;
             };
-            if *base_v > 0.0 && *fresh_v * factor < *base_v {
+            let regressed = match kind {
+                MetricKind::Throughput => *fresh_v * factor < *base_v,
+                MetricKind::Memory => *fresh_v > *base_v * factor,
+            };
+            if *base_v > 0.0 && regressed {
                 out.push(Regression {
                     row: id.clone(),
                     metric: name.clone(),
+                    kind,
                     baseline: *base_v,
                     fresh: *fresh_v,
                 });
@@ -319,8 +360,8 @@ mod tests {
   "bench": "sketch_workloads",
   "mode": "full",
   "results": [
-    {"object": "topk", "backend": "coop", "n": 8, "shards": 4, "adds_per_sec": 1000000, "millis": 12.5, "violations": 0},
-    {"object": "topk", "backend": "thread", "n": 4, "shards": 1, "adds_per_sec": 500000, "millis": 9.0, "violations": 0}
+    {"object": "topk", "backend": "coop", "n": 8, "shards": 4, "adds_per_sec": 1000000, "millis": 12.5, "violations": 0, "peak_rss_bytes": 100000000},
+    {"object": "topk", "backend": "thread", "n": 4, "shards": 1, "adds_per_sec": 500000, "millis": 9.0, "violations": 0, "peak_rss_bytes": 50000000}
   ]
 }"#;
 
@@ -341,6 +382,10 @@ mod tests {
         assert!(id.contains("backend=coop") && id.contains("n=8"));
         assert!(!id.contains("adds_per_sec") && !id.contains("millis"));
         assert!(!id.contains("violations"));
+        assert!(
+            !id.contains("peak_rss_bytes"),
+            "memory metrics compared, not matched"
+        );
     }
 
     #[test]
@@ -356,7 +401,46 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert!(regs[0].row.contains("backend=coop"));
         assert_eq!(regs[0].metric, "adds_per_sec");
+        assert_eq!(regs[0].kind, MetricKind::Throughput);
         assert!((regs[0].slowdown() - 2.5).abs() < 1e-9);
+        assert!((regs[0].severity() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_a_memory_regression_in_the_growth_direction() {
+        let old = parse_bench_json(OLD).unwrap();
+        // Coop row: RSS grows 2.5× (reported). Thread row: RSS *shrinks*
+        // 10× — an improvement, never a regression.
+        let new_text = OLD
+            .replace(
+                "\"peak_rss_bytes\": 100000000",
+                "\"peak_rss_bytes\": 250000000",
+            )
+            .replace(
+                "\"peak_rss_bytes\": 50000000",
+                "\"peak_rss_bytes\": 5000000",
+            );
+        let fresh = parse_bench_json(&new_text).unwrap();
+        let regs = diff(&old, &fresh, 2.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "peak_rss_bytes");
+        assert_eq!(regs[0].kind, MetricKind::Memory);
+        assert!(regs[0].row.contains("backend=coop"));
+        assert!((regs[0].severity() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_growth_within_the_factor_passes() {
+        let old = parse_bench_json(OLD).unwrap();
+        let new_text = OLD.replace(
+            "\"peak_rss_bytes\": 100000000",
+            "\"peak_rss_bytes\": 180000000",
+        );
+        let fresh = parse_bench_json(&new_text).unwrap();
+        assert!(
+            diff(&old, &fresh, 2.0).is_empty(),
+            "1.8x growth is within 2x"
+        );
     }
 
     #[test]

@@ -32,16 +32,28 @@ pub mod tasks;
 pub use handle::{FlushMachine, IncMachine, KmultCounterHandle, KmultReadOutcome, ReadMachine};
 pub use tasks::{KmultIncTask, KmultReadTask, SharedKmultHandle};
 
-use smr::{ProcCtx, Register, SegArray, TasBit};
+use smr::{CachePadded, ProcCtx, Register, SegArray, TasBit};
 use std::sync::Arc;
+
+/// Switches resident in the padded hot stripe; `switch_j` for `j ≥`
+/// this lives in the on-demand cold `SegArray`.
+const HOT_SWITCHES: usize = 64;
 
 /// The shared part of Algorithm 1. Create per-process
 /// [`KmultCounterHandle`]s with [`KmultCounter::handle`] to operate on it.
 pub struct KmultCounter {
     k: u64,
     n: usize,
-    /// `switch_j` for all `j ∈ ℕ` (allocated on demand).
-    switches: SegArray<TasBit>,
+    /// `switch_j` for `j < HOT_SWITCHES`, one cache line per bit. The
+    /// low-index switches absorb almost all `test&set` traffic (the
+    /// frontier index grows roughly logarithmically in the count), so
+    /// striping them keeps concurrent writers — at this counter and at
+    /// neighbouring counters in sharded sketches — from false-sharing a
+    /// line.
+    hot_switches: Box<[CachePadded<TasBit>]>,
+    /// `switch_j` for `j ≥ HOT_SWITCHES` (allocated on demand; segments
+    /// are cache-line aligned, see [`SegArray`]).
+    cold_switches: SegArray<TasBit>,
     /// `H[i] = (val, sn)` packed as `val << 32 | sn`.
     help: Vec<Register>,
 }
@@ -62,7 +74,10 @@ impl KmultCounter {
         Arc::new(KmultCounter {
             k,
             n,
-            switches: SegArray::new(),
+            hot_switches: (0..HOT_SWITCHES)
+                .map(|_| CachePadded::new(TasBit::new()))
+                .collect(),
+            cold_switches: SegArray::new(),
             help: (0..n).map(|_| Register::new(0)).collect(),
         })
     }
@@ -91,9 +106,33 @@ impl KmultCounter {
         KmultCounterHandle::new(self.clone(), pid)
     }
 
+    /// `switch_j`: the hot padded stripe for low indices, the cold
+    /// segment array beyond it.
+    ///
+    /// # Panics
+    /// Panics with the offending index if `j` does not fit this
+    /// platform's `usize` (see [`peek_switch`](KmultCounter::peek_switch)).
     pub(crate) fn switch(&self, j: u64) -> &TasBit {
-        self.switches
-            .get(usize::try_from(j).expect("switch index fits usize"))
+        let idx = Self::switch_index(j);
+        if idx < HOT_SWITCHES {
+            &self.hot_switches[idx]
+        } else {
+            self.cold_switches.get(idx - HOT_SWITCHES)
+        }
+    }
+
+    /// Narrow a switch index to `usize`. On 64-bit platforms this is
+    /// total; on narrower ones an index beyond `usize::MAX` — which no
+    /// reachable execution produces (the frontier grows logarithmically
+    /// in the increment count) — panics with the index in the message
+    /// rather than a context-free `expect`.
+    fn switch_index(j: u64) -> usize {
+        usize::try_from(j).unwrap_or_else(|_| {
+            panic!(
+                "switch index {j} does not fit usize on this platform (max {})",
+                usize::MAX
+            )
+        })
     }
 
     /// Read `H[i]`, unpacking the `(val, sn)` pair. One step.
@@ -111,10 +150,13 @@ impl KmultCounter {
 
     /// Test-and-inspection view of `switch_j` without charging a step.
     /// **Not a primitive.**
+    ///
+    /// # Panics
+    /// Panics (with the index in the message) if `j` exceeds this
+    /// platform's `usize` — only possible on 32-bit targets, and only
+    /// for indices no reachable execution produces.
     pub fn peek_switch(&self, j: u64) -> bool {
-        self.switches
-            .get(usize::try_from(j).expect("switch index fits usize"))
-            .peek()
+        self.switch(j).peek()
     }
 
     /// Test-and-inspection view of the counter's current return value:
@@ -180,6 +222,29 @@ mod tests {
         let c = KmultCounter::new(1, 2);
         assert!(!c.peek_switch(0));
         assert!(!c.peek_switch(1000));
+    }
+
+    #[test]
+    fn switches_have_stable_identity_across_the_hot_cold_boundary() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let c = KmultCounter::new(1, 2);
+        // Set a bit on each side of the boundary and at the seam.
+        for j in [0, 63, 64, 65, 500] {
+            assert!(!c.switch(j).test_and_set(&ctx));
+            assert!(c.peek_switch(j), "switch {j} lost");
+            assert!(c.switch(j).test_and_set(&ctx), "switch {j} reset");
+        }
+        assert!(!c.peek_switch(1), "neighbour disturbed");
+        assert!(!c.peek_switch(66), "cold neighbour disturbed");
+    }
+
+    #[test]
+    fn hot_switches_do_not_share_cache_lines() {
+        let c = KmultCounter::new(1, 2);
+        let a = c.switch(0) as *const _ as usize;
+        let b = c.switch(1) as *const _ as usize;
+        assert!(b.abs_diff(a) >= 64, "hot switches share a line");
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use tasks::{
     specs, QuantileFlushTask, QuantileObserveTask, QuantileValueTask, RankTask,
     SharedQuantileHandle, SharedTopKHandle, TopKAddTask, TopKFlushTask, TopKReadTask,
 };
-pub use topk::{TopKConfig, TopKHandle, TopKResult, TopKSketch};
+pub use topk::{ShardDir, TopKConfig, TopKHandle, TopKResult, TopKSketch};
 
 // Re-exported so sketch users name the primitive types without an extra
 // dependency edge.

@@ -75,6 +75,13 @@ impl TopKFlushMachine {
                         // them from the core handle on its priming step
                         // (within this same composite step).
                         h.buffered_total -= h.counter_mut(key).deferred();
+                        // Mark the key's slot hot *before* the first
+                        // increment lands: readers that skip a clear
+                        // slot then provably missed every increment of
+                        // this flush too (see `ShardDir`).
+                        let cfg = *h.sketch.config();
+                        let shard = h.sketch.shard_of(key);
+                        h.sketch.dir(shard).mark(key / cfg.shards);
                         self.phase = FlushPhase::Inc {
                             key,
                             m: FlushMachine::drain(),
@@ -242,7 +249,9 @@ impl TopKReadMachine {
 
     /// The next phase once the current shard position is resolved:
     /// either a key read, or `Done` when the scan is exhausted or
-    /// pruned.
+    /// pruned. Within a shard the scan jumps between hot slots via the
+    /// shard's [`ShardDir`](crate::topk::ShardDir) — never-flushed keys
+    /// cost zero primitives.
     fn advance_scan(&mut self, h: &TopKHandle) -> ReadPhase {
         let cfg = *h.sketch().config();
         loop {
@@ -259,17 +268,20 @@ impl TopKReadMachine {
                     return ReadPhase::Done;
                 }
             }
-            let key = shard + self.slot * cfg.shards;
-            if key >= cfg.keys {
-                self.pos += 1;
-                self.slot = 0;
-                continue;
+            match h.sketch().dir(shard).next_hot_slot(self.slot) {
+                None => {
+                    self.pos += 1;
+                    self.slot = 0;
+                }
+                Some(slot) => {
+                    let key = shard + slot * cfg.shards;
+                    self.slot = slot + 1;
+                    return ReadPhase::KeyRead {
+                        key,
+                        m: Box::new(ReadMachine::new()),
+                    };
+                }
             }
-            self.slot += 1;
-            return ReadPhase::KeyRead {
-                key,
-                m: Box::new(ReadMachine::new()),
-            };
         }
     }
 

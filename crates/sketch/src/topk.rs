@@ -31,11 +31,26 @@
 //! distributions instead of all `K`. With `S = 1` the bound never
 //! triggers before the only shard is scanned, so the read degenerates to
 //! the unsharded reference scan ([`TopKHandle::flat_top_k`]).
+//!
+//! ## Per-shard key directories
+//!
+//! Inside a shard the scan does not walk every slot either: each shard
+//! owns a [`ShardDir`] — a bitmap with one bit per slot, set
+//! (`fetch_or`, `Release`) by a flush **before** the flush applies its
+//! first counter increment. The read path jumps from hot slot to hot
+//! slot (`Acquire` word loads, zero primitives), so keys that were
+//! never flushed cost the read nothing even when they share a shard
+//! with a heavy hitter. The mark-before-increment order makes the skip
+//! sound: a clear bit is witnessed *before* any increment of that key
+//! could have become visible, so skipping the slot is indistinguishable
+//! from reading the counter and observing `0` — which the candidate set
+//! discards anyway.
 
 use crate::machines::{TopKAddMachine, TopKFlushMachine, TopKReadMachine};
 use approx_objects::{KmultBoundedMaxRegister, KmultCounter, KmultCounterHandle};
 use lincheck::sketchlog;
 use smr::{Poll, ProcCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Construction parameters of a [`TopKSketch`].
@@ -70,6 +85,69 @@ impl Default for TopKConfig {
     }
 }
 
+/// A shard's directory of *hot* slots: one bit per slot (slot `t` of
+/// shard `s` holds key `s + t·S`), set once the slot's key has been
+/// flushed at least once and never cleared. Marking is **not a
+/// primitive** — the directory is read-path metadata, like the handle's
+/// local buffer, not a base object of the model.
+///
+/// Ordering contract: a flush marks with `Release` *before* applying
+/// any increment to the slot's counter; the read scan loads words with
+/// `Acquire`. A reader that observes a clear bit therefore cannot have
+/// missed a flush whose increments it could observe — skipping the slot
+/// is equivalent to reading the counter and getting `0`.
+pub struct ShardDir {
+    words: Vec<AtomicU64>,
+    slots: usize,
+}
+
+impl ShardDir {
+    fn new(slots: usize) -> Self {
+        ShardDir {
+            words: (0..slots.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            slots,
+        }
+    }
+
+    /// Number of slots the directory covers.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Mark `slot` hot. Called by the flush path before its first
+    /// counter increment (zero primitives).
+    pub(crate) fn mark(&self, slot: usize) {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        self.words[slot / 64].fetch_or(1 << (slot % 64), Ordering::Release);
+    }
+
+    /// Whether `slot` has ever been marked.
+    pub fn is_hot(&self, slot: usize) -> bool {
+        slot < self.slots && self.words[slot / 64].load(Ordering::Acquire) >> (slot % 64) & 1 == 1
+    }
+
+    /// Smallest hot slot at or after `from`, if any. Zero primitives:
+    /// one `Acquire` word load per 64 slots examined.
+    pub fn next_hot_slot(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        if word >= self.words.len() {
+            return None;
+        }
+        let mut bits = self.words[word].load(Ordering::Acquire) & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                let slot = word * 64 + bits.trailing_zeros() as usize;
+                return (slot < self.slots).then_some(slot);
+            }
+            word += 1;
+            if word == self.words.len() {
+                return None;
+            }
+            bits = self.words[word].load(Ordering::Acquire);
+        }
+    }
+}
+
 /// The shared part of the sharded top-k sketch. Create per-process
 /// [`TopKHandle`]s with [`TopKSketch::handle`].
 pub struct TopKSketch {
@@ -78,6 +156,8 @@ pub struct TopKSketch {
     counters: Vec<Arc<KmultCounter>>,
     /// One approximate max register per shard.
     shard_max: Vec<KmultBoundedMaxRegister>,
+    /// One hot-slot directory per shard (see [`ShardDir`]).
+    dirs: Vec<ShardDir>,
 }
 
 impl TopKSketch {
@@ -102,6 +182,9 @@ impl TopKSketch {
             shard_max: (0..cfg.shards)
                 .map(|_| KmultBoundedMaxRegister::new(cfg.n, cfg.max_bound, cfg.max_accuracy))
                 .collect(),
+            dirs: (0..cfg.shards)
+                .map(|s| ShardDir::new((cfg.keys - s).div_ceil(cfg.shards)))
+                .collect(),
         })
     }
 
@@ -123,6 +206,11 @@ impl TopKSketch {
     /// The max register of shard `s` (for shadow checks and tests).
     pub fn shard_max(&self, s: usize) -> &KmultBoundedMaxRegister {
         &self.shard_max[s]
+    }
+
+    /// The hot-slot directory of shard `s`.
+    pub fn dir(&self, s: usize) -> &ShardDir {
+        &self.dirs[s]
     }
 
     /// A handle for process `pid` that flushes once `flush_every` units
@@ -409,6 +497,62 @@ mod tests {
         // 16 max-register reads + the hot shard's 16 keys (1 step each
         // re-read) + slack; far below the 256-key flat scan.
         assert!(cost < 128, "warm pruned top-1 cost {cost} steps");
+    }
+
+    #[test]
+    fn shard_dir_marks_flushed_keys_and_skips_cold_slots() {
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let sk = TopKSketch::new(TopKConfig {
+            n: 1,
+            keys: 256,
+            shards: 4,
+            ..TopKConfig::default()
+        });
+        let mut h = sk.handle(0, 1);
+        // Flush keys 8 (shard 0, slot 2) and 13 (shard 1, slot 3) only.
+        h.add(&ctx, 8, 5);
+        h.add(&ctx, 13, 2);
+        assert!(sk.dir(0).is_hot(2), "flushed slot marked");
+        assert!(sk.dir(1).is_hot(3), "flushed slot marked");
+        assert!(!sk.dir(0).is_hot(0), "never-flushed slot stays cold");
+        assert_eq!(sk.dir(0).next_hot_slot(0), Some(2));
+        assert_eq!(sk.dir(0).next_hot_slot(3), None);
+        assert_eq!(sk.dir(2).next_hot_slot(0), None, "empty shard");
+        // A full-width read touches only the shard maxima and the two
+        // hot keys — the 254 cold keys cost nothing.
+        let mut r = sk.handle(0, 1);
+        let s0 = ctx.steps_taken();
+        let top = r.top_k(&ctx, 256);
+        let cost = ctx.steps_taken() - s0;
+        assert_eq!(top.entries.len(), 2);
+        assert_eq!(top.entries[0].0, 8);
+        assert_eq!(top.entries[1].0, 13);
+        assert!(cost < 40, "cold slots charged the read: {cost} steps");
+    }
+
+    #[test]
+    fn directory_sizes_cover_uneven_shard_striping() {
+        // keys = 10, shards = 4: shards 0 and 1 hold 3 slots, 2 and 3
+        // hold 2 — the last key of each stripe must be markable.
+        let rt = Runtime::free_running(1);
+        let ctx = rt.ctx(0);
+        let sk = TopKSketch::new(TopKConfig {
+            n: 1,
+            keys: 10,
+            shards: 4,
+            ..TopKConfig::default()
+        });
+        assert_eq!(sk.dir(0).slots(), 3);
+        assert_eq!(sk.dir(1).slots(), 3);
+        assert_eq!(sk.dir(2).slots(), 2);
+        assert_eq!(sk.dir(3).slots(), 2);
+        let mut h = sk.handle(0, 1);
+        for key in 0..10 {
+            h.add(&ctx, key, 1);
+        }
+        let top = h.top_k(&ctx, 10);
+        assert_eq!(top.entries.len(), 10, "every key visible via its dir");
     }
 
     #[test]

@@ -1,11 +1,51 @@
 //! [`CoopBackend`]: cooperative execution of virtual processes.
 //!
-//! Drives N processes as [`OpTask`] state machines on the controller
-//! thread. There are no worker threads and no gate: granting a step *is*
-//! polling the parked task once, so the per-step cost drops from a
-//! cross-thread condvar handshake to one indirect call — which is what
-//! lets gated executions scale from ~10³ OS threads to 10⁵–10⁶ virtual
-//! processes (see `exp_scale`).
+//! Drives N processes as [`OpTask`](crate::OpTask) state machines on the
+//! controller thread. There are no worker threads and no gate: granting
+//! a step *is* polling the parked task once, so the per-step cost drops
+//! from a cross-thread condvar handshake to one indirect call — which is
+//! what lets gated executions scale from ~10³ OS threads to 10⁵–10⁶
+//! virtual processes (see `exp_scale`).
+//!
+//! ## Memory layout
+//!
+//! At 10⁶ processes the hot loop is memory-bound, so the backend avoids
+//! pointer-chasing structurally:
+//!
+//! * **Struct-of-arrays parked state.** The per-process in-flight op is
+//!   not a boxed struct in a `Vec<Slot>`; it is split across dense
+//!   parallel arrays (`parked_data`/`parked_poll`/`parked_spec`/…), so
+//!   the poll loop streams through exactly the fields it touches.
+//! * **Arena-allocated task state.** Submitted tasks arrive as
+//!   [`ErasedTask`]s (a thin payload pointer plus poll/drop shims);
+//!   [`submit`](ExecBackend::submit) moves the payload bytes into a
+//!   bump arena ([`TaskArena`]) and releases the per-task heap
+//!   allocation. Completed tasks are dropped in place; the bump cursor
+//!   rewinds whenever the live count hits zero (a generation boundary —
+//!   e.g. the quiesced point between `run_schedule` batches), reusing
+//!   chunk memory instead of round-tripping 10⁶ boxes through the
+//!   global allocator.
+//! * **Slab-backed submission queues.** Ops queued behind an in-flight
+//!   one live in one shared slab of intrusive list nodes (`u32` links),
+//!   not per-process `VecDeque` heap buffers.
+//!
+//! ## Gated and free-running modes
+//!
+//! A backend over a [`Runtime::coop`] runtime is **gated**: the
+//! controller grants one primitive at a time ([`step`](ExecBackend::step))
+//! under a scheduler, with crash/suspension semantics identical to the
+//! gated thread backend.
+//!
+//! A backend over a [`Runtime::coop_free`] runtime is **free-running**
+//! ([`CoopBackend::new_free`], `Driver::coop_free`): there is no grant
+//! discipline — [`wait_event`](ExecBackend::wait_event) batch-polls
+//! every runnable task in rounds until completions surface, and
+//! `Driver::wait_all` drains them. Like the free-running thread
+//! backend, no invocation announcements are emitted (completions only),
+//! and mid-run crash/suspension is unsupported. The batch order is
+//! ascending submission order by default, or a seeded per-round shuffle
+//! ([`CoopBackend::new_free_seeded`]) — both deterministic, single
+//! controller thread, and therefore replayable.
 //!
 //! ## Stable-point invariant
 //!
@@ -13,11 +53,11 @@
 //! controller calls: either parked (a primed task waiting before its
 //! next primitive) or idle with an empty queue. It does so by advancing
 //! eagerly — on submit and after each completion it dequeues the next
-//! operation, announces its invocation, and runs its priming poll;
-//! zero-primitive operations complete immediately, exactly like a
-//! zero-step closure running ahead of the gate on a worker thread. This
-//! makes [`quiesce`](ExecBackend::quiesce) a no-op and crash/suspend
-//! cuts deterministic by construction.
+//! operation, announces its invocation (gated mode), and runs its
+//! priming poll; zero-primitive operations complete immediately,
+//! exactly like a zero-step closure running ahead of the gate on a
+//! worker thread. This makes [`quiesce`](ExecBackend::quiesce) a no-op
+//! and crash/suspend cuts deterministic by construction.
 //!
 //! ## Contract enforcement
 //!
@@ -27,50 +67,242 @@
 //! counter around every poll and panics on a violation (a primitive
 //! applied while priming, ≠ 1 primitive on a granted step). Violations
 //! are bugs in the task, not schedule-dependent behavior.
+//!
+//! [`Runtime::coop`]: crate::Runtime::coop
+//! [`Runtime::coop_free`]: crate::Runtime::coop_free
 
 use super::{ExecBackend, StepOutcome};
 use crate::history::{OpRecord, OpSpec};
-use crate::runtime::Runtime;
-use crate::task::{Op, OpTask, Poll};
+use crate::runtime::{Mode, Runtime};
+use crate::task::{DropFn, ErasedTask, Op, Poll, PollFn};
+use crate::ProcCtx;
+use std::alloc::Layout;
 use std::collections::VecDeque;
+use std::ptr::NonNull;
 use std::sync::Arc;
 
-/// A primed task parked immediately before its next primitive.
-struct Parked {
-    spec: OpSpec,
-    task: Box<dyn OpTask>,
-    inv: u64,
-    /// Process's cumulative step count at invocation.
-    steps_at_inv: u64,
+/// Null link in the queue slab and in `qhead`/`qtail`.
+const NIL: u32 = u32::MAX;
+
+/// Bump-arena chunk size; large enough that 10⁶ small task states fit
+/// in a few dozen chunks.
+const CHUNK_SIZE: usize = 1 << 20;
+/// Chunk base alignment (a cache line covers every ordinary task type).
+const CHUNK_ALIGN: usize = 64;
+
+struct Chunk {
+    ptr: NonNull<u8>,
+    layout: Layout,
 }
 
+/// Bump arena owning every live task payload.
+///
+/// Payloads are moved in at submit ([`TaskArena::install`]) and dropped
+/// in place at completion ([`TaskArena::retire`]); individual slots are
+/// never freed. Instead, when the live count returns to zero — a
+/// runtime *generation* boundary — the bump cursor rewinds to the first
+/// chunk and the memory is reused wholesale.
 #[derive(Default)]
-struct Slot {
-    /// Operations submitted but not yet started.
-    queue: VecDeque<(OpSpec, Box<dyn OpTask>)>,
-    /// The in-flight operation, if any.
-    parked: Option<Parked>,
+struct TaskArena {
+    chunks: Vec<Chunk>,
+    /// Chunk the bump cursor is in.
+    at: usize,
+    /// Bump offset within `chunks[at]`.
+    offset: usize,
+    /// Installed-but-not-retired payloads.
+    live: usize,
+}
+
+impl TaskArena {
+    /// Carve `layout` bytes out of the current chunk, growing the chunk
+    /// list on demand. `layout.size()` must be non-zero.
+    fn alloc(&mut self, layout: Layout) -> NonNull<u8> {
+        debug_assert!(layout.size() > 0);
+        loop {
+            if let Some(chunk) = self.chunks.get(self.at) {
+                let base = chunk.ptr.as_ptr() as usize;
+                let aligned = (base + self.offset).next_multiple_of(layout.align());
+                if aligned + layout.size() <= base + chunk.layout.size() {
+                    let off = aligned - base;
+                    self.offset = off + layout.size();
+                    // SAFETY: `off + layout.size()` is within the chunk.
+                    return unsafe { NonNull::new_unchecked(chunk.ptr.as_ptr().add(off)) };
+                }
+                self.at += 1;
+                self.offset = 0;
+                continue;
+            }
+            let chunk_layout = Layout::from_size_align(
+                layout.size().max(CHUNK_SIZE),
+                layout.align().max(CHUNK_ALIGN),
+            )
+            .expect("task arena chunk layout");
+            // SAFETY: the layout has non-zero size.
+            let ptr = unsafe { std::alloc::alloc(chunk_layout) };
+            let ptr =
+                NonNull::new(ptr).unwrap_or_else(|| std::alloc::handle_alloc_error(chunk_layout));
+            self.chunks.push(Chunk {
+                ptr,
+                layout: chunk_layout,
+            });
+        }
+    }
+
+    /// Move an erased task's payload into the arena, releasing its
+    /// original heap allocation. The task has never been polled at this
+    /// point, so the relocation is an ordinary move. Zero-sized
+    /// payloads keep their (dangling) pointer.
+    fn install(&mut self, task: ErasedTask) -> (NonNull<u8>, PollFn, DropFn) {
+        let (src, layout, poll, dropper) = task.into_raw_parts();
+        self.live += 1;
+        if layout.size() == 0 {
+            return (src, poll, dropper);
+        }
+        let dst = self.alloc(layout);
+        // SAFETY: `src` is the exclusively-owned payload allocation of
+        // `layout`; `dst` is a fresh arena slot of the same layout. The
+        // bytes move, then the original allocation is released without
+        // dropping the value.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_ptr(), layout.size());
+            std::alloc::dealloc(src.as_ptr(), layout);
+        }
+        (dst, poll, dropper)
+    }
+
+    /// Drop a finished task in place. Its bytes are reclaimed at the
+    /// next generation reset.
+    ///
+    /// # Safety
+    /// `data`/`dropper` must come from [`install`](TaskArena::install)
+    /// and the task must never be used again.
+    unsafe fn retire(&mut self, data: NonNull<u8>, dropper: DropFn) {
+        // SAFETY: per the contract above, `data` is the live payload
+        // `dropper` was erased from.
+        unsafe { dropper(data) };
+        self.live -= 1;
+        if self.live == 0 {
+            self.at = 0;
+            self.offset = 0;
+        }
+    }
+}
+
+impl Drop for TaskArena {
+    fn drop(&mut self) {
+        // The backend retires every live task before the arena drops
+        // (teardown or panic path), so only raw chunk memory remains.
+        for chunk in self.chunks.drain(..) {
+            // SAFETY: allocated in `alloc` with exactly this layout.
+            unsafe { std::alloc::dealloc(chunk.ptr.as_ptr(), chunk.layout) };
+        }
+    }
+}
+
+/// A queued (submitted, not yet started) op in the shared slab.
+/// `data: None` marks a free-list node.
+struct QNode {
+    spec: OpSpec,
+    data: Option<NonNull<u8>>,
+    poll: PollFn,
+    dropper: DropFn,
+    next: u32,
+}
+
+/// Placeholder shims for idle slots in the parallel arrays; never
+/// called (the `parked_data` entry is the presence discriminant).
+unsafe fn idle_poll(_data: NonNull<u8>, _ctx: &ProcCtx) -> Poll<u128> {
+    unreachable!("polled an idle slot")
+}
+unsafe fn idle_drop(_data: NonNull<u8>) {
+    unreachable!("dropped an idle slot")
+}
+
+/// Fisher–Yates driven by xorshift64 — deterministic per seed, cheap
+/// enough to rerun every batch round.
+fn shuffle(list: &mut [u32], state: &mut u64) {
+    for i in (1..list.len()).rev() {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        list.swap(i, (x % (i as u64 + 1)) as usize);
+    }
 }
 
 /// The cooperative (virtual-process) execution backend. See the [module
 /// docs](self).
 pub struct CoopBackend {
     runtime: Arc<Runtime>,
-    slots: Vec<Slot>,
-    /// Produced events awaiting a drain.
-    events: Vec<OpRecord>,
+    /// `false` for the free-running mode ([`Runtime::coop_free`]).
+    ///
+    /// [`Runtime::coop_free`]: crate::Runtime::coop_free
+    gated: bool,
     /// Contract asserts off: violations run on, to be diagnosed by the
     /// poll-discipline analysis pass instead of a panic.
     lenient: bool,
+
+    // Struct-of-arrays in-flight state, indexed by pid. `parked_data`
+    // is the presence discriminant; the other arrays hold the matching
+    // op's shims and record fields (stale while idle).
+    parked_data: Vec<Option<NonNull<u8>>>,
+    parked_poll: Vec<PollFn>,
+    parked_drop: Vec<DropFn>,
+    parked_spec: Vec<OpSpec>,
+    parked_inv: Vec<u64>,
+    /// Process's cumulative step count at the parked op's invocation.
+    parked_steps_at_inv: Vec<u64>,
+
+    /// Per-pid FIFO of not-yet-started ops: head/tail indices into the
+    /// shared `nodes` slab (`NIL`-terminated).
+    qhead: Vec<u32>,
+    qtail: Vec<u32>,
+    nodes: Vec<QNode>,
+    free_node: u32,
+
+    arena: TaskArena,
+    /// Produced events awaiting a drain (or a `wait_event` pop).
+    events: VecDeque<OpRecord>,
+
+    // Free-running mode only: the batch-poll round state.
+    /// Pids with a parked task, in batch order. Entries in
+    /// `[0, sweep_keep)` were polled this round and are still parked;
+    /// `[sweep_pos, len)` have not been polled yet; the gap is garbage
+    /// compacted away when the round completes.
+    runnable: Vec<u32>,
+    in_runnable: Vec<bool>,
+    sweep_pos: usize,
+    sweep_keep: usize,
+    /// A round whose batch order has not been (re)shuffled yet.
+    round_fresh: bool,
+    /// Seeded xorshift64 state for shuffled batch order; `None` keeps
+    /// submission order.
+    batch_rng: Option<u64>,
 }
 
+// SAFETY: every raw pointer (arena chunks, installed payloads, slab
+// links) points into memory the backend exclusively owns, and the
+// erased payloads are `OpTask + Send`; moving the backend between
+// threads moves that ownership wholesale.
+unsafe impl Send for CoopBackend {}
+
 impl CoopBackend {
-    /// A backend for the virtual processes of a coop runtime.
+    /// A gated backend for the virtual processes of a coop runtime.
     ///
     /// # Panics
-    /// Panics unless `runtime` was built by [`Runtime::coop`].
+    /// Panics unless `runtime` was built by [`Runtime::coop`]
+    /// (free-running coop runtimes take [`new_free`](CoopBackend::new_free)).
+    ///
+    /// [`Runtime::coop`]: crate::Runtime::coop
     pub fn new(runtime: Arc<Runtime>) -> Self {
-        CoopBackend::build(runtime, false)
+        assert_eq!(
+            runtime.mode(),
+            Mode::Gated,
+            "CoopBackend::new requires a gated coop runtime (Runtime::coop); \
+             free-running coop runtimes take CoopBackend::new_free"
+        );
+        CoopBackend::build(runtime, false, None)
     }
 
     /// Like [`new`](CoopBackend::new), but with the poll-contract
@@ -79,43 +311,159 @@ impl CoopBackend {
     /// [`Analyzer`](crate::analysis::Analyzer) can observe and report
     /// the violation with full context instead of dying on the assert.
     pub fn new_lenient(runtime: Arc<Runtime>) -> Self {
-        CoopBackend::build(runtime, true)
+        assert_eq!(
+            runtime.mode(),
+            Mode::Gated,
+            "CoopBackend::new_lenient requires a gated coop runtime (Runtime::coop)"
+        );
+        CoopBackend::build(runtime, true, None)
     }
 
-    fn build(runtime: Arc<Runtime>, lenient: bool) -> Self {
+    /// A **free-running** backend over a [`Runtime::coop_free`]
+    /// runtime: no grant discipline — `wait_event` batch-polls every
+    /// runnable task in rounds, in ascending submission order. See the
+    /// [module docs](self).
+    ///
+    /// # Panics
+    /// Panics unless `runtime` was built by [`Runtime::coop_free`].
+    ///
+    /// [`Runtime::coop_free`]: crate::Runtime::coop_free
+    pub fn new_free(runtime: Arc<Runtime>) -> Self {
+        assert_eq!(
+            runtime.mode(),
+            Mode::FreeRunning,
+            "CoopBackend::new_free requires a free-running coop runtime (Runtime::coop_free)"
+        );
+        CoopBackend::build(runtime, false, None)
+    }
+
+    /// Like [`new_free`](CoopBackend::new_free), but each batch round
+    /// polls in a seeded pseudo-random order instead of submission
+    /// order. Still fully deterministic: the same seed replays the same
+    /// execution.
+    pub fn new_free_seeded(runtime: Arc<Runtime>, seed: u64) -> Self {
+        assert_eq!(
+            runtime.mode(),
+            Mode::FreeRunning,
+            "CoopBackend::new_free_seeded requires a free-running coop runtime (Runtime::coop_free)"
+        );
+        // xorshift fixed point: state 0 would never leave 0.
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
+        CoopBackend::build(runtime, false, Some(state))
+    }
+
+    fn build(runtime: Arc<Runtime>, lenient: bool, batch_rng: Option<u64>) -> Self {
         assert!(
             runtime.is_coop(),
-            "CoopBackend requires a coop runtime (Runtime::coop)"
+            "CoopBackend requires a coop runtime (Runtime::coop / Runtime::coop_free)"
         );
         let n = runtime.n();
-        let mut slots = Vec::with_capacity(n);
-        slots.resize_with(n, Slot::default);
+        u32::try_from(n).expect("the coop backend indexes processes with u32");
+        let gated = runtime.mode() == Mode::Gated;
         CoopBackend {
-            runtime,
-            slots,
-            events: Vec::new(),
+            gated,
             lenient,
+            parked_data: vec![None; n],
+            parked_poll: vec![idle_poll as PollFn; n],
+            parked_drop: vec![idle_drop as DropFn; n],
+            parked_spec: vec![OpSpec::read(); n],
+            parked_inv: vec![0; n],
+            parked_steps_at_inv: vec![0; n],
+            qhead: vec![NIL; n],
+            qtail: vec![NIL; n],
+            nodes: Vec::new(),
+            free_node: NIL,
+            arena: TaskArena::default(),
+            events: VecDeque::new(),
+            runnable: Vec::new(),
+            in_runnable: if gated { Vec::new() } else { vec![false; n] },
+            sweep_pos: 0,
+            sweep_keep: 0,
+            round_fresh: true,
+            batch_rng,
+            runtime,
         }
     }
 
+    fn push_queued(
+        &mut self,
+        pid: usize,
+        spec: OpSpec,
+        data: NonNull<u8>,
+        poll: PollFn,
+        dropper: DropFn,
+    ) {
+        let node = QNode {
+            spec,
+            data: Some(data),
+            poll,
+            dropper,
+            next: NIL,
+        };
+        let idx = if self.free_node != NIL {
+            let idx = self.free_node;
+            self.free_node = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("queue slab index fits u32");
+            self.nodes.push(node);
+            idx
+        };
+        if self.qtail[pid] == NIL {
+            self.qhead[pid] = idx;
+        } else {
+            self.nodes[self.qtail[pid] as usize].next = idx;
+        }
+        self.qtail[pid] = idx;
+    }
+
+    fn pop_queued(&mut self, pid: usize) -> Option<(OpSpec, NonNull<u8>, PollFn, DropFn)> {
+        let idx = self.qhead[pid];
+        if idx == NIL {
+            return None;
+        }
+        let node = &mut self.nodes[idx as usize];
+        let data = node.data.take().expect("queued node holds a task");
+        let out = (node.spec, data, node.poll, node.dropper);
+        self.qhead[pid] = node.next;
+        if self.qhead[pid] == NIL {
+            self.qtail[pid] = NIL;
+        }
+        node.next = self.free_node;
+        self.free_node = idx;
+        Some(out)
+    }
+
     /// Start queued operations until one parks at a primitive or the
-    /// queue runs dry: announce the invocation, run the priming poll,
-    /// and complete zero-primitive operations on the spot.
+    /// queue runs dry: announce the invocation (gated mode), run the
+    /// priming poll, and complete zero-primitive operations on the spot.
     fn advance(&mut self, pid: usize) {
-        debug_assert!(self.slots[pid].parked.is_none());
-        while let Some((spec, mut task)) = self.slots[pid].queue.pop_front() {
+        debug_assert!(self.parked_data[pid].is_none());
+        while let Some((spec, data, poll, dropper)) = self.pop_queued(pid) {
             let inv = self.runtime.ticket();
             let steps_at_inv = self.runtime.steps_of(pid);
-            self.runtime.trace_invoke(pid, spec.kind(0).label(), inv);
-            self.events.push(OpRecord {
-                pid,
-                kind: spec.kind(0),
-                inv,
-                resp: None,
-                steps: steps_at_inv,
-            });
+            if self.gated {
+                // Free-running mode sends no invocation announcements,
+                // mirroring the thread backend (nothing can be
+                // suspended, so pending records would be pure noise).
+                self.runtime.trace_invoke(pid, spec.kind(0).label(), inv);
+                self.events.push_back(OpRecord {
+                    pid,
+                    kind: spec.kind(0),
+                    inv,
+                    resp: None,
+                    steps: steps_at_inv,
+                });
+            }
             let ctx = self.runtime.ctx(pid);
-            let polled = task.poll(&ctx);
+            // SAFETY: `data` is the live, exclusively-owned task
+            // installed for this op.
+            let polled = unsafe { poll(data, &ctx) };
             assert!(
                 self.lenient || self.runtime.steps_of(pid) == steps_at_inv,
                 "OpTask contract violation (pid {pid}, op {:?}): the priming poll \
@@ -125,25 +473,104 @@ impl CoopBackend {
             match polled {
                 Poll::Ready(ret) => {
                     let resp = self.runtime.ticket();
-                    self.runtime.trace_complete(pid, spec.kind(0).label(), resp);
-                    self.events.push(OpRecord {
+                    if self.gated {
+                        self.runtime.trace_complete(pid, spec.kind(0).label(), resp);
+                    }
+                    self.events.push_back(OpRecord {
                         pid,
                         kind: spec.kind(ret),
                         inv,
                         resp: Some(resp),
                         steps: self.runtime.steps_of(pid) - steps_at_inv,
                     });
+                    // SAFETY: the op completed; never polled again.
+                    unsafe { self.arena.retire(data, dropper) };
                 }
                 Poll::Pending => {
-                    self.slots[pid].parked = Some(Parked {
-                        spec,
-                        task,
-                        inv,
-                        steps_at_inv,
-                    });
+                    self.parked_data[pid] = Some(data);
+                    self.parked_poll[pid] = poll;
+                    self.parked_drop[pid] = dropper;
+                    self.parked_spec[pid] = spec;
+                    self.parked_inv[pid] = inv;
+                    self.parked_steps_at_inv[pid] = steps_at_inv;
                     return;
                 }
             }
+        }
+    }
+
+    /// Record the parked op's completion and retire its task.
+    fn complete_parked(&mut self, pid: usize, data: NonNull<u8>, ret: u128) {
+        self.parked_data[pid] = None;
+        let spec = self.parked_spec[pid];
+        let resp = self.runtime.ticket();
+        if self.gated {
+            self.runtime.trace_complete(pid, spec.kind(0).label(), resp);
+        }
+        self.events.push_back(OpRecord {
+            pid,
+            kind: spec.kind(ret),
+            inv: self.parked_inv[pid],
+            resp: Some(resp),
+            steps: self.runtime.steps_of(pid) - self.parked_steps_at_inv[pid],
+        });
+        let dropper = self.parked_drop[pid];
+        // SAFETY: the op completed; the task is never polled again.
+        unsafe { self.arena.retire(data, dropper) };
+    }
+
+    /// Free-running mode: poll the next runnable task in batch order.
+    /// Rounds are resumable — `wait_event` consumes one record at a
+    /// time, and pausing mid-round keeps the event buffer O(1) instead
+    /// of O(n) while preserving the exact poll order of full rounds.
+    fn sweep_one(&mut self) {
+        if self.sweep_pos >= self.runnable.len() {
+            // Round complete: compact away pids that went idle (the
+            // survivors keep their relative order) and rewind.
+            self.runnable.truncate(self.sweep_keep);
+            self.sweep_pos = 0;
+            self.sweep_keep = 0;
+            self.round_fresh = true;
+            assert!(
+                !self.runnable.is_empty(),
+                "wait_event(): nothing runnable and no buffered event — \
+                 every submitted operation has completed"
+            );
+        }
+        if self.round_fresh {
+            self.round_fresh = false;
+            if let Some(state) = &mut self.batch_rng {
+                shuffle(&mut self.runnable[self.sweep_pos..], state);
+            }
+        }
+        let pid = self.runnable[self.sweep_pos] as usize;
+        self.sweep_pos += 1;
+        let Some(data) = self.parked_data[pid] else {
+            // Defensive: a stale entry (should not occur — entries are
+            // compacted the round their pid goes idle).
+            self.in_runnable[pid] = false;
+            return;
+        };
+        let before = self.runtime.steps_of(pid);
+        let ctx = self.runtime.ctx(pid);
+        // SAFETY: the parked task is live and exclusively ours.
+        let polled = unsafe { (self.parked_poll[pid])(data, &ctx) };
+        let applied = self.runtime.steps_of(pid) - before;
+        assert!(
+            self.lenient || applied == 1,
+            "OpTask contract violation (pid {pid}, op {:?}): a granted step must \
+             apply exactly one primitive, got {applied}",
+            self.parked_spec[pid].kind(0).label(),
+        );
+        if let Poll::Ready(ret) = polled {
+            self.complete_parked(pid, data, ret);
+            self.advance(pid);
+        }
+        if self.parked_data[pid].is_some() {
+            self.runnable[self.sweep_keep] = pid as u32;
+            self.sweep_keep += 1;
+        } else {
+            self.in_runnable[pid] = false;
         }
     }
 }
@@ -157,41 +584,38 @@ impl ExecBackend for CoopBackend {
                  submit an OpTask (Driver::submit_task) or use the thread backend"
             ),
         };
-        self.slots[pid].queue.push_back((spec, task));
-        if self.slots[pid].parked.is_none() {
+        let (data, poll, dropper) = self.arena.install(task);
+        self.push_queued(pid, spec, data, poll, dropper);
+        if self.parked_data[pid].is_none() {
             self.advance(pid);
+        }
+        if !self.gated && self.parked_data[pid].is_some() && !self.in_runnable[pid] {
+            self.in_runnable[pid] = true;
+            self.runnable.push(pid as u32);
         }
     }
 
     fn step(&mut self, pid: usize, expected_ops: u64) -> StepOutcome {
-        let Some(parked) = self.slots[pid].parked.as_mut() else {
-            debug_assert!(self.slots[pid].queue.is_empty());
+        assert!(self.gated, "step() requires a gated runtime");
+        let Some(data) = self.parked_data[pid] else {
+            debug_assert!(self.qhead[pid] == NIL);
             let _ = expected_ops; // completion is structural here
             return StepOutcome::Completed;
         };
         let before = self.runtime.steps_of(pid);
         self.runtime.trace_grant(pid);
         let ctx = self.runtime.ctx(pid);
-        let polled = parked.task.poll(&ctx);
+        // SAFETY: the parked task is live and exclusively ours.
+        let polled = unsafe { (self.parked_poll[pid])(data, &ctx) };
         let applied = self.runtime.steps_of(pid) - before;
         assert!(
             self.lenient || applied == 1,
             "OpTask contract violation (pid {pid}, op {:?}): a granted step must \
              apply exactly one primitive, got {applied}",
-            parked.spec.kind(0).label(),
+            self.parked_spec[pid].kind(0).label(),
         );
         if let Poll::Ready(ret) = polled {
-            let parked = self.slots[pid].parked.take().expect("just polled");
-            let resp = self.runtime.ticket();
-            self.runtime
-                .trace_complete(pid, parked.spec.kind(0).label(), resp);
-            self.events.push(OpRecord {
-                pid,
-                kind: parked.spec.kind(ret),
-                inv: parked.inv,
-                resp: Some(resp),
-                steps: self.runtime.steps_of(pid) - parked.steps_at_inv,
-            });
+            self.complete_parked(pid, data, ret);
             self.advance(pid);
         }
         StepOutcome::Stepped
@@ -210,7 +634,14 @@ impl ExecBackend for CoopBackend {
     }
 
     fn wait_event(&mut self) -> OpRecord {
-        unreachable!("coop runtimes are gated; free-running wait is a thread-backend operation");
+        assert!(
+            !self.gated,
+            "wait_event() requires a free-running runtime (gated executions are stepped)"
+        );
+        while self.events.is_empty() {
+            self.sweep_one();
+        }
+        self.events.pop_front().expect("just produced an event")
     }
 
     fn shutdown(&mut self) {
@@ -221,24 +652,54 @@ impl ExecBackend for CoopBackend {
         // the analysis stream: teardown polls happen outside the modelled
         // execution, so the sink is sealed before the first one.
         self.runtime.seal_analysis();
-        for pid in 0..self.slots.len() {
+        for pid in 0..self.parked_data.len() {
             let ctx = self.runtime.ctx(pid);
-            let slot = &mut self.slots[pid];
-            let parked = slot.parked.take().map(|p| p.task);
-            let rest = std::mem::take(&mut slot.queue);
-            for mut task in parked.into_iter().chain(rest.into_iter().map(|(_, t)| t)) {
-                while task.poll(&ctx).is_pending() {}
+            if let Some(data) = self.parked_data[pid].take() {
+                let poll = self.parked_poll[pid];
+                let dropper = self.parked_drop[pid];
+                // SAFETY: the parked task is live; retired right after
+                // its final poll.
+                unsafe {
+                    while poll(data, &ctx).is_pending() {}
+                    self.arena.retire(data, dropper);
+                }
+            }
+            while let Some((_spec, data, poll, dropper)) = self.pop_queued(pid) {
+                // SAFETY: as above; queued tasks start from their
+                // priming poll.
+                unsafe {
+                    while poll(data, &ctx).is_pending() {}
+                    self.arena.retire(data, dropper);
+                }
             }
         }
+        self.runnable.clear();
+        self.in_runnable.iter_mut().for_each(|f| *f = false);
+        self.sweep_pos = 0;
+        self.sweep_keep = 0;
+        self.round_fresh = true;
     }
 }
 
 impl Drop for CoopBackend {
     fn drop(&mut self) {
-        // During a panic unwind (e.g. a contract violation) the tasks
-        // are suspect; re-polling them could panic again and abort.
-        // Leaking their remaining effects is fine then.
-        if !std::thread::panicking() {
+        if std::thread::panicking() {
+            // During a panic unwind (e.g. a contract violation) the
+            // tasks are suspect; re-polling them could panic again and
+            // abort. Run their destructors without polling so owned
+            // resources are released before the arena frees its chunks.
+            for pid in 0..self.parked_data.len() {
+                if let Some(data) = self.parked_data[pid].take() {
+                    let dropper = self.parked_drop[pid];
+                    // SAFETY: live parked task, dropped exactly once.
+                    unsafe { self.arena.retire(data, dropper) };
+                }
+                while let Some((_spec, data, _poll, dropper)) = self.pop_queued(pid) {
+                    // SAFETY: live queued task, dropped exactly once.
+                    unsafe { self.arena.retire(data, dropper) };
+                }
+            }
+        } else {
             self.shutdown();
         }
     }

@@ -12,8 +12,13 @@
 //!   cross-thread gate handshake per step).
 //! * [`CoopBackend`] — N *virtual* processes as resumable task state
 //!   machines on the controller thread: no worker threads, no parking,
-//!   one indirect call per step. Gated only, [`OpTask`] ops only,
-//!   scales to 10⁵–10⁶ processes.
+//!   one indirect call per step. [`OpTask`] ops only, scales to
+//!   10⁵–10⁶ processes. Gated ([`Runtime::coop`]) or free-running
+//!   ([`Runtime::coop_free`]: `wait_event` batch-polls runnable tasks
+//!   in deterministic rounds instead of granting steps).
+//!
+//! [`Runtime::coop`]: crate::Runtime::coop
+//! [`Runtime::coop_free`]: crate::Runtime::coop_free
 //!
 //! Both backends speak the same event protocol: in gated mode an
 //! operation's start is announced with a pending [`OpRecord`]

@@ -8,9 +8,11 @@
 //! need — including suspending a process mid-operation indefinitely by
 //! simply never scheduling it again).
 //!
-//! In **free-running** mode (thread backend only) workers execute
-//! operations as soon as they are submitted; [`Driver::wait_all`]
-//! collects the resulting history.
+//! In **free-running** mode operations execute without grants —
+//! immediately on worker threads (thread backend), or batch-polled in
+//! deterministic rounds on the controller thread
+//! ([`Driver::coop_free`]); [`Driver::wait_all`] collects the
+//! resulting history either way.
 //!
 //! How operations execute is the backend's business
 //! ([`ExecBackend`](crate::backend::ExecBackend)):
@@ -31,7 +33,7 @@ use crate::backend::{CoopBackend, ExecBackend, ThreadBackend};
 use crate::history::{History, OpRecord, OpSpec};
 use crate::runtime::{Mode, Runtime};
 use crate::sched::Scheduler;
-use crate::task::{Op, OpTask};
+use crate::task::{ErasedTask, Op, OpTask};
 use crate::ProcCtx;
 use std::sync::Arc;
 
@@ -77,6 +79,10 @@ pub struct Driver<B: ExecBackend = ThreadBackend> {
     /// Uncrashed pids with unfinished submitted operations, maintained
     /// incrementally (no per-step rebuild).
     active: ActiveSet,
+    /// Submitted-but-uncompleted ops across all processes, maintained
+    /// incrementally so [`wait_all`](Driver::wait_all) is O(1) per
+    /// event instead of rescanning 10⁶ per-pid counters.
+    pending_ops: u64,
     history: History,
 }
 
@@ -133,6 +139,30 @@ impl Driver<CoopBackend> {
         let backend = CoopBackend::new_lenient(runtime.clone());
         Driver::with_backend(runtime, backend)
     }
+
+    /// A driver whose virtual processes run **free**: `runtime` must
+    /// come from [`Runtime::coop_free`], and instead of granting steps
+    /// the backend batch-polls every runnable task in rounds — one
+    /// primitive per task per round, ascending submission order —
+    /// until [`wait_all`](Driver::wait_all) has drained every
+    /// completion. No gate, no per-step scheduling, no crash/suspension
+    /// — the coop backend's cache locality at free-running throughput.
+    /// Executions are deterministic (single controller thread, fixed
+    /// batch order): with ops submitted in ascending pid order the poll
+    /// order is exactly the gated round-robin schedule, which is what
+    /// `tests/backend_equivalence` pins.
+    pub fn coop_free(runtime: Arc<Runtime>) -> Self {
+        let backend = CoopBackend::new_free(runtime.clone());
+        Driver::with_backend(runtime, backend)
+    }
+
+    /// Like [`coop_free`](Driver::coop_free), but each batch round
+    /// polls in a seeded pseudo-random order. Replayable: the same seed
+    /// reproduces the same execution.
+    pub fn coop_free_seeded(runtime: Arc<Runtime>, seed: u64) -> Self {
+        let backend = CoopBackend::new_free_seeded(runtime.clone(), seed);
+        Driver::with_backend(runtime, backend)
+    }
 }
 
 impl<B: ExecBackend> Driver<B> {
@@ -146,6 +176,7 @@ impl<B: ExecBackend> Driver<B> {
             crashed: vec![false; n],
             in_flight: vec![None; n],
             active: ActiveSet::new(n),
+            pending_ops: 0,
             history: History::new(),
         }
     }
@@ -166,7 +197,7 @@ impl<B: ExecBackend> Driver<B> {
     where
         T: OpTask + 'static,
     {
-        self.submit_op(pid, spec, Op::Task(Box::new(task)));
+        self.submit_op(pid, spec, Op::Task(ErasedTask::new(task)));
     }
 
     fn submit_op(&mut self, pid: usize, spec: OpSpec, op: Op) {
@@ -179,6 +210,7 @@ impl<B: ExecBackend> Driver<B> {
             "submit to crashed process {pid}: a crashed process cannot run operations"
         );
         self.submitted[pid] += 1;
+        self.pending_ops += 1;
         self.active.insert(pid);
         self.backend.submit(pid, spec, op);
     }
@@ -302,9 +334,7 @@ impl<B: ExecBackend> Driver<B> {
     }
 
     fn total_pending(&self) -> u64 {
-        (0..self.runtime.n())
-            .map(|p| self.submitted[p] - self.completed[p])
-            .sum()
+        self.pending_ops
     }
 
     fn drain_events(&mut self) {
@@ -316,11 +346,20 @@ impl<B: ExecBackend> Driver<B> {
             completed,
             in_flight,
             active,
+            pending_ops,
             history,
             ..
         } = self;
         backend.drain(&mut |rec| {
-            Self::record_fields(submitted, completed, in_flight, active, history, rec)
+            Self::record_fields(
+                submitted,
+                completed,
+                in_flight,
+                active,
+                pending_ops,
+                history,
+                rec,
+            )
         });
     }
 
@@ -332,6 +371,7 @@ impl<B: ExecBackend> Driver<B> {
             &mut self.completed,
             &mut self.in_flight,
             &mut self.active,
+            &mut self.pending_ops,
             &mut self.history,
             rec,
         );
@@ -342,6 +382,7 @@ impl<B: ExecBackend> Driver<B> {
         completed: &mut [u64],
         in_flight: &mut [Option<OpRecord>],
         active: &mut ActiveSet,
+        pending_ops: &mut u64,
         history: &mut History,
         rec: OpRecord,
     ) {
@@ -349,6 +390,7 @@ impl<B: ExecBackend> Driver<B> {
             let pid = rec.pid;
             in_flight[pid] = None;
             completed[pid] += 1;
+            *pending_ops -= 1;
             if completed[pid] == submitted[pid] {
                 active.remove(pid);
             }
@@ -892,6 +934,118 @@ mod tests {
         assert_eq!(d.history().len(), 1);
         assert!(d.history().ops()[0].resp.is_some());
         assert_eq!(d.history().ops()[0].returned(), 42);
+    }
+
+    #[test]
+    fn coop_free_wait_all_completes_everything() {
+        let rt = Runtime::coop_free(4);
+        let mut d = Driver::coop_free(rt.clone());
+        let reg = Arc::new(Register::new(0));
+        for pid in 0..4 {
+            d.submit_task(pid, OpSpec::custom("rmw", 0), RmwTask::new(reg.clone(), 1));
+        }
+        d.wait_all();
+        assert_eq!(d.history().len(), 4);
+        assert!(d.history().ops().iter().all(|r| r.resp.is_some()));
+        assert_eq!(rt.total_steps(), 8, "4 processes x 2 primitives");
+        // Batch order is ascending pid per round — exactly the gated
+        // round-robin interleaving, which loses all but one update.
+        assert_eq!(reg.peek(), 1);
+        for rec in d.history().ops() {
+            assert_eq!(rec.returned(), 0);
+            assert_eq!(rec.steps, 2);
+        }
+    }
+
+    #[test]
+    fn coop_free_matches_gated_round_robin() {
+        let gated = {
+            let reg = Arc::new(Register::new(0));
+            let mut d = Driver::coop(Runtime::coop(3));
+            for pid in 0..3 {
+                d.submit_task(pid, OpSpec::custom("rmw", 0), RmwTask::new(reg.clone(), 1));
+            }
+            d.run_schedule(&mut RoundRobin::new());
+            (reg.peek(), d.take_history().sorted_by_invocation())
+        };
+        let free = {
+            let reg = Arc::new(Register::new(0));
+            let mut d = Driver::coop_free(Runtime::coop_free(3));
+            for pid in 0..3 {
+                d.submit_task(pid, OpSpec::custom("rmw", 0), RmwTask::new(reg.clone(), 1));
+            }
+            d.wait_all();
+            (reg.peek(), d.take_history().sorted_by_invocation())
+        };
+        assert_eq!(gated.0, free.0, "shared memory diverged");
+        assert_eq!(gated.1, free.1, "histories diverged");
+    }
+
+    #[test]
+    fn coop_free_seeded_rounds_are_replayable() {
+        let run = |seed: u64| -> (u64, Vec<u128>) {
+            let reg = Arc::new(Register::new(0));
+            let mut d = Driver::coop_free_seeded(Runtime::coop_free(8), seed);
+            for pid in 0..8 {
+                d.submit_task(pid, OpSpec::custom("rmw", 0), RmwTask::new(reg.clone(), 1));
+            }
+            d.wait_all();
+            let h = d.take_history().sorted_by_invocation();
+            (reg.peek(), h.iter().map(|r| r.returned()).collect())
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+    }
+
+    #[test]
+    fn coop_free_zero_step_ops_complete_without_rounds() {
+        let rt = Runtime::coop_free(2);
+        let mut d = Driver::coop_free(rt);
+        d.submit_task(
+            0,
+            OpSpec::custom("noop", 0),
+            crate::task::ImmediateOp::new(|_| 7),
+        );
+        d.wait_all();
+        assert_eq!(d.history().len(), 1);
+        assert_eq!(d.history().ops()[0].returned(), 7);
+    }
+
+    #[test]
+    fn coop_free_supports_multiple_wait_all_batches() {
+        let rt = Runtime::coop_free(2);
+        let mut d = Driver::coop_free(rt);
+        let reg = Arc::new(Register::new(0));
+        for round in 0..3 {
+            for pid in 0..2 {
+                d.submit_task(
+                    pid,
+                    OpSpec::custom("rmw", round),
+                    RmwTask::new(reg.clone(), 1),
+                );
+            }
+            d.wait_all();
+        }
+        assert_eq!(d.history().len(), 6);
+        assert!(d.active_pids().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "crash() requires a gated runtime")]
+    fn coop_free_rejects_crash() {
+        let mut d = Driver::coop_free(Runtime::coop_free(2));
+        d.crash(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a gated coop runtime")]
+    fn gated_coop_constructor_rejects_free_runtime() {
+        let _ = Driver::coop(Runtime::coop_free(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a free-running coop runtime")]
+    fn free_coop_constructor_rejects_gated_runtime() {
+        let _ = Driver::coop_free(Runtime::coop(2));
     }
 
     #[test]

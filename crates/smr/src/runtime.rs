@@ -114,6 +114,18 @@ impl Runtime {
         Arc::new(Runtime::build(n, Mode::Gated, true))
     }
 
+    /// A **free-running** runtime over *virtual* processes: as
+    /// [`coop`](Runtime::coop), operations are submitted as
+    /// [`OpTask`](crate::OpTask)s and run on the controller thread —
+    /// but with no grant discipline. The backend batch-polls every
+    /// runnable task in rounds (`Driver::coop_free`), trading crash and
+    /// suspension control for raw throughput: coop cache locality at
+    /// free-running speed. Executions are still deterministic (single
+    /// thread, fixed batch order).
+    pub fn coop_free(n: usize) -> Arc<Runtime> {
+        Arc::new(Runtime::build(n, Mode::FreeRunning, true))
+    }
+
     fn build(n: usize, mode: Mode, coop: bool) -> Runtime {
         assert!(n > 0, "a runtime needs at least one process");
         Runtime {
@@ -149,8 +161,9 @@ impl Runtime {
         self.mode
     }
 
-    /// `true` for runtimes built by [`Runtime::coop`]: gated semantics,
-    /// virtual processes, no worker threads.
+    /// `true` for runtimes built by [`Runtime::coop`] or
+    /// [`Runtime::coop_free`]: virtual processes driven cooperatively
+    /// on the controller thread, no worker threads.
     pub fn is_coop(&self) -> bool {
         self.coop
     }
@@ -364,6 +377,19 @@ mod tests {
         let reg = crate::Register::new(0);
         reg.write(&ctx, 9);
         assert_eq!(rt.steps_of(3), 1);
+    }
+
+    #[test]
+    fn coop_free_runtime_is_free_running_without_a_gate() {
+        let rt = Runtime::coop_free(4);
+        assert_eq!(rt.mode(), Mode::FreeRunning);
+        assert!(rt.is_coop());
+        assert!(rt.gate.is_none());
+        // Primitives never park; they just count.
+        let ctx = rt.ctx(1);
+        let reg = crate::Register::new(0);
+        reg.write(&ctx, 5);
+        assert_eq!(rt.steps_of(1), 1);
     }
 
     #[test]

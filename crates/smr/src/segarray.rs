@@ -10,13 +10,24 @@
 //! Indexing math: with base-segment capacity `B = 2^LOG_BASE`, segment `s`
 //! holds `B << s` elements, so index `i`'s segment is recovered from the
 //! position of the most significant bit of `i + B`.
+//!
+//! Segments are allocated **cache-line aligned** (64 bytes): hot
+//! low-index elements — the k-multiplicative counter's first switches,
+//! per-shard heads in sharded sketches — start at a line boundary
+//! instead of wherever the global allocator put the segment header, so
+//! concurrent writers hammering *different* arrays never false-share a
+//! line across segment heads.
 
+use std::alloc::Layout;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
 const LOG_BASE: u32 = 6;
 const BASE: usize = 1 << LOG_BASE;
 /// Enough segments to cover the full usize index space.
 const SEGMENTS: usize = (usize::BITS - LOG_BASE) as usize;
+/// Segment base alignment: one cache line.
+const SEG_ALIGN: usize = 64;
 
 /// A lock-free growable array of `T`. Elements are default-initialized on
 /// first segment allocation and never move.
@@ -52,6 +63,54 @@ impl<T: Default> SegArray<T> {
         BASE << seg
     }
 
+    /// Layout of segment `seg`: a `[T; capacity]` array raised to cache-line
+    /// alignment.
+    fn seg_layout(seg: usize) -> Layout {
+        Layout::array::<T>(Self::seg_capacity(seg))
+            .and_then(|l| l.align_to(SEG_ALIGN))
+            .expect("segment layout")
+    }
+
+    /// Allocate and default-initialize segment `seg` at cache-line
+    /// alignment. (Zero-sized `T`: no storage; a dangling aligned
+    /// pointer is a valid slice base.)
+    fn alloc_segment(seg: usize) -> *mut T {
+        let cap = Self::seg_capacity(seg);
+        let layout = Self::seg_layout(seg);
+        if layout.size() == 0 {
+            return NonNull::dangling().as_ptr();
+        }
+        // SAFETY: non-zero size; each slot is initialized before the
+        // pointer escapes.
+        unsafe {
+            let ptr = std::alloc::alloc(layout) as *mut T;
+            if ptr.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            for k in 0..cap {
+                ptr.add(k).write(T::default());
+            }
+            ptr
+        }
+    }
+
+    /// Drop the elements of segment `seg` and release its allocation.
+    ///
+    /// # Safety
+    /// `ptr` must come from [`alloc_segment`](Self::alloc_segment) for the
+    /// same `seg`, be fully initialized, and never be used again.
+    unsafe fn free_segment(ptr: *mut T, seg: usize) {
+        let cap = Self::seg_capacity(seg);
+        let layout = Self::seg_layout(seg);
+        // SAFETY: per the contract above.
+        unsafe {
+            std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(ptr, cap));
+            if layout.size() > 0 {
+                std::alloc::dealloc(ptr as *mut u8, layout);
+            }
+        }
+    }
+
     /// The element at index `i`, allocating its segment if needed.
     ///
     /// Lock-free: concurrent allocators race with CAS and the loser frees
@@ -73,9 +132,7 @@ impl<T: Default> SegArray<T> {
         if !existing.is_null() {
             return existing;
         }
-        let cap = Self::seg_capacity(seg);
-        let fresh: Box<[T]> = (0..cap).map(|_| T::default()).collect();
-        let fresh_ptr = Box::into_raw(fresh) as *mut T;
+        let fresh_ptr = Self::alloc_segment(seg);
         match slot.compare_exchange(
             std::ptr::null_mut(),
             fresh_ptr,
@@ -85,12 +142,8 @@ impl<T: Default> SegArray<T> {
             Ok(_) => fresh_ptr,
             Err(winner) => {
                 // SAFETY: we exclusively own `fresh_ptr` (CAS failed, so it
-                // was never published); reconstitute and drop it.
-                unsafe {
-                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
-                        fresh_ptr, cap,
-                    )));
-                }
+                // was never published); drop its elements and free it.
+                unsafe { Self::free_segment(fresh_ptr, seg) };
                 winner
             }
         }
@@ -112,13 +165,10 @@ impl<T: Default> Drop for SegArray<T> {
         for (seg, slot) in self.segments.iter().enumerate() {
             let ptr = slot.load(Ordering::Acquire);
             if !ptr.is_null() {
-                let cap = Self::seg_capacity(seg);
-                // SAFETY: `ptr` was created by `Box::into_raw` on a boxed
-                // slice of exactly `cap` elements and is owned solely by
-                // `self` at drop time.
-                unsafe {
-                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, cap)));
-                }
+                // SAFETY: `ptr` was published by `segment_ptr` from
+                // `alloc_segment(seg)` and is owned solely by `self` at
+                // drop time.
+                unsafe { Self::free_segment(ptr, seg) };
             }
         }
     }
@@ -174,6 +224,17 @@ mod tests {
         }
         for i in 0..16_000usize {
             assert_eq!(arr.get(i).load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn segments_are_cache_line_aligned() {
+        let arr: SegArray<u8> = SegArray::new();
+        // First element of each of the first few segments starts a line.
+        for seg in 0..4 {
+            let first_index = (BASE << seg) - BASE;
+            let addr = arr.get(first_index) as *const u8 as usize;
+            assert_eq!(addr % SEG_ALIGN, 0, "segment {seg} head misaligned");
         }
     }
 

@@ -40,6 +40,8 @@
 //! [`ProcCtx`]: crate::ProcCtx
 
 use crate::ProcCtx;
+use std::alloc::Layout;
+use std::ptr::NonNull;
 
 pub use std::task::Poll;
 
@@ -51,14 +53,101 @@ pub trait OpTask: Send {
     fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128>;
 }
 
+/// Shim applying one [`OpTask::poll`] to a type-erased payload.
+pub(crate) type PollFn = unsafe fn(NonNull<u8>, &ProcCtx) -> Poll<u128>;
+/// Shim dropping a type-erased payload in place (no deallocation).
+pub(crate) type DropFn = unsafe fn(NonNull<u8>);
+
+/// A type-erased [`OpTask`] behind a *thin* pointer: the payload lives
+/// in its own heap allocation and the vtable is two explicit shims
+/// captured where the concrete type is still known
+/// ([`ErasedTask::new`]).
+///
+/// Unlike `Box<dyn OpTask>`, the payload pointer and the shims travel
+/// separately, so the payload bytes can be relocated (it has never been
+/// polled when the backend takes it, so the relocation is an ordinary
+/// move) and dropped in place without a deallocation — which is what
+/// lets the coop backend move 10⁶ task states into a bump arena and
+/// keep the shims in dense side arrays (see `backend::coop`).
+pub struct ErasedTask {
+    data: NonNull<u8>,
+    layout: Layout,
+    poll: PollFn,
+    dropper: DropFn,
+}
+
+// SAFETY: the payload is some `T: OpTask + 'static` (`OpTask: Send`)
+// owned exclusively through `data`; sending the handle sends that
+// ownership.
+unsafe impl Send for ErasedTask {}
+
+impl ErasedTask {
+    /// Erase `task`, moving it to its own heap allocation.
+    pub fn new<T: OpTask + 'static>(task: T) -> Self {
+        unsafe fn poll_shim<T: OpTask>(data: NonNull<u8>, ctx: &ProcCtx) -> Poll<u128> {
+            // SAFETY: caller passes the exclusively-owned, live `T`
+            // this shim was erased from.
+            unsafe { data.cast::<T>().as_mut() }.poll(ctx)
+        }
+        unsafe fn drop_shim<T>(data: NonNull<u8>) {
+            // SAFETY: as in `poll_shim`; the value is dead afterwards.
+            unsafe { std::ptr::drop_in_place(data.cast::<T>().as_ptr()) }
+        }
+        let data = NonNull::new(Box::into_raw(Box::new(task)))
+            .expect("Box allocations are non-null")
+            .cast::<u8>();
+        ErasedTask {
+            data,
+            layout: Layout::new::<T>(),
+            poll: poll_shim::<T>,
+            dropper: drop_shim::<T>,
+        }
+    }
+
+    /// Advance the erased task (see [`OpTask::poll`]).
+    pub(crate) fn poll(&mut self, ctx: &ProcCtx) -> Poll<u128> {
+        // SAFETY: `data` is the live payload these shims were built for.
+        unsafe { (self.poll)(self.data, ctx) }
+    }
+
+    /// Decompose into payload pointer, its layout, and the two shims.
+    /// The caller takes over the payload's heap allocation (none for
+    /// zero-sized payloads: the pointer is dangling, as from `Box`).
+    pub(crate) fn into_raw_parts(self) -> (NonNull<u8>, Layout, PollFn, DropFn) {
+        let this = std::mem::ManuallyDrop::new(self);
+        (this.data, this.layout, this.poll, this.dropper)
+    }
+}
+
+impl Drop for ErasedTask {
+    fn drop(&mut self) {
+        // SAFETY: sole owner of the payload and (for non-ZSTs) its
+        // allocation, both created in `new`.
+        unsafe {
+            (self.dropper)(self.data);
+            if self.layout.size() > 0 {
+                std::alloc::dealloc(self.data.as_ptr(), self.layout);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ErasedTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErasedTask")
+            .field("layout", &self.layout)
+            .finish_non_exhaustive()
+    }
+}
+
 /// An operation in either submission form: a one-shot closure (thread
 /// backend only — it cannot be suspended cooperatively) or a resumable
 /// [`OpTask`] (either backend).
 pub enum Op {
     /// A closure executed start-to-finish on a worker thread.
     Call(Box<dyn FnOnce(&ProcCtx) -> u128 + Send + 'static>),
-    /// A poll-style resumable task.
-    Task(Box<dyn OpTask + 'static>),
+    /// A poll-style resumable task, type-erased.
+    Task(ErasedTask),
 }
 
 impl std::fmt::Debug for Op {

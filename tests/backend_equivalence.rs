@@ -18,6 +18,15 @@
 //! backends accept). A separate test pins closure-form vs task-form
 //! equivalence on the thread backend, so the chain
 //! closure/thread ≡ task/thread ≡ task/coop is closed.
+//!
+//! The free-running coop mode (`Driver::coop_free`) is pinned against
+//! gated coop the same way: with every op submitted in ascending pid
+//! order, the unseeded free sweep's poll order *is* the gated
+//! round-robin schedule, so the two executions must agree on the final
+//! `history_snapshot()`, per-process step counters and shared memory —
+//! on both the register programs and a kmult counter workload. Seeded
+//! free runs shuffle each batch round but stay replayable: the same
+//! seed reproduces the same execution bit for bit.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -228,8 +237,81 @@ fn run_coop(sc: &Scenario) -> Outcome {
     drive(d, &pool, sc)
 }
 
+/// What a gate-free run leaves behind (no crash cuts or mid-run
+/// snapshots exist in free mode, so the comparable surface is the final
+/// snapshot, the step counters and the shared memory).
+#[derive(Debug, PartialEq, Eq)]
+struct FreeOutcome {
+    snapshot: NormHistory,
+    per_pid_steps: Vec<u64>,
+    memory: Vec<u64>,
+}
+
+fn run_coop_roundrobin(sc: &Scenario) -> FreeOutcome {
+    let n = sc.progs.len();
+    let pool = Arc::new(Pool::new());
+    let mut d = Driver::coop(Runtime::coop(n));
+    submit_tasks(&mut d, &pool, sc);
+    let _ = d.run_schedule(&mut smr::sched::RoundRobin::new());
+    FreeOutcome {
+        snapshot: normalize(&d.history_snapshot()),
+        per_pid_steps: (0..n).map(|p| d.runtime().steps_of(p)).collect(),
+        memory: pool.fingerprint(),
+    }
+}
+
+fn run_coop_free(sc: &Scenario, seed: Option<u64>) -> FreeOutcome {
+    let n = sc.progs.len();
+    let pool = Arc::new(Pool::new());
+    let rt = Runtime::coop_free(n);
+    let mut d = match seed {
+        None => Driver::coop_free(rt),
+        Some(s) => Driver::coop_free_seeded(rt, s),
+    };
+    submit_tasks(&mut d, &pool, sc);
+    d.wait_all();
+    FreeOutcome {
+        snapshot: normalize(&d.history_snapshot()),
+        per_pid_steps: (0..n).map(|p| d.runtime().steps_of(p)).collect(),
+        memory: pool.fingerprint(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gated_and_free_coop_agree_on_register_programs(
+        progs in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec((0u8..3, 0usize..4, 0u64..100), 1..5),
+                1..4,
+            ),
+            2..6,
+        ),
+    ) {
+        let sc = Scenario { progs, crashes: vec![], snap_at: usize::MAX, seed: 0 };
+        let gated = run_coop_roundrobin(&sc);
+        let free = run_coop_free(&sc, None);
+        prop_assert_eq!(&gated, &free, "gated round-robin and free sweep diverged");
+    }
+
+    #[test]
+    fn seeded_free_coop_is_replayable_on_register_programs(
+        progs in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec((0u8..3, 0usize..4, 0u64..100), 1..5),
+                1..4,
+            ),
+            2..6,
+        ),
+        seed in 1u64..1_000_000,
+    ) {
+        let sc = Scenario { progs, crashes: vec![], snap_at: usize::MAX, seed: 0 };
+        let first = run_coop_free(&sc, Some(seed));
+        let again = run_coop_free(&sc, Some(seed));
+        prop_assert_eq!(&first, &again, "seed {} did not replay", seed);
+    }
 
     #[test]
     fn thread_and_coop_backends_are_equivalent(
@@ -363,6 +445,81 @@ fn ported_object_tasks_are_backend_equivalent() {
     let (h_coop, steps_coop) = run(true);
     assert_eq!(steps_thread, steps_coop, "total granted steps diverged");
     assert_eq!(h_thread, h_coop, "histories diverged");
+}
+
+/// Submit an interleaved increment/read workload over one shared
+/// Algorithm 1 counter and return it for fingerprinting.
+fn submit_kmult_workload<B: ExecBackend>(
+    d: &mut Driver<B>,
+    n: usize,
+) -> Arc<approx_objects::KmultCounter> {
+    use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
+    use parking_lot::Mutex;
+
+    let kc = KmultCounter::new(n, 3);
+    for pid in 0..n {
+        let h: SharedKmultHandle = Arc::new(Mutex::new(kc.handle(pid)));
+        for j in 0..8u64 {
+            if j % 2 == 0 {
+                d.submit_task(pid, OpSpec::inc(), KmultIncTask::new(h.clone()));
+            } else {
+                d.submit_task(pid, OpSpec::read(), KmultReadTask::new(h.clone()));
+            }
+        }
+    }
+    kc
+}
+
+/// Gated round-robin coop ≡ unseeded free-running coop on the paper's
+/// Algorithm 1 counter: same final snapshot, step counters and counter
+/// state.
+#[test]
+fn gated_and_free_coop_agree_on_a_kmult_workload() {
+    for n in [1usize, 2, 5, 16] {
+        let (gated, gated_steps, gated_val) = {
+            let mut d = Driver::coop(Runtime::coop(n));
+            let kc = submit_kmult_workload(&mut d, n);
+            let _ = d.run_schedule(&mut smr::sched::RoundRobin::new());
+            (
+                normalize(&d.history_snapshot()),
+                (0..n).map(|p| d.runtime().steps_of(p)).collect::<Vec<_>>(),
+                kc.peek_approx_value(),
+            )
+        };
+        let (free, free_steps, free_val) = {
+            let mut d = Driver::coop_free(Runtime::coop_free(n));
+            let kc = submit_kmult_workload(&mut d, n);
+            d.wait_all();
+            (
+                normalize(&d.history_snapshot()),
+                (0..n).map(|p| d.runtime().steps_of(p)).collect::<Vec<_>>(),
+                kc.peek_approx_value(),
+            )
+        };
+        assert_eq!(gated, free, "histories diverged at n = {n}");
+        assert_eq!(gated_steps, free_steps, "step counters diverged at n = {n}");
+        assert_eq!(gated_val, free_val, "counter state diverged at n = {n}");
+    }
+}
+
+/// A seeded free-running coop run over the kmult workload replays bit
+/// for bit under the same seed.
+#[test]
+fn seeded_free_coop_is_replayable_on_a_kmult_workload() {
+    let run = |seed: u64| {
+        let n = 7;
+        let mut d = Driver::coop_free_seeded(Runtime::coop_free(n), seed);
+        let kc = submit_kmult_workload(&mut d, n);
+        d.wait_all();
+        (
+            normalize(&d.history_snapshot()),
+            (0..n).map(|p| d.runtime().steps_of(p)).collect::<Vec<_>>(),
+            kc.peek_approx_value(),
+        )
+    };
+    for seed in [1u64, 0xBEEF, u64::MAX] {
+        assert_eq!(run(seed), run(seed), "seed {seed:#x} did not replay");
+    }
 }
 
 /// Adapter: a boxed task as an `OpTask` (the driver takes `impl OpTask`).
