@@ -1,27 +1,34 @@
-//! EXP-EXPLORE — exhaustive schedule exploration throughput and
-//! coverage over the coop backend.
+//! EXP-EXPLORE — schedule exploration throughput and coverage over the
+//! coop backend.
 //!
 //! The paper's correctness claims are schedule-quantified; `smr::explore`
-//! turns them into finite checks by enumerating *every* interleaving of
-//! small configurations and feeding each history cut to the `lincheck`
-//! monotone checkers. This experiment measures that harness and pins its
-//! correctness on every run:
+//! turns them into finite checks by enumerating interleavings of small
+//! configurations and feeding each history cut to the `lincheck`
+//! monotone checkers. This experiment measures that harness across its
+//! reduction algorithms and pins its correctness on every run:
 //!
 //! * **count assertions** — for programs with schedule-independent
-//!   per-process step counts, the enumerated interleavings must equal
-//!   the multinomial closed form `(Σsᵢ)!/Πsᵢ!`;
+//!   per-process step counts, exhaustively enumerated interleavings must
+//!   equal the multinomial closed form `(Σsᵢ)!/Πsᵢ!`;
 //! * **zero violations** — every real-object configuration must pass
 //!   its checker on every cut (the bin exits non-zero otherwise);
-//! * **throughput** — interleavings/second enumerated, with and without
-//!   commuting-step pruning, and under crash injection.
+//! * **throughput** — interleavings/second under exhaustive DFS,
+//!   adjacent-swap pruning (`dfs-prune`), dynamic partial-order
+//!   reduction (`dpor`), and the parallel frontier-replay pool
+//!   (`dpor-parallel:N`), plus crash injection.
+//!
+//! The `algo` column is part of each row's identity for
+//! `bench::regression` diffs; a `dpor` row counts *Mazurkiewicz trace
+//! representatives*, not raw interleavings, so counts are comparable
+//! only within one algorithm.
 //!
 //! Results land in `BENCH_explore.json` (cwd) for regression tracking.
 //!
 //! Run: `cargo run --release -p bench --bin exp_explore`
 //! CI:  `cargo run --release -p bench --bin exp_explore -- --smoke`
-//! (`--smoke` runs the two closed-form configs and the pruned variant —
-//! the acceptance bar: exhaustive enumeration, count exact, no
-//! violations.)
+//! The worker count of the `dpor-parallel` rows is pinned with
+//! `--algo dpor-parallel:N` (default 2; the value is part of the row's
+//! `algo` identity, so CI lanes must pass the committed count).
 
 use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
 use bench::multinomial;
@@ -30,26 +37,50 @@ use counter::{CollectCounter, CollectIncTask, CollectReadTask};
 use lincheck::{check_counter_records, check_maxreg_records};
 use maxreg::{TreeMaxReadTask, TreeMaxRegister, TreeMaxWriteTask};
 use parking_lot::Mutex;
-use smr::explore::{explore, ExploreConfig};
+use smr::explore::{explore, explore_parallel, ExploreAlgo, ExploreConfig};
 use smr::{CoopBackend, Driver, History, OpSpec, Runtime};
 use std::sync::Arc;
 use std::time::Instant;
 
-type Factory = Box<dyn Fn() -> Driver<CoopBackend>>;
-type Checker = Box<dyn FnMut(&History) -> Result<(), String>>;
+type Factory = Box<dyn Fn() -> Driver<CoopBackend> + Sync>;
+type Checker = Box<dyn Fn(&History) -> Result<(), String> + Sync>;
+
+/// How a configuration is driven through the explorer.
+enum Run {
+    /// `smr::explore` on the calling thread (all sequential algorithms).
+    Seq,
+    /// `smr::explore_parallel` with the given worker count.
+    Par(usize),
+}
 
 struct Config {
     name: &'static str,
     cfg: ExploreConfig,
+    run: Run,
     /// Closed-form interleaving count, where per-process step counts
-    /// are schedule-independent (exhaustive, unpruned configs only).
+    /// are schedule-independent (exhaustive, unreduced configs only).
     expected: Option<u128>,
     factory: Factory,
     checker: Checker,
 }
 
+impl Config {
+    /// The `algo` identity string reported for this row.
+    fn algo(&self) -> String {
+        match self.run {
+            Run::Par(n) => format!("dpor-parallel:{n}"),
+            Run::Seq if !self.cfg.prune => "dfs".to_string(),
+            Run::Seq => match self.cfg.algo {
+                ExploreAlgo::Dfs => "dfs-prune".to_string(),
+                ExploreAlgo::Dpor => "dpor".to_string(),
+            },
+        }
+    }
+}
+
 struct Sample {
     name: &'static str,
+    algo: String,
     prune: bool,
     crashes: usize,
     interleavings: u64,
@@ -66,10 +97,11 @@ impl Sample {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"config\": \"{}\", \"prune\": {}, \"max_crashes\": {}, \
+            "{{\"config\": \"{}\", \"algo\": \"{}\", \"prune\": {}, \"max_crashes\": {}, \
              \"interleavings\": {}, \"pruned_subtrees\": {}, \"steps_replayed\": {}, \
              \"millis\": {:.3}, \"interleavings_per_sec\": {:.0}, \"violations\": {}}}",
             self.name,
+            self.algo,
             self.prune,
             self.crashes,
             self.interleavings,
@@ -97,6 +129,27 @@ fn collect_incs() -> Factory {
     })
 }
 
+/// The 4-process acceptance program for DPOR: 3 incrementers × 2 incs
+/// each plus a reader issuing 2 full collects. Exhaustive enumeration of
+/// its 20 primitives is ~4.4 × 10⁹ interleavings — far beyond DFS — but
+/// the conflict structure (each collect read races only the owning
+/// incrementer's writes) collapses to a few thousand trace classes.
+fn collect_4x2() -> Factory {
+    Box::new(|| {
+        let mut d = Driver::coop(Runtime::coop(4));
+        let c = Arc::new(CollectCounter::new(4));
+        for pid in 0..3 {
+            for _ in 0..2 {
+                d.submit_task(pid, OpSpec::inc(), CollectIncTask::new(c.clone()));
+            }
+        }
+        for _ in 0..2 {
+            d.submit_task(3, OpSpec::read(), CollectReadTask::new(c.clone()));
+        }
+        d
+    })
+}
+
 /// 2 incrementers + 1 reader over the collect counter.
 fn collect_with_reader() -> Factory {
     Box::new(|| {
@@ -109,9 +162,9 @@ fn collect_with_reader() -> Factory {
     })
 }
 
-/// The acceptance configuration: 3 processes × 2 Algorithm 1 increments
-/// at k = 3 (first announces via switch_0 — one primitive win or lose —
-/// the second stays below threshold: zero primitives).
+/// The count-assert configuration: 3 processes × 2 Algorithm 1
+/// increments at k = 3 (first announces via switch_0 — one primitive win
+/// or lose — the second stays below threshold: zero primitives).
 fn kmult_3x2() -> Factory {
     Box::new(|| {
         let mut d = Driver::coop(Runtime::coop(3));
@@ -161,20 +214,63 @@ fn maxreg_checker(k: u64) -> Checker {
     Box::new(move |h| check_maxreg_records(h, k))
 }
 
+/// Parse `--algo dpor-parallel:N` (or `--algo=dpor-parallel:N`) into the
+/// worker count used by the `dpor-parallel` rows.
+fn parallel_workers(args: &[String]) -> usize {
+    let mut spec: Option<&str> = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--algo=") {
+            spec = Some(v);
+        } else if a == "--algo" {
+            spec = args.get(i + 1).map(String::as_str);
+        }
+    }
+    let Some(spec) = spec else { return 2 };
+    spec.strip_prefix("dpor-parallel:")
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| panic!("--algo expects dpor-parallel:N (N ≥ 1), got {spec:?}"))
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let workers = parallel_workers(&args);
+
+    let dfs_prune = ExploreConfig {
+        algo: ExploreAlgo::Dfs,
+        ..ExploreConfig::default()
+    };
 
     let mut configs = vec![
         Config {
             name: "collect-3x2-exhaustive",
             cfg: ExploreConfig::exhaustive(100),
+            run: Run::Seq,
             expected: Some(multinomial(&[4, 4, 4])),
             factory: collect_incs(),
             checker: counter_checker(1),
         },
         Config {
             name: "collect-3x2-pruned",
+            cfg: dfs_prune.clone(),
+            run: Run::Seq,
+            expected: None,
+            factory: collect_incs(),
+            checker: counter_checker(1),
+        },
+        Config {
+            name: "collect-3x2-dpor",
             cfg: ExploreConfig::default(),
+            run: Run::Seq,
+            expected: None,
+            factory: collect_incs(),
+            checker: counter_checker(1),
+        },
+        Config {
+            name: "collect-3x2-dpor-parallel",
+            cfg: ExploreConfig::default(),
+            run: Run::Par(workers),
             expected: None,
             factory: collect_incs(),
             checker: counter_checker(1),
@@ -182,6 +278,7 @@ fn main() {
         Config {
             name: "kmult-3x2-exhaustive",
             cfg: ExploreConfig::exhaustive(100),
+            run: Run::Seq,
             expected: Some(multinomial(&[1, 1, 1])),
             factory: kmult_3x2(),
             checker: counter_checker(3),
@@ -189,18 +286,36 @@ fn main() {
     ];
     if !smoke {
         configs.push(Config {
+            name: "collect-4x2-dpor",
+            cfg: ExploreConfig::default(),
+            run: Run::Seq,
+            expected: None,
+            factory: collect_4x2(),
+            checker: counter_checker(1),
+        });
+        configs.push(Config {
+            name: "collect-4x2-dpor-parallel",
+            cfg: ExploreConfig::default(),
+            run: Run::Par(workers),
+            expected: None,
+            factory: collect_4x2(),
+            checker: counter_checker(1),
+        });
+        configs.push(Config {
             name: "collect-reader-crashes",
             cfg: ExploreConfig {
                 max_crashes: 2,
                 ..ExploreConfig::default()
             },
+            run: Run::Seq,
             expected: None,
             factory: collect_with_reader(),
             checker: counter_checker(1),
         });
         configs.push(Config {
-            name: "kmult-mixed-pruned",
+            name: "kmult-mixed-dpor",
             cfg: ExploreConfig::default(),
+            run: Run::Seq,
             expected: None,
             factory: kmult_mixed(),
             checker: counter_checker(2),
@@ -208,13 +323,15 @@ fn main() {
         configs.push(Config {
             name: "tree-maxreg-exhaustive",
             cfg: ExploreConfig::exhaustive(100),
+            run: Run::Seq,
             expected: None,
             factory: tree_maxreg(),
             checker: maxreg_checker(1),
         });
         configs.push(Config {
-            name: "tree-maxreg-pruned",
+            name: "tree-maxreg-dpor",
             cfg: ExploreConfig::default(),
+            run: Run::Seq,
             expected: None,
             factory: tree_maxreg(),
             checker: maxreg_checker(1),
@@ -222,9 +339,12 @@ fn main() {
     }
 
     let mut samples = Vec::new();
-    for c in &mut configs {
+    for c in &configs {
         let start = Instant::now();
-        let stats = explore(&c.cfg, &c.factory, &mut c.checker);
+        let stats = match c.run {
+            Run::Seq => explore(&c.cfg, &c.factory, &c.checker),
+            Run::Par(n) => explore_parallel(&c.cfg, n, &c.factory, &c.checker),
+        };
         let millis = start.elapsed().as_secs_f64() * 1e3;
 
         // The correctness bars: exact counts where a closed form
@@ -246,11 +366,15 @@ fn main() {
         assert!(!stats.capped, "{}: unexpected cap", c.name);
 
         eprintln!(
-            "done: {}: {} interleavings ({} pruned subtrees) in {millis:.0} ms",
-            c.name, stats.interleavings, stats.pruned
+            "done: {} [{}]: {} interleavings ({} pruned subtrees) in {millis:.0} ms",
+            c.name,
+            c.algo(),
+            stats.interleavings,
+            stats.pruned
         );
         samples.push(Sample {
             name: c.name,
+            algo: c.algo(),
             prune: c.cfg.prune,
             crashes: c.cfg.max_crashes,
             interleavings: stats.interleavings,
@@ -263,6 +387,7 @@ fn main() {
 
     let mut table = Table::new([
         "config",
+        "algo",
         "prune",
         "crashes",
         "interleavings",
@@ -274,6 +399,7 @@ fn main() {
     for s in &samples {
         table.row([
             s.name.to_string(),
+            s.algo.clone(),
             s.prune.to_string(),
             s.crashes.to_string(),
             s.interleavings.to_string(),
@@ -284,9 +410,10 @@ fn main() {
         ]);
     }
 
-    println!("EXP-EXPLORE — exhaustive schedule exploration (coop backend)");
-    println!("every interleaving of each configuration checked against lincheck;");
-    println!("count-asserted configs must match the multinomial closed form.");
+    println!("EXP-EXPLORE — schedule exploration (coop backend)");
+    println!("every enumerated interleaving checked against lincheck; dpor rows");
+    println!("count Mazurkiewicz trace representatives; count-asserted configs");
+    println!("must match the multinomial closed form.");
     table.print(if smoke {
         "schedule exploration (--smoke configs)"
     } else {

@@ -17,6 +17,13 @@
 //!    least one blocking-form equivalence or determinism test, the
 //!    mechanism that keeps transcriptions primitive-for-primitive
 //!    faithful.
+//! 4. **Thread creation in `smr` is confined.** The model's
+//!    determinism story depends on exactly two places creating OS
+//!    threads: the thread backend (`backend/thread.rs`, one worker per
+//!    process) and the explorer's worker pool (`explore.rs`,
+//!    `explore_parallel`). A `thread::spawn`/`scope`/`Builder` anywhere
+//!    else in non-test `smr` code would put nondeterminism under a
+//!    component the coop backend promises is single-threaded.
 //!
 //! Exit status 0 if clean, 1 with one `file:line: message` finding per
 //! violation — shaped like rustc output so CI annotates it. Pass the
@@ -135,11 +142,14 @@ fn main() {
     }
     let mut findings: Vec<String> = Vec::new();
 
-    // Rules 1 and 2: line scans over non-test code.
+    // Rules 1, 2 and 4: line scans over non-test code.
     for f in &files {
         if f.path.file_name().is_some_and(|n| n == "lint_smr.rs") {
             continue; // the linter's own docs name the patterns it flags
         }
+        let in_smr = f.path.components().any(|c| c.as_os_str() == "smr") && !is_test_path(&f.path);
+        let sanctioned_spawner =
+            f.path.ends_with("src/backend/thread.rs") || f.path.ends_with("src/explore.rs");
         for (i, line) in f.lines.iter().enumerate() {
             if f.in_test[i] {
                 continue;
@@ -154,6 +164,17 @@ fn main() {
             if line.contains("thread::sleep") {
                 findings.push(format!(
                     "{}:{}: thread::sleep in non-test code (synchronize via the gate instead)",
+                    f.path.display(),
+                    i + 1
+                ));
+            }
+            let spawns = ["thread::spawn", "thread::scope", "thread::Builder"]
+                .iter()
+                .any(|p| line.contains(p));
+            if in_smr && !sanctioned_spawner && spawns {
+                findings.push(format!(
+                    "{}:{}: thread creation in smr outside the thread backend and the \
+                     explorer's worker pool (the coop model is single-threaded by contract)",
                     f.path.display(),
                     i + 1
                 ));

@@ -468,6 +468,24 @@ mod tests {
     }
 
     #[test]
+    fn explore_rows_key_on_algo() {
+        // exp_explore emits one row per (config, algo) pair; the algo
+        // tag must be part of row identity so a dpor row is never
+        // diffed against a dfs baseline.
+        let text = r#"{
+  "bench": "schedule_exploration",
+  "results": [
+    {"config": "collect-3x2", "algo": "dfs-prune", "prune": true, "max_crashes": 0, "interleavings": 131, "millis": 1.9, "interleavings_per_sec": 69216, "violations": 0},
+    {"config": "collect-3x2", "algo": "dpor", "prune": true, "max_crashes": 0, "interleavings": 132, "millis": 1.0, "interleavings_per_sec": 128883, "violations": 0}
+  ]
+}"#;
+        let f = parse_bench_json(text).unwrap();
+        let ids: Vec<String> = f.results.iter().map(identity).collect();
+        assert!(ids[0].contains("algo=dfs-prune") && ids[1].contains("algo=dpor"));
+        assert_ne!(ids[0], ids[1], "algo distinguishes otherwise-equal rows");
+    }
+
+    #[test]
     fn real_bench_artifacts_parse() {
         // The committed artifacts in the repo root must stay parseable —
         // this is what CI diffs against.

@@ -170,7 +170,7 @@ where
     events.sort_by_key(|&(t, tie, _)| (t, tie));
 
     let mut assigned: Vec<u128> = vec![0; h.reads.len()];
-    let mut stack = MonotoneStack::new();
+    let mut stack = MonotoneStack::with_capacity(h.reads.len());
 
     for &(_, _, ev) in &events {
         match ev {
@@ -219,77 +219,130 @@ where
 /// Invariant: terms strictly increase from bottom (oldest `resp`) to
 /// top. An entry whose term is overtaken by an earlier entry is
 /// *dominated forever* — every future `raise_before` that reaches it
-/// also reaches the earlier entry — so it is popped. Terms are stored as
-/// successive differences in an ordered map keyed by `resp`: a prefix
-/// raise is `+w` on the first difference and a deficit walk from the
-/// boundary that pops entries whose difference it exhausts. Each entry
-/// is inserted and popped at most once, so all operations are `O(log R)`
-/// amortized.
+/// also reaches the earlier entry — so it is retired. Terms are stored
+/// as successive differences in an append-only sorted vec: a prefix
+/// raise is `+w` on the first live difference and a deficit walk from
+/// the boundary (one `partition_point`) that retires entries whose
+/// difference it exhausts. Retired entries keep a zero diff in place —
+/// prefix sums are unaffected — and are hopped over with union-find
+/// "next live" pointers that compress on traversal, so the walk costs
+/// `O(α)` amortized per retired entry and nothing is allocated after
+/// construction. (The previous `BTreeMap` encoding hit an allocator +
+/// pointer-chasing knee near 10⁶ records.)
 struct MonotoneStack {
-    /// `resp → diff`; the term of an entry is the sum of all diffs up to
-    /// and including its own. All diffs are strictly positive.
-    diffs: std::collections::BTreeMap<u64, u128>,
-    /// Sum of all diffs = term of the top entry = current maximum.
+    /// `(resp, diff)` in nondecreasing `resp` order; the term of a live
+    /// entry is the sum of all diffs up to and including its own.
+    entries: Vec<(u64, u128)>,
+    /// Next-live pointers: `skip[i] == i` marks a live entry; a dead
+    /// entry points at some strictly larger index (possibly
+    /// `entries.len()`). Dead entries are never revived — a same-`resp`
+    /// replacement appends a fresh entry instead — so compressed paths
+    /// stay valid forever.
+    skip: Vec<usize>,
+    /// Number of live entries.
+    live: usize,
+    /// Sum of all diffs = term of the top live entry = current maximum.
     total: u128,
 }
 
 impl MonotoneStack {
-    fn new() -> Self {
+    /// An empty stack pre-sized for `cap` inserts (each `insert` appends
+    /// at most one entry, so a sweep over `R` reads never reallocates).
+    fn with_capacity(cap: usize) -> Self {
         MonotoneStack {
-            diffs: std::collections::BTreeMap::new(),
+            entries: Vec::with_capacity(cap),
+            skip: Vec::with_capacity(cap),
+            live: 0,
             total: 0,
         }
     }
 
     /// Largest current term, if any entry is live.
     fn max(&self) -> Option<u128> {
-        (!self.diffs.is_empty()).then_some(self.total)
+        (self.live > 0).then_some(self.total)
+    }
+
+    /// Number of live entries (the analogue of the old map's `len`).
+    #[cfg(test)]
+    fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// First live index at or after `i` (or `entries.len()`), with path
+    /// compression over the dead chain it walked.
+    fn first_live(&mut self, i: usize) -> usize {
+        let mut j = i;
+        while j < self.entries.len() && self.skip[j] != j {
+            j = self.skip[j];
+        }
+        let mut k = i;
+        while k < self.entries.len() && self.skip[k] != k {
+            k = std::mem::replace(&mut self.skip[k], j);
+        }
+        j
+    }
+
+    /// Retire entry `i`: zero diff stays in place, pointers hop past it.
+    fn retire(&mut self, i: usize) {
+        self.entries[i].1 = 0;
+        self.skip[i] = i + 1;
+        self.live -= 1;
     }
 
     /// Push `(resp, term)`. Requires `resp` ≥ every present key (inserts
     /// arrive in response order). A term not exceeding the current
     /// maximum is dominated on arrival and discarded.
     fn insert(&mut self, resp: u64, term: u128) {
-        if !self.diffs.is_empty() && term <= self.total {
+        if self.live > 0 && term <= self.total {
             return;
         }
-        // An existing entry at the same `resp` (necessarily the top) has
-        // identical future exposure and a smaller term: replace it,
-        // folding its diff into the newcomer's.
-        let folded = self.diffs.remove(&resp).unwrap_or(0);
-        self.diffs.insert(resp, term - self.total + folded);
+        // An existing live entry at the same `resp` (necessarily the
+        // top) has identical future exposure and a smaller term: retire
+        // it, folding its diff into the newcomer's.
+        let mut folded = 0;
+        if let Some(i) = self.entries.len().checked_sub(1) {
+            debug_assert!(self.entries[i].0 <= resp, "inserts arrive in resp order");
+            if self.entries[i].0 == resp && self.skip[i] == i {
+                folded = self.entries[i].1;
+                self.retire(i);
+            }
+        }
+        self.entries.push((resp, term - self.total + folded));
+        self.skip.push(self.skip.len());
+        self.live += 1;
         self.total = term;
     }
 
-    /// Add `w` to the term of every entry with `resp < t`, popping
+    /// Add `w` to the term of every entry with `resp < t`, retiring
     /// entries this dominates.
     fn raise_before(&mut self, t: u64, w: u128) {
-        match self.diffs.first_entry() {
-            Some(first) if *first.key() < t => {
-                *first.into_mut() += w;
-                self.total += w;
-            }
-            _ => return, // no entry precedes t
+        let first = self.first_live(0);
+        if first >= self.entries.len() || self.entries[first].0 >= t {
+            return; // no live entry precedes t
         }
+        self.entries[first].1 += w;
+        self.total += w;
         // Restore the terms of entries at or beyond the boundary by
         // walking the deficit through their diffs; an exhausted diff
         // means the entry's term sank to its predecessor's — dominated.
         let mut deficit = w;
-        let mut dead: Vec<u64> = Vec::new();
-        for (&resp, diff) in self.diffs.range_mut(t..) {
-            let d = deficit.min(*diff);
-            *diff -= d;
+        let mut i = self.entries.partition_point(|&(resp, _)| resp < t);
+        loop {
+            i = self.first_live(i);
+            if i >= self.entries.len() {
+                break;
+            }
+            let d = deficit.min(self.entries[i].1);
+            self.entries[i].1 -= d;
             deficit -= d;
             self.total -= d;
-            if *diff == 0 {
-                dead.push(resp);
+            if self.entries[i].1 == 0 {
+                self.retire(i);
             }
             if deficit == 0 {
                 break;
             }
-        }
-        for resp in dead {
-            self.diffs.remove(&resp);
+            i += 1;
         }
     }
 }
@@ -643,7 +696,7 @@ mod tests {
 
     #[test]
     fn monotone_stack_prefix_raises_and_domination() {
-        let mut s = MonotoneStack::new();
+        let mut s = MonotoneStack::with_capacity(4);
         assert_eq!(s.max(), None);
         s.insert(2, 5);
         s.insert(4, 7);
@@ -652,13 +705,13 @@ mod tests {
         // Raise entries with resp < 3 by 4: terms 9, 7→dominated, 20.
         s.raise_before(3, 4);
         assert_eq!(s.max(), Some(20));
-        assert_eq!(s.diffs.len(), 2, "middle entry popped");
+        assert_eq!(s.live_len(), 2, "middle entry retired");
         // Raise entries with resp < 7 by 100: both remaining entries.
         s.raise_before(7, 100);
         assert_eq!(s.max(), Some(120));
         // Dominated-on-arrival insert is discarded.
         s.insert(9, 3);
-        assert_eq!(s.diffs.len(), 2);
+        assert_eq!(s.live_len(), 2);
         // Raise with boundary before everything: no-op.
         s.raise_before(1, 50);
         assert_eq!(s.max(), Some(120));

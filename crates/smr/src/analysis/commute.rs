@@ -3,8 +3,9 @@
 //!
 //! [`explore`](crate::explore)'s pruning rule declares two adjacent
 //! granted steps independent when they belong to different processes,
-//! neither emitted a history event, and they touch different base
-//! objects (or are both `read`s of one object). The soundness of
+//! at most one of them emitted a history event, and they touch
+//! different base objects (or are both `read`s of one object). The
+//! soundness of
 //! skipping the swapped schedule rests on that independence being real —
 //! which is exactly what a mis-declared access kind would silently
 //! break. This audit tests it *operationally*: run a base schedule,
@@ -124,13 +125,57 @@ fn swapped_run(
     Ok((steps, history))
 }
 
-/// The pruner's independence relation, minus the canonical-order side
-/// condition (independence itself is symmetric).
-fn independent(a: &Access, b: &Access, a_emitted: bool, b_emitted: bool) -> bool {
+/// What one granted step did, as the independence oracle sees it: the
+/// acting process, the base object its single primitive touched, the
+/// access kind, and whether the step emitted history events (completed
+/// an operation and drew logical timestamps).
+///
+/// This is the shared currency between this audit and the explorer's
+/// reduction machinery ([`explore`](crate::explore)): both judge step
+/// pairs with [`independent`], so the audit operationally validates
+/// exactly the relation the explorer prunes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepMeta {
+    /// Acting process.
+    pub pid: usize,
+    /// Base object of the step's single primitive.
+    pub obj: usize,
+    /// Access kind of that primitive.
+    pub kind: AccessKind,
+    /// `true` if the step emitted history events.
+    pub emitted: bool,
+}
+
+/// The explorer's independence relation (symmetric): two granted steps
+/// commute when they belong to different processes, they did not *both*
+/// emit history events, and they touch different base objects or are
+/// both trivial `read`s of one object. Steps with no meta (crash
+/// decisions, zero- or multi-primitive polls) never commute — callers
+/// must treat `None` as dependent on everything.
+///
+/// Why one emission is tolerable: logical timestamps
+/// ([`Runtime::ticket`](crate::Runtime)) are drawn only when an
+/// operation invokes or completes — both on the *emitting* step — so a
+/// non-emitting step draws no tickets and appends nothing to the
+/// history. Transposing it with a remote emitting step leaves the
+/// ticket-draw order, every history record, and (given the base-object
+/// condition) all primitive results unchanged. Two emitting steps never
+/// commute: their record order and ticket values swap observably.
+pub fn independent(a: &StepMeta, b: &StepMeta) -> bool {
     a.pid != b.pid
-        && !a_emitted
-        && !b_emitted
+        && !(a.emitted && b.emitted)
         && (a.obj != b.obj || (a.kind == AccessKind::Read && b.kind == AccessKind::Read))
+}
+
+/// [`independent`] over the audit's per-step accesses.
+fn independent_accesses(a: &Access, b: &Access, a_emitted: bool, b_emitted: bool) -> bool {
+    let meta = |acc: &Access, emitted: bool| StepMeta {
+        pid: acc.pid,
+        obj: acc.obj,
+        kind: acc.kind,
+        emitted,
+    };
+    independent(&meta(a, a_emitted), &meta(b, b_emitted))
 }
 
 /// Audit the pruner's independence relation on the program built by
@@ -144,7 +189,7 @@ where
     let base = base_run(factory());
     let candidates: Vec<usize> = (0..base.schedule.len().saturating_sub(1))
         .filter(|&i| {
-            independent(
+            independent_accesses(
                 &base.steps[i],
                 &base.steps[i + 1],
                 base.emitted[i],

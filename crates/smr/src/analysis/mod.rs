@@ -32,9 +32,10 @@ mod conformance;
 mod hb;
 mod poll;
 
-pub use commute::{commutation_audit, CommuteConfig};
+pub use commute::{commutation_audit, independent, CommuteConfig, StepMeta};
 pub use conformance::Conformance;
 pub use hb::HappensBefore;
+pub(crate) use hb::Vc;
 pub use poll::PollDiscipline;
 
 use crate::trace::TraceEvent;

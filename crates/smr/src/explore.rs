@@ -22,34 +22,106 @@
 //! what makes enumerating tens of thousands of interleavings per second
 //! practical — see `exp_explore`.
 //!
-//! ## Pruning
+//! ## Independence
 //!
-//! With pruning enabled (the default), the explorer skips interleavings
-//! that provably cannot differ from one it already visits. Two adjacent
-//! granted steps commute when
+//! Both reduction algorithms below rest on one independence relation —
+//! [`smr::analysis::independent`](crate::analysis::independent), the
+//! relation `commutation_audit` validates operationally. Two granted
+//! steps commute when
 //!
 //! * they belong to different processes,
-//! * neither emitted a history event (no operation completed, so no
-//!   logical timestamps were drawn and no successor was announced), and
+//! * at most one of them emitted a history event, and
 //! * they touch different base objects, or both are trivial (`read`)
 //!   primitives on the same object.
 //!
 //! Swapping such a pair changes nothing observable: shared memory ends
 //! identical (the primitives commute), per-process step counters are
-//! per-process (unaffected by order), and the history is *byte-identical*
-//! (events are the only ticket draws). The explorer therefore keeps only
-//! the schedules with no such adjacent pair "inverted" (the lower pid
-//! second): every equivalence class contains at least one such canonical
-//! representative — its lexicographically least member, which by
-//! minimality has no swappable adjacent pair out of order — so no
-//! outcome is lost, only duplicates. Completion steps are never
-//! commuted, which keeps the real-time precedence structure of every
-//! visited history exactly as executed.
+//! per-process (unaffected by order), and the history is
+//! *byte-identical* — logical timestamps are drawn only by emitting
+//! steps (an operation completing and announcing its successor), so a
+//! non-emitting step can cross an emitting one without moving any
+//! ticket draw or history record. Two emitting steps are always
+//! dependent: their record order and ticket values swap observably.
+//! Steps whose single primitive
+//! cannot be identified — crash decisions, and nonconforming polls that
+//! apply zero or several primitives in one grant — get no metadata and
+//! are treated as **dependent on everything**: the walk stays exhaustive
+//! around them, so a contract violation can never hide behind a
+//! reduction that assumed the contract.
 //!
 //! The primitive each step applied is read off the runtime's access
 //! trace ([`Runtime::enable_tracing`](crate::Runtime::enable_tracing) —
 //! the explorer turns it on); event emission is read off the history
 //! length.
+//!
+//! ## Reduction: DPOR (default) and adjacent-swap pruning
+//!
+//! With [`ExploreAlgo::Dpor`] (the default while `prune` is on and no
+//! preemption budget is set), the explorer runs **dynamic partial-order
+//! reduction** in the style of Flanagan–Godefroid, with sleep sets: as
+//! each interleaving executes, every step is stamped with a vector
+//! clock (the same sparse clocks as `smr::analysis::hb`) joining the
+//! clocks of its happens-before predecessors — its process's previous
+//! step plus every earlier *dependent* step not already ordered before
+//! it. A dependent-but-concurrent pair is a race: its reversal may be a
+//! distinct Mazurkiewicz trace, so the racing process is added to the
+//! *backtrack set* of the node where the earlier step ran, and the walk
+//! later re-explores that node with the reversal scheduled first. Sleep
+//! sets kill the duplicates this creates: after a choice's subtree is
+//! fully explored, the choice "sleeps" at that node and stays asleep in
+//! sibling subtrees until some executed step is dependent with it —
+//! an execution whose next step is asleep is a reordering of an
+//! already-explored one, and is skipped (counted in
+//! [`ExploreStats::pruned`]).
+//!
+//! Soundness: backtrack sets grow toward persistent sets (every
+//! reversible race found in an executed schedule schedules its
+//! reversal), sleep sets only skip executions equivalent to explored
+//! ones (entries are dropped the moment a dependent step runs), and
+//! steps without metadata commute with nothing, so conservatively every
+//! neighbour of a nonconforming step is explored. One subtlety is
+//! *object identity across replays*: every interleaving runs in a fresh
+//! program instance, so raw base-object addresses recorded in one
+//! replay are meaningless in the next. DPOR metadata persists across
+//! replays, so the walk rekeys each step's object to its first-touch
+//! index along the choice prefix — a deterministic property of the
+//! prefix, hence exact for any two events on one path — and sleep
+//! entries whose object was first touched by the sleeping step itself
+//! (no shared-prefix identity) are compared conservatively: any
+//! possibly-equal pairing counts as dependent and wakes the entry. Crash decisions are
+//! seeded into every node's backtrack set unconditionally — crash
+//! coverage stays exhaustive (one crash cut per prefix per process, as
+//! in the raw DFS); the reduction only collapses step reorderings.
+//!
+//! [`ExploreAlgo::Dfs`] keeps the older, weaker rule: visit only
+//! schedules where no adjacent independent pair is inverted (the lower
+//! pid second). Every trace class contains its lexicographically least
+//! member, which has no such inversion, so outcomes are preserved —
+//! but only *adjacent* commutations are collapsed, which leaves many
+//! duplicates DPOR removes. It survives as a differential baseline.
+//!
+//! A preemption bound disables both reductions: commuting a pair does
+//! not preserve preemption counts, so under a budget every schedule is
+//! explored as-is. `prune: false` likewise forces the raw DFS — that is
+//! what the closed-form interleaving-count tests rely on.
+//!
+//! ## Parallel exploration
+//!
+//! [`explore_parallel`] splits the first two levels of the decision
+//! tree into independent root prefixes (every enabled choice at those
+//! levels, each probed once for its step metadata), hands them to a
+//! pool of OS-thread workers over a shared queue, and runs the
+//! sequential DPOR engine inside each prefix on the worker's own
+//! drivers. Sleep sets accumulated across earlier sibling prefixes
+//! carry into later ones exactly as in the sequential walk, so work is
+//! not duplicated across tasks; races detected against a step *inside*
+//! the fixed prefix are dropped, which is sound because every enabled
+//! choice at a split node is explored by construction (the strongest
+//! possible backtrack set). Results are aggregated in canonical
+//! (lexicographic) task order and violations are minimized after
+//! aggregation, so stats, violation choice and messages are
+//! **bit-identical for any worker count** — `explore_parallel(cfg, 1,
+//! …)` and `explore_parallel(cfg, 8, …)` return the same value.
 //!
 //! ## Bounds
 //!
@@ -61,10 +133,9 @@
 //! (crash-point injection: at every prefix, each active process may be
 //! crashed, surfacing its in-flight operation as a pending record). An
 //! optional `max_interleavings` cap stops runaway configurations and is
-//! reported via [`ExploreStats::capped`]. A preemption bound disables
-//! pruning: the commutation that justifies pruning does not preserve
-//! preemption counts, so under a budget every schedule is explored
-//! as-is.
+//! reported via [`ExploreStats::capped`]; a capped or preemption-bounded
+//! configuration falls back to the sequential engine under
+//! [`explore_parallel`] (a cap is a property of one global visit order).
 //!
 //! ## Replay and minimization
 //!
@@ -76,11 +147,14 @@
 //! persists, and reports the minimal failing schedule alongside the
 //! original in [`FoundViolation`].
 
+use crate::analysis::{independent, StepMeta, Vc};
 use crate::backend::CoopBackend;
 use crate::driver::Driver;
 use crate::history::History;
 use crate::sched::Scripted;
 use crate::trace::{AccessKind, TraceEvent};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
 
 /// One decision of an explored schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +164,13 @@ pub enum Choice {
     /// Crash process `pid` (it is never scheduled again; its in-flight
     /// operation surfaces as a pending record).
     Crash(usize),
+}
+
+/// The process a decision acts on.
+fn acting(choice: Choice) -> usize {
+    match choice {
+        Choice::Step(pid) | Choice::Crash(pid) => pid,
+    }
 }
 
 /// A replayable schedule: the exact decision sequence of one explored
@@ -169,6 +250,20 @@ impl Replay {
     }
 }
 
+/// Which reduction the explorer runs when `prune` is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExploreAlgo {
+    /// Adjacent-swap canonical-order pruning (the pre-DPOR reduction).
+    /// Collapses only adjacent commutations; kept as a differential
+    /// baseline.
+    Dfs,
+    /// Dynamic partial-order reduction with sleep sets (see the [module
+    /// docs](self)): one representative per Mazurkiewicz trace class,
+    /// races detected through happens-before vector clocks.
+    #[default]
+    Dpor,
+}
+
 /// Bounds and options for one [`explore`] call.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
@@ -181,14 +276,15 @@ pub struct ExploreConfig {
     /// from a process that could still run costs one; switches at
     /// completions and crashes are free.
     pub max_preemptions: Option<usize>,
-    /// Skip interleavings equivalent to an already-visited one by
-    /// commuting adjacent event-free independent steps (see the [module
-    /// docs](self)). Disable to count raw interleavings against a
-    /// closed form. Ignored when `max_preemptions` is set: a pruned
-    /// schedule's canonical representative can cost more preemptions
-    /// than the pruned one, so pruning under a preemption budget would
+    /// Skip interleavings equivalent to an already-visited one (see the
+    /// [module docs](self)). Disable to count raw interleavings against
+    /// a closed form. Ignored when `max_preemptions` is set: a reduced
+    /// schedule's representative can cost more preemptions than the
+    /// skipped one, so reduction under a preemption budget would
     /// silently drop in-budget equivalence classes.
     pub prune: bool,
+    /// The reduction to run when `prune` is on.
+    pub algo: ExploreAlgo,
     /// Hard cap on checked interleavings (`None` = exhaust the space).
     pub max_interleavings: Option<u64>,
     /// Stop after this many violations have been found and minimized.
@@ -202,6 +298,7 @@ impl Default for ExploreConfig {
             max_crashes: 0,
             max_preemptions: None,
             prune: true,
+            algo: ExploreAlgo::default(),
             max_interleavings: None,
             max_violations: 1,
         }
@@ -209,7 +306,7 @@ impl Default for ExploreConfig {
 }
 
 impl ExploreConfig {
-    /// Exhaustive enumeration (no pruning, no preemption bound) up to
+    /// Exhaustive enumeration (no reduction, no preemption bound) up to
     /// `max_steps` granted steps — the configuration whose interleaving
     /// count matches the multinomial closed form for programs with
     /// schedule-independent per-process step counts.
@@ -223,7 +320,7 @@ impl ExploreConfig {
 }
 
 /// A checker rejection, with the schedule that produced it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoundViolation {
     /// The checker's diagnosis for the minimized schedule.
     pub message: String,
@@ -235,11 +332,13 @@ pub struct FoundViolation {
 }
 
 /// What one [`explore`] call did.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExploreStats {
     /// History cuts checked (maximal interleavings plus bound cuts).
     pub interleavings: u64,
-    /// Subtrees skipped by pruning.
+    /// Subtrees skipped by the reduction (canonical-order cuts under
+    /// [`ExploreAlgo::Dfs`]; sleeping or never-backtracked choices
+    /// under [`ExploreAlgo::Dpor`]).
     pub pruned: u64,
     /// Total granted steps across all replays (the work metric).
     pub steps_replayed: u64,
@@ -258,31 +357,28 @@ impl ExploreStats {
     }
 }
 
-/// What one granted step did — the information the pruning rule needs.
-#[derive(Debug, Clone, Copy)]
-struct StepInfo {
-    pid: usize,
-    obj: usize,
-    kind: AccessKind,
-    /// `true` if the step emitted history events (an operation
-    /// completed; logical timestamps were drawn).
-    emitted: bool,
-}
-
 /// One node of the decision tree: the alternatives at this prefix and
-/// the index of the branch currently being explored.
+/// the index of the branch currently being explored (raw DFS walk).
 struct Frame {
     alts: Vec<Choice>,
     idx: usize,
 }
 
-/// Apply one decision to the driver, returning the step's [`StepInfo`]
-/// (for traced `Step` decisions). `traced` must match whether the
-/// runtime's tracing is currently on: the prune check only ever looks
-/// at the last two decisions, so prefix replays run untraced (no
-/// per-step mutex/alloc traffic on the explorer's hot path) and flip
-/// tracing on for the final two edges.
-fn apply(d: &mut Driver<CoopBackend>, choice: Choice, traced: bool) -> Option<StepInfo> {
+/// Apply one decision to the driver, returning the step's [`StepMeta`]
+/// (for traced `Step` decisions). `traced` controls whether this call
+/// drains and inspects the trace: the raw DFS replays prefixes with
+/// tracing off entirely (no per-step mutex/alloc traffic), while the
+/// DPOR walk keeps tracing on throughout — it needs the prefix accesses
+/// to rebuild object identity in each fresh instance — but still passes
+/// `traced: false` during replay and drains the whole prefix in one
+/// bulk take afterwards. `scratch` is the reused trace drain buffer —
+/// one allocation per walk, not per step.
+fn apply(
+    d: &mut Driver<CoopBackend>,
+    choice: Choice,
+    traced: bool,
+    scratch: &mut Vec<TraceEvent>,
+) -> Option<StepMeta> {
     match choice {
         Choice::Step(pid) => {
             let before_len = d.history().len();
@@ -293,19 +389,19 @@ fn apply(d: &mut Driver<CoopBackend>, choice: Choice, traced: bool) -> Option<St
             // The trace carries controller edges (Grant, and the
             // Invoke/Complete of zero-primitive follow-up ops) around the
             // step's single primitive application; only that one matters
-            // for the commutation rule. A lenient backend can let a
+            // for the independence relation. A lenient backend can let a
             // poll-contract mutant apply zero or several primitives in one
             // grant — the analysis passes diagnose that; here the step just
-            // loses its pruning metadata (None never commutes, so the walk
-            // stays exhaustive around it).
-            let trace = d.runtime().take_trace();
-            let mut acc = trace.iter().filter_map(|e| e.access());
+            // loses its metadata (None never commutes, so the walk stays
+            // exhaustive around it).
+            d.runtime().take_trace_into(scratch);
+            let mut acc = scratch.iter().filter_map(|e| e.access());
             let first = acc.next().copied();
             let ev = match (first, acc.next()) {
                 (Some(ev), None) => ev,
                 _ => return None,
             };
-            Some(StepInfo {
+            Some(StepMeta {
                 pid,
                 obj: ev.obj,
                 kind: ev.kind,
@@ -315,9 +411,11 @@ fn apply(d: &mut Driver<CoopBackend>, choice: Choice, traced: bool) -> Option<St
         Choice::Crash(pid) => {
             d.crash(pid);
             if traced {
-                let trace = d.runtime().take_trace();
+                d.runtime().take_trace_into(scratch);
                 debug_assert!(
-                    trace.iter().any(|e| matches!(e, TraceEvent::Crash { .. })),
+                    scratch
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::Crash { .. })),
                     "a crash decision records a Crash edge"
                 );
             }
@@ -326,16 +424,24 @@ fn apply(d: &mut Driver<CoopBackend>, choice: Choice, traced: bool) -> Option<St
     }
 }
 
-/// The pruning rule: `second` (just executed) commutes with `first`
-/// (executed immediately before it) and is out of canonical order.
-fn prunable(first: Option<StepInfo>, second: Option<StepInfo>) -> bool {
+/// [`independent`] lifted to optional metadata: a step without metadata
+/// (crash, nonconforming poll, or an untraced replay edge) commutes
+/// with nothing.
+fn indep_opt(a: &Option<StepMeta>, b: &Option<StepMeta>) -> bool {
+    match (a, b) {
+        (Some(a), Some(b)) => independent(a, b),
+        _ => false,
+    }
+}
+
+/// The adjacent-swap pruning rule: `second` (just executed) commutes
+/// with `first` (executed immediately before it) and is out of
+/// canonical order.
+fn prunable(first: &Option<StepMeta>, second: &Option<StepMeta>) -> bool {
     let (Some(a), Some(b)) = (first, second) else {
         return false; // crash edges are never commuted
     };
-    b.pid < a.pid
-        && !a.emitted
-        && !b.emitted
-        && (a.obj != b.obj || (a.kind == AccessKind::Read && b.kind == AccessKind::Read))
+    b.pid < a.pid && independent(a, b)
 }
 
 /// Mutable walk state threaded through one replay/extension pass.
@@ -343,7 +449,7 @@ struct Walk {
     steps: usize,
     crashes: usize,
     preemptions: usize,
-    prev: Option<StepInfo>,
+    prev: Option<StepMeta>,
     /// Pid of the last granted step, and whether that process was still
     /// active immediately after it (a switch away from it is then a
     /// preemption).
@@ -362,7 +468,7 @@ impl Walk {
     }
 
     /// Update the counters for an applied decision.
-    fn account(&mut self, choice: Choice, info: Option<StepInfo>, d: &Driver<CoopBackend>) {
+    fn account(&mut self, choice: Choice, info: Option<StepMeta>, d: &Driver<CoopBackend>) {
         match choice {
             Choice::Step(pid) => {
                 if let Some(last) = self.last_runnable {
@@ -469,15 +575,31 @@ where
 /// pending records for operations still in flight at the cut (crashed or
 /// suspended by the bound).
 ///
-/// See the [module docs](self) for the enumeration order, the pruning
-/// argument and the bounds.
-pub fn explore<F, C>(cfg: &ExploreConfig, factory: F, mut check: C) -> ExploreStats
+/// With the default configuration this runs the DPOR engine; `prune:
+/// false`, [`ExploreAlgo::Dfs`] or a preemption budget select the raw
+/// depth-first walk. See the [module docs](self) for the enumeration
+/// order, the soundness arguments and the bounds.
+pub fn explore<F, C>(cfg: &ExploreConfig, factory: F, check: C) -> ExploreStats
+where
+    F: Fn() -> Driver<CoopBackend>,
+    C: FnMut(&History) -> Result<(), String>,
+{
+    if cfg.prune && cfg.max_preemptions.is_none() && cfg.algo == ExploreAlgo::Dpor {
+        explore_dpor(cfg, &factory, check)
+    } else {
+        explore_dfs(cfg, &factory, check)
+    }
+}
+
+/// The raw depth-first walk, with optional adjacent-swap pruning.
+fn explore_dfs<F, C>(cfg: &ExploreConfig, factory: &F, mut check: C) -> ExploreStats
 where
     F: Fn() -> Driver<CoopBackend>,
     C: FnMut(&History) -> Result<(), String>,
 {
     let mut stats = ExploreStats::default();
     let mut path: Vec<Frame> = Vec::new();
+    let mut scratch: Vec<TraceEvent> = Vec::new();
     // Pruning keeps only the lexicographically-canonical member of each
     // equivalence class, but a preemption budget is not invariant under
     // the commutation (the canonical schedule may preempt more), so the
@@ -516,22 +638,22 @@ where
         for (i, &choice) in prefix.iter().enumerate() {
             if i == traced_from {
                 d.runtime().enable_tracing();
-                let _ = d.runtime().take_trace(); // drop any factory-time noise
+                d.runtime().take_trace_into(&mut scratch); // drop any factory-time noise
             }
             let prev = walk.prev;
-            let info = apply(&mut d, choice, i >= traced_from);
+            let info = apply(&mut d, choice, i >= traced_from, &mut scratch);
             stats.steps_replayed += u64::from(matches!(choice, Choice::Step(_)));
             walk.account(choice, info, &d);
             // Only the deepest decision can be fresh; everything above
             // it already passed this check when first taken.
-            if i + 1 == prefix.len() && prune && prunable(prev, info) {
+            if i + 1 == prefix.len() && prune && prunable(&prev, &info) {
                 replay_pruned = true;
                 break;
             }
         }
         if prefix.is_empty() {
             d.runtime().enable_tracing();
-            let _ = d.runtime().take_trace(); // drop any factory-time noise
+            d.runtime().take_trace_into(&mut scratch); // drop any factory-time noise
         }
         if replay_pruned {
             stats.pruned += 1;
@@ -555,7 +677,7 @@ where
                         choices: path.iter().map(|f| f.alts[f.idx]).collect(),
                     };
                     drop(d); // release the failing execution before re-running
-                    let (minimized, message) = minimize(&factory, &mut check, &original);
+                    let (minimized, message) = minimize(factory, &mut check, &original);
                     stats.violations.push(FoundViolation {
                         message,
                         minimized,
@@ -581,10 +703,10 @@ where
             let choice = alts[0];
             path.push(Frame { alts, idx: 0 });
             let prev = walk.prev;
-            let info = apply(&mut d, choice, true);
+            let info = apply(&mut d, choice, true, &mut scratch);
             stats.steps_replayed += u64::from(matches!(choice, Choice::Step(_)));
             walk.account(choice, info, &d);
-            if prune && prunable(prev, info) {
+            if prune && prunable(&prev, &info) {
                 stats.pruned += 1;
                 if !backtrack(&mut path) {
                     break 'outer;
@@ -592,6 +714,705 @@ where
                 continue 'outer;
             }
         }
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------
+// DPOR engine
+// ---------------------------------------------------------------------
+
+/// First-touch object identity for one execution path.
+///
+/// [`StepMeta::obj`] is a base-object address, and addresses are
+/// instance-local: every replay constructs a fresh program from the
+/// factory, so an address recorded in one replay means nothing in the
+/// next. DPOR metadata, however, *persists across replays* — done and
+/// sleep entries captured executing one interleaving are compared
+/// against steps of later ones. The walk therefore rekeys every meta to
+/// the index at which its object is first touched along the choice
+/// prefix. That index is a deterministic property of the prefix alone,
+/// so metas recorded in different replays of the same prefix agree, and
+/// two equal ids on one path always denote the same real object.
+#[derive(Default)]
+struct ObjIds(HashMap<usize, usize>);
+
+impl ObjIds {
+    /// The first-touch id of `addr`, assigning the next id if unseen.
+    fn id(&mut self, addr: usize) -> usize {
+        let next = self.0.len();
+        *self.0.entry(addr).or_insert(next)
+    }
+
+    /// Count of distinct objects touched so far.
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Feed every access in a drained trace fragment through the map,
+    /// in order.
+    fn feed(&mut self, events: &[TraceEvent]) {
+        for a in events.iter().filter_map(|e| e.access()) {
+            self.id(a.obj);
+        }
+    }
+}
+
+/// Rewrite a freshly-recorded meta's object address to its first-touch
+/// id, feeding every access of the step's trace fragment through the
+/// map (nonconforming multi-access steps still advance the map — id
+/// assignment must be a function of the path, not of conformance).
+fn stabilize(ids: &mut ObjIds, events: &[TraceEvent], info: Option<StepMeta>) -> Option<StepMeta> {
+    let mut last = None;
+    for a in events.iter().filter_map(|e| e.access()) {
+        last = Some(ids.id(a.obj));
+    }
+    info.map(|m| StepMeta {
+        obj: last.expect("a step with metadata applied exactly one primitive"),
+        ..m
+    })
+}
+
+/// A sleeping (or done-inherited) choice, with the provenance bit that
+/// makes its object id safe to compare at deeper nodes.
+///
+/// First-touch ids are exact *within one path*. A sleep entry captured
+/// at node `n` travels into sibling subtrees, where the steps it is
+/// compared against lie on a different path sharing only the prefix up
+/// to `n`. Ids below the distinct-object count at `n` name objects of
+/// that shared prefix, so they stay exact everywhere in the subtree
+/// (`obj_known`). An entry whose object was first touched *by the
+/// sleeping step itself* has no prefix identity: in a sibling branch the
+/// same real object may surface under a later id, so comparisons
+/// against higher ids are meaningless and [`survives`] conservatively
+/// treats them as dependent.
+#[derive(Clone, Copy)]
+struct SleepEntry {
+    choice: Choice,
+    info: Option<StepMeta>,
+    /// `true` if the entry's object was already part of the shared
+    /// prefix when the entry was captured.
+    obj_known: bool,
+}
+
+/// `true` if a sleep entry stays asleep across `taken` — i.e. the two
+/// are independent under comparisons that are exact or conservative.
+///
+/// With `obj_known`, the plain relation applies (both ids are
+/// first-touch indices of shared-prefix objects — exact). Without it,
+/// the entry's object is fresh at its capture node: a step with a
+/// *smaller* id touches a shared-prefix object, which the fresh object
+/// cannot be (exact inequality); a step with the *same* id may be the
+/// same object (treated dependent — conservative); a step with a
+/// *larger* id is unidentifiable relative to the entry's capture
+/// context, so it is treated as dependent too. Read/read pairs are
+/// independent regardless of object identity.
+fn survives(e: &SleepEntry, taken: &Option<StepMeta>) -> bool {
+    let (Some(a), Some(t)) = (&e.info, taken) else {
+        return false;
+    };
+    if a.pid == t.pid || (a.emitted && t.emitted) {
+        return false;
+    }
+    if a.kind == AccessKind::Read && t.kind == AccessKind::Read {
+        return true;
+    }
+    if !e.obj_known && t.obj > a.obj {
+        return false;
+    }
+    a.obj != t.obj
+}
+
+/// An executed decision of the walk's fixed preamble (parallel tasks
+/// root their walk below a split prefix): enough to run the race scan
+/// for coverage, though races *at* these positions are dropped — every
+/// enabled choice at a split node is a sibling task by construction.
+struct PreEvent {
+    choice: Choice,
+    info: Option<StepMeta>,
+    pid: usize,
+    /// 1-based index of this event among `pid`'s events.
+    local: u64,
+    clock: Vc,
+}
+
+/// One node of the DPOR search stack: the state before `taken` ran.
+struct DNode {
+    /// Every choice available at this prefix, canonical order.
+    enabled: Vec<Choice>,
+    /// Choices scheduled for exploration from this node (grows as races
+    /// against `taken`-descendant events are found).
+    backtrack: Vec<Choice>,
+    /// Choices fully explored from this node, with the metadata their
+    /// first step had (deterministic per state, object rekeyed to its
+    /// first-touch id). Doubles as the sleep contribution for later
+    /// siblings.
+    done: Vec<(Choice, Option<StepMeta>)>,
+    /// Inherited sleep set: choices whose exploration from this state
+    /// is equivalent to an already-explored execution.
+    sleep: Vec<SleepEntry>,
+    /// Distinct objects touched in the prefix up to this node — the
+    /// first-touch id threshold below which object ids are shared-prefix
+    /// identities (see [`SleepEntry`]).
+    objs_seen: usize,
+    /// The branch currently being explored.
+    taken: Choice,
+    info: Option<StepMeta>,
+    pid: usize,
+    local: u64,
+    clock: Vc,
+}
+
+/// `true` if exploring `c` from `node` is already covered — scheduled,
+/// explored, or asleep.
+fn covered(node: &DNode, c: Choice) -> bool {
+    node.backtrack.contains(&c)
+        || node.done.iter().any(|(dc, _)| *dc == c)
+        || node.sleep.iter().any(|e| e.choice == c)
+}
+
+/// Schedule the reversal of a race at `node`: the racing event's
+/// process runs here instead. Its choice is always enabled in this
+/// model (the active set only shrinks along a path and crash budget is
+/// monotone), but fall back to scheduling everything if it is not.
+fn add_backtrack(node: &mut DNode, racer: Choice) {
+    if node.enabled.contains(&racer) {
+        if !covered(node, racer) {
+            node.backtrack.push(racer);
+        }
+        return;
+    }
+    let missing: Vec<Choice> = node
+        .enabled
+        .iter()
+        .copied()
+        .filter(|&c| !covered(node, c))
+        .collect();
+    node.backtrack.extend(missing);
+}
+
+/// Stamp a new event with its vector clock and detect its races.
+///
+/// Scanning executed events newest-first: an event not yet dominated by
+/// the accumulated cause that is dependent with the new one is a
+/// *race* — dependent but concurrent. Its clock joins the cause (its
+/// whole happens-before cone is now ordered before the new event), so
+/// earlier members of that cone are skipped, and exactly the immediate
+/// concurrent dependent partners are reported. Returns the new event's
+/// clock, its per-process index, and the race sites inside the search
+/// stack (preamble races are dropped — see [`PreEvent`]).
+fn race_scan(
+    pre: &[PreEvent],
+    stack: &[DNode],
+    pid: usize,
+    info: &Option<StepMeta>,
+) -> (Vc, u64, Vec<usize>) {
+    let event = |g: usize| -> (usize, u64, &Option<StepMeta>, &Vc) {
+        if g < pre.len() {
+            let e = &pre[g];
+            (e.pid, e.local, &e.info, &e.clock)
+        } else {
+            let n = &stack[g - pre.len()];
+            (n.pid, n.local, &n.info, &n.clock)
+        }
+    };
+    let total = pre.len() + stack.len();
+    // Program order: start from the clock of `pid`'s latest event.
+    let mut cause = (0..total)
+        .rev()
+        .find_map(|g| {
+            let (p, _, _, c) = event(g);
+            (p == pid).then(|| c.clone())
+        })
+        .unwrap_or_default();
+    let local = cause.get(pid) + 1;
+    let mut races = Vec::new();
+    for g in (0..total).rev() {
+        let (p, l, i, c) = event(g);
+        if cause.get(p) >= l {
+            continue; // already happens-before the new event
+        }
+        if !indep_opt(i, info) {
+            if g >= pre.len() {
+                races.push(g - pre.len());
+            }
+            cause.join(c);
+        }
+    }
+    cause.set(pid, local);
+    (cause, local, races)
+}
+
+/// Every choice available at the current DPOR prefix, canonical order
+/// (active pids ascending as steps, then as crashes while budget
+/// remains). The DPOR path never runs under a preemption budget, so no
+/// forced-continuation case exists here.
+fn enabled_choices(d: &Driver<CoopBackend>, cfg: &ExploreConfig, crashes: usize) -> Vec<Choice> {
+    let active = d.active_set();
+    let mut alts: Vec<Choice> = active.iter_sorted().map(Choice::Step).collect();
+    if crashes < cfg.max_crashes {
+        alts.extend(active.iter_sorted().map(Choice::Crash));
+    }
+    alts
+}
+
+/// What one DPOR walk found: stats (violation list left empty) plus the
+/// raw failing schedules in visit order — minimization happens after
+/// aggregation so parallel output is order-stable.
+struct DporOutcome {
+    stats: ExploreStats,
+    raw: Vec<(Replay, String)>,
+}
+
+/// The sequential DPOR walk below a fixed preamble. `entry_sleep` is
+/// the sleep set in force at the preamble tip; `stop_at` caps raw
+/// violations (sequential mode), `cap` caps interleavings. Parallel
+/// tasks pass `None` for both so every task runs to completion
+/// regardless of what other tasks find — that is what makes the
+/// aggregate worker-count-independent.
+fn dpor_walk<F, C>(
+    cfg: &ExploreConfig,
+    factory: &F,
+    check: &mut C,
+    preamble: &[(Choice, Option<StepMeta>)],
+    entry_sleep: Vec<SleepEntry>,
+    stop_at: Option<usize>,
+    cap: Option<u64>,
+) -> DporOutcome
+where
+    F: Fn() -> Driver<CoopBackend>,
+    C: FnMut(&History) -> Result<(), String>,
+{
+    let mut stats = ExploreStats::default();
+    let mut raw: Vec<(Replay, String)> = Vec::new();
+    let mut scratch: Vec<TraceEvent> = Vec::new();
+
+    // Clocks for the preamble, computed once (pure metadata, no driver).
+    let mut pre: Vec<PreEvent> = Vec::with_capacity(preamble.len());
+    for &(choice, info) in preamble {
+        let pid = acting(choice);
+        let (clock, local, _) = race_scan(&pre, &[], pid, &info);
+        pre.push(PreEvent {
+            choice,
+            info,
+            pid,
+            local,
+            clock,
+        });
+    }
+
+    let mut stack: Vec<DNode> = Vec::new();
+    // `true` when the top node's `taken` was swapped by backtracking and
+    // has not executed yet.
+    let mut pending = false;
+
+    /// Move to the next unexplored branch: retire the top node's taken
+    /// branch into `done`, pick its next backtrack candidate, or pop.
+    /// `true` leaves the top node pending re-execution.
+    fn next_branch(stack: &mut Vec<DNode>, stats: &mut ExploreStats) -> bool {
+        while let Some(top) = stack.last_mut() {
+            top.done.push((top.taken, top.info));
+            let next = top.backtrack.iter().copied().find(|c| {
+                !top.done.iter().any(|(dc, _)| dc == c) && !top.sleep.iter().any(|e| e.choice == *c)
+            });
+            if let Some(c) = next {
+                top.taken = c;
+                top.info = None;
+                return true;
+            }
+            stats.pruned += (top.enabled.len() - top.done.len()) as u64;
+            stack.pop();
+        }
+        false
+    }
+
+    'outer: loop {
+        let mut d = factory();
+        assert!(
+            d.runtime().is_coop(),
+            "explore requires a coop driver (Driver::coop over Runtime::coop)"
+        );
+        let mut steps = 0usize;
+        let mut crashes = 0usize;
+        // Replay the prefix with tracing on (metadata and clocks are
+        // already on the stack, but this fresh instance's object
+        // addresses are not — the prefix accesses rebuild the
+        // first-touch id map), draining the trace once in bulk.
+        d.runtime().enable_tracing();
+        d.runtime().take_trace_into(&mut scratch); // drop any stray noise
+        let exec_upto = stack.len() - usize::from(pending);
+        let replayed: Vec<Choice> = pre
+            .iter()
+            .map(|e| e.choice)
+            .chain(stack[..exec_upto].iter().map(|n| n.taken))
+            .collect();
+        for choice in replayed {
+            apply(&mut d, choice, false, &mut scratch);
+            match choice {
+                Choice::Step(_) => {
+                    steps += 1;
+                    stats.steps_replayed += 1;
+                }
+                Choice::Crash(_) => crashes += 1,
+            }
+        }
+        let mut ids = ObjIds::default();
+        d.runtime().take_trace_into(&mut scratch);
+        ids.feed(&scratch);
+
+        if std::mem::take(&mut pending) {
+            let k = stack.len() - 1;
+            let choice = stack[k].taken;
+            let info = apply(&mut d, choice, true, &mut scratch);
+            let info = stabilize(&mut ids, &scratch, info);
+            match choice {
+                Choice::Step(_) => {
+                    steps += 1;
+                    stats.steps_replayed += 1;
+                }
+                Choice::Crash(_) => crashes += 1,
+            }
+            let pid = acting(choice);
+            let (clock, local, races) = race_scan(&pre, &stack[..k], pid, &info);
+            for j in races {
+                add_backtrack(&mut stack[j], choice);
+            }
+            let top = &mut stack[k];
+            top.info = info;
+            top.pid = pid;
+            top.local = local;
+            top.clock = clock;
+        }
+
+        loop {
+            stats.max_depth = stats.max_depth.max(pre.len() + stack.len());
+            if d.active_set().is_empty() || steps >= cfg.max_steps {
+                stats.interleavings += 1;
+                let rejected = check(&d.history_snapshot())
+                    .err()
+                    .or_else(|| analysis_failure(d.runtime()));
+                if let Some(message) = rejected {
+                    let choices = pre
+                        .iter()
+                        .map(|e| e.choice)
+                        .chain(stack.iter().map(|n| n.taken))
+                        .collect();
+                    raw.push((Replay { choices }, message));
+                    if stop_at.is_some_and(|m| raw.len() >= m) {
+                        break 'outer;
+                    }
+                }
+                if let Some(c) = cap {
+                    if stats.interleavings >= c {
+                        stats.capped = true;
+                        break 'outer;
+                    }
+                }
+                if next_branch(&mut stack, &mut stats) {
+                    pending = true;
+                    continue 'outer;
+                }
+                break 'outer;
+            }
+
+            // Open a new node: sleep inherited from the parent (done
+            // siblings and surviving sleepers stay asleep only while
+            // independent with the step just taken), first non-sleeping
+            // choice seeded, every crash choice seeded (crash coverage
+            // is never reduced).
+            let enabled = enabled_choices(&d, cfg, crashes);
+            debug_assert!(!enabled.is_empty(), "active set non-empty but no choices");
+            let sleep: Vec<SleepEntry> = match stack.last() {
+                Some(p) => p
+                    .sleep
+                    .iter()
+                    .copied()
+                    .chain(p.done.iter().map(|&(choice, info)| SleepEntry {
+                        choice,
+                        info,
+                        obj_known: info.is_some_and(|m| m.obj < p.objs_seen),
+                    }))
+                    .filter(|e| survives(e, &p.info))
+                    .collect(),
+                None => entry_sleep.clone(),
+            };
+            let sleeping = |c: &Choice| sleep.iter().any(|e| e.choice == *c);
+            let mut backtrack: Vec<Choice> = Vec::new();
+            if let Some(&c0) = enabled.iter().find(|c| !sleeping(c)) {
+                backtrack.push(c0);
+            }
+            for &c in &enabled {
+                if matches!(c, Choice::Crash(_)) && !sleeping(&c) && !backtrack.contains(&c) {
+                    backtrack.push(c);
+                }
+            }
+            if backtrack.is_empty() {
+                // Sleep-blocked: every continuation reorders an explored
+                // execution.
+                stats.pruned += enabled.len() as u64;
+                if next_branch(&mut stack, &mut stats) {
+                    pending = true;
+                    continue 'outer;
+                }
+                break 'outer;
+            }
+            let taken = backtrack[0];
+            let objs_seen = ids.len();
+            let info = apply(&mut d, taken, true, &mut scratch);
+            let info = stabilize(&mut ids, &scratch, info);
+            match taken {
+                Choice::Step(_) => {
+                    steps += 1;
+                    stats.steps_replayed += 1;
+                }
+                Choice::Crash(_) => crashes += 1,
+            }
+            let pid = acting(taken);
+            let (clock, local, races) = race_scan(&pre, &stack, pid, &info);
+            for j in races {
+                add_backtrack(&mut stack[j], taken);
+            }
+            stack.push(DNode {
+                enabled,
+                backtrack,
+                done: Vec::new(),
+                sleep,
+                objs_seen,
+                taken,
+                info,
+                pid,
+                local,
+                clock,
+            });
+        }
+    }
+
+    DporOutcome { stats, raw }
+}
+
+/// Sequential DPOR entry point: walk, then minimize what it found.
+fn explore_dpor<F, C>(cfg: &ExploreConfig, factory: &F, mut check: C) -> ExploreStats
+where
+    F: Fn() -> Driver<CoopBackend>,
+    C: FnMut(&History) -> Result<(), String>,
+{
+    let out = dpor_walk(
+        cfg,
+        factory,
+        &mut check,
+        &[],
+        Vec::new(),
+        Some(cfg.max_violations),
+        cfg.max_interleavings,
+    );
+    let mut stats = out.stats;
+    for (original, _) in out.raw {
+        let (minimized, message) = minimize(factory, &mut check, &original);
+        stats.violations.push(FoundViolation {
+            message,
+            minimized,
+            original,
+        });
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------
+// Parallel frontier
+// ---------------------------------------------------------------------
+
+/// One unit of parallel work: a fixed schedule prefix plus the sleep
+/// set in force at its tip.
+struct SplitTask {
+    preamble: Vec<(Choice, Option<StepMeta>)>,
+    sleep: Vec<SleepEntry>,
+}
+
+/// Expand the root into one task per enabled-choice sequence of the
+/// first `depth` levels, probing each choice once for its metadata.
+/// The split is independent of the worker count, so the task list — and
+/// with it every aggregate — is too. Returns the tasks plus the
+/// subtree-skip count and probe work done while splitting.
+fn split_frontier<F>(cfg: &ExploreConfig, factory: &F, depth: usize) -> (Vec<SplitTask>, u64, u64)
+where
+    F: Fn() -> Driver<CoopBackend>,
+{
+    let mut scratch: Vec<TraceEvent> = Vec::new();
+    let mut tasks = vec![SplitTask {
+        preamble: Vec::new(),
+        sleep: Vec::new(),
+    }];
+    let mut pruned = 0u64;
+    let mut steps_replayed = 0u64;
+    let replay_prefix = |d: &mut Driver<CoopBackend>,
+                         preamble: &[(Choice, Option<StepMeta>)],
+                         scratch: &mut Vec<TraceEvent>,
+                         steps_replayed: &mut u64|
+     -> (usize, usize) {
+        let mut steps = 0usize;
+        let mut crashes = 0usize;
+        for &(choice, _) in preamble {
+            apply(d, choice, false, scratch);
+            match choice {
+                Choice::Step(_) => {
+                    steps += 1;
+                    *steps_replayed += 1;
+                }
+                Choice::Crash(_) => crashes += 1,
+            }
+        }
+        (steps, crashes)
+    };
+    for _ in 0..depth {
+        let mut next: Vec<SplitTask> = Vec::new();
+        for task in tasks {
+            let mut d = factory();
+            assert!(
+                d.runtime().is_coop(),
+                "explore requires a coop driver (Driver::coop over Runtime::coop)"
+            );
+            let (steps, crashes) =
+                replay_prefix(&mut d, &task.preamble, &mut scratch, &mut steps_replayed);
+            if d.active_set().is_empty() || steps >= cfg.max_steps {
+                // Terminal prefix: keep as a leaf task; its walk checks
+                // the cut and stops.
+                next.push(task);
+                continue;
+            }
+            let enabled = enabled_choices(&d, cfg, crashes);
+            let mut done: Vec<(Choice, Option<StepMeta>)> = Vec::new();
+            for &c in &enabled {
+                if task.sleep.iter().any(|e| e.choice == c) {
+                    pruned += 1; // covered by an earlier sibling's task
+                    continue;
+                }
+                // Probe the choice's first step from the split state,
+                // tracing from the start so the probe's first-touch
+                // object ids line up with the walks that later replay
+                // this preamble.
+                let mut p = factory();
+                p.runtime().enable_tracing();
+                p.runtime().take_trace_into(&mut scratch);
+                replay_prefix(&mut p, &task.preamble, &mut scratch, &mut steps_replayed);
+                let mut ids = ObjIds::default();
+                p.runtime().take_trace_into(&mut scratch);
+                ids.feed(&scratch);
+                let objs_seen = ids.len();
+                let info = apply(&mut p, c, true, &mut scratch);
+                let info = stabilize(&mut ids, &scratch, info);
+                if matches!(c, Choice::Step(_)) {
+                    steps_replayed += 1;
+                }
+                let sleep: Vec<SleepEntry> = task
+                    .sleep
+                    .iter()
+                    .copied()
+                    .chain(done.iter().map(|&(choice, info)| SleepEntry {
+                        choice,
+                        info,
+                        obj_known: info.is_some_and(|m| m.obj < objs_seen),
+                    }))
+                    .filter(|e| survives(e, &info))
+                    .collect();
+                let mut preamble = task.preamble.clone();
+                preamble.push((c, info));
+                next.push(SplitTask { preamble, sleep });
+                done.push((c, info));
+            }
+        }
+        tasks = next;
+    }
+    (tasks, pruned, steps_replayed)
+}
+
+/// [`explore`] with the DPOR walk parallelized over `threads` OS-thread
+/// workers, each replaying on drivers it builds itself from `factory`.
+///
+/// The first two decision levels are split into independent prefix
+/// tasks drained from a shared queue; results are aggregated in
+/// canonical task order and violations are minimized afterwards, so the
+/// returned [`ExploreStats`] — counters, violation schedules, messages
+/// — is **identical for every worker count**, including `threads: 1`.
+/// (It differs from sequential [`explore`]'s stats: split levels
+/// explore every enabled choice rather than a reduced backtrack set,
+/// and tasks never stop early on another task's violation.)
+///
+/// Configurations the reduction does not apply to (`prune: false`,
+/// [`ExploreAlgo::Dfs`], a preemption budget) and interleaving-capped
+/// runs (a cap is a property of one global visit order) fall back to
+/// the sequential engine.
+pub fn explore_parallel<F, C>(
+    cfg: &ExploreConfig,
+    threads: usize,
+    factory: F,
+    check: C,
+) -> ExploreStats
+where
+    F: Fn() -> Driver<CoopBackend> + Sync,
+    C: Fn(&History) -> Result<(), String> + Sync,
+{
+    if !cfg.prune
+        || cfg.max_preemptions.is_some()
+        || cfg.max_interleavings.is_some()
+        || cfg.algo == ExploreAlgo::Dfs
+    {
+        return explore(cfg, factory, check);
+    }
+
+    let (tasks, split_pruned, split_steps) = split_frontier(cfg, &factory, 2);
+    let n_tasks = tasks.len();
+    let queue: Mutex<VecDeque<(usize, SplitTask)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<DporOutcome>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(n_tasks).collect());
+    let workers = threads.clamp(1, n_tasks.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("explorer queue poisoned").pop_front();
+                let Some((i, task)) = job else { break };
+                let mut check_here = |h: &History| check(h);
+                let out = dpor_walk(
+                    cfg,
+                    &factory,
+                    &mut check_here,
+                    &task.preamble,
+                    task.sleep,
+                    None,
+                    None,
+                );
+                results.lock().expect("explorer results poisoned")[i] = Some(out);
+            });
+        }
+    });
+
+    // Deterministic aggregation: task order is canonical (lexicographic
+    // by prefix), so the first `max_violations` raw schedules — and the
+    // minimization each then undergoes — do not depend on which worker
+    // ran what when.
+    let mut stats = ExploreStats {
+        pruned: split_pruned,
+        steps_replayed: split_steps,
+        ..ExploreStats::default()
+    };
+    let mut raw: Vec<(Replay, String)> = Vec::new();
+    for out in results.into_inner().expect("explorer results poisoned") {
+        let out = out.expect("every split task ran");
+        stats.interleavings += out.stats.interleavings;
+        stats.pruned += out.stats.pruned;
+        stats.steps_replayed += out.stats.steps_replayed;
+        stats.max_depth = stats.max_depth.max(out.stats.max_depth);
+        raw.extend(out.raw);
+    }
+    raw.truncate(cfg.max_violations);
+    let mut check_seq = |h: &History| check(h);
+    for (original, _) in raw {
+        let (minimized, message) = minimize(&factory, &mut check_seq, &original);
+        stats.violations.push(FoundViolation {
+            message,
+            minimized,
+            original,
+        });
     }
     stats
 }
@@ -697,9 +1518,9 @@ mod tests {
 
     #[test]
     fn pruning_collapses_independent_steps_without_losing_outcomes() {
-        // Each process works a private register: all intermediate steps
-        // commute, so pruning must collapse the 6 shuffles of the
-        // non-event steps while still checking at least one schedule.
+        // Each process works a private register: the intermediate reads
+        // commute, so both reductions must collapse schedules while
+        // still checking at least one per outcome.
         let factory = || {
             let mut d = Driver::coop(Runtime::coop(2));
             for pid in 0..2 {
@@ -709,11 +1530,44 @@ mod tests {
             d
         };
         let full = explore(&ExploreConfig::exhaustive(100), factory, |_h| Ok(()));
-        let pruned = explore(&ExploreConfig::default(), factory, |_h| Ok(()));
         assert_eq!(u128::from(full.interleavings), multinomial(&[2, 2]));
-        assert!(pruned.interleavings < full.interleavings);
-        assert!(pruned.pruned > 0);
-        assert!(pruned.all_ok());
+        for algo in [ExploreAlgo::Dfs, ExploreAlgo::Dpor] {
+            let reduced = explore(
+                &ExploreConfig {
+                    algo,
+                    ..ExploreConfig::default()
+                },
+                factory,
+                |_h| Ok(()),
+            );
+            assert!(
+                reduced.interleavings < full.interleavings,
+                "{algo:?} must skip equivalent schedules"
+            );
+            assert!(reduced.pruned > 0, "{algo:?} must report skipped subtrees");
+            assert!(reduced.all_ok());
+        }
+    }
+
+    #[test]
+    fn dpor_visits_one_representative_per_trace_class() {
+        // 2 processes, private registers: each process contributes a
+        // silent read r and an emitting write w. The only dependent
+        // cross-process pair is w0/w1 (both emit), so the 6 raw
+        // interleavings collapse to 2 Mazurkiewicz classes — one per
+        // order of the two completions — and sleep sets make the walk
+        // optimal here (no wasted replays).
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(2));
+            for pid in 0..2 {
+                let reg = Arc::new(Register::new(0));
+                d.submit_task(pid, OpSpec::custom("rmw", 0), Rmw::new(reg, 1));
+            }
+            d
+        };
+        let stats = explore(&ExploreConfig::default(), factory, |_h| Ok(()));
+        assert_eq!(stats.interleavings, 2, "one replay per trace class");
+        assert!(stats.all_ok());
     }
 
     #[test]
@@ -786,7 +1640,7 @@ mod tests {
     }
 
     #[test]
-    fn pruned_and_unpruned_agree_on_the_mutant() {
+    fn reduced_and_unreduced_agree_on_the_mutant() {
         let factory = || {
             let mut d = Driver::coop(Runtime::coop(2));
             let reg = Arc::new(Register::new(0));
@@ -804,17 +1658,50 @@ mod tests {
             }
             Ok(())
         };
-        for prune in [false, true] {
+        for (prune, algo) in [
+            (false, ExploreAlgo::Dpor),
+            (true, ExploreAlgo::Dfs),
+            (true, ExploreAlgo::Dpor),
+        ] {
             let cfg = ExploreConfig {
                 prune,
+                algo,
                 max_violations: usize::MAX,
                 ..ExploreConfig::default()
             };
             let stats = explore(&cfg, factory, check);
             assert!(
                 !stats.violations.is_empty(),
-                "prune={prune}: violation missed"
+                "prune={prune} algo={algo:?}: violation missed"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_identical_across_worker_counts() {
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(2));
+            let reg = Arc::new(Register::new(0));
+            d.submit_task(0, OpSpec::inc(), Rmw::new(reg.clone(), 1));
+            d.submit_task(1, OpSpec::inc(), Rmw::new(reg.clone(), 1));
+            d
+        };
+        let check = |h: &History| -> Result<(), String> {
+            let done: Vec<_> = h.ops().iter().filter(|r| r.resp.is_some()).collect();
+            if done.len() == 2 && done.iter().all(|r| r.returned() == 0) {
+                return Err("both increments read 0: lost update".into());
+            }
+            Ok(())
+        };
+        let cfg = ExploreConfig {
+            max_violations: usize::MAX,
+            ..ExploreConfig::default()
+        };
+        let base = explore_parallel(&cfg, 1, factory, check);
+        assert!(!base.violations.is_empty(), "mutant must be caught");
+        for threads in [2, 4] {
+            let run = explore_parallel(&cfg, threads, factory, check);
+            assert_eq!(run, base, "{threads} workers diverged from 1 worker");
         }
     }
 
@@ -855,6 +1742,32 @@ mod tests {
     }
 
     #[test]
+    fn dpor_keeps_crash_coverage_exhaustive() {
+        // Same single-process crash program as above, DPOR enabled: the
+        // reduction must not drop any crash cut (crash decisions are
+        // seeded at every node, never slept).
+        let factory = || {
+            let mut d = Driver::coop(Runtime::coop(1));
+            let reg = Arc::new(Register::new(0));
+            d.submit_task(0, OpSpec::inc(), Rmw::new(reg, 1));
+            d
+        };
+        let cfg = ExploreConfig {
+            max_crashes: 1,
+            ..ExploreConfig::default()
+        };
+        let stats = explore(&cfg, factory, |h| {
+            let records = h.ops().len();
+            if records != 1 {
+                return Err(format!("expected one record, got {records}"));
+            }
+            Ok(())
+        });
+        assert_eq!(stats.interleavings, 3, "ss, c, sc — exactly as raw DFS");
+        assert!(stats.all_ok());
+    }
+
+    #[test]
     fn preemption_bound_restricts_schedules() {
         let factory = || {
             let mut d = Driver::coop(Runtime::coop(2));
@@ -879,8 +1792,8 @@ mod tests {
         assert_eq!(bounded.interleavings, 2);
         assert!(u128::from(free.interleavings) > 2);
 
-        // Pruning is ignored under a preemption bound (the commutation
-        // does not preserve preemption counts): identical coverage with
+        // Reduction is ignored under a preemption bound (commuting does
+        // not preserve preemption counts): identical coverage with
         // prune on or off.
         let bounded_prune_requested = explore(
             &ExploreConfig {

@@ -82,7 +82,10 @@ pub use analysis::{AnalysisPass, Analyzer, Violation};
 pub use backend::{CoopBackend, ExecBackend, ThreadBackend};
 pub use ctx::ProcCtx;
 pub use driver::{Driver, StepOutcome};
-pub use explore::{explore, Choice, ExploreConfig, ExploreStats, FoundViolation, Replay};
+pub use explore::{
+    explore, explore_parallel, Choice, ExploreAlgo, ExploreConfig, ExploreStats, FoundViolation,
+    Replay,
+};
 pub use history::{History, OpKind, OpRecord, OpSpec};
 pub use primitives::{FaaRegister, Register, TasBit};
 pub use runtime::{Mode, Runtime};

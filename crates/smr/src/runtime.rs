@@ -316,6 +316,13 @@ impl Runtime {
         self.tracer.take()
     }
 
+    /// Drain the trace into `buf` (cleared first), recycling its
+    /// allocation as the new log storage. The explorer drains once per
+    /// granted step — this keeps that hot path allocation-free.
+    pub fn take_trace_into(&self, buf: &mut Vec<TraceEvent>) {
+        self.tracer.take_into(buf);
+    }
+
     /// Permanently release the gate; parked processes run free afterwards.
     ///
     /// Used on teardown so worker threads never deadlock. No-op on

@@ -23,8 +23,9 @@ use bench::multinomial;
 use counter::{CollectCounter, CollectIncTask, CollectReadTask};
 use lincheck::{check_counter_records, check_maxreg_records};
 use parking_lot::Mutex;
-use smr::explore::{explore, Choice, ExploreConfig};
-use smr::{Driver, OpSpec, OpTask, Poll, ProcCtx, Register, Runtime};
+use smr::explore::{explore, explore_parallel, Choice, ExploreAlgo, ExploreConfig};
+use smr::{CoopBackend, Driver, OpSpec, OpTask, Poll, ProcCtx, Register, Runtime};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 #[test]
@@ -317,6 +318,220 @@ fn crash_injection_never_double_emits_pending_records() {
     assert!(stats.interleavings > 0);
     assert_eq!(stats.interleavings, cuts);
     assert!(stats.all_ok(), "violations: {:?}", stats.violations);
+}
+
+/// Every history cut the walk under `cfg` reaches, as replay-stable
+/// digests (`OpRecord` carries no addresses, so its debug form compares
+/// across fresh replays).
+fn digest_set<F>(cfg: &ExploreConfig, factory: F) -> BTreeSet<String>
+where
+    F: Fn() -> Driver<CoopBackend>,
+{
+    let mut digests = BTreeSet::new();
+    let stats = explore(cfg, &factory, |h: &smr::History| {
+        digests.insert(format!("{:?}", h.ops()));
+        Ok(())
+    });
+    assert!(stats.all_ok());
+    assert!(!stats.capped);
+    digests
+}
+
+#[test]
+fn reductions_preserve_the_reachable_history_set() {
+    // The soundness contract of both reductions, pinned operationally on
+    // every real-object program this suite explores: skipping equivalent
+    // interleavings must not change the *set* of reachable history cuts
+    // — ticket values, step counts and all — including under crash
+    // injection. (Counts differ by design; the reachable histories may
+    // not.)
+    type Program = (&'static str, usize, Box<dyn Fn() -> Driver<CoopBackend>>);
+    let programs: Vec<Program> = vec![
+        (
+            "collect-with-reader",
+            0,
+            Box::new(|| {
+                let mut d = Driver::coop(Runtime::coop(3));
+                let c = Arc::new(CollectCounter::new(3));
+                d.submit_task(0, OpSpec::inc(), CollectIncTask::new(c.clone()));
+                d.submit_task(1, OpSpec::inc(), CollectIncTask::new(c.clone()));
+                d.submit_task(2, OpSpec::read(), CollectReadTask::new(c.clone()));
+                d
+            }),
+        ),
+        (
+            "kmult-mixed",
+            0,
+            Box::new(|| {
+                let mut d = Driver::coop(Runtime::coop(3));
+                let c = KmultCounter::new(3, 2);
+                let hs: Vec<SharedKmultHandle> =
+                    (0..3).map(|p| Arc::new(Mutex::new(c.handle(p)))).collect();
+                d.submit_task(0, OpSpec::inc(), KmultIncTask::new(hs[0].clone()));
+                d.submit_task(1, OpSpec::inc(), KmultIncTask::new(hs[1].clone()));
+                d.submit_task(1, OpSpec::read(), KmultReadTask::new(hs[1].clone()));
+                d.submit_task(2, OpSpec::read(), KmultReadTask::new(hs[2].clone()));
+                d
+            }),
+        ),
+        (
+            "kadd",
+            0,
+            Box::new(|| {
+                let mut d = Driver::coop(Runtime::coop(3));
+                let c = KaddCounter::new(3, 2);
+                for pid in 0..3 {
+                    let h: SharedKaddHandle = Arc::new(Mutex::new(c.handle(pid)));
+                    d.submit_task(pid, OpSpec::inc(), KaddIncTask::new(h.clone()));
+                }
+                d.submit_task(0, OpSpec::read(), KaddReadTask::new(c));
+                d
+            }),
+        ),
+        (
+            "tree-maxreg",
+            0,
+            Box::new(|| {
+                use maxreg::{TreeMaxReadTask, TreeMaxRegister, TreeMaxWriteTask};
+                let mut d = Driver::coop(Runtime::coop(3));
+                let r = Arc::new(TreeMaxRegister::new(8));
+                d.submit_task(0, OpSpec::write(5), TreeMaxWriteTask::new(r.clone(), 5));
+                d.submit_task(1, OpSpec::write(3), TreeMaxWriteTask::new(r.clone(), 3));
+                d.submit_task(2, OpSpec::read(), TreeMaxReadTask::new(r.clone()));
+                d
+            }),
+        ),
+        (
+            "collect-crashes",
+            2,
+            Box::new(|| {
+                let mut d = Driver::coop(Runtime::coop(2));
+                let c = Arc::new(CollectCounter::new(2));
+                d.submit_task(0, OpSpec::inc(), CollectIncTask::new(c.clone()));
+                d.submit_task(1, OpSpec::read(), CollectReadTask::new(c.clone()));
+                d
+            }),
+        ),
+    ];
+    for (name, crashes, factory) in &programs {
+        let exhaustive = digest_set(
+            &ExploreConfig {
+                max_crashes: *crashes,
+                ..ExploreConfig::exhaustive(100)
+            },
+            factory,
+        );
+        assert!(!exhaustive.is_empty(), "{name}: no cuts reached");
+        for algo in [ExploreAlgo::Dfs, ExploreAlgo::Dpor] {
+            let reduced = digest_set(
+                &ExploreConfig {
+                    max_crashes: *crashes,
+                    algo,
+                    ..ExploreConfig::default()
+                },
+                factory,
+            );
+            assert_eq!(
+                reduced, exhaustive,
+                "{name}: {algo:?} changed the reachable history set"
+            );
+        }
+    }
+}
+
+#[test]
+fn dpor_and_exhaustive_minimize_the_mutant_identically() {
+    // The refutation path under reduction: DPOR must catch the seeded
+    // lost update and ddmin must land on the same essential schedule —
+    // same step count, and a minimized replay whose history digest
+    // matches the exhaustive walk's.
+    let factory = || {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let cell = Arc::new(Register::new(0));
+        d.submit_task(0, OpSpec::inc(), SharedCellInc::new(cell.clone()));
+        d.submit_task(1, OpSpec::inc(), SharedCellInc::new(cell.clone()));
+        for _ in 0..2 {
+            d.submit_task(
+                2,
+                OpSpec::read(),
+                SharedCellRead {
+                    cell: cell.clone(),
+                    primed: false,
+                },
+            );
+        }
+        d
+    };
+    let check = |h: &smr::History| check_counter_records(h, 1);
+    let minimized_digest = |cfg: &ExploreConfig| -> (usize, String) {
+        let stats = explore(cfg, factory, check);
+        assert_eq!(stats.violations.len(), 1, "the lost update must be caught");
+        let v = &stats.violations[0];
+        assert!(check(&v.minimized.run(factory())).is_err());
+        (
+            v.minimized.steps(),
+            format!("{:?}", v.minimized.run(factory()).ops()),
+        )
+    };
+    let exhaustive = minimized_digest(&ExploreConfig::exhaustive(100));
+    let dpor = minimized_digest(&ExploreConfig::default());
+    assert_eq!(exhaustive.0, 6, "minimized to the essential races");
+    assert_eq!(
+        dpor, exhaustive,
+        "DPOR must minimize to the same essential schedule"
+    );
+}
+
+#[test]
+fn parallel_exploration_is_bit_identical_across_worker_counts() {
+    // The determinism contract of `explore_parallel`: the frontier split
+    // is fixed (depth, not thread count), tasks never early-stop, and
+    // results aggregate in canonical task order — so worker count must
+    // be unobservable, down to every stat and violation report. Checked
+    // on a passing program and on the violating mutant.
+    let collect: fn() -> Driver<CoopBackend> = || {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let c = Arc::new(CollectCounter::new(3));
+        for pid in 0..3 {
+            for _ in 0..2 {
+                d.submit_task(pid, OpSpec::inc(), CollectIncTask::new(c.clone()));
+            }
+        }
+        d
+    };
+    let mutant: fn() -> Driver<CoopBackend> = || {
+        let mut d = Driver::coop(Runtime::coop(3));
+        let cell = Arc::new(Register::new(0));
+        d.submit_task(0, OpSpec::inc(), SharedCellInc::new(cell.clone()));
+        d.submit_task(1, OpSpec::inc(), SharedCellInc::new(cell.clone()));
+        for _ in 0..2 {
+            d.submit_task(
+                2,
+                OpSpec::read(),
+                SharedCellRead {
+                    cell: cell.clone(),
+                    primed: false,
+                },
+            );
+        }
+        d
+    };
+    let cfg = ExploreConfig::default();
+    for (name, factory, expect_violation) in
+        [("collect-3x2", collect, false), ("mutant", mutant, true)]
+    {
+        let check = |h: &smr::History| check_counter_records(h, 1);
+        let base = explore_parallel(&cfg, 1, factory, check);
+        assert_eq!(
+            base.violations.len(),
+            usize::from(expect_violation),
+            "{name}"
+        );
+        for threads in [2, 4] {
+            let run = explore_parallel(&cfg, threads, factory, check);
+            assert_eq!(run, base, "{name}: {threads} workers diverged");
+        }
+    }
 }
 
 #[test]
