@@ -1,17 +1,31 @@
 //! EXP-CHECKER — throughput of the linearizability checkers on
-//! synthetic large counter histories: the `O(R log R + I log I)` sweep
-//! engine vs the retained `O(R² log I)` pairwise reference.
+//! synthetic large counter histories, in two modes:
 //!
-//! The north star is checking **million-op histories**; this experiment
-//! tracks the asymptotic win that makes that feasible. Histories are
-//! synthesized from a valid execution (every read returns its
-//! forced-before count, which always linearizes), with heavily
-//! overlapping windows, pending operations and multi-unit increment
-//! batches, so the sweep's monotone stack and the reference's Fenwick
-//! streaming both do real work. On each size where both engines run,
-//! their verdicts are cross-checked.
+//! * **offline** — the post-hoc `O(R log R + I log I)` sweep engine vs
+//!   the retained `O(R² log I)` pairwise reference;
+//! * **online** — the streaming [`lincheck::OnlineChecker`] consuming
+//!   the same history as a pre-sorted record stream, one push per
+//!   announcement/completion, with retained state bounded by the
+//!   history's maximum concurrency rather than its length.
+//!
+//! The north star is checking **million-op histories** as they are
+//! produced; this experiment tracks both the asymptotic win that makes
+//! post-hoc checking feasible and the streaming overhead + footprint
+//! that make *inline* checking feasible. Histories are synthesized from
+//! a valid execution (every read returns its forced-before count, which
+//! always linearizes), with heavily overlapping windows, pending
+//! operations and multi-unit increment batches, so the sweep's monotone
+//! stack and the online checker's watermark retirement both do real
+//! work. On each size where several engines run, their verdicts are
+//! cross-checked; the online engine's peak retained state is asserted
+//! against the history's measured concurrency, and at the 10⁶-record
+//! config its throughput is asserted to be at least the offline
+//! sweep's.
 //!
 //! Results land in `BENCH_checker.json` (cwd) for regression tracking.
+//! Each row carries a `mode` field (`offline` / `online`) that joins
+//! the row identity, and online rows add `peak_retained_entries` — a
+//! memory-direction metric `bench_diff` checks for growth.
 //!
 //! Run: `cargo run --release -p bench --bin exp_checker`
 //! CI:  `cargo run --release -p bench --bin exp_checker -- --smoke`
@@ -20,9 +34,10 @@
 
 use bench::tables::{f2, Table};
 use lincheck::monotone::{check_counter, prefix_sums, weighted_lt};
-use lincheck::{naive, CounterHistory, Interval, TimedInc, TimedRead};
+use lincheck::{naive, CounterHistory, Interval, OnlineChecker, TimedInc, TimedRead};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use smr::{OpKind, OpRecord};
 use std::time::Instant;
 
 /// Synthesize a linearizable counter history of `n_incs` increment
@@ -69,11 +84,75 @@ fn synth_history(n_incs: usize, n_reads: usize, seed: u64) -> CounterHistory {
     CounterHistory { incs, reads }
 }
 
+/// Flatten a history into the record stream a live run would emit:
+/// one announcement per operation at its invocation, one completion at
+/// its response (pending operations never complete), sorted by
+/// timestamp with announcements first at ties. Built *outside* the
+/// timed region — in the streaming scenario the stream arrives in
+/// order for free.
+fn online_stream(h: &CounterHistory) -> Vec<OpRecord> {
+    let mut events: Vec<(u64, u8, OpRecord)> =
+        Vec::with_capacity(2 * (h.reads.len() + h.incs.len()));
+    let rec = |pid: usize, kind: OpKind, inv: u64, resp: Option<u64>| OpRecord {
+        pid,
+        kind,
+        inv,
+        resp,
+        steps: 0,
+    };
+    for (j, r) in h.reads.iter().enumerate() {
+        let kind = OpKind::Read { returned: r.value };
+        events.push((r.inv, 0, rec(j, kind, r.inv, None)));
+        events.push((r.resp, 1, rec(j, kind, r.inv, Some(r.resp))));
+    }
+    for (i, inc) in h.incs.iter().enumerate() {
+        let pid = h.reads.len() + i;
+        let kind = OpKind::Inc { amount: inc.amount };
+        let inv = inc.window.inv;
+        events.push((inv, 0, rec(pid, kind, inv, None)));
+        if let Some(resp) = inc.window.resp {
+            events.push((resp, 1, rec(pid, kind, inv, Some(resp))));
+        }
+    }
+    events.sort_by_key(|&(t, tie, _)| (t, tie));
+    events.into_iter().map(|(_, _, r)| r).collect()
+}
+
+/// Maximum number of simultaneously open operations in the history:
+/// +1 at each invocation, −1 at each response, pending operations open
+/// forever. Arrivals count before departures at equal timestamps, so
+/// the measure upper-bounds what the online checker can have open.
+fn max_concurrency(h: &CounterHistory) -> usize {
+    let mut deltas: Vec<(u64, u8, i64)> = Vec::new();
+    let op = |inv: u64, resp: Option<u64>, deltas: &mut Vec<(u64, u8, i64)>| {
+        deltas.push((inv, 0, 1));
+        if let Some(r) = resp {
+            deltas.push((r, 1, -1));
+        }
+    };
+    for r in &h.reads {
+        op(r.inv, Some(r.resp), &mut deltas);
+    }
+    for i in &h.incs {
+        op(i.window.inv, i.window.resp, &mut deltas);
+    }
+    deltas.sort_unstable_by_key(|&(t, tie, _)| (t, tie));
+    let mut open = 0i64;
+    let mut peak = 0i64;
+    for (_, _, d) in deltas {
+        open += d;
+        peak = peak.max(open);
+    }
+    peak as usize
+}
+
 struct Sample {
+    mode: &'static str,
     engine: &'static str,
     total_ops: usize,
     millis: f64,
     verdict: bool,
+    peak_retained: Option<usize>,
 }
 
 fn time_engine<F: Fn(&CounterHistory) -> bool>(
@@ -85,10 +164,44 @@ fn time_engine<F: Fn(&CounterHistory) -> bool>(
     let verdict = f(h);
     let millis = start.elapsed().as_secs_f64() * 1e3;
     Sample {
+        mode: "offline",
         engine,
         total_ops: h.incs.len() + h.reads.len(),
         millis,
         verdict,
+        peak_retained: None,
+    }
+}
+
+/// Time the streaming checker over a pre-sorted record stream.
+fn time_online(h: &CounterHistory) -> Sample {
+    let stream = online_stream(h);
+    let start = Instant::now();
+    let mut checker = OnlineChecker::counter(1);
+    let mut verdict = true;
+    for r in &stream {
+        if checker.push(r).is_err() {
+            verdict = false;
+            break;
+        }
+    }
+    verdict = verdict && checker.finish().is_ok();
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+
+    let peak = checker.peak_retained();
+    let conc = max_concurrency(h);
+    assert!(
+        peak <= 4 * conc + 64,
+        "online checker retained {peak} entries against a measured \
+         max concurrency of {conc}: the watermark is not retiring"
+    );
+    Sample {
+        mode: "online",
+        engine: "online",
+        total_ops: h.incs.len() + h.reads.len(),
+        millis,
+        verdict,
+        peak_retained: Some(peak),
     }
 }
 
@@ -109,7 +222,15 @@ fn main() {
         ]
     };
 
-    let mut table = Table::new(["records", "engine", "ms", "records/s", "verdict"]);
+    let mut table = Table::new([
+        "records",
+        "mode",
+        "engine",
+        "ms",
+        "records/s",
+        "peak",
+        "verdict",
+    ]);
     let mut samples: Vec<Sample> = Vec::new();
 
     for (idx, &(total, with_naive)) in sizes.iter().enumerate() {
@@ -118,6 +239,7 @@ fn main() {
 
         let sweep = time_engine("sweep", &h, |h| check_counter(h, 1).is_ok());
         assert!(sweep.verdict, "synthetic history must linearize");
+        let sweep_millis = sweep.millis;
         samples.push(sweep);
 
         if with_naive {
@@ -129,14 +251,38 @@ fn main() {
             );
             samples.push(reference);
         }
+
+        let online = time_online(&h);
+        assert!(
+            online.verdict,
+            "online checker rejected a linearizable {total}-record history"
+        );
+        if total >= 1_000_000 {
+            // The acceptance bar for inline checking: at serving scale
+            // the stream must not check slower than the post-hoc sweep.
+            assert!(
+                online.millis <= sweep_millis,
+                "online checking ({:.1}ms) slower than the offline sweep \
+                 ({sweep_millis:.1}ms) at {total} records",
+                online.millis
+            );
+        }
+        samples.push(online);
     }
 
+    println!("EXP-CHECKER — monotone checker throughput on synthetic histories");
+    println!("offline/sweep  = O(R log R + I log I) post-hoc engine;");
+    println!("offline/naive  = retained O(R² log I) pairwise reference (small sizes only);");
+    println!("online/online  = streaming checker, watermark-bounded retained state.");
     for s in &samples {
         table.row([
             s.total_ops.to_string(),
+            s.mode.to_string(),
             s.engine.to_string(),
             f2(s.millis),
             format!("{:.0}", s.total_ops as f64 / (s.millis / 1e3).max(1e-9)),
+            s.peak_retained
+                .map_or_else(|| "-".into(), |p| p.to_string()),
             if s.verdict {
                 "ok".into()
             } else {
@@ -144,17 +290,16 @@ fn main() {
             },
         ]);
     }
-
-    println!("EXP-CHECKER — monotone checker throughput on synthetic histories");
-    println!("sweep = O(R log R + I log I) production engine;");
-    println!("naive = retained O(R² log I) pairwise reference (small sizes only).");
     table.print(if smoke {
         "checker throughput (--smoke sizes)"
     } else {
         "checker throughput"
     });
 
-    // Machine-readable results for regression tracking.
+    // Machine-readable results for regression tracking. The per-row
+    // `mode` joins row identity (an online row never diffs against an
+    // offline one); `peak_retained_entries` is a memory-direction
+    // metric.
     let mut json = String::from("{\n  \"bench\": \"checker_throughput\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
@@ -162,12 +307,17 @@ fn main() {
     ));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
+        let peak = s
+            .peak_retained
+            .map_or_else(String::new, |p| format!(", \"peak_retained_entries\": {p}"));
         json.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"records\": {}, \"millis\": {:.3}, \"records_per_sec\": {:.0}}}{}\n",
+            "    {{\"engine\": \"{}\", \"mode\": \"{}\", \"records\": {}, \"millis\": {:.3}, \"records_per_sec\": {:.0}{}}}{}\n",
             s.engine,
+            s.mode,
             s.total_ops,
             s.millis,
             s.total_ops as f64 / (s.millis / 1e3).max(1e-9),
+            peak,
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }

@@ -24,6 +24,12 @@
 //!    `explore_parallel`). A `thread::spawn`/`scope`/`Builder` anywhere
 //!    else in non-test `smr` code would put nondeterminism under a
 //!    component the coop backend promises is single-threaded.
+//! 5. **`lincheck` streams; it does not snapshot.** The online checker
+//!    exists so analysis holds O(concurrency) state, not O(history).
+//!    Non-test `lincheck` code must never call `history_snapshot()` —
+//!    full-history collection inside an analysis pass would silently
+//!    reintroduce the unbounded buffering the streaming sweep removed.
+//!    (Offline entry points take a caller-built history by argument.)
 //!
 //! Exit status 0 if clean, 1 with one `file:line: message` finding per
 //! violation — shaped like rustc output so CI annotates it. Pass the
@@ -142,12 +148,14 @@ fn main() {
     }
     let mut findings: Vec<String> = Vec::new();
 
-    // Rules 1, 2 and 4: line scans over non-test code.
+    // Rules 1, 2, 4 and 5: line scans over non-test code.
     for f in &files {
         if f.path.file_name().is_some_and(|n| n == "lint_smr.rs") {
             continue; // the linter's own docs name the patterns it flags
         }
         let in_smr = f.path.components().any(|c| c.as_os_str() == "smr") && !is_test_path(&f.path);
+        let in_lincheck =
+            f.path.components().any(|c| c.as_os_str() == "lincheck") && !is_test_path(&f.path);
         let sanctioned_spawner =
             f.path.ends_with("src/backend/thread.rs") || f.path.ends_with("src/explore.rs");
         for (i, line) in f.lines.iter().enumerate() {
@@ -175,6 +183,14 @@ fn main() {
                 findings.push(format!(
                     "{}:{}: thread creation in smr outside the thread backend and the \
                      explorer's worker pool (the coop model is single-threaded by contract)",
+                    f.path.display(),
+                    i + 1
+                ));
+            }
+            if in_lincheck && line.contains("history_snapshot") {
+                findings.push(format!(
+                    "{}:{}: history_snapshot() in lincheck non-test code — checker-side \
+                     analysis must stream (OnlineChecker), not buffer the full history",
                     f.path.display(),
                     i + 1
                 ));

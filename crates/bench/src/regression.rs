@@ -17,9 +17,11 @@
 //! * **throughput** metrics (fields ending in `_per_sec`) regress by
 //!   *dropping* below `baseline / factor`;
 //! * **memory** metrics (fields ending in `_bytes`, e.g.
-//!   `peak_rss_bytes`) regress by *growing* beyond
-//!   `baseline × factor` — peak RSS is far less noisy than wall-clock,
-//!   so a 2× growth is a real layout or leak problem, not jitter.
+//!   `peak_rss_bytes`, or in `_entries`, e.g. the online checker's
+//!   `peak_retained_entries`) regress by *growing* beyond
+//!   `baseline × factor` — footprint counts are far less noisy than
+//!   wall-clock, so a 2× growth is a real layout or leak problem, not
+//!   jitter.
 //!
 //! The `bench_diff` binary wraps this as a CI step that *warns* (CI
 //! machines vary too much to gate on wall-clock throughput).
@@ -75,7 +77,7 @@ pub enum MetricKind {
 fn metric_kind(name: &str) -> Option<MetricKind> {
     if name.ends_with("_per_sec") {
         Some(MetricKind::Throughput)
-    } else if name.ends_with("_bytes") {
+    } else if name.ends_with("_bytes") || name.ends_with("_entries") {
         Some(MetricKind::Memory)
     } else {
         None
@@ -483,6 +485,40 @@ mod tests {
         let ids: Vec<String> = f.results.iter().map(identity).collect();
         assert!(ids[0].contains("algo=dfs-prune") && ids[1].contains("algo=dpor"));
         assert_ne!(ids[0], ids[1], "algo distinguishes otherwise-equal rows");
+    }
+
+    #[test]
+    fn checker_rows_key_on_mode() {
+        // exp_checker emits offline and online rows for the same
+        // record count; the per-row mode tag must enter identity so an
+        // online row is never diffed against the offline sweep, while
+        // peak_retained_entries is a compared memory metric, not
+        // identity.
+        let text = r#"{
+  "bench": "checker_throughput",
+  "results": [
+    {"engine": "sweep", "mode": "offline", "records": 10000, "millis": 5.0, "records_per_sec": 2000000},
+    {"engine": "online", "mode": "online", "records": 10000, "millis": 4.0, "records_per_sec": 2500000, "peak_retained_entries": 120}
+  ]
+}"#;
+        let f = parse_bench_json(text).unwrap();
+        let ids: Vec<String> = f.results.iter().map(identity).collect();
+        assert!(ids[0].contains("mode=offline") && ids[1].contains("mode=online"));
+        assert_ne!(ids[0], ids[1], "mode distinguishes the rows");
+        assert!(
+            !ids[1].contains("peak_retained_entries"),
+            "retained-state metrics compared, not matched"
+        );
+        // Retained state growing beyond the factor is a reported memory
+        // regression, in the growth direction only.
+        let grown = text.replace(
+            "\"peak_retained_entries\": 120",
+            "\"peak_retained_entries\": 500",
+        );
+        let regs = diff(&f, &parse_bench_json(&grown).unwrap(), 2.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "peak_retained_entries");
+        assert_eq!(regs[0].kind, MetricKind::Memory);
     }
 
     #[test]

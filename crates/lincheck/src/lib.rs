@@ -40,13 +40,18 @@
 mod history;
 pub mod monotone;
 pub mod naive;
+pub mod online;
+pub mod pass;
 pub mod records;
 pub mod sketchlog;
+mod sweep;
 pub mod wg;
 
 pub use history::{
     CounterHistory, Interval, MaxRegHistory, TimedInc, TimedRead, TimedWrite, UnsupportedOp,
     Violation,
 };
+pub use online::{CounterSpec, OnlineChecker};
+pub use pass::LinearizabilityPass;
 pub use records::{check_counter_records, check_maxreg_records};
 pub use sketchlog::{check_quantile_records, check_topk_records, SketchEnvelope};

@@ -83,9 +83,18 @@
 //! writes.
 
 use crate::history::{CounterHistory, MaxRegHistory, Violation};
+use crate::sweep::MonotoneStack;
 
 /// Check a counter history against the k-multiplicative-accurate counter
 /// specification (`k = 1` for the exact counter).
+///
+/// A read returning `x` admits exact counts in the inclusive window
+/// `[⌈x/k⌉, x·k]`: integer `div_ceil` at the bottom (the smallest `v`
+/// with `v·k ≥ x`), saturating multiplication at the top. Saturation
+/// is exact, not an approximation: a count can never exceed
+/// `u128::MAX`, so clamping the upper bound there loses nothing. At
+/// `x = 0` the window is `[0, 0]` for every `k` — a zero read always
+/// claims the counter has never been incremented.
 pub fn check_counter(h: &CounterHistory, k: u64) -> Result<(), Violation> {
     assert!(k >= 1);
     let kk = u128::from(k);
@@ -94,6 +103,12 @@ pub fn check_counter(h: &CounterHistory, k: u64) -> Result<(), Violation> {
 
 /// Check a counter history against the **k-additive**-accurate counter
 /// specification: a read may return `x` with `|v − x| ≤ k`.
+///
+/// A read returning `x` admits exact counts in the inclusive window
+/// `[x − k, x + k]`, saturating at both ends: `x − k` clamps to zero
+/// (counts are nonnegative) and `x + k` clamps to `u128::MAX` (counts
+/// cannot exceed it), so both clamps are exact rather than lossy.
+/// `k = 0` degenerates to the exact counter.
 pub fn check_counter_additive(h: &CounterHistory, k: u64) -> Result<(), Violation> {
     let kk = u128::from(k);
     check_counter_with(h, move |x| (x.saturating_sub(kk), x.saturating_add(kk)))
@@ -208,145 +223,6 @@ where
     Ok(())
 }
 
-/// The monotone stack behind the counter sweep: entries `(resp, term)`
-/// inserted in nondecreasing `resp` order, supporting
-///
-/// * `raise_before(t, w)` — add `w` to the term of every entry with
-///   `resp < t` (a *prefix* of the stack);
-/// * `max()` — the largest current term;
-/// * `insert(resp, term)` — add an entry at the top.
-///
-/// Invariant: terms strictly increase from bottom (oldest `resp`) to
-/// top. An entry whose term is overtaken by an earlier entry is
-/// *dominated forever* — every future `raise_before` that reaches it
-/// also reaches the earlier entry — so it is retired. Terms are stored
-/// as successive differences in an append-only sorted vec: a prefix
-/// raise is `+w` on the first live difference and a deficit walk from
-/// the boundary (one `partition_point`) that retires entries whose
-/// difference it exhausts. Retired entries keep a zero diff in place —
-/// prefix sums are unaffected — and are hopped over with union-find
-/// "next live" pointers that compress on traversal, so the walk costs
-/// `O(α)` amortized per retired entry and nothing is allocated after
-/// construction. (The previous `BTreeMap` encoding hit an allocator +
-/// pointer-chasing knee near 10⁶ records.)
-struct MonotoneStack {
-    /// `(resp, diff)` in nondecreasing `resp` order; the term of a live
-    /// entry is the sum of all diffs up to and including its own.
-    entries: Vec<(u64, u128)>,
-    /// Next-live pointers: `skip[i] == i` marks a live entry; a dead
-    /// entry points at some strictly larger index (possibly
-    /// `entries.len()`). Dead entries are never revived — a same-`resp`
-    /// replacement appends a fresh entry instead — so compressed paths
-    /// stay valid forever.
-    skip: Vec<usize>,
-    /// Number of live entries.
-    live: usize,
-    /// Sum of all diffs = term of the top live entry = current maximum.
-    total: u128,
-}
-
-impl MonotoneStack {
-    /// An empty stack pre-sized for `cap` inserts (each `insert` appends
-    /// at most one entry, so a sweep over `R` reads never reallocates).
-    fn with_capacity(cap: usize) -> Self {
-        MonotoneStack {
-            entries: Vec::with_capacity(cap),
-            skip: Vec::with_capacity(cap),
-            live: 0,
-            total: 0,
-        }
-    }
-
-    /// Largest current term, if any entry is live.
-    fn max(&self) -> Option<u128> {
-        (self.live > 0).then_some(self.total)
-    }
-
-    /// Number of live entries (the analogue of the old map's `len`).
-    #[cfg(test)]
-    fn live_len(&self) -> usize {
-        self.live
-    }
-
-    /// First live index at or after `i` (or `entries.len()`), with path
-    /// compression over the dead chain it walked.
-    fn first_live(&mut self, i: usize) -> usize {
-        let mut j = i;
-        while j < self.entries.len() && self.skip[j] != j {
-            j = self.skip[j];
-        }
-        let mut k = i;
-        while k < self.entries.len() && self.skip[k] != k {
-            k = std::mem::replace(&mut self.skip[k], j);
-        }
-        j
-    }
-
-    /// Retire entry `i`: zero diff stays in place, pointers hop past it.
-    fn retire(&mut self, i: usize) {
-        self.entries[i].1 = 0;
-        self.skip[i] = i + 1;
-        self.live -= 1;
-    }
-
-    /// Push `(resp, term)`. Requires `resp` ≥ every present key (inserts
-    /// arrive in response order). A term not exceeding the current
-    /// maximum is dominated on arrival and discarded.
-    fn insert(&mut self, resp: u64, term: u128) {
-        if self.live > 0 && term <= self.total {
-            return;
-        }
-        // An existing live entry at the same `resp` (necessarily the
-        // top) has identical future exposure and a smaller term: retire
-        // it, folding its diff into the newcomer's.
-        let mut folded = 0;
-        if let Some(i) = self.entries.len().checked_sub(1) {
-            debug_assert!(self.entries[i].0 <= resp, "inserts arrive in resp order");
-            if self.entries[i].0 == resp && self.skip[i] == i {
-                folded = self.entries[i].1;
-                self.retire(i);
-            }
-        }
-        self.entries.push((resp, term - self.total + folded));
-        self.skip.push(self.skip.len());
-        self.live += 1;
-        self.total = term;
-    }
-
-    /// Add `w` to the term of every entry with `resp < t`, retiring
-    /// entries this dominates.
-    fn raise_before(&mut self, t: u64, w: u128) {
-        let first = self.first_live(0);
-        if first >= self.entries.len() || self.entries[first].0 >= t {
-            return; // no live entry precedes t
-        }
-        self.entries[first].1 += w;
-        self.total += w;
-        // Restore the terms of entries at or beyond the boundary by
-        // walking the deficit through their diffs; an exhausted diff
-        // means the entry's term sank to its predecessor's — dominated.
-        let mut deficit = w;
-        let mut i = self.entries.partition_point(|&(resp, _)| resp < t);
-        loop {
-            i = self.first_live(i);
-            if i >= self.entries.len() {
-                break;
-            }
-            let d = deficit.min(self.entries[i].1);
-            self.entries[i].1 -= d;
-            deficit -= d;
-            self.total -= d;
-            if self.entries[i].1 == 0 {
-                self.retire(i);
-            }
-            if deficit == 0 {
-                break;
-            }
-            i += 1;
-        }
-    }
-}
-
 /// Check a max-register history against the k-multiplicative-accurate max
 /// register specification (`k = 1` for the exact max register).
 pub fn check_maxreg(h: &MaxRegHistory, k: u64) -> Result<(), Violation> {
@@ -446,9 +322,9 @@ pub fn check_maxreg(h: &MaxRegHistory, k: u64) -> Result<(), Violation> {
                                 "read #{i} (window [{}, {}]) returned {} but \
                                  no admissible maximum exists: forced maximum \
                                  {base}, admissible value window [{spec_lo}, \
-                                 {spec_hi}], and no witness write invoked by \
-                                 {} has an effective value in that window \
-                                 (k = {k})",
+                                 {spec_hi}], and no write invoked at or before \
+                                 the response timestamp {} has an effective \
+                                 value in that window (k = {k})",
                                 r.inv, r.resp, r.value, r.resp
                             ),
                         })
@@ -464,7 +340,16 @@ pub fn check_maxreg(h: &MaxRegHistory, k: u64) -> Result<(), Violation> {
 /// With [`weighted_lt`]/[`weighted_leq`], the weighted-count primitive
 /// shared by both checker engines and by history generators that must
 /// agree with their boundary semantics (e.g. `exp_checker`).
+///
+/// The slice **must** be sorted by time: the companion lookups run
+/// `partition_point`, which silently returns garbage on unsorted
+/// input. All three functions `debug_assert!` the contract, so a
+/// violation panics in debug builds instead of corrupting verdicts.
 pub fn prefix_sums(sorted: &[(u64, u64)]) -> Vec<u128> {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].0 <= w[1].0),
+        "prefix_sums requires a time-sorted slice"
+    );
     let mut out = Vec::with_capacity(sorted.len());
     let mut run: u128 = 0;
     for &(_, w) in sorted {
@@ -475,7 +360,12 @@ pub fn prefix_sums(sorted: &[(u64, u64)]) -> Vec<u128> {
 }
 
 /// Total weight of entries with time strictly less than `t`.
+/// `sorted` must be time-sorted (see [`prefix_sums`]).
 pub fn weighted_lt(sorted: &[(u64, u64)], prefix: &[u128], t: u64) -> u128 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].0 <= w[1].0),
+        "weighted_lt requires a time-sorted slice"
+    );
     let cnt = sorted.partition_point(|&(x, _)| x < t);
     if cnt == 0 {
         0
@@ -485,7 +375,12 @@ pub fn weighted_lt(sorted: &[(u64, u64)], prefix: &[u128], t: u64) -> u128 {
 }
 
 /// Total weight of entries with time less than or equal to `t`.
+/// `sorted` must be time-sorted (see [`prefix_sums`]).
 pub fn weighted_leq(sorted: &[(u64, u64)], prefix: &[u128], t: u64) -> u128 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].0 <= w[1].0),
+        "weighted_leq requires a time-sorted slice"
+    );
     let cnt = sorted.partition_point(|&(x, _)| x <= t);
     if cnt == 0 {
         0
@@ -694,29 +589,6 @@ mod tests {
         }
     }
 
-    #[test]
-    fn monotone_stack_prefix_raises_and_domination() {
-        let mut s = MonotoneStack::with_capacity(4);
-        assert_eq!(s.max(), None);
-        s.insert(2, 5);
-        s.insert(4, 7);
-        s.insert(6, 20);
-        assert_eq!(s.max(), Some(20));
-        // Raise entries with resp < 3 by 4: terms 9, 7→dominated, 20.
-        s.raise_before(3, 4);
-        assert_eq!(s.max(), Some(20));
-        assert_eq!(s.live_len(), 2, "middle entry retired");
-        // Raise entries with resp < 7 by 100: both remaining entries.
-        s.raise_before(7, 100);
-        assert_eq!(s.max(), Some(120));
-        // Dominated-on-arrival insert is discarded.
-        s.insert(9, 3);
-        assert_eq!(s.live_len(), 2);
-        // Raise with boundary before everything: no-op.
-        s.raise_before(1, 50);
-        assert_eq!(s.max(), Some(120));
-    }
-
     fn write(inv: u64, resp: u64, value: u64) -> TimedWrite {
         TimedWrite {
             window: Interval::done(inv, resp),
@@ -776,5 +648,126 @@ mod tests {
             reads: vec![read(2, 3, 0)],
         };
         assert!(check_maxreg(&h, 3).is_err(), "x = 0 forces v = 0");
+    }
+
+    #[test]
+    fn counter_violation_message_snapshot() {
+        let h = CounterHistory {
+            incs: vec![inc(0, 1)],
+            reads: vec![read(2, 3, 0)],
+        };
+        let err = check_counter(&h, 1).unwrap_err();
+        assert_eq!(
+            err.message,
+            "read #0 (window [2, 3]) returned 0 but the exact count is \
+             confined to an empty window: need \u{2265} 1, \u{2264} 0 \
+             (forced-before A = 1, possible-before B = 1)"
+        );
+    }
+
+    #[test]
+    fn maxreg_violation_message_snapshot() {
+        let h = MaxRegHistory {
+            writes: vec![write(0, 1, 5)],
+            reads: vec![read(2, 3, 3)],
+        };
+        let err = check_maxreg(&h, 1).unwrap_err();
+        assert_eq!(
+            err.message,
+            "read #0 (window [2, 3]) returned 3 but no admissible maximum \
+             exists: forced maximum 5, admissible value window [3, 3], and \
+             no write invoked at or before the response timestamp 3 has an \
+             effective value in that window (k = 1)"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time-sorted")]
+    fn prefix_sums_panics_on_unsorted_slice_in_debug() {
+        let _ = prefix_sums(&[(5, 1), (2, 1)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time-sorted")]
+    fn weighted_lt_panics_on_unsorted_slice_in_debug() {
+        let _ = weighted_lt(&[(5, 1), (2, 1)], &[1, 2], 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time-sorted")]
+    fn weighted_leq_panics_on_unsorted_slice_in_debug() {
+        let _ = weighted_leq(&[(5, 1), (2, 1)], &[1, 2], 3);
+    }
+
+    #[test]
+    fn multiplicative_window_boundaries() {
+        // k = 1: the window degenerates to [x, x].
+        let h = CounterHistory {
+            incs: vec![inc(0, 1), inc(2, 3)],
+            reads: vec![read(4, 5, 2)],
+        };
+        assert!(check_counter(&h, 1).is_ok());
+        // A read of u128::MAX under k = u64::MAX still demands a count
+        // of at least div_ceil(u128::MAX, u64::MAX) > 0; with no
+        // increments the possible-before weight is 0, so it rejects
+        // (and the saturating upper bound must not mask that).
+        let h = CounterHistory {
+            incs: vec![],
+            reads: vec![read(0, 1, u128::MAX)],
+        };
+        assert!(check_counter(&h, u64::MAX).is_err());
+        // Batched increments of u64::MAX amounts accumulate in u128
+        // without overflow; the exact sum is accepted at k = 1.
+        let amounts = 3u128 * u128::from(u64::MAX);
+        let h = CounterHistory {
+            incs: vec![
+                TimedInc::batch(Interval::done(0, 1), u64::MAX),
+                TimedInc::batch(Interval::done(2, 3), u64::MAX),
+                TimedInc::batch(Interval::done(4, 5), u64::MAX),
+            ],
+            reads: vec![read(6, 7, amounts)],
+        };
+        assert!(check_counter(&h, 1).is_ok());
+        // Saturating upper bound: x * k clamps to u128::MAX, which is
+        // exact (no count exceeds it), so a huge read under a huge k
+        // accepts any sufficiently large exact count.
+        let h = CounterHistory {
+            incs: vec![TimedInc::batch(Interval::done(0, 1), u64::MAX)],
+            reads: vec![read(2, 3, u128::MAX / u128::from(u64::MAX))],
+        };
+        assert!(check_counter(&h, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn additive_window_boundaries() {
+        // k = 0 degenerates to the exact counter.
+        let h = CounterHistory {
+            incs: vec![inc(0, 1)],
+            reads: vec![read(2, 3, 1)],
+        };
+        assert!(check_counter_additive(&h, 0).is_ok());
+        let h = CounterHistory {
+            incs: vec![inc(0, 1)],
+            reads: vec![read(2, 3, 2)],
+        };
+        assert!(check_counter_additive(&h, 0).is_err());
+        // Lower bound saturates at zero: a read of 0 under a huge k
+        // admits any small count.
+        let h = CounterHistory {
+            incs: vec![inc(0, 1)],
+            reads: vec![read(2, 3, 0)],
+        };
+        assert!(check_counter_additive(&h, u64::MAX).is_ok());
+        // Upper bound saturates at u128::MAX: a read of u128::MAX with
+        // k = u64::MAX still demands a count of at least
+        // u128::MAX - u64::MAX, which no history here provides.
+        let h = CounterHistory {
+            incs: vec![inc(0, 1)],
+            reads: vec![read(2, 3, u128::MAX)],
+        };
+        assert!(check_counter_additive(&h, u64::MAX).is_err());
     }
 }

@@ -95,8 +95,8 @@ impl AnalysisPass for Conformance {
 
     fn on_event(&mut self, ev: &TraceEvent) {
         match *ev {
-            TraceEvent::Invoke { pid, label, .. } => {
-                self.set_label(pid, Some(label));
+            TraceEvent::Invoke { pid, kind, .. } => {
+                self.set_label(pid, Some(kind.label()));
                 return;
             }
             TraceEvent::Complete { pid, .. } | TraceEvent::Crash { pid, .. } => {

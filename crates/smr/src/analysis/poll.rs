@@ -143,9 +143,8 @@ impl AnalysisPass for PollDiscipline {
 
     fn on_event(&mut self, ev: &TraceEvent) {
         match *ev {
-            TraceEvent::Invoke {
-                seq, pid, label, ..
-            } => {
+            TraceEvent::Invoke { seq, pid, kind, .. } => {
+                let label = kind.label();
                 let st = self.pid_mut(pid);
                 st.ops += 1;
                 if let Some(open) = st.label {
@@ -239,6 +238,7 @@ impl AnalysisPass for PollDiscipline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::OpKind;
     use crate::trace::{Access, AccessKind};
 
     fn meta(n: usize) -> RunMeta {
@@ -267,7 +267,11 @@ mod tests {
         p.on_event(&TraceEvent::Invoke {
             seq: 0,
             pid: 0,
-            label: "inc",
+            kind: OpKind::Custom {
+                label: "inc",
+                arg: 0,
+                ret: 0,
+            },
             inv: 0,
         });
         p.on_event(&TraceEvent::Grant { seq: 1, pid: 0 });
@@ -277,7 +281,11 @@ mod tests {
         p.on_event(&TraceEvent::Complete {
             seq: 5,
             pid: 0,
-            label: "inc",
+            kind: OpKind::Custom {
+                label: "inc",
+                arg: 0,
+                ret: 0,
+            },
             resp: 1,
         });
         assert!(p.finish().is_empty());
@@ -294,7 +302,11 @@ mod tests {
         p.on_event(&TraceEvent::Invoke {
             seq: 0,
             pid: 0,
-            label: "greedy",
+            kind: OpKind::Custom {
+                label: "greedy",
+                arg: 0,
+                ret: 0,
+            },
             inv: 0,
         });
         p.on_event(&TraceEvent::Grant { seq: 1, pid: 0 });
@@ -315,7 +327,11 @@ mod tests {
         p.on_event(&TraceEvent::Invoke {
             seq: 0,
             pid: 0,
-            label: "eager",
+            kind: OpKind::Custom {
+                label: "eager",
+                arg: 0,
+                ret: 0,
+            },
             inv: 0,
         });
         p.on_event(&acc(1, 0)); // no grant yet

@@ -451,7 +451,7 @@ impl CoopBackend {
                 // Free-running mode sends no invocation announcements,
                 // mirroring the thread backend (nothing can be
                 // suspended, so pending records would be pure noise).
-                self.runtime.trace_invoke(pid, spec.kind(0).label(), inv);
+                self.runtime.trace_invoke(pid, spec.kind(0), inv);
                 self.events.push_back(OpRecord {
                     pid,
                     kind: spec.kind(0),
@@ -474,7 +474,7 @@ impl CoopBackend {
                 Poll::Ready(ret) => {
                     let resp = self.runtime.ticket();
                     if self.gated {
-                        self.runtime.trace_complete(pid, spec.kind(0).label(), resp);
+                        self.runtime.trace_complete(pid, spec.kind(ret), resp);
                     }
                     self.events.push_back(OpRecord {
                         pid,
@@ -505,7 +505,7 @@ impl CoopBackend {
         let spec = self.parked_spec[pid];
         let resp = self.runtime.ticket();
         if self.gated {
-            self.runtime.trace_complete(pid, spec.kind(0).label(), resp);
+            self.runtime.trace_complete(pid, spec.kind(ret), resp);
         }
         self.events.push_back(OpRecord {
             pid,

@@ -158,7 +158,7 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
                 // suspend processes, so the announcement would be pure
                 // channel overhead there.
                 if runtime.gate.is_some() {
-                    runtime.trace_invoke(pid, spec.kind(0).label(), inv);
+                    runtime.trace_invoke(pid, spec.kind(0), inv);
                     let _ = tx.send(OpRecord {
                         pid,
                         kind: spec.kind(0),
@@ -180,7 +180,7 @@ fn worker_loop(runtime: Arc<Runtime>, pid: usize, rx: Receiver<Cmd>, tx: Sender<
                 let steps = ctx.steps_taken() - steps_before;
                 let resp = runtime.ticket();
                 if runtime.gate.is_some() {
-                    runtime.trace_complete(pid, spec.kind(0).label(), resp);
+                    runtime.trace_complete(pid, spec.kind(ret), resp);
                 }
                 // The event must be in the channel before `op_finished` is
                 // signalled, so a controller that observes completion can

@@ -3,6 +3,7 @@
 use crate::analysis::{Analyzer, RunMeta};
 use crate::ctx::ProcCtx;
 use crate::gate::Gate;
+use crate::history::OpKind;
 use crate::step::{pad, StepStats};
 use crate::trace::{Access, AccessKind, TraceEvent, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -242,20 +243,20 @@ impl Runtime {
         });
     }
 
-    pub(crate) fn trace_invoke(&self, pid: usize, label: &'static str, inv: u64) {
+    pub(crate) fn trace_invoke(&self, pid: usize, kind: OpKind, inv: u64) {
         self.tracer.emit(|seq| TraceEvent::Invoke {
             seq,
             pid,
-            label,
+            kind,
             inv,
         });
     }
 
-    pub(crate) fn trace_complete(&self, pid: usize, label: &'static str, resp: u64) {
+    pub(crate) fn trace_complete(&self, pid: usize, kind: OpKind, resp: u64) {
         self.tracer.emit(|seq| TraceEvent::Complete {
             seq,
             pid,
-            label,
+            kind,
             resp,
         });
     }

@@ -23,6 +23,7 @@
 //! else — tracing is zero-cost when off.
 
 use crate::analysis::Analyzer;
+use crate::history::OpKind;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -92,8 +93,10 @@ pub enum TraceEvent {
         seq: u64,
         /// Invoking process.
         pid: usize,
-        /// The operation's label ([`OpKind::label`](crate::OpKind)).
-        label: &'static str,
+        /// The operation, with a placeholder return value (`ret = 0`):
+        /// the result is unknown at invocation time. Passes that only
+        /// need the name use [`OpKind::label`](crate::OpKind::label).
+        kind: OpKind,
         /// The invocation's logical timestamp.
         inv: u64,
     },
@@ -103,8 +106,9 @@ pub enum TraceEvent {
         seq: u64,
         /// Completing process.
         pid: usize,
-        /// The operation's label.
-        label: &'static str,
+        /// The operation, carrying its actual return value — enough
+        /// for a linearizability pass to reconstruct the op record.
+        kind: OpKind,
         /// The response's logical timestamp.
         resp: u64,
     },
