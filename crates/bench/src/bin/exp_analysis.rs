@@ -36,6 +36,7 @@
 //! CI:  `cargo run --release -p bench --bin exp_analysis -- --smoke`
 
 use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
+use bench::emit::{mode_str, Report, Row};
 use bench::tables::{f2, Table};
 use parking_lot::Mutex;
 use smr::analysis::Analyzer;
@@ -107,19 +108,16 @@ impl Sample {
         self.steps as f64 / (self.millis / 1e3).max(1e-9)
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"workload\": \"{}\", \"backend\": \"coop\", \"analysis\": \"{}\", \
-             \"n\": {}, \"ops\": {}, \"steps\": {}, \"millis\": {:.3}, \
-             \"steps_per_sec\": {:.0}}}",
-            self.workload,
-            self.analysis,
-            self.n,
-            self.ops,
-            self.steps,
-            self.millis,
-            self.steps_per_sec(),
-        )
+    fn row(&self) -> Row {
+        Row::new()
+            .str("workload", self.workload)
+            .str("backend", "coop")
+            .str("analysis", self.analysis)
+            .int("n", self.n as u64)
+            .int("ops", self.ops)
+            .int("steps", self.steps)
+            .float3("millis", self.millis)
+            .float0("steps_per_sec", self.steps_per_sec())
     }
 }
 
@@ -276,23 +274,9 @@ fn main() {
         "analysis passes on/off"
     });
 
-    let mut json = String::from("{\n  \"bench\": \"analysis_overhead\",\n");
-    json.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
-    ));
-    json.push_str("  \"results\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {}{}\n",
-            s.to_json(),
-            if i + 1 == samples.len() { "" } else { "," }
-        ));
+    let mut report = Report::new("analysis_overhead", mode_str(smoke));
+    for s in &samples {
+        report.row(s.row());
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_analysis.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => println!("\ncould not write {path}: {e}"),
-    }
+    report.write("BENCH_analysis.json");
 }

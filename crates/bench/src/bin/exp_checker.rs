@@ -32,6 +32,7 @@
 //! (`--smoke` shrinks the sizes to keep the bin exercised without
 //! costing CI minutes; `REPRO_SCALE` multiplies the full sizes.)
 
+use bench::emit::{mode_str, Report, Row};
 use bench::tables::{f2, Table};
 use lincheck::monotone::{check_counter, prefix_sums, weighted_lt};
 use lincheck::{naive, CounterHistory, Interval, OnlineChecker, TimedInc, TimedRead};
@@ -300,31 +301,21 @@ fn main() {
     // `mode` joins row identity (an online row never diffs against an
     // offline one); `peak_retained_entries` is a memory-direction
     // metric.
-    let mut json = String::from("{\n  \"bench\": \"checker_throughput\",\n");
-    json.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
-    ));
-    json.push_str("  \"results\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        let peak = s
-            .peak_retained
-            .map_or_else(String::new, |p| format!(", \"peak_retained_entries\": {p}"));
-        json.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"mode\": \"{}\", \"records\": {}, \"millis\": {:.3}, \"records_per_sec\": {:.0}{}}}{}\n",
-            s.engine,
-            s.mode,
-            s.total_ops,
-            s.millis,
-            s.total_ops as f64 / (s.millis / 1e3).max(1e-9),
-            peak,
-            if i + 1 == samples.len() { "" } else { "," }
-        ));
+    let mut report = Report::new("checker_throughput", mode_str(smoke));
+    for s in &samples {
+        let mut row = Row::new()
+            .str("engine", s.engine)
+            .str("mode", s.mode)
+            .int("records", s.total_ops as u64)
+            .float3("millis", s.millis)
+            .float0(
+                "records_per_sec",
+                s.total_ops as f64 / (s.millis / 1e3).max(1e-9),
+            );
+        if let Some(p) = s.peak_retained {
+            row = row.int("peak_retained_entries", p as u64);
+        }
+        report.row(row);
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_checker.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => println!("\ncould not write {path}: {e}"),
-    }
+    report.write("BENCH_checker.json");
 }

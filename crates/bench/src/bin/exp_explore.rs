@@ -31,6 +31,7 @@
 //! `algo` identity, so CI lanes must pass the committed count).
 
 use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
+use bench::emit::{mode_str, Report, Row};
 use bench::multinomial;
 use bench::tables::{f2, Table};
 use counter::{CollectCounter, CollectIncTask, CollectReadTask};
@@ -95,22 +96,18 @@ impl Sample {
         self.interleavings as f64 / (self.millis / 1e3).max(1e-9)
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"config\": \"{}\", \"algo\": \"{}\", \"prune\": {}, \"max_crashes\": {}, \
-             \"interleavings\": {}, \"pruned_subtrees\": {}, \"steps_replayed\": {}, \
-             \"millis\": {:.3}, \"interleavings_per_sec\": {:.0}, \"violations\": {}}}",
-            self.name,
-            self.algo,
-            self.prune,
-            self.crashes,
-            self.interleavings,
-            self.pruned,
-            self.steps_replayed,
-            self.millis,
-            self.per_sec(),
-            self.violations,
-        )
+    fn row(&self) -> Row {
+        Row::new()
+            .str("config", self.name)
+            .str("algo", &self.algo)
+            .bool("prune", self.prune)
+            .int("max_crashes", self.crashes as u64)
+            .int("interleavings", self.interleavings)
+            .int("pruned_subtrees", self.pruned)
+            .int("steps_replayed", self.steps_replayed)
+            .float3("millis", self.millis)
+            .float0("interleavings_per_sec", self.per_sec())
+            .int("violations", self.violations as u64)
     }
 }
 
@@ -420,23 +417,9 @@ fn main() {
         "schedule exploration"
     });
 
-    let mut json = String::from("{\n  \"bench\": \"schedule_exploration\",\n");
-    json.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
-    ));
-    json.push_str("  \"results\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {}{}\n",
-            s.to_json(),
-            if i + 1 == samples.len() { "" } else { "," }
-        ));
+    let mut report = Report::new("schedule_exploration", mode_str(smoke));
+    for s in &samples {
+        report.row(s.row());
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_explore.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => println!("\ncould not write {path}: {e}"),
-    }
+    report.write("BENCH_explore.json");
 }

@@ -30,6 +30,7 @@
 //! gated schedule over 10⁵ virtual processes completing in seconds.)
 
 use approx_objects::{KmultCounter, KmultIncTask, KmultReadTask, SharedKmultHandle};
+use bench::emit::{mode_str, Report, Row};
 use bench::tables::{f2, Table};
 use parking_lot::Mutex;
 use smr::backend::ExecBackend;
@@ -128,21 +129,17 @@ impl Sample {
         self.steps as f64 / (self.millis / 1e3).max(1e-9)
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"workload\": \"{}\", \"backend\": \"{}\", \"mode\": \"{}\", \"n\": {}, \
-             \"ops\": {}, \"steps\": {}, \"millis\": {:.3}, \"steps_per_sec\": {:.0}, \
-             \"peak_rss_bytes\": {}}}",
-            self.workload,
-            self.backend,
-            self.mode,
-            self.n,
-            self.ops,
-            self.steps,
-            self.millis,
-            self.steps_per_sec(),
-            self.peak_rss_bytes,
-        )
+    fn row(&self) -> Row {
+        Row::new()
+            .str("workload", self.workload)
+            .str("backend", self.backend)
+            .str("mode", self.mode)
+            .int("n", self.n as u64)
+            .int("ops", self.ops)
+            .int("steps", self.steps)
+            .float3("millis", self.millis)
+            .float0("steps_per_sec", self.steps_per_sec())
+            .int("peak_rss_bytes", self.peak_rss_bytes)
     }
 }
 
@@ -274,7 +271,7 @@ fn run_isolated(workload: &'static str, backend: Backend, n: usize, ops_per_proc
 }
 
 /// Parse the child's flat JSON result line (no serde in the tree; the
-/// format is our own, written by `Sample::to_json`).
+/// format is our own, written by `Sample::row`).
 fn parse_child_line(line: &str, workload: &'static str, backend: Backend) -> Sample {
     let field = |key: &str| -> f64 {
         let pat = format!("\"{key}\": ");
@@ -311,7 +308,7 @@ fn main() {
         let n: usize = args[4].parse().expect("n");
         let ops: u64 = args[5].parse().expect("ops_per_proc");
         let sample = run_config(workload, backend, n, ops);
-        println!("RESULT {}", sample.to_json());
+        println!("RESULT {}", sample.row().to_json());
         return;
     }
 
@@ -399,23 +396,9 @@ fn main() {
         "execution-backend scaling"
     });
 
-    let mut json = String::from("{\n  \"bench\": \"backend_scaling\",\n");
-    json.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
-    ));
-    json.push_str("  \"results\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {}{}\n",
-            s.to_json(),
-            if i + 1 == samples.len() { "" } else { "," }
-        ));
+    let mut report = Report::new("backend_scaling", mode_str(smoke));
+    for s in &samples {
+        report.row(s.row());
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_scale.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => println!("\ncould not write {path}: {e}"),
-    }
+    report.write("BENCH_scale.json");
 }

@@ -28,6 +28,7 @@
 //! Run: `cargo run --release -p bench --bin exp_sketch`
 //! CI:  `cargo run --release -p bench --bin exp_sketch -- --smoke`
 
+use bench::emit::{mode_str, Report, Row};
 use bench::tables::{f2, Table};
 use lincheck::sketchlog;
 use lincheck::SketchEnvelope;
@@ -80,28 +81,26 @@ impl Sample {
         self.writes as f64 / (self.millis / 1e3).max(1e-9)
     }
 
-    fn to_json(&self) -> String {
+    fn row(&self) -> Row {
         let part_key = if self.object == "topk" {
             "shards"
         } else {
             "buckets"
         };
-        format!(
-            "{{\"object\": \"{}\", \"backend\": \"{}\", \"n\": {}, \"{part_key}\": {}, \
-             \"keys\": {}, \"k\": {K}, \"flush_every\": {FLUSH_EVERY}, \"writes\": {}, \
-             \"reads\": {}, \"millis\": {:.3}, \"writes_per_sec\": {:.0}, \
-             \"read_steps_avg\": {:.1}, \"violations\": 0}}",
-            self.object,
-            self.backend,
-            self.n,
-            self.partitions,
-            self.keys,
-            self.writes,
-            self.reads,
-            self.millis,
-            self.writes_per_sec(),
-            self.read_steps_avg,
-        )
+        Row::new()
+            .str("object", self.object)
+            .str("backend", self.backend)
+            .int("n", self.n as u64)
+            .int(part_key, self.partitions as u64)
+            .int("keys", self.keys as u64)
+            .int("k", K)
+            .int("flush_every", FLUSH_EVERY)
+            .int("writes", self.writes)
+            .int("reads", self.reads)
+            .float3("millis", self.millis)
+            .float0("writes_per_sec", self.writes_per_sec())
+            .float1("read_steps_avg", self.read_steps_avg)
+            .int("violations", 0u64)
     }
 }
 
@@ -505,23 +504,9 @@ fn main() {
         "sketch workloads"
     });
 
-    let mut json = String::from("{\n  \"bench\": \"sketch_workloads\",\n");
-    json.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
-    ));
-    json.push_str("  \"results\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {}{}\n",
-            s.to_json(),
-            if i + 1 == samples.len() { "" } else { "," }
-        ));
+    let mut report = Report::new("sketch_workloads", mode_str(smoke));
+    for s in &samples {
+        report.row(s.row());
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_sketch.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => println!("\ncould not write {path}: {e}"),
-    }
+    report.write("BENCH_sketch.json");
 }

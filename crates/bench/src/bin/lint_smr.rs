@@ -30,6 +30,16 @@
 //!    full-history collection inside an analysis pass would silently
 //!    reintroduce the unbounded buffering the streaming sweep removed.
 //!    (Offline entry points take a caller-built history by argument.)
+//! 6. **Metric names are registered constants with unit suffixes.**
+//!    Every metric-name constant in `obs/src/names.rs` (the `SUB_*`
+//!    subsystem tags excepted) must end in a unit suffix the
+//!    `bench::regression` differ can classify (`_total`, `_per_sec`,
+//!    `_bytes`, `_entries`), and non-test call sites outside
+//!    `crates/obs` must pass those constants to
+//!    `obs::counter`/`gauge`/`histogram` — never string literals. A
+//!    literal at a call site bypasses the registry's single naming
+//!    point, and a suffixless name exports a snapshot field the differ
+//!    silently mistakes for row identity.
 //!
 //! Exit status 0 if clean, 1 with one `file:line: message` finding per
 //! violation — shaped like rustc output so CI annotates it. Pass the
@@ -139,6 +149,22 @@ fn crate_root(path: &Path) -> PathBuf {
 /// determinism signature check.
 const PAIRING_MARKERS: &[&str] = &["match_blocking_forms", "determinism", "equivalence"];
 
+/// The unit suffixes `bench::regression` classifies (rule 6); mirrors
+/// `UNIT_SUFFIXES` in `obs::registry`, which asserts the same set at
+/// registration time.
+const UNIT_SUFFIXES: &[&str] = &["_total", "_per_sec", "_bytes", "_entries"];
+
+/// Extract `(NAME, value)` from a `pub const NAME: &str = "value";`
+/// metric-name declaration line.
+fn metric_const(line: &str) -> Option<(&str, &str)> {
+    let rest = line.trim_start().strip_prefix("pub const ")?;
+    let (name, rest) = rest.split_once(':')?;
+    rest.contains("&str")
+        .then(|| rest.split('"').nth(1))
+        .flatten()
+        .map(|value| (name.trim(), value))
+}
+
 fn main() {
     let root = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| ".".into()));
     let files = collect_sources(&root);
@@ -191,6 +217,37 @@ fn main() {
                 findings.push(format!(
                     "{}:{}: history_snapshot() in lincheck non-test code — checker-side \
                      analysis must stream (OnlineChecker), not buffer the full history",
+                    f.path.display(),
+                    i + 1
+                ));
+            }
+            // Rule 6a: metric-name constants carry a classifiable unit
+            // suffix (subsystem tags exempt).
+            if f.path.ends_with("obs/src/names.rs") {
+                if let Some((name, value)) = metric_const(line) {
+                    if !name.starts_with("SUB_")
+                        && !UNIT_SUFFIXES.iter().any(|s| value.ends_with(s))
+                    {
+                        findings.push(format!(
+                            "{}:{}: metric name `{value}` lacks a unit suffix the \
+                             regression differ classifies (one of {UNIT_SUFFIXES:?})",
+                            f.path.display(),
+                            i + 1
+                        ));
+                    }
+                }
+            }
+            // Rule 6b: registration outside crates/obs goes through the
+            // named constants, never ad-hoc string literals.
+            let in_obs = f.path.components().any(|c| c.as_os_str() == "obs");
+            let registers = ["obs::counter(", "obs::gauge(", "obs::histogram("]
+                .iter()
+                .any(|p| line.contains(p));
+            if !in_obs && registers && line.contains('"') {
+                findings.push(format!(
+                    "{}:{}: metric registered with a string literal — name metrics \
+                     via `obs::names` constants so the unit-suffix scheme stays \
+                     enforceable in one place",
                     f.path.display(),
                     i + 1
                 ));

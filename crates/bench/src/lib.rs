@@ -9,6 +9,7 @@
 //! (default 1): larger values multiply operation counts for
 //! tighter measurements at the cost of runtime.
 
+pub mod emit;
 pub mod regression;
 pub mod tables;
 pub mod workloads;

@@ -96,7 +96,15 @@ fn is_volatile(name: &str) -> bool {
         "steps_replayed",
         "violations",
     ];
-    VOLATILE.contains(&name) || name.ends_with("_avg") || name.ends_with("_ms")
+    // The suffix classes cover obs metric-snapshot exports: raw event
+    // counts (`_total`, histogram `_count`) and histogram quantiles
+    // (`_p50`/`_p90`/`_p99`/`_max`) vary run to run and carry no
+    // better/worse direction, so they are neither identity nor
+    // compared metrics.
+    const VOLATILE_SUFFIXES: &[&str] = &[
+        "_avg", "_ms", "_total", "_count", "_p50", "_p90", "_p99", "_max",
+    ];
+    VOLATILE.contains(&name) || VOLATILE_SUFFIXES.iter().any(|s| name.ends_with(s))
 }
 
 /// The identity key of a row: every stable field, rendered.
@@ -531,6 +539,7 @@ mod tests {
             "BENCH_explore.json",
             "BENCH_sketch.json",   // consumed by CI's sketch bench_diff step
             "BENCH_analysis.json", // consumed by CI's analysis bench_diff step
+            "BENCH_obs.json",      // consumed by CI's obs-overhead bench_diff step
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             if let Ok(text) = std::fs::read_to_string(&path) {

@@ -69,6 +69,28 @@ use crate::sweep::MonotoneStack;
 use smr::{OpKind, OpRecord};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Bound::{Excluded, Included};
+use std::sync::OnceLock;
+
+/// Shared metric handles, resolved once per process. Pushes and folds
+/// are the checker's two cost centers (per-record work and the
+/// amortized compaction that keeps retained state bounded); the
+/// retained gauge mirrors the peak so a snapshot shows how far the
+/// streaming bound was stressed without calling
+/// [`OnlineChecker::peak_retained`] on a live checker.
+struct CheckerMetrics {
+    pushes: &'static obs::Counter,
+    folds: &'static obs::Counter,
+    retained_peak: &'static obs::Gauge,
+}
+
+fn metrics() -> &'static CheckerMetrics {
+    static METRICS: OnceLock<CheckerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CheckerMetrics {
+        pushes: obs::counter(obs::names::SUB_LINCHECK, obs::names::LINCHECK_PUSHES),
+        folds: obs::counter(obs::names::SUB_LINCHECK, obs::names::LINCHECK_FOLDS),
+        retained_peak: obs::gauge(obs::names::SUB_LINCHECK, obs::names::LINCHECK_RETAINED),
+    })
+}
 
 /// A relaxed counter read specification, mirroring the two closed-form
 /// windows of [`crate::monotone::check_counter`] and
@@ -249,6 +271,7 @@ impl OnlineChecker {
     /// The first violation is sticky: once `Err` is returned, every
     /// subsequent call returns the same violation.
     pub fn push(&mut self, rec: &OpRecord) -> Result<(), Violation> {
+        metrics().pushes.inc();
         if let Some(v) = &self.failed {
             return Err(v.clone());
         }
@@ -266,7 +289,16 @@ impl OnlineChecker {
         if let Err(v) = &result {
             self.failed = Some(v.clone());
         }
-        self.peak = self.peak.max(self.retained());
+        let retained = self.retained();
+        if retained > self.peak {
+            // The gauge carries the peak, not the instantaneous value:
+            // the instantaneous value swings every record, while the
+            // peak is the quantity the streaming bound is about.
+            metrics()
+                .retained_peak
+                .add(i64::try_from(retained - self.peak).unwrap_or(i64::MAX));
+            self.peak = retained;
+        }
         result
     }
 
@@ -534,6 +566,7 @@ impl CounterState {
         if self.stack.live_len() < 2 * self.fold_floor + 16 {
             return;
         }
+        metrics().folds.inc();
         let seps = &self.seps;
         self.stack.fold_and_compact(|lo, hi| {
             hi >= now || seps.range((Excluded(lo), Included(hi))).next().is_some()

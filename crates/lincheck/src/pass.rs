@@ -103,6 +103,17 @@ pub struct LinearizabilityPass {
     found: Option<Violation>,
     /// The stream outran the reorder window: stay silent forever.
     inert: bool,
+    /// Checkable events accepted before the pass went inert (or so
+    /// far, if it never did) — what "after N events" in
+    /// [`summary`](AnalysisPass::summary) reports.
+    events_seen: u64,
+    /// Counts inert *transitions* (at most one per attach), so a batch
+    /// of explorer replays shows how many silently dropped coverage.
+    inert_transitions: &'static obs::Counter,
+    /// Reorder-buffer depth sampled at every buffered event: p99 near
+    /// [`WINDOW`] means the stream is racing the buffer and inertness
+    /// is close.
+    occupancy: &'static obs::Histogram,
 }
 
 impl LinearizabilityPass {
@@ -136,11 +147,29 @@ impl LinearizabilityPass {
             max_ts: 0,
             found: None,
             inert: false,
+            events_seen: 0,
+            inert_transitions: obs::counter(obs::names::SUB_LINCHECK, obs::names::LINCHECK_INERT),
+            occupancy: obs::histogram(
+                obs::names::SUB_LINCHECK,
+                obs::names::LINCHECK_REORDER_OCCUPANCY,
+                2,
+                1,
+            ),
         }
     }
 
     fn active(&self) -> bool {
         !self.inert && self.found.is_none()
+    }
+
+    /// Transition to the inert state (idempotent per attach). Counted
+    /// so the degradation is visible in a metrics snapshot even though
+    /// it produces no violation.
+    fn go_inert(&mut self) {
+        if !self.inert {
+            self.inert = true;
+            self.inert_transitions.inc();
+        }
     }
 
     /// Pop the oldest buffered event and apply it to the checker.
@@ -159,7 +188,7 @@ impl LinearizabilityPass {
         if key < self.released {
             // An event older than something already released surfaced:
             // the stream raced beyond the reorder window.
-            self.inert = true;
+            self.go_inert();
             return;
         }
         let kind = b.kind.expect("announce/complete events carry a kind");
@@ -176,7 +205,7 @@ impl LinearizabilityPass {
                 // The matching announcement was lost beyond the window
                 // (or the pass attached mid-run): go inert rather than
                 // let the checker misread this as a fresh operation.
-                self.inert = true;
+                self.go_inert();
                 return;
             }
             OpRecord {
@@ -213,6 +242,7 @@ impl AnalysisPass for LinearizabilityPass {
         self.max_ts = 0;
         self.found = None;
         self.inert = false;
+        self.events_seen = 0;
     }
 
     fn on_event(&mut self, ev: &TraceEvent) {
@@ -267,6 +297,8 @@ impl AnalysisPass for LinearizabilityPass {
             }
             TraceEvent::Access(_) | TraceEvent::Grant { .. } => return,
         }
+        self.events_seen += 1;
+        self.occupancy.record(self.heap.len() as u64);
         while self.heap.len() > WINDOW {
             self.release_one();
         }
@@ -277,6 +309,18 @@ impl AnalysisPass for LinearizabilityPass {
             self.release_one();
         }
         self.found.clone().into_iter().collect()
+    }
+
+    fn summary(&self) -> Option<String> {
+        if self.inert {
+            Some(format!(
+                "pass went inert after {} events: the stream outran the \
+                 reorder window; later operations were not checked",
+                self.events_seen
+            ))
+        } else {
+            None
+        }
     }
 }
 
@@ -370,8 +414,23 @@ mod tests {
 
     #[test]
     fn unmatched_completion_degrades_silently() {
+        obs::set_enabled(true);
         let mut p = LinearizabilityPass::counter(1);
+        let inert_before = p.inert_transitions.get();
         p.on_event(&complete(0, 0, OpKind::Read { returned: 5 }, 3));
+        assert!(p.summary().is_none(), "still buffered: not yet inert");
         assert!(p.finish().is_empty(), "inert, not a false positive");
+        // The degradation is silent in the verdict, but not invisible:
+        // the transition is counted and the summary names it.
+        assert_eq!(p.inert_transitions.get(), inert_before + 1);
+        let s = p.summary().expect("inert pass reports a summary");
+        assert!(s.contains("inert after 1 events"), "got: {s}");
+        // A fresh attach clears the degraded state.
+        p.on_attach(&RunMeta {
+            n: 1,
+            gated: true,
+            coop: true,
+        });
+        assert!(p.summary().is_none());
     }
 }

@@ -1,0 +1,455 @@
+//! The multiplicative-bucket log-histogram — `sketch::quantile`'s
+//! bucket geometry with the paper's k-multiplicative accuracy rule
+//! applied to the *telemetry write path*.
+//!
+//! ## Buckets
+//!
+//! Bucket `0` holds exactly the value `0`; bucket `i ≥ 1` covers
+//! `[b^(i-1), b^i)` for base `b ≥ 2`. The last bucket's (exclusive)
+//! upper edge is computed in `u128`, so the full `u64` domain —
+//! including `u64::MAX` — is covered without overflow. This is the same
+//! geometry as `sketch::quantile` (`log_k_floor` bucketing, upper-edge
+//! answers), shifted by one to admit zero, which latency/depth samples
+//! produce and observations of the paper's 1-based sketch never do.
+//!
+//! ## k-multiplicative publication
+//!
+//! Each (shard, bucket) cell keeps an `exact` count, bumped with one
+//! relaxed `fetch_add` per sample, and — for `k > 1` — a `published`
+//! count that is re-advanced (relaxed `fetch_max`) only when `exact`
+//! has reached `k ×` the published value. Readers sum `published`:
+//! exactly Algorithm 1's discipline of writing the shared counter only
+//! on a multiplicative threshold, here buying read-side cache quiet
+//! instead of step complexity. At rest the per-bucket invariant is
+//!
+//! ```text
+//! published ≤ exact ≤ k · published        (once exact > 0)
+//! ```
+//!
+//! ## The (k·b)-relative-error quantile envelope
+//!
+//! [`quantile(num, den)`](Histogram::quantile) computes the target rank
+//! `t = ⌈φ·N̂⌉` from the approximate total `N̂` and returns the upper
+//! edge `U` of the first bucket whose cumulative approximate population
+//! reaches `t`. Writing `L` for that bucket's lower edge (`U/b`; `0`
+//! for bucket 0) and "rank of x" for the number of samples `< x`, the
+//! invariant above composes into the two-sided guarantee the
+//! differential test below pins:
+//!
+//! * **at least `t` samples lie below `U`** — cumulative approximate
+//!   counts never exceed cumulative true counts;
+//! * **fewer than `k·t` samples lie below `L`** — the true cumulative
+//!   count below `L` is at most `k ×` the approximate one, which was
+//!   `< t`.
+//!
+//! So the returned value is correct to within factor `b` on the value
+//! axis and factor `k` on the rank axis: a (k·b)-relative-error
+//! quantile, the composed bound `lincheck::sketchlog` derives for the
+//! sketch layer, inherited here per shard-sum instead of per process.
+
+use crate::{CachePadded, SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Cell {
+    exact: AtomicU64,
+    published: AtomicU64,
+}
+
+/// Summary statistics of one histogram, as exported by
+/// [`MetricsSnapshot`](crate::MetricsSnapshot) (`_count`, `_p50`,
+/// `_p90`, `_p99`, `_max` suffixes on the registered name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramStats {
+    /// Exact number of recorded samples (sum of shard `exact` counts).
+    pub count: u64,
+    /// Approximate medians/percentiles: upper bucket edges, saturated
+    /// to `u64` (the `b=2` top bucket's true edge is `2^64`).
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    /// Upper edge of the highest nonempty bucket.
+    pub max: u64,
+}
+
+/// A lock-free log-histogram over the full `u64` domain.
+pub struct Histogram {
+    base: u64,
+    k: u64,
+    num_buckets: usize,
+    shards: [CachePadded<Vec<Cell>>; SHARDS],
+}
+
+/// `⌊log_base v⌋` for `v ≥ 1` (0 for `v < base`).
+fn log_floor(v: u64, base: u64) -> u32 {
+    let mut p = 0;
+    let mut x = v;
+    while x >= base {
+        x /= base;
+        p += 1;
+    }
+    p
+}
+
+impl Histogram {
+    /// A histogram with bucket base `b ≥ 2` and publication accuracy
+    /// `k ≥ 1` (`k = 1` publishes every sample: exact buckets).
+    ///
+    /// # Panics
+    /// Panics on `base < 2` or `k == 0`.
+    pub fn new(base: u64, k: u64) -> Histogram {
+        assert!(base >= 2, "bucket base must be at least 2");
+        assert!(k >= 1, "publication accuracy must be at least 1");
+        // Bucket 0 = {0}; buckets 1..=log_floor(u64::MAX)+1 tile [1, 2^64).
+        let num_buckets = log_floor(u64::MAX, base) as usize + 2;
+        Histogram {
+            base,
+            k,
+            num_buckets,
+            shards: std::array::from_fn(|_| {
+                CachePadded(
+                    (0..num_buckets)
+                        .map(|_| Cell {
+                            exact: AtomicU64::new(0),
+                            published: AtomicU64::new(0),
+                        })
+                        .collect(),
+                )
+            }),
+        }
+    }
+
+    /// The bucket base `b`.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The publication accuracy `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Number of buckets (base 2: 65 — `{0}`, then 64 power buckets).
+    pub fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+
+    /// The bucket holding value `v`: `0` for `0`, else
+    /// `⌊log_b v⌋ + 1`.
+    #[inline]
+    pub fn bucket_of(&self, v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            log_floor(v, self.base) as usize + 1
+        }
+    }
+
+    /// The exclusive upper edge of bucket `i`: `1` for bucket 0, else
+    /// `b^i` (in `u128`: the top bucket's edge exceeds `u64::MAX`).
+    pub fn bucket_hi(&self, i: usize) -> u128 {
+        if i == 0 {
+            1
+        } else {
+            u128::from(self.base).pow(u32::try_from(i).expect("bucket index fits u32"))
+        }
+    }
+
+    /// Record one sample. No-op while collection is disabled; one
+    /// relaxed `fetch_add` (plus, on every k-th doubling, one relaxed
+    /// `fetch_max`) when enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let cell = &self.shards[crate::shard_index()].0[self.bucket_of(v)];
+        // relaxed-ok: the cell is written by one thread at a time in
+        // practice (thread-private shard) and readers tolerate the full
+        // k-multiplicative slack by contract; no ordering implied.
+        let e = cell.exact.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        if self.k > 1 {
+            // relaxed-ok: publication only compares monotone telemetry
+            // counts from this same cell.
+            let p = cell.published.load(Ordering::Relaxed);
+            if e >= p.saturating_mul(self.k) {
+                // relaxed-ok: fetch_max keeps `published` monotone under
+                // shard collisions; staleness stays inside the k bound.
+                cell.published.fetch_max(e, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate population of bucket `i` (sum of published shard
+    /// counts; within factor `k` of exact once writers are at rest).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let cell = &s.0[i];
+                if self.k == 1 {
+                    // relaxed-ok: telemetry sums carry no ordering.
+                    cell.exact.load(Ordering::Relaxed)
+                } else {
+                    // relaxed-ok: telemetry sums carry no ordering.
+                    cell.published.load(Ordering::Relaxed)
+                }
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Exact population of bucket `i`.
+    pub fn bucket_exact(&self, i: usize) -> u64 {
+        self.shards
+            .iter()
+            // relaxed-ok: telemetry sums carry no ordering.
+            .map(|s| s.0[i].exact.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Exact total sample count.
+    pub fn count(&self) -> u64 {
+        (0..self.num_buckets).map(|i| self.bucket_exact(i)).sum()
+    }
+
+    /// The `num/den`-quantile: the upper edge of the first bucket whose
+    /// cumulative approximate population reaches `⌈(num/den)·N̂⌉`, or
+    /// `0` when the histogram looks empty. See the module docs for the
+    /// (k·b)-relative-error envelope this answer carries.
+    ///
+    /// # Panics
+    /// Panics unless `0 < num ≤ den`.
+    pub fn quantile(&self, num: u32, den: u32) -> u128 {
+        assert!(num > 0 && num <= den, "need 0 < num ≤ den");
+        let counts: Vec<u64> = (0..self.num_buckets)
+            .map(|i| self.bucket_count(i))
+            .collect();
+        let total: u128 = counts.iter().map(|&c| u128::from(c)).sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total * u128::from(num)).div_ceil(u128::from(den));
+        let mut cum: u128 = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += u128::from(c);
+            if cum >= target {
+                return self.bucket_hi(i);
+            }
+        }
+        self.bucket_hi(self.num_buckets - 1)
+    }
+
+    /// Snapshot summary statistics (percentile edges saturated to u64).
+    pub fn stats(&self) -> HistogramStats {
+        let sat = |v: u128| -> u64 { u64::try_from(v).unwrap_or(u64::MAX) };
+        let max = (0..self.num_buckets)
+            .rev()
+            .find(|&i| self.bucket_exact(i) > 0)
+            .map(|i| sat(self.bucket_hi(i)))
+            .unwrap_or(0);
+        let count = self.count();
+        let q = |num, den| {
+            if count == 0 {
+                0
+            } else {
+                sat(self.quantile(num, den))
+            }
+        };
+        HistogramStats {
+            count,
+            p50: q(1, 2),
+            p90: q(9, 10),
+            p99: q(99, 100),
+            max,
+        }
+    }
+
+    /// Zero every cell (experiment harness between configurations).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            for cell in &s.0 {
+                // relaxed-ok: reset happens at rest, between runs.
+                cell.exact.store(0, Ordering::Relaxed);
+                // relaxed-ok: reset happens at rest, between runs.
+                cell.published.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::enabled_for_test;
+
+    #[test]
+    fn bucket_boundaries_exact_edges_zero_and_max() {
+        let h = Histogram::new(2, 1);
+        // Zero gets its own bucket; 1 starts the power ladder.
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(1), 1);
+        // Exact bucket edges land in the *upper* bucket (half-open
+        // [b^(i-1), b^i) intervals).
+        assert_eq!(h.bucket_of(2), 2);
+        assert_eq!(h.bucket_of(3), 2);
+        assert_eq!(h.bucket_of(4), 3);
+        assert_eq!(h.bucket_of((1 << 20) - 1), 20);
+        assert_eq!(h.bucket_of(1 << 20), 21);
+        // The top of the domain: 2^63 opens the last bucket, u64::MAX
+        // closes it, and its upper edge needs u128.
+        assert_eq!(h.bucket_of(1 << 63), 64);
+        assert_eq!(h.bucket_of(u64::MAX), 64);
+        assert_eq!(h.num_buckets(), 65, "{{0}} plus buckets 1..=64");
+        assert_eq!(h.bucket_hi(64), 1u128 << 64);
+        assert_eq!(h.bucket_hi(0), 1);
+        assert_eq!(h.bucket_hi(1), 2);
+
+        // Non-power-of-two base: same geometry, checked at its edges.
+        let h3 = Histogram::new(3, 1);
+        assert_eq!(h3.bucket_of(0), 0);
+        assert_eq!(h3.bucket_of(2), 1);
+        assert_eq!(h3.bucket_of(3), 2);
+        assert_eq!(h3.bucket_of(9), 3);
+        assert_eq!(h3.bucket_of(u64::MAX), h3.num_buckets() - 1);
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket() {
+        let h = Histogram::new(2, 1);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let b = h.bucket_of(v);
+            let lo = if b == 0 { 0 } else { h.bucket_hi(b - 1) };
+            assert!(
+                u128::from(v) >= lo && u128::from(v) < h.bucket_hi(b),
+                "{v} outside bucket {b} = [{lo}, {})",
+                h.bucket_hi(b)
+            );
+        }
+    }
+
+    #[test]
+    fn records_count_exactly_with_k1() {
+        let _g = enabled_for_test(true);
+        let h = Histogram::new(2, 1);
+        for v in [0u64, 1, 1, 5, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bucket_exact(0), 1);
+        assert_eq!(h.bucket_exact(1), 2);
+        assert_eq!(h.bucket_exact(64), 1);
+        let s = h.stats();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, u64::MAX, "2^64 edge saturates to u64::MAX");
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.stats().max, 0);
+    }
+
+    #[test]
+    fn disabled_record_is_a_no_op() {
+        let _g = enabled_for_test(false);
+        let h = Histogram::new(2, 4);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(1, 2), 0, "empty histogram answers 0");
+    }
+
+    #[test]
+    fn published_stays_inside_the_k_envelope() {
+        let _g = enabled_for_test(true);
+        let k = 4;
+        let h = Histogram::new(2, k);
+        // Everything from one thread → one shard → the per-cell
+        // invariant is directly observable.
+        for _ in 0..1000 {
+            h.record(10);
+        }
+        let b = h.bucket_of(10);
+        let exact = h.bucket_exact(b);
+        let published = h.bucket_count(b);
+        assert_eq!(exact, 1000);
+        assert!(published >= 1, "first sample always publishes");
+        assert!(published <= exact, "published never overtakes exact");
+        assert!(
+            exact <= published.saturating_mul(k),
+            "exact {exact} > k·published = {}",
+            published * k
+        );
+    }
+
+    /// The satellite's differential test: quantile answers vs an exact
+    /// sorted reference, pinned to the documented (k·b) envelope — at
+    /// least `t` samples below the returned upper edge `U`, fewer than
+    /// `k·t` samples below the bucket's lower edge `U/b`.
+    #[test]
+    fn quantiles_match_exact_reference_within_k_times_b() {
+        let _g = enabled_for_test(true);
+        for (base, k) in [(2u64, 1u64), (2, 4), (3, 2), (10, 8)] {
+            let h = Histogram::new(base, k);
+            // A skewed, repetitive sample set (telemetry-like): heavy
+            // low values, a mid hump, a far-out tail. xorshift so the
+            // set is deterministic.
+            let mut x = 0x9e3779b97f4a7c15u64;
+            let mut samples: Vec<u64> = Vec::new();
+            for i in 0..5000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = match i % 10 {
+                    0..=5 => x % 16,
+                    6..=8 => 100 + x % 1000,
+                    _ => 1_000_000 + x % 1_000_000,
+                };
+                samples.push(v);
+                h.record(v);
+            }
+            samples.sort_unstable();
+            let approx_total: u128 = (0..h.num_buckets())
+                .map(|i| u128::from(h.bucket_count(i)))
+                .sum();
+            for (num, den) in [
+                (1u32, 100u32),
+                (1, 4),
+                (1, 2),
+                (3, 4),
+                (9, 10),
+                (99, 100),
+                (1, 1),
+            ] {
+                let u = h.quantile(num, den);
+                let t = (approx_total * u128::from(num)).div_ceil(u128::from(den));
+                let below_u = samples.iter().filter(|&&s| u128::from(s) < u).count() as u128;
+                assert!(
+                    below_u >= t,
+                    "base {base} k {k} φ={num}/{den}: only {below_u} samples below \
+                     U={u}, target rank {t}"
+                );
+                let lo = u / u128::from(base);
+                let below_lo = samples.iter().filter(|&&s| u128::from(s) < lo).count() as u128;
+                assert!(
+                    below_lo < t.saturating_mul(u128::from(k)),
+                    "base {base} k {k} φ={num}/{den}: {below_lo} samples below \
+                     L={lo} ≥ k·t = {}",
+                    t * u128::from(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_phi() {
+        let _g = enabled_for_test(true);
+        let h = Histogram::new(2, 4);
+        for v in [1u64, 1, 2, 30, 30, 500, 4000, 4000, 4000, 100_000] {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for num in 1..=10u32 {
+            let q = h.quantile(num, 10);
+            assert!(q >= prev, "quantile regressed at {num}/10");
+            prev = q;
+        }
+    }
+}

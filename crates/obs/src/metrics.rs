@@ -1,0 +1,178 @@
+//! Sharded lock-free counters and gauges.
+//!
+//! Both are arrays of cache-padded atomics; a write touches only the
+//! calling thread's shard (one relaxed RMW), a read sums all shards.
+//! Reads are therefore *not* linearizable snapshots — they are monotone
+//! (counters) or eventually-consistent (gauges) aggregates, which is the
+//! telemetry contract: exact-at-rest, approximate-in-flight.
+
+use crate::{CachePadded, SHARDS};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotone event counter.
+pub struct Counter {
+    shards: [CachePadded<AtomicU64>; SHARDS],
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter {
+            shards: std::array::from_fn(|_| CachePadded(AtomicU64::new(0))),
+        }
+    }
+
+    /// Count one event. No-op while collection is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events. No-op while collection is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let shard = &self.shards[crate::shard_index()].0;
+        // relaxed-ok: the shard is thread-private for writes and reads
+        // only ever sum shards; no ordering with other memory is implied
+        // by a telemetry count.
+        shard.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum over all shards (monotone; exact once writers are at rest).
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            // relaxed-ok: see `add` — shard sums carry no ordering.
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Zero every shard (experiment harness between configurations).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            // relaxed-ok: reset happens at rest, between measured runs.
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A signed up/down gauge (queue depths, resident bytes).
+pub struct Gauge {
+    shards: [CachePadded<AtomicI64>; SHARDS],
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge {
+            shards: std::array::from_fn(|_| CachePadded(AtomicI64::new(0))),
+        }
+    }
+
+    /// Move the gauge by `delta` (may be negative). No-op while
+    /// collection is disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        let shard = &self.shards[crate::shard_index()].0;
+        // relaxed-ok: as with Counter — per-thread shard, summed reads,
+        // no ordering contract.
+        shard.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Shorthand for `add(-delta)`.
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// Sum over all shards. Individual shards may be negative (a value
+    /// added on one thread, removed on another); the sum is the gauge.
+    pub fn get(&self) -> i64 {
+        self.shards
+            .iter()
+            // relaxed-ok: shard sums carry no ordering.
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0i64, i64::wrapping_add)
+    }
+
+    /// Zero every shard (experiment harness between configurations).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            // relaxed-ok: reset happens at rest, between measured runs.
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::enabled_for_test;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let _g = enabled_for_test(true);
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn disabled_counter_is_a_no_op() {
+        let _g = enabled_for_test(false);
+        let c = Counter::new();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let _g = enabled_for_test(true);
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn cross_thread_counts_sum() {
+        let _g = enabled_for_test(true);
+        let c = std::sync::Arc::new(Counter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

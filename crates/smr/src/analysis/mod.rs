@@ -103,6 +103,15 @@ pub trait AnalysisPass: Send {
 
     /// Close the pass and report its findings. Called once.
     fn finish(&mut self) -> Vec<Violation>;
+
+    /// An optional one-line operational notice about how the pass ran —
+    /// degraded modes, dropped coverage — as opposed to `finish`'s
+    /// *verdicts*. A pass that silently stopped checking (e.g. a
+    /// reorder buffer outrun) reports it here so run summaries can
+    /// distinguish "checked clean" from "stopped checking".
+    fn summary(&self) -> Option<String> {
+        None
+    }
 }
 
 struct Inner {
@@ -189,6 +198,19 @@ impl Analyzer {
     /// `true` once [`finish`](Analyzer::finish) has run.
     pub fn finished(&self) -> bool {
         self.inner.lock().report.is_some()
+    }
+
+    /// Operational notices from every pass
+    /// ([`AnalysisPass::summary`]) — degraded-mode reports that are not
+    /// violations, for inclusion in run summaries. Callable before or
+    /// after [`finish`](Analyzer::finish).
+    pub fn summaries(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        inner
+            .passes
+            .iter()
+            .filter_map(|p| p.summary().map(|s| format!("[{}] {s}", p.name())))
+            .collect()
     }
 }
 

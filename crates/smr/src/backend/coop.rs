@@ -84,6 +84,36 @@ use std::sync::Arc;
 /// Null link in the queue slab and in `qhead`/`qtail`.
 const NIL: u32 = u32::MAX;
 
+/// The backend's registered metrics, resolved once per backend (the
+/// handles are `&'static`, so the poll loop pays one relaxed flag load
+/// plus one sharded `fetch_add` per event, nothing per-event from the
+/// registry).
+struct CoopMetrics {
+    /// Every task poll: priming polls in `advance`, granted polls in
+    /// `step`, batch polls in `sweep_one`.
+    polls: &'static obs::Counter,
+    /// `quiesce` calls (structurally free in this backend — the count
+    /// is the interesting signal).
+    quiesces: &'static obs::Counter,
+    /// Runnable-queue depth, sampled once per completed batch round.
+    runnable_depth: &'static obs::Histogram,
+}
+
+impl CoopMetrics {
+    fn new() -> CoopMetrics {
+        CoopMetrics {
+            polls: obs::counter(obs::names::SUB_COOP, obs::names::COOP_POLLS),
+            quiesces: obs::counter(obs::names::SUB_COOP, obs::names::COOP_QUIESCES),
+            runnable_depth: obs::histogram(
+                obs::names::SUB_COOP,
+                obs::names::COOP_RUNNABLE_DEPTH,
+                2,
+                4,
+            ),
+        }
+    }
+}
+
 /// Bump-arena chunk size; large enough that 10⁶ small task states fit
 /// in a few dozen chunks.
 const CHUNK_SIZE: usize = 1 << 20;
@@ -141,6 +171,12 @@ impl TaskArena {
             let ptr = unsafe { std::alloc::alloc(chunk_layout) };
             let ptr =
                 NonNull::new(ptr).unwrap_or_else(|| std::alloc::handle_alloc_error(chunk_layout));
+            // Chunk growth is rare (one per MiB of task state), so the
+            // registry lookup here costs nothing measurable; chunks are
+            // reused across generations and only freed at drop, which
+            // is what the gauge tracks.
+            obs::gauge(obs::names::SUB_COOP, obs::names::COOP_ARENA_BYTES)
+                .add(i64::try_from(chunk_layout.size()).unwrap_or(i64::MAX));
             self.chunks.push(Chunk {
                 ptr,
                 layout: chunk_layout,
@@ -193,6 +229,8 @@ impl Drop for TaskArena {
         // The backend retires every live task before the arena drops
         // (teardown or panic path), so only raw chunk memory remains.
         for chunk in self.chunks.drain(..) {
+            obs::gauge(obs::names::SUB_COOP, obs::names::COOP_ARENA_BYTES)
+                .sub(i64::try_from(chunk.layout.size()).unwrap_or(i64::MAX));
             // SAFETY: allocated in `alloc` with exactly this layout.
             unsafe { std::alloc::dealloc(chunk.ptr.as_ptr(), chunk.layout) };
         }
@@ -279,6 +317,8 @@ pub struct CoopBackend {
     /// Seeded xorshift64 state for shuffled batch order; `None` keeps
     /// submission order.
     batch_rng: Option<u64>,
+
+    metrics: CoopMetrics,
 }
 
 // SAFETY: every raw pointer (arena chunks, installed payloads, slab
@@ -385,6 +425,7 @@ impl CoopBackend {
             sweep_keep: 0,
             round_fresh: true,
             batch_rng,
+            metrics: CoopMetrics::new(),
             runtime,
         }
     }
@@ -461,6 +502,7 @@ impl CoopBackend {
                 });
             }
             let ctx = self.runtime.ctx(pid);
+            self.metrics.polls.inc();
             // SAFETY: `data` is the live, exclusively-owned task
             // installed for this op.
             let polled = unsafe { poll(data, &ctx) };
@@ -528,6 +570,9 @@ impl CoopBackend {
             // Round complete: compact away pids that went idle (the
             // survivors keep their relative order) and rewind.
             self.runnable.truncate(self.sweep_keep);
+            self.metrics
+                .runnable_depth
+                .record(self.runnable.len() as u64);
             self.sweep_pos = 0;
             self.sweep_keep = 0;
             self.round_fresh = true;
@@ -545,6 +590,7 @@ impl CoopBackend {
         }
         let pid = self.runnable[self.sweep_pos] as usize;
         self.sweep_pos += 1;
+        self.metrics.polls.inc();
         let Some(data) = self.parked_data[pid] else {
             // Defensive: a stale entry (should not occur — entries are
             // compacted the round their pid goes idle).
@@ -604,6 +650,7 @@ impl ExecBackend for CoopBackend {
         };
         let before = self.runtime.steps_of(pid);
         self.runtime.trace_grant(pid);
+        self.metrics.polls.inc();
         let ctx = self.runtime.ctx(pid);
         // SAFETY: the parked task is live and exclusively ours.
         let polled = unsafe { (self.parked_poll[pid])(data, &ctx) };
@@ -625,6 +672,7 @@ impl ExecBackend for CoopBackend {
         // Always at a stable point: `advance` runs eagerly on submit and
         // after every completion, so parked/idle state and the event
         // buffer are already the deterministic cut a quiesce produces.
+        self.metrics.quiesces.inc();
     }
 
     fn drain(&mut self, sink: &mut dyn FnMut(OpRecord)) {

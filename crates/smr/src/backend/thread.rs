@@ -32,6 +32,11 @@ pub struct ThreadBackend {
     cmd_tx: Vec<Sender<Cmd>>,
     evt_rx: Receiver<OpRecord>,
     workers: Vec<JoinHandle<()>>,
+    /// Controller-side grants — each one is a full cross-thread condvar
+    /// handshake with a parked worker, the cost that caps this backend
+    /// at ~10³ processes (`exp_scale`); counting them is what makes
+    /// that story visible in a snapshot next to coop poll counts.
+    gate_waits: &'static obs::Counter,
 }
 
 impl ThreadBackend {
@@ -67,6 +72,7 @@ impl ThreadBackend {
             cmd_tx,
             evt_rx,
             workers,
+            gate_waits: obs::counter(obs::names::SUB_THREAD, obs::names::THREAD_GATE_WAITS),
         }
     }
 }
@@ -84,6 +90,7 @@ impl ExecBackend for ThreadBackend {
             .gate
             .as_ref()
             .expect("step() requires a gated runtime");
+        self.gate_waits.inc();
         match gate.grant(pid, expected_ops) {
             GrantOutcome::Stepped => StepOutcome::Stepped,
             GrantOutcome::Completed => StepOutcome::Completed,

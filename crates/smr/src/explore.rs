@@ -154,7 +154,7 @@ use crate::history::History;
 use crate::sched::Scripted;
 use crate::trace::{AccessKind, TraceEvent};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// One decision of an explored schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -863,6 +863,43 @@ struct DNode {
     clock: Vc,
 }
 
+/// The explorer's registered metrics. Resolved lazily (one `OnceLock`
+/// load per use) — every site below fires at node/replay granularity,
+/// orders of magnitude rarer than granted steps, and instrumentation
+/// must not perturb the walk itself: counters only, no control flow.
+/// The obs-on/off parity test in `tests/obs_parity.rs` pins that the
+/// DPOR history-digest set is bit-identical either way.
+struct ExploreMetrics {
+    /// `'outer` iterations of [`dpor_walk`] — fresh-driver replays.
+    replays: &'static obs::Counter,
+    /// DNodes pushed onto the search stack.
+    nodes: &'static obs::Counter,
+    /// Sleep-blocked states: every continuation was asleep.
+    sleep_hits: &'static obs::Counter,
+    /// Race reversals actually added to a backtrack set.
+    backtracks: &'static obs::Counter,
+    /// Search depth (preamble + stack) at each completed interleaving;
+    /// per-worker shards make the parallel frontier's depth profile
+    /// visible in one histogram.
+    frontier_depth: &'static obs::Histogram,
+}
+
+fn metrics() -> &'static ExploreMetrics {
+    static M: OnceLock<ExploreMetrics> = OnceLock::new();
+    M.get_or_init(|| ExploreMetrics {
+        replays: obs::counter(obs::names::SUB_EXPLORE, obs::names::EXPLORE_REPLAYS),
+        nodes: obs::counter(obs::names::SUB_EXPLORE, obs::names::EXPLORE_NODES),
+        sleep_hits: obs::counter(obs::names::SUB_EXPLORE, obs::names::EXPLORE_SLEEP_HITS),
+        backtracks: obs::counter(obs::names::SUB_EXPLORE, obs::names::EXPLORE_BACKTRACKS),
+        frontier_depth: obs::histogram(
+            obs::names::SUB_EXPLORE,
+            obs::names::EXPLORE_FRONTIER_DEPTH,
+            2,
+            4,
+        ),
+    })
+}
+
 /// `true` if exploring `c` from `node` is already covered — scheduled,
 /// explored, or asleep.
 fn covered(node: &DNode, c: Choice) -> bool {
@@ -879,6 +916,7 @@ fn add_backtrack(node: &mut DNode, racer: Choice) {
     if node.enabled.contains(&racer) {
         if !covered(node, racer) {
             node.backtrack.push(racer);
+            metrics().backtracks.inc();
         }
         return;
     }
@@ -888,6 +926,7 @@ fn add_backtrack(node: &mut DNode, racer: Choice) {
         .copied()
         .filter(|&c| !covered(node, c))
         .collect();
+    metrics().backtracks.add(missing.len() as u64);
     node.backtrack.extend(missing);
 }
 
@@ -1027,6 +1066,7 @@ where
     }
 
     'outer: loop {
+        metrics().replays.inc();
         let mut d = factory();
         assert!(
             d.runtime().is_coop(),
@@ -1088,6 +1128,9 @@ where
             stats.max_depth = stats.max_depth.max(pre.len() + stack.len());
             if d.active_set().is_empty() || steps >= cfg.max_steps {
                 stats.interleavings += 1;
+                metrics()
+                    .frontier_depth
+                    .record((pre.len() + stack.len()) as u64);
                 let rejected = check(&d.history_snapshot())
                     .err()
                     .or_else(|| analysis_failure(d.runtime()));
@@ -1149,6 +1192,7 @@ where
             if backtrack.is_empty() {
                 // Sleep-blocked: every continuation reorders an explored
                 // execution.
+                metrics().sleep_hits.inc();
                 stats.pruned += enabled.len() as u64;
                 if next_branch(&mut stack, &mut stats) {
                     pending = true;
@@ -1172,6 +1216,7 @@ where
             for j in races {
                 add_backtrack(&mut stack[j], taken);
             }
+            metrics().nodes.inc();
             stack.push(DNode {
                 enabled,
                 backtrack,

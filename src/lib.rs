@@ -26,6 +26,9 @@
 //!   handles.
 //! * [`perturb`] — the lower-bound machinery: awareness sets and
 //!   perturbing executions.
+//! * [`obs`] — the self-observability layer: lock-free counters/gauges
+//!   and k-multiplicative histograms every subsystem reports into, with
+//!   step-scaled snapshot reporting (`exp_obs` pins the overhead).
 //!
 //! ## Where to start
 //!
@@ -41,6 +44,7 @@ pub use approx_objects;
 pub use counter;
 pub use lincheck;
 pub use maxreg;
+pub use obs;
 pub use perturb;
 pub use sketch;
 pub use smr;
